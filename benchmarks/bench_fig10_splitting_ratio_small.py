@@ -1,0 +1,31 @@
+"""Figure 10: splitting ratio vs total simulation steps, Small queries.
+
+Paper's shape: cost is U-shaped in the ratio; r = 1 reproduces SRS, the
+optimum sits in a narrow band around r = 3, and large ratios blow up the
+per-root tree size.
+"""
+
+import pytest
+
+from bench_common import step_cap, write_report
+from experiments import format_sweep, splitting_ratio_sweep
+
+RATIOS = (1, 2, 3, 4, 5, 6, 7)
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("key", ["queue-small", "cpp-small"])
+def test_fig10_splitting_ratio_tradeoff_small(benchmark, key):
+    cap = step_cap(3_000_000)
+    rows = benchmark.pedantic(
+        lambda: splitting_ratio_sweep(key, RATIOS, cap=cap, num_levels=4),
+        rounds=1, iterations=1)
+    write_report(f"fig10_ratio_{key}",
+                 f"Figure 10 — splitting ratio sweep, {key}",
+                 format_sweep(rows, "ratio"))
+    steps = {row["ratio"]: row["steps"] for row in rows}
+    best = min(steps, key=steps.get)
+    assert 2 <= best <= 5, f"optimal ratio {best} outside the paper's band"
+    # Some moderate ratio must beat both extremes of the sweep.
+    assert steps[best] < steps[1]
+    assert steps[best] < steps[7]

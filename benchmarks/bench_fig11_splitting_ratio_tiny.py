@@ -1,0 +1,28 @@
+"""Figure 11: splitting ratio vs total steps, Tiny queries.
+
+Paper's shape: same U-shaped trade-off as Figure 10, with the rarer
+query tolerating (slightly) larger ratios.
+"""
+
+import pytest
+
+from bench_common import step_cap, write_report
+from experiments import format_sweep, splitting_ratio_sweep
+
+RATIOS = (1, 2, 3, 4, 5, 6, 7)
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("key", ["queue-tiny", "cpp-tiny"])
+def test_fig11_splitting_ratio_tradeoff_tiny(benchmark, key):
+    cap = step_cap(6_000_000)
+    rows = benchmark.pedantic(
+        lambda: splitting_ratio_sweep(key, RATIOS, cap=cap, num_levels=5),
+        rounds=1, iterations=1)
+    write_report(f"fig11_ratio_{key}",
+                 f"Figure 11 — splitting ratio sweep, {key}",
+                 format_sweep(rows, "ratio"))
+    steps = {row["ratio"]: row["steps"] for row in rows}
+    best = min(steps, key=steps.get)
+    assert 2 <= best <= 6, f"optimal ratio {best} outside the paper's band"
+    assert steps[best] < steps[1], "splitting must beat SRS (r = 1)"

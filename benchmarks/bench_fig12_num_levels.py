@@ -1,0 +1,34 @@
+"""Figure 12: number of levels vs total steps (balanced plans, r = 3).
+
+Paper's shape: a level-count trade-off with a query-dependent optimum —
+Small queries prefer few levels, Tiny queries 5-6.
+"""
+
+import pytest
+
+from bench_common import step_cap, write_report
+from experiments import format_sweep, level_count_sweep
+
+
+@pytest.mark.benchmark(group="fig12")
+@pytest.mark.parametrize("key,levels,cap", [
+    ("queue-small", (2, 3, 4, 5), 3_000_000),
+    ("cpp-small", (2, 3, 4, 5), 3_000_000),
+    ("queue-tiny", (2, 3, 4, 5, 6, 7, 8), 8_000_000),
+    ("cpp-tiny", (2, 3, 4, 5, 6, 7, 8), 8_000_000),
+])
+def test_fig12_level_count_tradeoff(benchmark, key, levels, cap):
+    rows = benchmark.pedantic(
+        lambda: level_count_sweep(key, levels, cap=step_cap(cap)),
+        rounds=1, iterations=1)
+    write_report(f"fig12_levels_{key}",
+                 f"Figure 12 — level-count sweep, {key}",
+                 format_sweep(rows, "levels"))
+    steps = {row["levels"]: row["steps"] for row in rows}
+    best = min(steps, key=steps.get)
+    if key.endswith("tiny"):
+        assert best >= 3, f"tiny queries should want several levels: {best}"
+        assert steps[best] < steps[2]
+    else:
+        assert steps[best] <= steps[levels[-1]], (
+            "small queries should not need the deepest plan")

@@ -1,0 +1,45 @@
+"""Figure 13: greedy level partitions vs MLSS-BAL vs SRS (s-MLSS).
+
+Paper's shape: the automated greedy search lands near the manually
+tuned balanced plan (10-30 % search overhead) and both stay far below
+SRS — up to an order of magnitude on Tiny/Rare.
+"""
+
+import pytest
+
+from bench_common import RNN_CACHE_DIR, step_cap, write_report
+from experiments import format_greedy_rows, greedy_comparison
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_greedy_vs_balanced_queue_cpp(benchmark):
+    cap = step_cap(5_000_000)
+    rows = benchmark.pedantic(
+        lambda: greedy_comparison(
+            ("queue-small", "queue-tiny", "cpp-small", "cpp-tiny"),
+            cap=cap, trial_steps=15_000),
+        rounds=1, iterations=1)
+    write_report("fig13_greedy_smlss",
+                 "Figure 13 — greedy partitions vs MLSS-BAL vs SRS",
+                 format_greedy_rows(rows))
+    for row in rows:
+        total_greedy = row["greedy_steps"] + row["search_steps"]
+        assert total_greedy < row["srs_steps"], (
+            f"{row['workload']}: greedy (incl. search) must beat SRS")
+        # Greedy should land within a small factor of the tuned plan.
+        assert row["greedy_steps"] < 6 * max(row["bal_steps"], 1)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_greedy_on_rnn(benchmark):
+    cap = step_cap(250_000)
+    rows = benchmark.pedantic(
+        lambda: greedy_comparison(("rnn-small",), cap=cap,
+                                  trial_steps=10_000,
+                                  rnn_cache=RNN_CACHE_DIR),
+        rounds=1, iterations=1)
+    write_report("fig13_greedy_rnn",
+                 "Figure 13 (RNN) — greedy partitions vs MLSS-BAL vs SRS",
+                 format_greedy_rows(rows))
+    row = rows[0]
+    assert row["greedy_steps"] + row["search_steps"] < row["srs_steps"]

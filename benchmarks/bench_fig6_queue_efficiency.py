@@ -1,0 +1,29 @@
+"""Figure 6: steps and time to the quality target, Queue model.
+
+Paper's shape: MLSS cuts 40-60 % off Medium/Small queries and reaches
+~10x on Tiny/Rare, where SRS wastes most paths.
+"""
+
+import pytest
+
+from bench_common import step_cap, write_report
+from experiments import efficiency_figure, format_efficiency_rows
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_queue_efficiency(benchmark):
+    cap = step_cap(6_000_000)
+    rows = benchmark.pedantic(
+        lambda: efficiency_figure("queue", cap=cap), rounds=1, iterations=1)
+    write_report("fig6_queue_efficiency",
+                 "Figure 6 — Queue model: cost to reach the quality target",
+                 format_efficiency_rows(rows))
+    by_type = {row["type"]: row for row in rows}
+    # The paper: MLSS helps least on Medium ("may result in unnecessary
+    # overhead") and most on Tiny/Rare (~10x).
+    for qtype in ("medium", "small"):
+        assert by_type[qtype]["step_speedup"] > 0.8, by_type[qtype]
+    for qtype in ("tiny", "rare"):
+        assert by_type[qtype]["step_speedup"] > 2.0, by_type[qtype]
+    assert by_type["rare"]["step_speedup"] > (
+        1.5 * by_type["medium"]["step_speedup"])

@@ -1,0 +1,23 @@
+"""Figure 7: steps and time to the quality target, CPP model."""
+
+import pytest
+
+from bench_common import step_cap, write_report
+from experiments import efficiency_figure, format_efficiency_rows
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_cpp_efficiency(benchmark):
+    cap = step_cap(6_000_000)
+    rows = benchmark.pedantic(
+        lambda: efficiency_figure("cpp", cap=cap), rounds=1, iterations=1)
+    write_report("fig7_cpp_efficiency",
+                 "Figure 7 — CPP model: cost to reach the quality target",
+                 format_efficiency_rows(rows))
+    by_type = {row["type"]: row for row in rows}
+    for qtype in ("medium", "small"):
+        assert by_type[qtype]["step_speedup"] > 0.8, by_type[qtype]
+    for qtype in ("tiny", "rare"):
+        assert by_type[qtype]["step_speedup"] > 2.0, by_type[qtype]
+    assert by_type["rare"]["step_speedup"] > (
+        1.5 * by_type["medium"]["step_speedup"])

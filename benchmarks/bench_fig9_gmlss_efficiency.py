@@ -1,0 +1,28 @@
+"""Figure 9: g-MLSS query time on volatile processes, with the
+bootstrap-evaluation overhead broken out.
+
+Paper's shape: g-MLSS beats SRS by a large margin (up to ~80 % on Rare)
+even though bootstrap evaluation takes a visible share of its runtime.
+"""
+
+import pytest
+
+from bench_common import step_cap, write_report
+from experiments import format_gmlss_rows, gmlss_efficiency
+
+KEYS = ("volatile-cpp-tiny", "volatile-cpp-rare",
+        "volatile-queue-tiny", "volatile-queue-rare")
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_gmlss_vs_srs_on_volatile(benchmark):
+    cap = step_cap(4_000_000)
+    rows = benchmark.pedantic(
+        lambda: gmlss_efficiency(KEYS, cap=cap), rounds=1, iterations=1)
+    write_report("fig9_gmlss_efficiency",
+                 "Figure 9 — g-MLSS vs SRS on volatile processes",
+                 format_gmlss_rows(rows))
+    wins = sum(1 for row in rows if row["gmlss_steps"] < row["srs_steps"])
+    assert wins >= 3, f"g-MLSS must beat SRS on most workloads: {rows}"
+    for row in rows:
+        assert row["bootstrap_seconds"] >= 0.0

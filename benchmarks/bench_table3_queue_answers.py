@@ -1,0 +1,32 @@
+"""Table 3: SRS vs MLSS answer agreement on the Queue model.
+
+Paper's claim: over repeated fixed-budget runs, MLSS and SRS return the
+same answers (within one standard deviation) on all four query types —
+MLSS is unbiased.
+"""
+
+import pytest
+
+from bench_common import repetitions, step_cap, write_report
+from experiments import answers_table, format_answers_rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_queue_answer_agreement(benchmark):
+    n_runs = repetitions(8)
+    budget = step_cap(120_000)
+    rows = benchmark.pedantic(
+        lambda: answers_table("queue", n_runs=n_runs, budget=budget),
+        rounds=1, iterations=1)
+    write_report("table3_queue_answers",
+                 "Table 3 — Queue model: SRS vs MLSS answers",
+                 format_answers_rows(rows))
+    for row in rows:
+        spread = row["srs_std"] + row["mlss_std"] + 1e-4
+        assert abs(row["srs_mean"] - row["mlss_mean"]) <= 3 * spread, (
+            f"{row['type']}: SRS {row['srs_mean']} vs "
+            f"MLSS {row['mlss_mean']}")
+    # Medium/small answers should be solid even at laptop budgets.
+    for row in rows[:2]:
+        assert row["mlss_mean"] == pytest.approx(row["expected"],
+                                                 rel=0.5)

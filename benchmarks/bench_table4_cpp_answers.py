@@ -1,0 +1,23 @@
+"""Table 4: SRS vs MLSS answer agreement on the CPP model."""
+
+import pytest
+
+from bench_common import repetitions, step_cap, write_report
+from experiments import answers_table, format_answers_rows
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_cpp_answer_agreement(benchmark):
+    n_runs = repetitions(8)
+    budget = step_cap(120_000)
+    rows = benchmark.pedantic(
+        lambda: answers_table("cpp", n_runs=n_runs, budget=budget),
+        rounds=1, iterations=1)
+    write_report("table4_cpp_answers",
+                 "Table 4 — CPP model: SRS vs MLSS answers",
+                 format_answers_rows(rows))
+    for row in rows:
+        spread = row["srs_std"] + row["mlss_std"] + 1e-4
+        assert abs(row["srs_mean"] - row["mlss_mean"]) <= 3 * spread
+    for row in rows[:2]:
+        assert row["mlss_mean"] == pytest.approx(row["expected"], rel=0.5)

@@ -1,0 +1,40 @@
+"""Table 5: query performance on the black-box RNN model (single runs).
+
+Paper's claim: on the LSTM-MDN stock model, MLSS reaches the quality
+target with ~5-9x fewer simulation steps than SRS, with matching
+answers.
+"""
+
+import pytest
+
+from bench_common import FULL, step_cap, write_report
+from experiments import rnn_table5
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_rnn_single_run_performance(benchmark):
+    cap = step_cap(250_000)
+    rows = benchmark.pedantic(lambda: rnn_table5(cap=cap),
+                              rounds=1, iterations=1)
+    lines = [f"{'workload':10s} {'method':7s} {'estimate':>9s} "
+             f"{'steps-to-target':>16s} {'seconds':>8s}"]
+    for row in rows:
+        mark = "*" if row["capped"] else " "
+        lines.append(
+            f"{row['workload']:10s} {row['method']:7s} "
+            f"{row['probability']:>9.4f} "
+            f"{row['steps_to_target']:>15d}{mark} "
+            f"{row['seconds']:>8.1f}")
+    lines.append("(* = capped; projected by the 1/n law)")
+    write_report("table5_rnn", "Table 5 — RNN model: SRS vs MLSS", lines)
+
+    by = {(r["workload"], r["method"]): r for r in rows}
+    for key in ("rnn-small", "rnn-tiny"):
+        srs = by[(key, "srs")]
+        mlss = by[(key, "smlss")]
+        assert mlss["steps_to_target"] < srs["steps_to_target"], (
+            f"{key}: MLSS must need fewer steps")
+        # Answers agree within a loose band (single runs).
+        if srs["probability"] > 0 and mlss["probability"] > 0:
+            ratio = srs["probability"] / mlss["probability"]
+            assert 0.2 < ratio < 5.0

@@ -1,0 +1,27 @@
+"""Table 7: the whole pipeline running inside the DBMS.
+
+Paper's claim: moving models + samplers into the database (PostgreSQL
+there, sqlite3 here) preserves MLSS's advantage — Rare queries drop
+from fractions of an hour to minutes.
+"""
+
+import pytest
+
+from bench_common import step_cap, write_report
+from experiments import dbms_table7, format_dbms_rows
+
+
+@pytest.mark.benchmark(group="table7")
+@pytest.mark.parametrize("model", ["queue", "cpp"])
+def test_table7_in_dbms_running_times(benchmark, model):
+    cap = step_cap(4_000_000)
+    rows = benchmark.pedantic(lambda: dbms_table7(model, cap=cap),
+                              rounds=1, iterations=1)
+    write_report(f"table7_dbms_{model}",
+                 f"Table 7 — in-DBMS running times, {model} model",
+                 format_dbms_rows(rows))
+    by_type = {row["type"]: row for row in rows}
+    # MLSS must win on the hard queries inside the DBMS too.
+    for qtype in ("tiny", "rare"):
+        row = by_type[qtype]
+        assert row["mlss_seconds"] < row["srs_seconds"], row

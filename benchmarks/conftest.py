@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+from pathlib import Path
+
+# Make `bench_common` importable regardless of pytest's rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,64 @@
+"""Insurance risk analytics on a compound Poisson surplus process.
+
+The motivating financial question from the paper's introduction: an
+insurance product starts with surplus 15, earns premium 4.5 per period
+and pays compound-Poisson claims.  The analyst asks durability
+prediction queries like *"how likely is the surplus to reach a windfall
+level of 88 within 500 periods?"* — a sub-1 % event where plain Monte
+Carlo burns most of its budget on useless paths.
+
+This example runs the paper's pipeline end to end: adaptive greedy
+level design, then g-MLSS to a 10 % relative-error guarantee, with the
+SRS cost for contrast.
+
+Run:  python examples/insurance_risk.py
+"""
+
+from repro import (DurabilityQuery, GMLSSSampler, RelativeErrorTarget,
+                   SRSSampler, adaptive_greedy_partition)
+from repro.processes import CompoundPoissonProcess
+
+
+def main() -> None:
+    product = CompoundPoissonProcess(initial_surplus=15.0,
+                                     premium_rate=4.5, jump_rate=0.8,
+                                     jump_low=5.0, jump_high=10.0)
+    print(f"Surplus drift: {product.mean_drift():+.2f} per period "
+          f"(upward excursions are rare events)\n")
+
+    query = DurabilityQuery.threshold(
+        product, CompoundPoissonProcess.surplus, beta=88.0, horizon=500,
+        name="windfall-88-within-500")
+    target = RelativeErrorTarget(target=0.10)
+
+    print("Searching for a level plan (Algorithm 1)...")
+    search = adaptive_greedy_partition(query, ratio=3, trial_steps=20_000,
+                                       seed=7)
+    print(f"  plan: {search.partition}")
+    print(f"  search cost: {search.search_steps} steps, pooled estimate "
+          f"{search.pooled_estimate:.5f}\n")
+
+    print("g-MLSS to a 10% relative-error guarantee...")
+    estimate = GMLSSSampler(search.partition, ratio=3).run(
+        query, quality=target, max_steps=5_000_000, seed=8)
+    lo, hi = estimate.ci()
+    print(f"  P(windfall) = {estimate.probability:.5f} "
+          f"(95% CI [{max(lo, 0):.5f}, {hi:.5f}])")
+    print(f"  cost: {estimate.steps} steps in "
+          f"{estimate.elapsed_seconds:.1f}s "
+          f"(bootstrap {estimate.details['bootstrap_seconds']:.1f}s)\n")
+
+    print("SRS with the same guarantee (capped at 5M steps)...")
+    srs = SRSSampler().run(query, quality=target, max_steps=5_000_000,
+                           seed=9)
+    reached = srs.relative_error() <= 0.10 + 1e-9
+    print(f"  P(windfall) = {srs.probability:.5f}, RE "
+          f"{srs.relative_error():.2f} "
+          f"({'target met' if reached else 'budget exhausted first'}) "
+          f"after {srs.steps} steps in {srs.elapsed_seconds:.1f}s")
+    print(f"\nMLSS used {srs.steps / max(estimate.steps, 1):.1f}x fewer "
+          f"steps than SRS spent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: answer a durability prediction query three ways.
+
+A lazy random walk models some noisy metric; the query asks: *what is
+the probability the metric reaches 12 within 60 steps?*  We answer with
+the SRS baseline, with g-MLSS on a hand-picked level plan, and with the
+fully automatic engine (greedy plan search + g-MLSS) — and compare all
+three against the exact answer, which this toy model happens to admit.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (DurabilityQuery, GMLSSSampler, LevelPartition,
+                   SRSSampler, answer_durability_query)
+from repro.core import random_walk_hitting_probability
+from repro.processes import RandomWalkProcess
+
+
+def main() -> None:
+    process = RandomWalkProcess(p_up=0.35, p_down=0.45)
+    threshold, horizon = 12, 60
+    query = DurabilityQuery.threshold(
+        process, RandomWalkProcess.position, beta=threshold,
+        horizon=horizon, name="walk-hits-12")
+
+    exact = random_walk_hitting_probability(
+        process.p_up, threshold, horizon, p_down=process.p_down)
+    print(f"Exact answer (DP oracle): {exact:.6f}\n")
+
+    budget = 400_000  # simulation-step budget shared by all methods
+
+    srs = SRSSampler().run(query, max_steps=budget, seed=1)
+    print("1. SRS baseline")
+    print("  ", srs.summary(), "\n")
+
+    partition = LevelPartition([4 / 12, 8 / 12])
+    mlss = GMLSSSampler(partition, ratio=3).run(query, max_steps=budget,
+                                                seed=2)
+    print("2. g-MLSS with a manual 3-level plan", partition)
+    print("  ", mlss.summary(), "\n")
+
+    auto = answer_durability_query(query, method="auto", max_steps=budget,
+                                   seed=3, trial_steps=15_000)
+    plan = auto.details["plan_search"]["partition"]
+    print(f"3. Automatic (greedy search found {plan})")
+    print("  ", auto.summary(), "\n")
+
+    print(f"At the same budget, MLSS cut the standard error from "
+          f"{srs.std_error:.2e} (SRS) to {mlss.std_error:.2e} — "
+          f"a {srs.variance / mlss.variance:.1f}x variance reduction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — Multi-Level Splitting Sampling for durability prediction queries.
+
+A from-scratch reproduction of Gao, Xu, Agarwal and Yang, "Efficiently
+Answering Durability Prediction Queries" (SIGMOD 2021): the MLSS
+samplers (simple and general), level-plan optimization, the baseline
+samplers (SRS, importance sampling), the paper's experimental substrates
+(tandem queues, compound Poisson processes, an LSTM-MDN sequence model),
+and a DBMS-embedded query pipeline.
+
+Quick start::
+
+    from repro import DurabilityQuery, answer_durability_query
+    from repro.processes import TandemQueueProcess
+
+    queue = TandemQueueProcess()
+    query = DurabilityQuery.threshold(
+        queue, TandemQueueProcess.queue2_length, beta=20, horizon=500)
+    estimate = answer_durability_query(query, method="auto",
+                                       max_steps=500_000, seed=42)
+    print(estimate.summary())
+"""
+
+from .core import (ConfidenceIntervalTarget, DurabilityEstimate,
+                   DurabilityQuery, GMLSSSampler, ISSampler, LevelPartition,
+                   NeverTarget, RelativeErrorTarget, SMLSSSampler,
+                   SRSSampler, ThresholdValueFunction,
+                   adaptive_greedy_partition, answer_durability_query,
+                   balanced_growth_partition, cross_entropy_tilt,
+                   run_parallel_mlss)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfidenceIntervalTarget", "DurabilityEstimate", "DurabilityQuery",
+    "GMLSSSampler", "ISSampler", "LevelPartition", "NeverTarget",
+    "RelativeErrorTarget", "SMLSSSampler", "SRSSampler",
+    "ThresholdValueFunction", "adaptive_greedy_partition",
+    "answer_durability_query", "balanced_growth_partition",
+    "cross_entropy_tilt", "run_parallel_mlss", "__version__",
+]

@@ -1,0 +1,48 @@
+"""Core MLSS library: queries, samplers, estimators, plan optimization."""
+
+from .analytic import (hitting_probability, hitting_time_distribution,
+                       random_walk_hitting_probability, srs_relative_error,
+                       srs_required_paths)
+from .balanced import balanced_growth_partition, pilot_max_values
+from .bootstrap import BootstrapResult, bootstrap_variance
+from .engine import answer_durability_query
+from .estimates import DurabilityEstimate, TracePoint
+from .forest import ForestRunner, LevelPlanError
+from .gmlss import (GMLSSSampler, gmlss_estimate_from_totals,
+                    gmlss_pi_hats, gmlss_point_estimate)
+from .greedy import GreedyResult, adaptive_greedy_partition
+from .importance import ISSampler, cross_entropy_tilt
+from .levels import LevelPartition, normalize_ratios, uniform_partition
+from .optimizer import PlanTrial, evaluate_partition, pool_trials
+from .parallel import run_parallel_mlss
+from .quality import (ConfidenceIntervalTarget, NeverTarget, QualityTarget,
+                      RelativeErrorTarget)
+from .records import ForestAggregate, RootRecord
+from .smlss import SMLSSSampler, smlss_point_estimate, smlss_variance
+from .srs import SRSSampler, srs_variance
+from .value_functions import (TARGET_VALUE, DurabilityQuery,
+                              ThresholdValueFunction)
+from .variance import (balanced_advancement_probability,
+                       balanced_growth_variance, optimal_num_levels,
+                       srs_variance_formula, suggest_ratios,
+                       two_level_skip_variance, variance_reduction_factor)
+
+__all__ = [
+    "BootstrapResult", "ConfidenceIntervalTarget", "DurabilityEstimate",
+    "DurabilityQuery", "ForestAggregate", "ForestRunner", "GMLSSSampler",
+    "GreedyResult", "ISSampler", "LevelPartition", "LevelPlanError",
+    "NeverTarget", "PlanTrial", "QualityTarget", "RelativeErrorTarget",
+    "RootRecord", "SMLSSSampler", "SRSSampler", "TARGET_VALUE",
+    "ThresholdValueFunction", "TracePoint", "adaptive_greedy_partition",
+    "answer_durability_query", "balanced_advancement_probability",
+    "balanced_growth_partition", "balanced_growth_variance",
+    "bootstrap_variance", "cross_entropy_tilt", "evaluate_partition",
+    "gmlss_estimate_from_totals", "gmlss_pi_hats", "gmlss_point_estimate",
+    "hitting_probability", "hitting_time_distribution", "normalize_ratios",
+    "optimal_num_levels", "pilot_max_values", "pool_trials",
+    "random_walk_hitting_probability", "run_parallel_mlss",
+    "smlss_point_estimate", "smlss_variance", "srs_relative_error",
+    "srs_required_paths", "srs_variance", "srs_variance_formula",
+    "suggest_ratios", "two_level_skip_variance", "uniform_partition",
+    "variance_reduction_factor",
+]

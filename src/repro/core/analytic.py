@@ -1,0 +1,136 @@
+"""Exact hitting probabilities for simple models (Section 2.2).
+
+The paper notes that analytical solutions exist for simple processes
+(random walks, finite Markov chains) but not in general.  We implement
+the tractable cases by dynamic programming; they serve two purposes:
+
+* *validation* — every sampler is tested against exact ground truth;
+* *workload design* — exact answers let tests pin probabilities without
+  expensive reference simulations.
+
+The durability query counts hits at times ``t = 1 .. s`` (the initial
+state does not count even if it satisfies the condition).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def hitting_probability(transition_matrix: Sequence[Sequence[float]],
+                        start: int, target_states: Sequence[int],
+                        horizon: int) -> float:
+    """Exact ``Pr[T <= horizon]`` for a finite Markov chain.
+
+    Computed as ``1 - Pr[avoid target for horizon steps]`` by repeated
+    multiplication with the transition matrix restricted to non-target
+    states (absorbing-chain dynamic programming).
+    """
+    P = np.asarray(transition_matrix, dtype=np.float64)
+    n = P.shape[0]
+    if P.shape != (n, n):
+        raise ValueError(f"transition matrix must be square, got {P.shape}")
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    if not 0 <= start < n:
+        raise ValueError(f"start state {start} out of range [0, {n})")
+    target = np.zeros(n, dtype=bool)
+    for s in target_states:
+        if not 0 <= s < n:
+            raise ValueError(f"target state {s} out of range [0, {n})")
+        target[s] = True
+
+    # survive[x] = Pr[path starting now at x avoids the target for the
+    # remaining steps].  Work backwards from the horizon; occupancy of
+    # the *current* state never counts (hits start at t = 1).
+    survive = np.ones(n, dtype=np.float64)
+    Q = P.copy()
+    Q[:, target] = 0.0  # transitions into the target end survival
+    for _ in range(horizon):
+        survive = Q @ survive
+    return float(1.0 - survive[start])
+
+
+def hitting_time_distribution(transition_matrix, start: int,
+                              target_states, horizon: int) -> np.ndarray:
+    """``Pr[T <= t]`` for ``t = 0 .. horizon`` (cumulative distribution)."""
+    P = np.asarray(transition_matrix, dtype=np.float64)
+    n = P.shape[0]
+    target = np.zeros(n, dtype=bool)
+    for s in target_states:
+        target[s] = True
+    Q = P.copy()
+    Q[:, target] = 0.0
+    cdf = np.empty(horizon + 1, dtype=np.float64)
+    cdf[0] = 0.0
+    # alive[x] = Pr[at x at current time and never hit target so far]
+    alive = np.zeros(n, dtype=np.float64)
+    alive[start] = 1.0
+    for t in range(1, horizon + 1):
+        alive = alive @ Q
+        cdf[t] = 1.0 - alive.sum()
+    return cdf
+
+
+def random_walk_hitting_probability(p_up: float, threshold: int,
+                                    horizon: int, start: int = 0,
+                                    p_down: float | None = None) -> float:
+    """Exact hitting probability for a lazy random walk.
+
+    The walk starts at ``start``; the query asks whether it reaches
+    ``threshold`` within ``horizon`` steps.  Since the walk moves at
+    most one unit per step, truncating the state space at
+    ``start - horizon`` is exact, and the chain is banded, so the DP is
+    linear in ``horizon * (threshold - start + horizon)``.
+    """
+    if p_down is None:
+        p_down = 1.0 - p_up
+    if p_up < 0 or p_down < 0 or p_up + p_down > 1.0 + 1e-12:
+        raise ValueError(
+            f"invalid move probabilities p_up={p_up}, p_down={p_down}"
+        )
+    if threshold <= start:
+        return 1.0 if horizon >= 0 and threshold <= start else 0.0
+    floor = start - horizon  # unreachable below this in `horizon` steps
+    size = threshold - floor + 1
+    p_stay = 1.0 - p_up - p_down
+
+    # survive[i] = Pr[avoid threshold for remaining steps | at floor+i].
+    survive = np.ones(size, dtype=np.float64)
+    survive[-1] = 0.0  # standing on the threshold means already hit
+    new = np.empty_like(survive)
+    for _ in range(horizon):
+        # Interior update: up moves toward the threshold (absorbing).
+        new[1:-1] = (p_up * survive[2:] + p_stay * survive[1:-1]
+                     + p_down * survive[:-2])
+        new[0] = p_up * survive[1] + (p_stay + p_down) * survive[0]
+        new[-1] = 0.0
+        survive, new = new, survive
+    return float(1.0 - survive[start - floor])
+
+
+def srs_required_paths(tau: float, relative_error: float) -> float:
+    """Paths SRS needs for a given relative error: ``(1-tau)/(tau re^2)``.
+
+    This is the cost blow-up the paper highlights: as ``tau -> 0`` the
+    requirement diverges like ``1 / tau``.
+    """
+    if not 0.0 < tau < 1.0:
+        raise ValueError(f"tau must be in (0, 1), got {tau}")
+    if relative_error <= 0:
+        raise ValueError(
+            f"relative_error must be > 0, got {relative_error}"
+        )
+    return (1.0 - tau) / (tau * relative_error * relative_error)
+
+
+def srs_relative_error(tau: float, n_paths: int) -> float:
+    """Relative error of SRS with ``n_paths`` samples."""
+    if not 0.0 < tau < 1.0:
+        raise ValueError(f"tau must be in (0, 1), got {tau}")
+    if n_paths < 1:
+        raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    return math.sqrt((1.0 - tau) / (tau * n_paths))

@@ -1,0 +1,157 @@
+"""Balanced-growth partition tuning (Section 5.1).
+
+The theoretical optimum for fixed-ratio MLSS makes all level
+advancement probabilities equal ("balanced growth", Eq. 12).  The paper
+obtained such plans by manual tuning; this module automates the recipe
+so the benchmarks can build MLSS-BAL plans reproducibly:
+
+1. run a pilot of plain SRS paths and record the *maximum* value-function
+   score each path attains (its survival curve is exactly
+   ``Pr[max_t f(X_t) >= v]``, the quantity level boundaries quantize);
+2. where the empirical curve runs out of resolution (tiny target
+   probabilities), extrapolate its upper tail with an exponential fit —
+   the customary light-tail assumption behind importance splitting;
+3. place boundaries so consecutive survival values form a geometric
+   ladder from 1 down to the (estimated) target probability.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Callable, Optional, Sequence
+
+from .levels import LevelPartition
+from .value_functions import TARGET_VALUE, DurabilityQuery
+from .variance import balanced_boundaries_from_survival
+
+
+def pilot_max_values(query: DurabilityQuery, n_paths: int = 2000,
+                     seed: Optional[int] = None) -> list:
+    """Max value-function score per SRS pilot path (sorted ascending).
+
+    Paths stop early once they hit the target (their max is 1).
+    """
+    if n_paths < 1:
+        raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    rng = random.Random(seed)
+    process = query.process
+    value_fn = query.value_function
+    horizon = query.horizon
+    maxima = []
+    for _ in range(n_paths):
+        state = process.initial_state()
+        best = value_fn(state, 0)
+        t = 0
+        while t < horizon:
+            t += 1
+            state = process.step(state, t, rng)
+            value = value_fn(state, t)
+            if value > best:
+                best = value
+                if best >= TARGET_VALUE:
+                    break
+        maxima.append(min(best, TARGET_VALUE))
+    maxima.sort()
+    return maxima
+
+
+def empirical_survival(maxima: Sequence[float]) -> Callable[[float], float]:
+    """The empirical survival function of sorted pilot maxima."""
+    if not maxima:
+        raise ValueError("no pilot maxima")
+    n = len(maxima)
+
+    def survival(value: float) -> float:
+        if value <= maxima[0]:
+            return 1.0
+        return (n - bisect.bisect_left(maxima, value)) / n
+
+    return survival
+
+
+def fit_exponential_tail(maxima: Sequence[float],
+                         tail_fraction: float = 0.2) -> tuple:
+    """Least-squares fit ``log S(v) ~ a - b v`` on the upper tail.
+
+    Returns ``(a, b)``.  Only strictly-below-target maxima participate;
+    points with zero empirical survival are excluded by construction
+    (the fit runs over observed order statistics).
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(
+            f"tail_fraction must be in (0, 1], got {tail_fraction}"
+        )
+    n = len(maxima)
+    start = max(0, n - max(int(n * tail_fraction), 5))
+    xs, ys = [], []
+    for k in range(start, n):
+        value = maxima[k]
+        if value >= TARGET_VALUE:
+            break
+        survival = (n - k) / n
+        xs.append(value)
+        ys.append(math.log(survival))
+    if len(xs) < 2 or xs[0] == xs[-1]:
+        raise ValueError(
+            "not enough distinct tail points to fit; increase the pilot"
+        )
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    b = max(-slope, 1e-9)  # survival must decay
+    a = mean_y + b * mean_x
+    return a, b
+
+
+def hybrid_survival(maxima: Sequence[float],
+                    min_tail_points: int = 20) -> Callable[[float], float]:
+    """Empirical survival with an exponential-tail extension.
+
+    Below the resolution limit (fewer than ``min_tail_points`` pilot
+    maxima above ``v``) the fitted tail takes over, so the function is
+    usable all the way up to the target value even when no pilot path
+    ever hit it.
+    """
+    n = len(maxima)
+    empirical = empirical_survival(maxima)
+    a, b = fit_exponential_tail(maxima)
+    switch_survival = min_tail_points / n
+
+    def survival(value: float) -> float:
+        emp = empirical(value)
+        if emp >= switch_survival:
+            return emp
+        return min(math.exp(a - b * value), max(emp, 1e-300))
+
+    return survival
+
+
+def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
+                              pilot_paths: int = 2000,
+                              seed: Optional[int] = None) -> LevelPartition:
+    """Build an (approximately) balanced-growth plan with ``m`` levels.
+
+    This is the automated stand-in for the paper's manually tuned
+    MLSS-BAL plans; the pilot cost is *not* charged to the estimate, as
+    in the paper's Figure 13 protocol ("we do not charge the cost of
+    manual tuning to running MLSS-BAL").
+    """
+    if num_levels < 1:
+        raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+    if num_levels == 1:
+        return LevelPartition()
+    maxima = pilot_max_values(query, n_paths=pilot_paths, seed=seed)
+    survival = hybrid_survival(maxima)
+    tau = survival(TARGET_VALUE)
+    if tau >= 1.0:
+        raise ValueError(
+            "pilot suggests the query is almost surely satisfied; "
+            "no useful level plan exists"
+        )
+    boundaries = balanced_boundaries_from_survival(survival, num_levels)
+    initial_value = query.initial_value()
+    return LevelPartition(b for b in boundaries if b > initial_value)

@@ -1,0 +1,122 @@
+"""High-level query answering: one entry point for the whole pipeline.
+
+``answer_durability_query`` wires together everything the paper
+describes: pick (or search for) a level plan, run the right sampler,
+stop on a quality target or budget, and return an estimate carrying its
+guarantee.  Methods:
+
+* ``"srs"``   — the baseline sampler;
+* ``"smlss"`` — simple MLSS (only sound without level skipping);
+* ``"gmlss"`` — general MLSS (default; always unbiased);
+* ``"auto"``  — g-MLSS with the partition found by the adaptive greedy
+  search (Algorithm 1) when no plan is supplied.
+
+When a partition is supplied it is pruned so every boundary exceeds the
+initial state's value (a requirement of the splitting bookkeeping).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .balanced import balanced_growth_partition
+from .estimates import DurabilityEstimate
+from .gmlss import GMLSSSampler
+from .greedy import adaptive_greedy_partition
+from .levels import LevelPartition
+from .quality import QualityTarget
+from .smlss import SMLSSSampler
+from .srs import SRSSampler
+from .value_functions import DurabilityQuery
+
+METHODS = ("srs", "smlss", "gmlss", "auto")
+
+
+def resolve_partition(query: DurabilityQuery,
+                      partition: Optional[LevelPartition],
+                      num_levels: Optional[int],
+                      ratio, trial_steps: int,
+                      seed: Optional[int]):
+    """Choose the level plan: explicit > balanced pilot > greedy search.
+
+    Returns ``(partition, search_details_or_None)``.
+    """
+    initial_value = query.initial_value()
+    if partition is not None:
+        return partition.pruned_above(initial_value), None
+    if num_levels is not None:
+        plan = balanced_growth_partition(
+            query, num_levels, pilot_paths=max(trial_steps // query.horizon,
+                                               200), seed=seed)
+        return plan, None
+    result = adaptive_greedy_partition(
+        query, ratio=ratio, trial_steps=trial_steps, seed=seed)
+    details = {
+        "search_steps": result.search_steps,
+        "search_rounds": result.num_rounds,
+        "pooled_estimate": result.pooled_estimate,
+        "pooled_roots": result.pooled_roots,
+        "partition": result.partition,
+    }
+    return result.partition, details
+
+
+def answer_durability_query(
+        query: DurabilityQuery,
+        method: str = "auto",
+        partition: Optional[LevelPartition] = None,
+        num_levels: Optional[int] = None,
+        ratio=3,
+        quality: Optional[QualityTarget] = None,
+        max_steps: Optional[int] = None,
+        max_roots: Optional[int] = None,
+        seed: Optional[int] = None,
+        trial_steps: int = 20000,
+        record_trace: bool = False,
+        sampler_options: Optional[dict] = None) -> DurabilityEstimate:
+    """Answer ``Q(q, s)`` with the requested method and stopping rule.
+
+    Parameters
+    ----------
+    query:
+        The durability prediction query.
+    method:
+        One of ``"srs"``, ``"smlss"``, ``"gmlss"``, ``"auto"``.
+    partition / num_levels:
+        Either an explicit level plan, or a level count for an
+        automatically tuned balanced-growth plan; with neither, the
+        greedy search picks the plan (``"auto"`` and MLSS methods).
+    ratio:
+        Splitting ratio ``r`` (paper default 3).
+    quality / max_steps / max_roots:
+        Stopping rule: quality target and/or simulation budgets; at
+        least one must be given.
+    trial_steps:
+        Per-trial budget of the greedy search (when it runs).
+    sampler_options:
+        Extra keyword arguments for the chosen sampler's constructor.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    options = dict(sampler_options or {})
+    options.setdefault("record_trace", record_trace)
+
+    if method == "srs":
+        sampler = SRSSampler(**options)
+        return sampler.run(query, quality=quality, max_steps=max_steps,
+                           max_roots=max_roots, seed=seed)
+
+    search_details = None
+    if method in ("smlss", "gmlss", "auto"):
+        partition, search_details = resolve_partition(
+            query, partition, num_levels, ratio, trial_steps, seed)
+
+    if method == "smlss":
+        sampler = SMLSSSampler(partition, ratio=ratio, **options)
+    else:  # gmlss or auto
+        sampler = GMLSSSampler(partition, ratio=ratio, **options)
+    estimate = sampler.run(query, quality=quality, max_steps=max_steps,
+                           max_roots=max_roots, seed=seed)
+    if search_details is not None:
+        estimate.details["plan_search"] = search_details
+    return estimate

@@ -1,0 +1,103 @@
+"""Query answers: point estimate plus statistical quality guarantees.
+
+Per Section 2.1, the goal is an unbiased estimate ``tau_hat`` of the
+query answer together with a quality guarantee — a confidence interval
+or an estimator variance — and an account of the simulation cost (number
+of invocations of the step procedure ``g``).
+:class:`DurabilityEstimate` packages all of that, for every sampler in
+the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .stats import critical_value
+
+
+@dataclass
+class TracePoint:
+    """A snapshot of a running estimation (used for convergence plots)."""
+
+    steps: int
+    elapsed_seconds: float
+    probability: float
+    variance: float
+    n_roots: int
+    hits: int
+
+
+@dataclass
+class DurabilityEstimate:
+    """The answer to a durability prediction query.
+
+    Attributes
+    ----------
+    probability:
+        The unbiased point estimate ``tau_hat``.
+    variance:
+        Estimated variance of ``tau_hat`` (from the method-specific
+        estimator: binomial for SRS, Eq. 5-6 for s-MLSS, bootstrap for
+        g-MLSS).
+    n_roots:
+        Number of independent root paths simulated.
+    hits:
+        Number of target hits observed (leaf hits for MLSS).
+    steps:
+        Total invocations of the simulation procedure ``g`` — the
+        paper's cost measure.
+    method:
+        Sampler name (``"srs"``, ``"smlss"``, ``"gmlss"``, ...).
+    elapsed_seconds:
+        Wall-clock simulation time.
+    details:
+        Method-specific extras (level counters, traces, plan search
+        history, bootstrap overhead, ...).
+    """
+
+    probability: float
+    variance: float
+    n_roots: int
+    hits: int
+    steps: int
+    method: str
+    elapsed_seconds: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def std_error(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+    def ci(self, confidence: float = 0.95) -> tuple:
+        """Normal-approximation confidence interval (Section 6 metrics)."""
+        half = self.ci_half_width(confidence)
+        return (self.probability - half, self.probability + half)
+
+    def ci_half_width(self, confidence: float = 0.95) -> float:
+        return critical_value(confidence) * self.std_error
+
+    def relative_error(self, truth: Optional[float] = None) -> float:
+        """``sqrt(Var) / mu`` (Section 6, "Relative Error").
+
+        The paper defines RE against the true probability; pass
+        ``truth`` when it is known, otherwise the running estimate is
+        used as the plug-in reference (the practical variant the paper
+        describes).  Returns ``inf`` when the reference is 0.
+        """
+        reference = self.probability if truth is None else truth
+        if reference <= 0.0:
+            return math.inf
+        return self.std_error / reference
+
+    def summary(self, confidence: float = 0.95) -> str:
+        lo, hi = self.ci(confidence)
+        return (f"{self.method}: tau_hat={self.probability:.6g} "
+                f"({confidence:.0%} CI [{max(lo, 0.0):.6g}, {hi:.6g}]), "
+                f"RE={self.relative_error():.3g}, roots={self.n_roots}, "
+                f"hits={self.hits}, steps={self.steps}, "
+                f"time={self.elapsed_seconds:.3g}s")
+
+    def __str__(self) -> str:
+        return self.summary()

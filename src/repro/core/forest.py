@@ -1,0 +1,146 @@
+"""The splitting-forest simulator shared by s-MLSS and g-MLSS.
+
+Both MLSS variants run exactly the same simulation (Sections 3.1 and
+4.1): root paths start in ``L_0``; whenever a path first reaches a level
+above the one it was born in, it stops and spawns ``r`` offspring from
+the entrance state; offspring that reach higher levels split in turn.
+The variants differ only in how the resulting counters are folded into
+an estimate — which is why "blindly applying s-MLSS" to a process with
+level skipping (the paper's Table 6) is literally reading the same run
+through the wrong formula.
+
+Bookkeeping per path (born at level ``b``):
+
+* lands in level ``j > b`` (value in ``[beta_j, beta_{j+1})``):
+  ``landings[j] += 1``; skipped levels ``k in (b, j)`` get
+  ``skips[k] += 1``; the path splits into ``r_j`` offspring.
+* hits the target (value ``>= 1``): ``hits += 1``; skipped levels
+  ``k in (b, m)`` get ``skips[k] += 1``.
+* either way the path *crossed* ``beta_{b+1}``, which increments its
+  parent split's crossing counter (the numerator of ``mu(h)``).
+* reaches the horizon without leaving level ``b``: nothing to record.
+
+The simulation is iterative (explicit stack), so deep level hierarchies
+cannot overflow Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .levels import LevelPartition, normalize_ratios
+from .records import RootRecord
+from .value_functions import TARGET_VALUE, DurabilityQuery
+
+
+class LevelPlanError(ValueError):
+    """Raised when a partition plan is inconsistent with the query."""
+
+
+class ForestRunner:
+    """Simulates splitting trees for one (query, partition, ratios) setup.
+
+    Parameters
+    ----------
+    query:
+        The durability query (process, value function, horizon).
+    partition:
+        Level partition plan ``B``.  Every boundary must exceed the
+        initial state's value; use ``partition.pruned_above(...)`` or
+        let the engine do it.
+    ratios:
+        Fixed splitting ratio ``r`` (int) or per-level ratios for
+        ``L_1 .. L_{m-1}``.
+    rng:
+        Random source driving all simulation.
+    """
+
+    def __init__(self, query: DurabilityQuery, partition: LevelPartition,
+                 ratios, rng: random.Random):
+        initial_value = query.initial_value()
+        if initial_value >= TARGET_VALUE:
+            raise LevelPlanError(
+                "initial state already satisfies the query; the answer "
+                "is trivially 1"
+            )
+        if partition.boundaries and partition.boundaries[0] <= initial_value:
+            raise LevelPlanError(
+                f"boundary {partition.boundaries[0]} does not exceed the "
+                f"initial state's value {initial_value}; prune the plan "
+                f"with partition.pruned_above(initial_value)"
+            )
+        self.query = query
+        self.partition = partition
+        self.ratios = normalize_ratios(ratios, partition.num_levels)
+        self.rng = rng
+
+    def run_root(self) -> RootRecord:
+        """Simulate one root path and its full splitting tree."""
+        query = self.query
+        process = query.process
+        step = process.step
+        copy_state = process.copy_state
+        value_fn = query.value_function
+        level_of = self.partition.level_of
+        ratios = self.ratios
+        horizon = query.horizon
+        num_levels = self.partition.num_levels
+        rng = self.rng
+
+        record = RootRecord(num_levels)
+        landings = record.landings
+        skips = record.skips
+        # Per-split crossing counters: splits[k] = [level, crossed].
+        splits = []
+        # Work stack of pending path segments.
+        stack = [(process.initial_state(), 0, 0, -1)]
+        steps = 0
+        hits = 0
+
+        while stack:
+            state, t, born, parent = stack.pop()
+            crossed = False
+            while t < horizon:
+                t += 1
+                state = step(state, t, rng)
+                steps += 1
+                value = value_fn(state, t)
+                if value >= TARGET_VALUE:
+                    hits += 1
+                    for k in range(born + 1, num_levels):
+                        skips[k] += 1
+                    crossed = True
+                    break
+                level = level_of(value)
+                if level > born:
+                    for k in range(born + 1, level):
+                        skips[k] += 1
+                    landings[level] += 1
+                    ratio = ratios[level]
+                    split_slot = len(splits)
+                    splits.append([level, 0])
+                    if t < horizon:
+                        for _ in range(ratio):
+                            stack.append(
+                                (copy_state(state), t, level, split_slot)
+                            )
+                    # Landing exactly at the horizon leaves the offspring
+                    # no time: mu(h) = 0, recorded implicitly by the
+                    # split having zero crossings.
+                    crossed = True
+                    break
+            if crossed and parent >= 0:
+                splits[parent][1] += 1
+
+        crossings = record.crossings
+        for level, n_crossed in splits:
+            crossings[level] += n_crossed
+        record.hits = hits
+        record.steps = steps
+        return record
+
+    def run_roots(self, n_roots: int) -> list:
+        """Simulate ``n_roots`` independent root trees."""
+        if n_roots < 0:
+            raise ValueError(f"n_roots must be >= 0, got {n_roots}")
+        return [self.run_root() for _ in range(n_roots)]

@@ -1,0 +1,118 @@
+"""Stopping rules: confidence-interval and relative-error targets.
+
+Section 2.1: "the user can specify a cost budget, and our algorithm will
+produce a final estimate with quality guarantee when the budget runs
+out.  Alternatively, the user can specify a target level of quality
+guarantee, and our algorithm will run until the target guarantee is
+reached."  Section 6 uses two concrete targets:
+
+* **Confidence interval** — by default a 1 % CI at 95 % confidence for
+  small-to-moderate probabilities; the CI is read relative to the
+  estimate (Figure 8 renders CIs "as percentage to the true
+  probability").
+* **Relative error** — ``sqrt(Var)/mu <= 10 %`` for tiny probabilities
+  where the normal approximation behind CIs breaks down.
+
+Both rules refuse to stop before a minimum number of hits and roots has
+been observed, since variance estimates computed from a handful of hits
+are wildly optimistic (a standard guard in rare-event simulation).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from .stats import critical_value
+
+
+class QualityTarget(abc.ABC):
+    """A stopping rule evaluated on the running estimate."""
+
+    @abc.abstractmethod
+    def is_met(self, probability: float, variance: float, hits: int,
+               n_roots: int) -> bool:
+        """Return True when the running estimate satisfies the target."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable target description for reports."""
+
+
+@dataclass(frozen=True)
+class ConfidenceIntervalTarget(QualityTarget):
+    """Stop when the CI half-width is small enough.
+
+    ``half_width`` is relative to the running estimate when
+    ``relative=True`` (the paper's "1 % CI"), absolute otherwise.
+    """
+
+    half_width: float = 0.01
+    confidence: float = 0.95
+    relative: bool = True
+    min_hits: int = 10
+    min_roots: int = 100
+
+    def __post_init__(self):
+        if self.half_width <= 0:
+            raise ValueError(f"half_width must be > 0, got {self.half_width}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+
+    def is_met(self, probability: float, variance: float, hits: int,
+               n_roots: int) -> bool:
+        if hits < self.min_hits or n_roots < self.min_roots:
+            return False
+        if probability <= 0.0:
+            return False
+        half = critical_value(self.confidence) * math.sqrt(max(variance, 0.0))
+        allowed = self.half_width * (probability if self.relative else 1.0)
+        return half <= allowed
+
+    def describe(self) -> str:
+        kind = "relative" if self.relative else "absolute"
+        return (f"{self.half_width:.2%} {kind} CI half-width at "
+                f"{self.confidence:.0%} confidence")
+
+
+@dataclass(frozen=True)
+class RelativeErrorTarget(QualityTarget):
+    """Stop when ``sqrt(Var)/tau_hat`` drops below ``target``."""
+
+    target: float = 0.10
+    min_hits: int = 10
+    min_roots: int = 100
+
+    def __post_init__(self):
+        if self.target <= 0:
+            raise ValueError(f"target must be > 0, got {self.target}")
+
+    def is_met(self, probability: float, variance: float, hits: int,
+               n_roots: int) -> bool:
+        if hits < self.min_hits or n_roots < self.min_roots:
+            return False
+        if probability <= 0.0:
+            return False
+        return math.sqrt(max(variance, 0.0)) / probability <= self.target
+
+    def describe(self) -> str:
+        return f"relative error <= {self.target:.0%}"
+
+
+@dataclass(frozen=True)
+class NeverTarget(QualityTarget):
+    """A target that is never met — run until the budget is exhausted.
+
+    Used for fixed-budget experiments such as the paper's Table 6
+    (50,000 simulation invocations per run).
+    """
+
+    def is_met(self, probability: float, variance: float, hits: int,
+               n_roots: int) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return "fixed budget (no quality target)"

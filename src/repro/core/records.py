@@ -1,0 +1,165 @@
+"""Per-root-path bookkeeping for splitting samplers.
+
+MLSS grows a tree of sample paths from every root path (Figure 1 in the
+paper).  Everything both estimators need is a small set of counters per
+root tree:
+
+* ``hits`` — number of target hits in the tree (the paper's
+  ``N_m^<k>`` for root ``k``);
+* ``landings[i]`` — number of splitting states in level ``L_i``
+  contributed by this tree (elements of ``H_i``);
+* ``skips[i]`` — number of paths in this tree that crossed
+  ``beta_{i+1}`` without landing in ``L_i`` (the paper's
+  ``n_skip_i``);
+* ``crossings[i]`` — total number of *direct* offspring of level-``i``
+  splits that crossed ``beta_{i+1}``; with the per-level ratio ``r_i``
+  this yields ``sum_{h in H_i} mu(h) = crossings[i] / r_i``.
+
+Keeping the counters per root (rather than only in aggregate) is what
+makes the s-MLSS variance estimator (Eq. 6) and the g-MLSS bootstrap
+(Section 4.2) possible without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+
+class RootRecord:
+    """Counters for one root path's splitting tree.
+
+    Arrays are indexed by level ``0 .. m-1``; index 0 is unused (roots
+    start in ``L_0``; there are no landings into or skips over it).
+    """
+
+    __slots__ = ("hits", "steps", "landings", "skips", "crossings")
+
+    def __init__(self, num_levels: int):
+        self.hits = 0
+        self.steps = 0
+        self.landings = [0] * num_levels
+        self.skips = [0] * num_levels
+        self.crossings = [0] * num_levels
+
+    def __repr__(self) -> str:
+        return (f"RootRecord(hits={self.hits}, steps={self.steps}, "
+                f"landings={self.landings}, skips={self.skips}, "
+                f"crossings={self.crossings})")
+
+
+class ForestAggregate:
+    """Accumulated counters over many root trees.
+
+    Maintains both run totals (for point estimates) and per-root columns
+    (for variance estimation and bootstrapping).  Aggregates from
+    independent workers can be merged, which is how the parallel sampler
+    combines results (Section 3.1, "Parallel Computations").
+    """
+
+    __slots__ = ("num_levels", "n_roots", "hits", "hits_sq_sum", "steps",
+                 "landings", "skips", "crossings",
+                 "root_hits", "root_landings", "root_skips",
+                 "root_crossings")
+
+    def __init__(self, num_levels: int):
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+        self.num_levels = num_levels
+        self.n_roots = 0
+        self.hits = 0
+        self.hits_sq_sum = 0  # running sum of squared per-root hits
+        self.steps = 0
+        self.landings = [0] * num_levels
+        self.skips = [0] * num_levels
+        self.crossings = [0] * num_levels
+        # Per-root storage (python lists; converted lazily to numpy).
+        self.root_hits: List[int] = []
+        self.root_landings: List[list] = []
+        self.root_skips: List[list] = []
+        self.root_crossings: List[list] = []
+
+    def add(self, record: RootRecord) -> None:
+        """Fold one finished root tree into the aggregate."""
+        self.n_roots += 1
+        self.hits += record.hits
+        self.hits_sq_sum += record.hits * record.hits
+        self.steps += record.steps
+        for i in range(1, self.num_levels):
+            self.landings[i] += record.landings[i]
+            self.skips[i] += record.skips[i]
+            self.crossings[i] += record.crossings[i]
+        self.root_hits.append(record.hits)
+        self.root_landings.append(record.landings)
+        self.root_skips.append(record.skips)
+        self.root_crossings.append(record.crossings)
+
+    def extend(self, records: Iterable[RootRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def merge(self, other: "ForestAggregate") -> None:
+        """Fold another aggregate (e.g. from a worker process) in."""
+        if other.num_levels != self.num_levels:
+            raise ValueError(
+                f"cannot merge aggregates with {other.num_levels} and "
+                f"{self.num_levels} levels"
+            )
+        self.n_roots += other.n_roots
+        self.hits += other.hits
+        self.hits_sq_sum += other.hits_sq_sum
+        self.steps += other.steps
+        for i in range(1, self.num_levels):
+            self.landings[i] += other.landings[i]
+            self.skips[i] += other.skips[i]
+            self.crossings[i] += other.crossings[i]
+        self.root_hits.extend(other.root_hits)
+        self.root_landings.extend(other.root_landings)
+        self.root_skips.extend(other.root_skips)
+        self.root_crossings.extend(other.root_crossings)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def total_skips(self) -> int:
+        return sum(self.skips)
+
+    def hit_count_variance(self) -> float:
+        """Unbiased sample variance of per-root hit counts (Eq. 6).
+
+        Computed from running sums, so checking the stopping rule after
+        every batch stays O(1) regardless of how many roots have run.
+        """
+        n = self.n_roots
+        if n < 2:
+            return 0.0
+        mean = self.hits / n
+        return (self.hits_sq_sum - n * mean * mean) / (n - 1)
+
+    def hit_counts(self) -> np.ndarray:
+        """Per-root target-hit counts ``N_m^<k>`` as a numpy vector."""
+        return np.asarray(self.root_hits, dtype=np.float64)
+
+    def per_root_matrices(self):
+        """Per-root ``(landings, skips, crossings, hits)`` numpy arrays.
+
+        Shapes: ``(n_roots, num_levels)`` for the three level matrices
+        and ``(n_roots,)`` for hits.  Used by the bootstrap.
+        """
+        shape = (self.n_roots, self.num_levels)
+        landings = np.asarray(self.root_landings, dtype=np.float64)
+        skips = np.asarray(self.root_skips, dtype=np.float64)
+        crossings = np.asarray(self.root_crossings, dtype=np.float64)
+        if self.n_roots == 0:
+            landings = landings.reshape(shape)
+            skips = skips.reshape(shape)
+            crossings = crossings.reshape(shape)
+        return landings, skips, crossings, self.hit_counts()
+
+    def __repr__(self) -> str:
+        return (f"ForestAggregate(n_roots={self.n_roots}, hits={self.hits}, "
+                f"steps={self.steps}, landings={self.landings}, "
+                f"skips={self.skips})")

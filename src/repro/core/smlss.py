@@ -1,0 +1,143 @@
+"""s-MLSS: the simple Multi-Level Splitting estimator (Section 3).
+
+Under the *no level-skipping* assumption, the counters of the splitting
+forest yield
+
+    tau_hat = N_m / (N_0 * r^(m-1)),                        (Eq. 3)
+
+or, with per-level ratios, ``N_m / (N_0 * prod_i r_i)``.  The variance
+follows from the per-root hit counts (Eq. 5-6):
+
+    Var_hat = sigma^2 / (N_0 * r^(2(m-1))),
+    sigma^2 = sample variance of N_m^<k> over root paths k.
+
+The estimator is read straight off the forest counters; when the
+underlying process *does* skip levels, the same formulas silently
+produce biased answers — this is the "blind application" the paper
+demonstrates in Table 6, and :class:`SMLSSSampler` flags it via
+``details["skipping_detected"]``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Optional
+
+from .estimates import DurabilityEstimate, TracePoint
+from .forest import ForestRunner
+from .levels import LevelPartition, normalize_ratios
+from .quality import QualityTarget
+from .records import ForestAggregate
+from .value_functions import DurabilityQuery
+
+
+def ratio_product(ratios: tuple) -> int:
+    """``prod_i r_i`` over the splittable levels (``r^(m-1)`` if fixed)."""
+    return math.prod(ratios[1:])
+
+
+def smlss_point_estimate(aggregate: ForestAggregate, ratios: tuple) -> float:
+    """Eq. 3: ``N_m / (N_0 * prod r_i)``."""
+    if aggregate.n_roots == 0:
+        return 0.0
+    return aggregate.hits / (aggregate.n_roots * ratio_product(ratios))
+
+
+def smlss_variance(aggregate: ForestAggregate, ratios: tuple) -> float:
+    """Eq. 5-6: per-root hit-count variance scaled by the split factor."""
+    n0 = aggregate.n_roots
+    if n0 < 2:
+        return 0.0
+    sigma_sq = aggregate.hit_count_variance()
+    denominator = ratio_product(ratios)
+    return sigma_sq / (n0 * denominator * denominator)
+
+
+class SMLSSSampler:
+    """Batched s-MLSS with budget and quality-target stopping.
+
+    Parameters
+    ----------
+    partition:
+        The level partition plan ``B``.
+    ratio:
+        Fixed splitting ratio ``r`` (paper default 3) or per-level
+        ratios.
+    batch_roots:
+        Root trees between stopping-rule checks.
+    record_trace:
+        Record convergence snapshots in ``details["trace"]``.
+    """
+
+    method_name = "smlss"
+
+    def __init__(self, partition: LevelPartition, ratio=3,
+                 batch_roots: int = 100, record_trace: bool = False):
+        if batch_roots < 1:
+            raise ValueError(f"batch_roots must be >= 1, got {batch_roots}")
+        self.partition = partition
+        self.ratios = normalize_ratios(ratio, partition.num_levels)
+        self.batch_roots = batch_roots
+        self.record_trace = record_trace
+
+    def run(self, query: DurabilityQuery,
+            quality: Optional[QualityTarget] = None,
+            max_steps: Optional[int] = None,
+            max_roots: Optional[int] = None,
+            seed: Optional[int] = None) -> DurabilityEstimate:
+        if quality is None and max_steps is None and max_roots is None:
+            raise ValueError(
+                "provide a quality target, max_steps or max_roots; "
+                "otherwise the sampler would never stop"
+            )
+        rng = random.Random(seed)
+        runner = ForestRunner(query, self.partition, self.ratios, rng)
+        aggregate = ForestAggregate(self.partition.num_levels)
+        trace = []
+        started = time.perf_counter()
+
+        done = False
+        while not done:
+            for _ in range(self.batch_roots):
+                if max_roots is not None and aggregate.n_roots >= max_roots:
+                    done = True
+                    break
+                if max_steps is not None and aggregate.steps >= max_steps:
+                    done = True
+                    break
+                aggregate.add(runner.run_root())
+            if done or aggregate.n_roots == 0:
+                break
+            probability = smlss_point_estimate(aggregate, self.ratios)
+            variance = smlss_variance(aggregate, self.ratios)
+            if self.record_trace:
+                trace.append(TracePoint(
+                    steps=aggregate.steps,
+                    elapsed_seconds=time.perf_counter() - started,
+                    probability=probability, variance=variance,
+                    n_roots=aggregate.n_roots, hits=aggregate.hits,
+                ))
+            if quality is not None and quality.is_met(
+                    probability, variance, aggregate.hits, aggregate.n_roots):
+                break
+
+        probability = smlss_point_estimate(aggregate, self.ratios)
+        details = {
+            "partition": self.partition,
+            "ratios": self.ratios[1:],
+            "landings": list(aggregate.landings),
+            "skips": list(aggregate.skips),
+            "skipping_detected": aggregate.total_skips > 0,
+        }
+        if self.record_trace:
+            details["trace"] = trace
+        return DurabilityEstimate(
+            probability=probability,
+            variance=smlss_variance(aggregate, self.ratios),
+            n_roots=aggregate.n_roots, hits=aggregate.hits,
+            steps=aggregate.steps, method=self.method_name,
+            elapsed_seconds=time.perf_counter() - started,
+            details=details,
+        )

@@ -1,0 +1,121 @@
+"""Simple Random Sampling — the standard Monte Carlo baseline (§2.2).
+
+SRS simulates ``n`` independent sample paths, labels each by whether it
+satisfies the query condition before the horizon, and returns the hit
+fraction:
+
+    tau_hat = sum(l(SP_i)) / n,     Var_hat = tau_hat (1 - tau_hat) / n.
+
+A path stops as soon as it hits the target (the durability query only
+asks about the *first* hitting time), so the cost of a successful path
+is its hitting time, not the full horizon.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+from .estimates import DurabilityEstimate, TracePoint
+from .quality import QualityTarget
+from .value_functions import TARGET_VALUE, DurabilityQuery
+
+
+def srs_variance(probability: float, n_paths: int) -> float:
+    """The SRS variance estimator ``tau_hat (1 - tau_hat) / n``."""
+    if n_paths <= 0:
+        return 0.0
+    return probability * (1.0 - probability) / n_paths
+
+
+class SRSSampler:
+    """Batched SRS with budget and quality-target stopping.
+
+    Parameters
+    ----------
+    batch_roots:
+        Number of paths to simulate between stopping-rule checks.
+    record_trace:
+        When True, a :class:`TracePoint` is recorded at every check;
+        the trace lands in ``estimate.details["trace"]`` (used for the
+        convergence study, Figure 8).
+    """
+
+    method_name = "srs"
+
+    def __init__(self, batch_roots: int = 500, record_trace: bool = False):
+        if batch_roots < 1:
+            raise ValueError(f"batch_roots must be >= 1, got {batch_roots}")
+        self.batch_roots = batch_roots
+        self.record_trace = record_trace
+
+    def run(self, query: DurabilityQuery,
+            quality: Optional[QualityTarget] = None,
+            max_steps: Optional[int] = None,
+            max_roots: Optional[int] = None,
+            seed: Optional[int] = None) -> DurabilityEstimate:
+        """Estimate the query answer; stop on quality target or budget."""
+        if quality is None and max_steps is None and max_roots is None:
+            raise ValueError(
+                "provide a quality target, max_steps or max_roots; "
+                "otherwise the sampler would never stop"
+            )
+        rng = random.Random(seed)
+        process = query.process
+        step = process.step
+        value_fn = query.value_function
+        horizon = query.horizon
+
+        n_paths = 0
+        hits = 0
+        steps = 0
+        trace = []
+        started = time.perf_counter()
+
+        def make_estimate() -> DurabilityEstimate:
+            probability = hits / n_paths if n_paths else 0.0
+            return DurabilityEstimate(
+                probability=probability,
+                variance=srs_variance(probability, n_paths),
+                n_roots=n_paths, hits=hits, steps=steps,
+                method=self.method_name,
+                elapsed_seconds=time.perf_counter() - started,
+                details={"trace": trace} if self.record_trace else {},
+            )
+
+        done = False
+        while not done:
+            for _ in range(self.batch_roots):
+                if max_roots is not None and n_paths >= max_roots:
+                    done = True
+                    break
+                if max_steps is not None and steps >= max_steps:
+                    done = True
+                    break
+                state = process.initial_state()
+                t = 0
+                while t < horizon:
+                    t += 1
+                    state = step(state, t, rng)
+                    steps += 1
+                    if value_fn(state, t) >= TARGET_VALUE:
+                        hits += 1
+                        break
+                n_paths += 1
+            if done or n_paths == 0:
+                break
+            probability = hits / n_paths
+            variance = srs_variance(probability, n_paths)
+            if self.record_trace:
+                trace.append(TracePoint(
+                    steps=steps,
+                    elapsed_seconds=time.perf_counter() - started,
+                    probability=probability, variance=variance,
+                    n_roots=n_paths, hits=hits,
+                ))
+            if quality is not None and quality.is_met(
+                    probability, variance, hits, n_paths):
+                break
+
+        return make_estimate()

@@ -1,0 +1,79 @@
+"""Small statistical utilities shared across the library.
+
+Kept dependency-light on purpose: the normal quantile is implemented
+directly (Acklam's rational approximation) so the core sampler stack
+does not require scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+# Coefficients of Acklam's inverse normal CDF approximation
+# (relative error < 1.15e-9 over the full open interval).
+_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+      -2.759285104469687e+02, 1.383577518672690e+02,
+      -3.066479806614716e+01, 2.506628277459239e+00)
+_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+      -1.556989798598866e+02, 6.680131188771972e+01,
+      -1.328068155288572e+01)
+_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+      -2.400758277161838e+00, -2.549732539343734e+00,
+      4.374664141464968e+00, 2.938163982698783e+00)
+_D = (7.784695709041462e-03, 3.224671290700398e-01,
+      2.445134137142996e+00, 3.754408661907416e+00)
+_P_LOW = 0.02425
+_P_HIGH = 1.0 - _P_LOW
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF (percent point function)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    if p < _P_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        return ((((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q
+                  + _C[4]) * q + _C[5])
+                / ((((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0))
+    if p > _P_HIGH:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -((((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q
+                   + _C[4]) * q + _C[5])
+                 / ((((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0))
+    q = p - 0.5
+    r = q * q
+    return ((((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r
+              + _A[4]) * r + _A[5]) * q
+            / (((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r
+                + _B[4]) * r + 1.0))
+
+
+def normal_cdf(x: float) -> float:
+    """Standard normal CDF via the error function."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def critical_value(confidence: float) -> float:
+    """Two-sided normal critical value ``z_{alpha/2}``.
+
+    ``confidence = 0.95`` gives the familiar 1.96.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return normal_quantile(0.5 + confidence / 2.0)
+
+
+def sample_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_variance(values: Sequence[float]) -> float:
+    """Unbiased (``n - 1``) sample variance; 0.0 for fewer than 2 values."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    return sum((v - mean) ** 2 for v in values) / (n - 1)

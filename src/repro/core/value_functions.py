@@ -1,0 +1,106 @@
+"""Value functions and durability queries (Sections 2.1 and 3).
+
+A durability prediction query ``Q(q, s)`` asks for the probability that
+the process reaches a state with ``q(x_t) = 1`` for some ``1 <= t <= s``.
+MLSS additionally needs a heuristic *value function*
+``f : X x T -> (0, 1]`` measuring how close a state is to satisfying the
+query; ``f(x_t) = 1`` iff ``q(x_t) = 1``.  Unbiasedness never depends on
+``f`` — only efficiency does.
+
+The common practical case (and the one used throughout the paper's
+experiments) is a threshold condition ``z(x_t) >= beta`` with the value
+function ``f = min(z / beta, 1)``; :class:`ThresholdValueFunction`
+implements it.  Arbitrary value functions are supported through the
+plain callable protocol ``f(state, t) -> float``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..processes.base import State, StochasticProcess
+
+# A value function maps (state, t) to a score; >= 1.0 means the query
+# condition is satisfied.
+ValueFunction = Callable[[State, int], float]
+
+#: Scores at or above this value count as hitting the query target.
+TARGET_VALUE = 1.0
+
+
+class ThresholdValueFunction:
+    """``f(x, t) = min(z(x) / beta, 1)`` for a threshold query ``z >= beta``.
+
+    ``z`` is a real-valued evaluation of a state (e.g. the Queue 2
+    backlog, the CPP surplus, a simulated stock price).  Negative or
+    zero scores clamp to 0.0, which simply lands in the lowest level.
+
+    Instances are picklable as long as ``z`` is (use module-level
+    functions or small callable classes, not lambdas, if you need the
+    parallel sampler).
+    """
+
+    def __init__(self, z: Callable[[State], float], beta: float):
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.z = z
+        self.beta = beta
+
+    def __call__(self, state: State, t: int) -> float:
+        ratio = self.z(state) / self.beta
+        if ratio >= TARGET_VALUE:
+            return TARGET_VALUE
+        if ratio <= 0.0:
+            return 0.0
+        return ratio
+
+    def __repr__(self) -> str:
+        z_name = getattr(self.z, "__qualname__", repr(self.z))
+        return f"ThresholdValueFunction(z={z_name}, beta={self.beta})"
+
+
+@dataclass
+class DurabilityQuery:
+    """A durability prediction query ``Q(q, s)`` over a simulation model.
+
+    Attributes
+    ----------
+    process:
+        The step-wise simulation model ``g``.
+    value_function:
+        Heuristic ``f(state, t) -> float``; values ``>= 1`` satisfy the
+        query condition.  For plain SRS the value function only needs to
+        be correct at the target (``f >= 1`` iff ``q = 1``).
+    horizon:
+        The prescribed time horizon ``s`` (the query looks at
+        ``t = 1 .. s``).
+    name:
+        Optional label used in reports.
+    """
+
+    process: StochasticProcess
+    value_function: ValueFunction
+    horizon: int
+    name: str = field(default="")
+
+    def __post_init__(self):
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+
+    @classmethod
+    def threshold(cls, process: StochasticProcess,
+                  z: Callable[[State], float], beta: float, horizon: int,
+                  name: str = "") -> "DurabilityQuery":
+        """Build the common ``z(x_t) >= beta`` query."""
+        return cls(process=process,
+                   value_function=ThresholdValueFunction(z, beta),
+                   horizon=horizon, name=name)
+
+    def satisfied(self, state: State, t: int) -> bool:
+        """The Boolean query function ``q`` derived from ``f``."""
+        return self.value_function(state, t) >= TARGET_VALUE
+
+    def initial_value(self) -> float:
+        """Value of the initial state (used to validate level plans)."""
+        return self.value_function(self.process.initial_state(), 0)

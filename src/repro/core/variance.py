@@ -1,0 +1,172 @@
+"""Closed-form variance results from the paper (Eq. 11-13).
+
+Three analytical pieces support the optimizer and the ablation benches:
+
+* the *balanced growth* variance of s-MLSS from branching-process
+  theory (Eq. 12-13): with ``m`` levels and equal advancement
+  probabilities ``p = tau^(1/m)``,
+
+      Var(tau_hat) = m (1 - p) p^(2m - 1) / N_0;
+
+* the exact variance of the two-level g-MLSS estimator with level
+  skipping (Eq. 11);
+* helper comparisons against the SRS variance ``tau (1 - tau) / N_0``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def balanced_advancement_probability(tau: float, num_levels: int) -> float:
+    """The balanced-growth advancement probability ``p = tau^(1/m)``."""
+    if not 0.0 < tau < 1.0:
+        raise ValueError(f"tau must be in (0, 1), got {tau}")
+    if num_levels < 1:
+        raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+    return tau ** (1.0 / num_levels)
+
+
+def balanced_growth_variance(tau: float, num_levels: int,
+                             n_roots: int) -> float:
+    """Eq. 13: s-MLSS variance under balanced growth."""
+    if n_roots < 1:
+        raise ValueError(f"n_roots must be >= 1, got {n_roots}")
+    p = balanced_advancement_probability(tau, num_levels)
+    return num_levels * (1.0 - p) * p ** (2 * num_levels - 1) / n_roots
+
+
+def srs_variance_formula(tau: float, n_roots: int) -> float:
+    """The SRS variance ``tau (1 - tau) / n`` for comparison."""
+    if n_roots < 1:
+        raise ValueError(f"n_roots must be >= 1, got {n_roots}")
+    return tau * (1.0 - tau) / n_roots
+
+
+def variance_reduction_factor(tau: float, num_levels: int) -> float:
+    """SRS-to-MLSS variance ratio at equal root counts (theory).
+
+    Values above 1 mean MLSS needs fewer root paths for the same
+    precision (ignoring the extra per-root simulation cost of
+    splitting, which Eq. 15 accounts for separately).
+    """
+    p = balanced_advancement_probability(tau, num_levels)
+    mlss = num_levels * (1.0 - p) * p ** (2 * num_levels - 1)
+    srs = tau * (1.0 - tau)
+    return srs / mlss
+
+
+def two_level_skip_variance(p01: float, p12: float, p02: float,
+                            var_offspring_hits: float, n_roots: int,
+                            ratio: int) -> float:
+    """Eq. 11: variance of the two-level g-MLSS estimator with skipping.
+
+    ``p01`` — probability a root lands in ``L_1``; ``p12`` —
+    probability a split offspring crosses into the target; ``p02`` —
+    probability a root skips straight to the target;
+    ``var_offspring_hits`` — ``Var(N_2^<1>)``, the per-split variance of
+    target hits.
+    """
+    if n_roots < 1:
+        raise ValueError(f"n_roots must be >= 1, got {n_roots}")
+    if ratio < 1:
+        raise ValueError(f"ratio must be >= 1, got {ratio}")
+    for name, p in (("p01", p01), ("p12", p12), ("p02", p02)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    term_non_skip = p12 * p12 * p01 * (1.0 - p01) / n_roots
+    term_offspring = p01 * var_offspring_hits / (n_roots * ratio * ratio)
+    term_skip = p02 * (1.0 - p02) / n_roots
+    return term_non_skip + term_offspring + term_skip
+
+
+def optimal_num_levels(tau: float, max_levels: int = 64) -> int:
+    """Theory-guided level count minimising variance*cost.
+
+    Under balanced growth, the per-root simulation cost grows roughly
+    with the expected number of path segments ``sum_i (r p)^i``; with
+    the customary choice ``r ~ 1/p`` the product of Eq. 13 with that
+    cost is minimised near ``p = e^-2`` (L'Ecuyer et al. 2006), i.e.
+
+        m* ~ -ln(tau) / 2.
+
+    We search the integer neighbourhood explicitly and return the best.
+    """
+    if not 0.0 < tau < 1.0:
+        raise ValueError(f"tau must be in (0, 1), got {tau}")
+
+    def objective(m: int) -> float:
+        p = tau ** (1.0 / m)
+        variance = m * (1.0 - p) * p ** (2 * m - 1)
+        # Cost model: with r ~ 1/p each level keeps the expected number
+        # of active segments constant, so per-root cost scales with m.
+        return variance * m
+
+    best = min(range(1, max_levels + 1), key=objective)
+    return best
+
+
+def suggest_ratios(pi_hats, max_ratio: int = 8) -> list:
+    """Per-level splitting ratios from advancement estimates.
+
+    The paper's future-work question — "how to optimally allocate
+    splitting ratios across sample paths" — has a classical first-order
+    answer from branching-process theory: keep the expected population
+    constant by splitting ``r_i ~ 1/p_i`` at each level.  Given the
+    measured advancement probabilities ``[pi_1, ..., pi_m]`` (e.g. from
+    ``gmlss_pi_hats``), this returns ratios for the splittable levels
+    ``L_1 .. L_{m-1}`` — the ratio applied when *entering* level ``i``
+    is matched to the advancement *out of* it, ``pi_{i+1}``.
+
+    Levels with no observed advancement get ``max_ratio`` (they are the
+    obstacles).  Usable directly as the ``ratio`` argument of
+    :class:`repro.core.gmlss.GMLSSSampler`.
+    """
+    if max_ratio < 1:
+        raise ValueError(f"max_ratio must be >= 1, got {max_ratio}")
+    pis = list(pi_hats)
+    if len(pis) < 2:
+        return []
+    ratios = []
+    for pi in pis[1:]:  # advancement out of L_1 .. L_{m-1}
+        if pi <= 0.0:
+            ratios.append(max_ratio)
+        else:
+            ratios.append(max(1, min(max_ratio, round(1.0 / pi))))
+    return ratios
+
+
+def balanced_boundaries_from_survival(survival, num_levels: int) -> list:
+    """Place boundaries at equal conditional-advancement survival levels.
+
+    ``survival`` maps a value ``v in (0, 1]`` to an estimate of
+    ``Pr[max_t f(X_t) >= v]``.  Boundaries are chosen so that the
+    survival at consecutive boundaries forms a geometric ladder from 1
+    down to ``survival(1.0)`` — the balanced-growth rule (Eq. 12) —
+    by bisection on the (monotone) survival function.
+    """
+    if num_levels < 1:
+        raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+    tau = survival(1.0)
+    if not 0.0 < tau < 1.0:
+        raise ValueError(
+            f"survival at the target must be in (0, 1), got {tau}"
+        )
+    boundaries = []
+    for i in range(1, num_levels):
+        goal = tau ** (i / num_levels)
+        lo, hi = 0.0, 1.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if survival(mid) >= goal:
+                lo = mid
+            else:
+                hi = mid
+        boundaries.append(0.5 * (lo + hi))
+    # De-duplicate pathological plateaus while preserving order.
+    unique = []
+    for b in boundaries:
+        if not unique or b > unique[-1] + 1e-12:
+            if 0.0 < b < 1.0:
+                unique.append(b)
+    return unique

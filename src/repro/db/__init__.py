@@ -1,0 +1,13 @@
+"""In-DBMS durability query pipeline (sqlite3 standing in for PostgreSQL)."""
+
+from .factory import build_process, default_z, state_value, supported_kinds
+from .paths import (hitting_fraction, materialize_paths, path_count,
+                    path_series, value_quantiles)
+from .procedures import DurabilityDB
+from .schema import create_schema, table_names
+
+__all__ = [
+    "DurabilityDB", "build_process", "create_schema", "default_z",
+    "hitting_fraction", "materialize_paths", "path_count", "path_series",
+    "state_value", "supported_kinds", "table_names", "value_quantiles",
+]

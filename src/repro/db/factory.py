@@ -1,0 +1,146 @@
+"""(De)serialisation of simulation models for database storage.
+
+Each supported model *kind* maps to a builder that reconstructs the
+process from its JSON parameter blob, plus the default real-valued
+evaluation ``z`` the paper uses for that model (Queue 2 backlog, CPP
+surplus, walk position, ...).  This is what lets the stored-procedure
+layer rebuild ``g`` from a table row.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..processes.ar import ARProcess
+from ..processes.base import StochasticProcess
+from ..processes.cpp import CompoundPoissonProcess
+from ..processes.gbm import GBMProcess
+from ..processes.markov_chain import MarkovChainProcess
+from ..processes.queueing import TandemQueueProcess
+from ..processes.random_walk import GaussianWalkProcess, RandomWalkProcess
+from ..processes.volatile import ImpulseProcess
+
+
+def _build_queue(params: dict) -> StochasticProcess:
+    return TandemQueueProcess(
+        arrival_rate=params.get("arrival_rate", 0.5),
+        mean_service1=params.get("mean_service1", 2.0),
+        mean_service2=params.get("mean_service2", 2.0),
+    )
+
+
+def _build_cpp(params: dict) -> StochasticProcess:
+    return CompoundPoissonProcess(
+        initial_surplus=params.get("initial_surplus", 15.0),
+        premium_rate=params.get("premium_rate", 4.5),
+        jump_rate=params.get("jump_rate", 0.8),
+        jump_low=params.get("jump_low", 5.0),
+        jump_high=params.get("jump_high", 10.0),
+    )
+
+
+def _build_random_walk(params: dict) -> StochasticProcess:
+    return RandomWalkProcess(
+        p_up=params.get("p_up", 0.5),
+        p_down=params.get("p_down"),
+        start=params.get("start", 0),
+    )
+
+
+def _build_gaussian_walk(params: dict) -> StochasticProcess:
+    return GaussianWalkProcess(
+        drift=params.get("drift", 0.0),
+        sigma=params.get("sigma", 1.0),
+        start=params.get("start", 0.0),
+    )
+
+
+def _build_ar(params: dict) -> StochasticProcess:
+    return ARProcess(
+        coefficients=params["coefficients"],
+        sigma=params.get("sigma", 1.0),
+        initial_values=params.get("initial_values"),
+    )
+
+
+def _build_markov(params: dict) -> StochasticProcess:
+    return MarkovChainProcess(
+        transition_matrix=params["transition_matrix"],
+        start=params.get("start", 0),
+        values=params.get("values"),
+    )
+
+
+def _build_gbm(params: dict) -> StochasticProcess:
+    return GBMProcess(
+        start_price=params.get("start_price", 520.0),
+        mu=params.get("mu", 0.00082),
+        sigma=params.get("sigma", 0.015),
+    )
+
+
+def _wrap_impulse(base: StochasticProcess, params: dict) -> StochasticProcess:
+    impulse = params.get("impulse")
+    if impulse is None:
+        return base
+    return ImpulseProcess(
+        base,
+        impulse=impulse["magnitude"],
+        probability=impulse["probability"],
+        active_after=impulse["active_after"],
+    )
+
+
+_BUILDERS: dict = {
+    "queue": _build_queue,
+    "cpp": _build_cpp,
+    "random_walk": _build_random_walk,
+    "gaussian_walk": _build_gaussian_walk,
+    "ar": _build_ar,
+    "markov": _build_markov,
+    "gbm": _build_gbm,
+}
+
+_DEFAULT_Z: dict = {
+    "queue": TandemQueueProcess.queue2_length,
+    "cpp": CompoundPoissonProcess.surplus,
+    "random_walk": RandomWalkProcess.position,
+    "gaussian_walk": GaussianWalkProcess.position,
+    "ar": ARProcess.current_value,
+    "gbm": GBMProcess.price,
+}
+
+
+def supported_kinds() -> tuple:
+    return tuple(sorted(_BUILDERS))
+
+
+def build_process(kind: str, params: dict) -> StochasticProcess:
+    """Reconstruct a process from its stored kind and parameters.
+
+    Any kind accepts an optional ``impulse`` sub-object
+    (``{"magnitude", "probability", "active_after"}``) producing the
+    volatile variant of Section 6.2.
+    """
+    builder = _BUILDERS.get(kind)
+    if builder is None:
+        raise ValueError(
+            f"unknown model kind {kind!r}; supported: {supported_kinds()}"
+        )
+    return _wrap_impulse(builder(params), params)
+
+
+def default_z(kind: str) -> Callable:
+    """The model kind's canonical state evaluation ``z``."""
+    z = _DEFAULT_Z.get(kind)
+    if z is None:
+        raise ValueError(
+            f"model kind {kind!r} has no default z; supported: "
+            f"{tuple(sorted(_DEFAULT_Z))}"
+        )
+    return z
+
+
+def state_value(kind: str, state) -> float:
+    """Evaluate ``z`` for a state of the given kind (path materialisation)."""
+    return default_z(kind)(state)

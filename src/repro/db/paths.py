@@ -1,0 +1,97 @@
+"""Sample-path materialisation and inspection (Section 6.4).
+
+"A nice byproduct of utilizing simulation models is that we also
+produce a set of concrete sample paths alongside the point estimate...
+we can materialize sample paths generated from MLSS simulations as
+separate database tables, which can be further used for visualizations
+or other analysis."  This module stores simulated paths in the
+``sample_paths`` table and answers the obvious follow-up queries
+(per-time quantiles, hit summaries) in SQL.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+from typing import Optional
+
+from ..core.value_functions import DurabilityQuery
+from .factory import state_value
+
+
+def materialize_paths(connection: sqlite3.Connection, run_id: int,
+                      query: DurabilityQuery, kind: str, n_paths: int,
+                      rng: Optional[random.Random] = None) -> int:
+    """Simulate ``n_paths`` full paths and store their ``z`` values.
+
+    Paths run to the full horizon (no early stopping) so downstream
+    visualisation sees complete possible worlds.  Returns the number of
+    rows inserted.
+    """
+    if n_paths < 1:
+        raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    if rng is None:
+        rng = random.Random()
+    process = query.process
+    rows = []
+    for path_id in range(n_paths):
+        state = process.initial_state()
+        rows.append((run_id, path_id, 0, state_value(kind, state)))
+        for t in range(1, query.horizon + 1):
+            state = process.step(state, t, rng)
+            rows.append((run_id, path_id, t, state_value(kind, state)))
+    with connection:
+        connection.executemany(
+            "INSERT INTO sample_paths (run_id, path_id, t, value)"
+            " VALUES (?, ?, ?, ?)", rows)
+    return len(rows)
+
+
+def path_count(connection: sqlite3.Connection, run_id: int) -> int:
+    row = connection.execute(
+        "SELECT COUNT(DISTINCT path_id) FROM sample_paths WHERE run_id = ?",
+        (run_id,)).fetchone()
+    return int(row[0])
+
+
+def value_quantiles(connection: sqlite3.Connection, run_id: int, t: int,
+                    quantiles=(0.1, 0.5, 0.9)) -> list:
+    """Cross-path value quantiles at time ``t`` (computed in SQL order)."""
+    values = [row[0] for row in connection.execute(
+        "SELECT value FROM sample_paths WHERE run_id = ? AND t = ?"
+        " ORDER BY value", (run_id, t)).fetchall()]
+    if not values:
+        raise ValueError(f"no materialised values for run {run_id} at t={t}")
+    results = []
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        index = min(int(q * len(values)), len(values) - 1)
+        results.append(values[index])
+    return results
+
+
+def hitting_fraction(connection: sqlite3.Connection, run_id: int,
+                     threshold: float) -> float:
+    """Fraction of materialised paths that ever reach ``threshold``.
+
+    A pure-SQL durability check over the possible worlds — the kind of
+    follow-up analysis path materialisation exists for.
+    """
+    row = connection.execute(
+        "SELECT COUNT(DISTINCT path_id) * 1.0 / "
+        " (SELECT COUNT(DISTINCT path_id) FROM sample_paths"
+        "  WHERE run_id = :run)"
+        " FROM sample_paths WHERE run_id = :run AND value >= :threshold"
+        " AND t >= 1",
+        {"run": run_id, "threshold": threshold}).fetchone()
+    return float(row[0] or 0.0)
+
+
+def path_series(connection: sqlite3.Connection, run_id: int,
+                path_id: int) -> list:
+    """One materialised path as ``[(t, value), ...]``."""
+    rows = connection.execute(
+        "SELECT t, value FROM sample_paths WHERE run_id = ? AND path_id = ?"
+        " ORDER BY t", (run_id, path_id)).fetchall()
+    return [(row[0], row[1]) for row in rows]

@@ -1,0 +1,97 @@
+"""Relational schema for the in-DBMS query pipeline (Section 6.4).
+
+The paper moves the whole durability-query pipeline inside a DBMS
+(PostgreSQL in the paper; sqlite3 here — see DESIGN.md): predictive
+model parameters live in a table, the samplers run as stored-procedure
+style functions over them, estimates are recorded, and sample paths can
+be materialised for inspection ("users can look into these possible
+worlds").
+
+Tables
+------
+``models``        — registered simulation models (kind + JSON params).
+``queries``       — durability queries over models (horizon, threshold).
+``level_plans``   — partition plans usable by MLSS runs.
+``estimates``     — one row per query run: answer, variance, cost.
+``sample_paths``  — materialised simulated paths (run, path, t, value).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+SCHEMA_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS models (
+        model_id   INTEGER PRIMARY KEY AUTOINCREMENT,
+        name       TEXT NOT NULL UNIQUE,
+        kind       TEXT NOT NULL,
+        params     TEXT NOT NULL,
+        created_at TEXT NOT NULL DEFAULT (datetime('now'))
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS queries (
+        query_id   INTEGER PRIMARY KEY AUTOINCREMENT,
+        model_id   INTEGER NOT NULL REFERENCES models(model_id),
+        name       TEXT NOT NULL UNIQUE,
+        horizon    INTEGER NOT NULL CHECK (horizon >= 1),
+        threshold  REAL NOT NULL,
+        created_at TEXT NOT NULL DEFAULT (datetime('now'))
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS level_plans (
+        plan_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+        query_id   INTEGER NOT NULL REFERENCES queries(query_id),
+        boundaries TEXT NOT NULL,
+        ratio      INTEGER NOT NULL DEFAULT 3,
+        source     TEXT NOT NULL DEFAULT 'manual'
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS estimates (
+        run_id        INTEGER PRIMARY KEY AUTOINCREMENT,
+        query_id      INTEGER NOT NULL REFERENCES queries(query_id),
+        method        TEXT NOT NULL,
+        probability   REAL NOT NULL,
+        variance      REAL NOT NULL,
+        n_roots       INTEGER NOT NULL,
+        hits          INTEGER NOT NULL,
+        steps         INTEGER NOT NULL,
+        seconds       REAL NOT NULL,
+        seed          INTEGER,
+        created_at    TEXT NOT NULL DEFAULT (datetime('now'))
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS sample_paths (
+        run_id   INTEGER NOT NULL,
+        path_id  INTEGER NOT NULL,
+        t        INTEGER NOT NULL,
+        value    REAL NOT NULL,
+        PRIMARY KEY (run_id, path_id, t)
+    )
+    """,
+)
+
+INDEX_STATEMENTS = (
+    "CREATE INDEX IF NOT EXISTS idx_estimates_query"
+    " ON estimates(query_id)",
+    "CREATE INDEX IF NOT EXISTS idx_paths_run"
+    " ON sample_paths(run_id)",
+)
+
+
+def create_schema(connection: sqlite3.Connection) -> None:
+    """Create all tables and indexes (idempotent)."""
+    with connection:
+        for statement in SCHEMA_STATEMENTS + INDEX_STATEMENTS:
+            connection.execute(statement)
+
+
+def table_names(connection: sqlite3.Connection) -> set:
+    rows = connection.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table'"
+    ).fetchall()
+    return {row[0] for row in rows}

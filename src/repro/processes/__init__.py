@@ -1,0 +1,19 @@
+"""Simulation models: the substrates the paper evaluates MLSS on."""
+
+from .ar import ARProcess
+from .base import ImmutableStateProcess, StochasticProcess, simulate_path
+from .cpp import CompoundPoissonProcess, poisson_variate
+from .gbm import GBMProcess, log_returns, synthetic_stock_series
+from .markov_chain import MarkovChainProcess, birth_death_chain
+from .queueing import TandemQueueProcess
+from .random_walk import GaussianWalkProcess, RandomWalkProcess
+from .volatile import ImpulseProcess, volatile_cpp, volatile_queue
+
+__all__ = [
+    "ARProcess", "CompoundPoissonProcess", "GBMProcess",
+    "GaussianWalkProcess", "ImmutableStateProcess", "ImpulseProcess",
+    "MarkovChainProcess", "RandomWalkProcess", "StochasticProcess",
+    "TandemQueueProcess", "birth_death_chain", "log_returns",
+    "poisson_variate", "simulate_path", "synthetic_stock_series",
+    "volatile_cpp", "volatile_queue",
+]

@@ -1,0 +1,85 @@
+"""Auto-regressive AR(m) processes (Section 2.1, model example 1).
+
+The simulation procedure draws the value at time ``t`` as
+
+    v_t = phi_1 * v_{t-1} + ... + phi_m * v_{t-m} + eps_t,
+
+with ``eps_t ~ N(0, sigma)``.  The state is the tuple of the last ``m``
+values (most recent first), so the process fits the generic step-wise
+interface without the sampler knowing the order ``m``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .base import ImmutableStateProcess
+
+
+class ARProcess(ImmutableStateProcess):
+    """AR(m) model with Gaussian innovations.
+
+    Parameters
+    ----------
+    coefficients:
+        ``[phi_1, ..., phi_m]``; ``phi_1`` multiplies the most recent
+        value.
+    sigma:
+        Standard deviation of the innovation noise.
+    initial_values:
+        Seed window ``[v_0, v_{-1}, ...]`` (most recent first).  Defaults
+        to all zeros.
+    """
+
+    def __init__(self, coefficients: Sequence[float], sigma: float = 1.0,
+                 initial_values: Sequence[float] | None = None):
+        coeffs = tuple(float(c) for c in coefficients)
+        if not coeffs:
+            raise ValueError("AR process needs at least one coefficient")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        if initial_values is None:
+            initial_values = (0.0,) * len(coeffs)
+        init = tuple(float(v) for v in initial_values)
+        if len(init) != len(coeffs):
+            raise ValueError(
+                f"initial_values must have length {len(coeffs)}, "
+                f"got {len(init)}"
+            )
+        self.coefficients = coeffs
+        self.sigma = sigma
+        self._initial = init
+
+    @property
+    def order(self) -> int:
+        return len(self.coefficients)
+
+    def initial_state(self) -> tuple:
+        return self._initial
+
+    def step(self, state: tuple, t: int, rng: random.Random) -> tuple:
+        value = rng.gauss(0.0, self.sigma)
+        for phi, past in zip(self.coefficients, state):
+            value += phi * past
+        # Shift the window: newest value first.
+        return (value,) + state[:-1]
+
+    def apply_impulse(self, state: tuple, magnitude: float) -> tuple:
+        return (state[0] + magnitude,) + state[1:]
+
+    # --- Gaussian-step protocol (used by importance sampling) ---------
+
+    def step_with_noise(self, state: tuple, noise: float) -> tuple:
+        value = noise
+        for phi, past in zip(self.coefficients, state):
+            value += phi * past
+        return (value,) + state[:-1]
+
+    def noise_sigma(self) -> float:
+        return self.sigma
+
+    @staticmethod
+    def current_value(state: tuple) -> float:
+        """Real-valued evaluation ``z`` of a state: the latest value."""
+        return float(state[0])

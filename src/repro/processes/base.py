@@ -1,0 +1,112 @@
+"""Abstract interface for step-wise simulation models.
+
+The paper (Section 2.1) assumes only that the predictive model exposes a
+step-wise simulation procedure ``g``: given the states up to time ``t - 1``
+it returns a (random) state for time ``t``.  Everything else — the state
+space, the dynamics, whether the model is a classic stochastic process or
+a neural network — is opaque to the query processor.
+
+This module pins that contract down as :class:`StochasticProcess`.  The
+samplers in :mod:`repro.core` interact with models exclusively through
+
+* :meth:`StochasticProcess.initial_state`,
+* :meth:`StochasticProcess.step`, and
+* :meth:`StochasticProcess.copy_state` (needed by splitting samplers,
+  which restart several simulations from one entrance state).
+
+Cost is accounted as the number of ``step`` invocations, matching the
+paper's cost model ("total number of invocations of g").
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+import random
+from typing import Any
+
+State = Any
+
+
+class StochasticProcess(abc.ABC):
+    """A discrete-time stochastic process defined by a simulation rule.
+
+    Subclasses must be cheap to construct and *stateless across paths*:
+    all per-path information lives in the ``state`` object so that many
+    sample paths can be simulated concurrently from shared entrance
+    states (the core requirement of multi-level splitting).
+
+    Contract:
+
+    * ``initial_state()`` returns a fresh state for time 0.  Calling it
+      twice must return states that can be simulated independently.
+    * ``step(state, t, rng)`` returns the state at time ``t`` given the
+      state at time ``t - 1``.  Implementations may mutate ``state``
+      in place and return it, *provided* that states produced by
+      ``copy_state`` share no mutable structure with the original.
+    * ``copy_state(state)`` returns an independent copy.  The default
+      uses :func:`copy.deepcopy`; processes with immutable states
+      (tuples, ints, floats) should override it with identity for speed.
+    """
+
+    @abc.abstractmethod
+    def initial_state(self) -> State:
+        """Return a fresh state for time 0."""
+
+    @abc.abstractmethod
+    def step(self, state: State, t: int, rng: random.Random) -> State:
+        """Simulate one step: return the state at time ``t``.
+
+        ``t`` is the time index being generated (``t >= 1``); ``state``
+        is the state at ``t - 1``.  ``rng`` is the caller's random
+        source; implementations must draw all randomness from it so that
+        runs are reproducible under a fixed seed.
+        """
+
+    def copy_state(self, state: State) -> State:
+        """Return a copy of ``state`` safe to simulate independently."""
+        return copy.deepcopy(state)
+
+    def apply_impulse(self, state: State, magnitude: float) -> State:
+        """Return ``state`` shifted by an exogenous impulse.
+
+        Used by :mod:`repro.processes.volatile` to build the paper's
+        "volatile" model variants (Section 6.2).  Processes that support
+        impulses override this; the default refuses so that wrapping an
+        unsupported process fails loudly rather than silently.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support impulses"
+        )
+
+
+class ImmutableStateProcess(StochasticProcess):
+    """Convenience base for processes whose states are immutable values.
+
+    Tuples, ints and floats need no copying; ``copy_state`` is identity.
+    """
+
+    def copy_state(self, state: State) -> State:
+        return state
+
+
+def simulate_path(
+    process: StochasticProcess,
+    horizon: int,
+    rng: random.Random,
+    initial_state: State | None = None,
+) -> list:
+    """Simulate one full sample path ``[x_0, x_1, ..., x_horizon]``.
+
+    A small utility used by examples, calibration and tests; the samplers
+    in :mod:`repro.core` run their own loops so they can stop early and
+    count steps.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    state = initial_state if initial_state is not None else process.initial_state()
+    path = [state]
+    for t in range(1, horizon + 1):
+        state = process.step(state, t, rng)
+        path.append(state)
+    return path

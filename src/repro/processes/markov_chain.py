@@ -1,0 +1,117 @@
+"""Finite time-homogeneous Markov chains (Section 2.1, model example 2).
+
+Beyond being one of the paper's motivating model classes, finite chains
+are the backbone of our validation strategy: their durability-query
+answers can be computed *exactly* by dynamic programming
+(:func:`repro.core.analytic.hitting_probability`), so every sampler in
+the library is tested against closed-form ground truth.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Sequence
+
+from .base import ImmutableStateProcess
+
+
+class MarkovChainProcess(ImmutableStateProcess):
+    """A finite discrete-time Markov chain over states ``0..n-1``.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Row-stochastic ``n x n`` matrix; ``P[i][j]`` is the probability
+        of moving from state ``i`` to state ``j``.
+    start:
+        Initial state index.
+    values:
+        Optional real value per state used as the ``z`` evaluation; by
+        default the state index itself.
+    """
+
+    def __init__(self, transition_matrix: Sequence[Sequence[float]],
+                 start: int = 0, values: Sequence[float] | None = None):
+        matrix = [list(map(float, row)) for row in transition_matrix]
+        n = len(matrix)
+        if n == 0:
+            raise ValueError("transition matrix must be non-empty")
+        for i, row in enumerate(matrix):
+            if len(row) != n:
+                raise ValueError(
+                    f"row {i} has length {len(row)}, expected {n}"
+                )
+            if any(p < -1e-12 for p in row):
+                raise ValueError(f"row {i} has negative probabilities")
+            total = sum(row)
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(
+                    f"row {i} sums to {total}, expected 1.0"
+                )
+        if not 0 <= start < n:
+            raise ValueError(f"start state {start} out of range [0, {n})")
+        if values is None:
+            values = [float(i) for i in range(n)]
+        if len(values) != n:
+            raise ValueError(
+                f"values must have length {n}, got {len(values)}"
+            )
+        self.matrix = matrix
+        self.start = start
+        self.values = [float(v) for v in values]
+        # Pre-compute cumulative rows for O(log n) sampling.
+        self._cumulative = []
+        for row in matrix:
+            acc, cum = 0.0, []
+            for p in row:
+                acc += p
+                cum.append(acc)
+            cum[-1] = 1.0 + 1e-12  # guard against float round-off
+            self._cumulative.append(cum)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.matrix)
+
+    def initial_state(self) -> int:
+        return self.start
+
+    def step(self, state: int, t: int, rng: random.Random) -> int:
+        return bisect.bisect_right(self._cumulative[state], rng.random())
+
+    def state_value(self, state: int) -> float:
+        """Real-valued evaluation ``z`` of a state."""
+        return self.values[state]
+
+
+def birth_death_chain(n: int, p_up: float, p_down: float,
+                      start: int = 0) -> MarkovChainProcess:
+    """Build a birth-death chain on ``0..n-1`` with absorbing top state.
+
+    From interior state ``i`` the chain moves to ``i+1`` w.p. ``p_up``,
+    to ``i-1`` w.p. ``p_down`` and stays otherwise; state 0 cannot move
+    down and state ``n-1`` is absorbing.  This is the standard shape of a
+    durability target ("reach backlog n-1") and, being banded, keeps the
+    exact DP oracle cheap even for wide chains.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 states, got {n}")
+    if p_up < 0 or p_down < 0 or p_up + p_down > 1.0 + 1e-12:
+        raise ValueError(
+            f"invalid probabilities p_up={p_up}, p_down={p_down}"
+        )
+    matrix = []
+    for i in range(n):
+        row = [0.0] * n
+        if i == n - 1:
+            row[i] = 1.0
+        elif i == 0:
+            row[1] = p_up
+            row[0] = 1.0 - p_up
+        else:
+            row[i + 1] = p_up
+            row[i - 1] = p_down
+            row[i] = 1.0 - p_up - p_down
+        matrix.append(row)
+    return MarkovChainProcess(matrix, start=start)

@@ -1,0 +1,95 @@
+"""Simple random walks — the paper's canonical analytically-solvable model.
+
+Random walks appear in Section 2.2 as an example of a process whose
+first-hitting probabilities admit analytical solutions.  We use them as
+*test oracles*: :mod:`repro.core.analytic` computes their hitting
+probabilities exactly by dynamic programming, giving ground truth for
+estimator validation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import ImmutableStateProcess
+
+
+class RandomWalkProcess(ImmutableStateProcess):
+    """A lazy simple random walk on the integers.
+
+    At each step the walk moves up by 1 with probability ``p_up``, down
+    by 1 with probability ``p_down``, and stays put otherwise.  The state
+    is the current position (an ``int``).
+    """
+
+    def __init__(self, p_up: float = 0.5, p_down: float | None = None,
+                 start: int = 0):
+        if p_down is None:
+            p_down = 1.0 - p_up
+        if p_up < 0 or p_down < 0 or p_up + p_down > 1.0 + 1e-12:
+            raise ValueError(
+                f"invalid move probabilities p_up={p_up}, p_down={p_down}"
+            )
+        self.p_up = p_up
+        self.p_down = p_down
+        self.start = start
+
+    def initial_state(self) -> int:
+        return self.start
+
+    def step(self, state: int, t: int, rng: random.Random) -> int:
+        u = rng.random()
+        if u < self.p_up:
+            return state + 1
+        if u < self.p_up + self.p_down:
+            return state - 1
+        return state
+
+    def apply_impulse(self, state: int, magnitude: float) -> int:
+        return state + int(magnitude)
+
+    @staticmethod
+    def position(state: int) -> float:
+        """Real-valued evaluation ``z`` of a state: the walk position."""
+        return float(state)
+
+
+class GaussianWalkProcess(ImmutableStateProcess):
+    """A random walk with Gaussian increments ``N(drift, sigma)``.
+
+    The continuous-state cousin of :class:`RandomWalkProcess`; its value
+    can jump across several levels in one step, which makes it a handy
+    small model for exercising level-skipping (Section 4).  It is also
+    the simplest member of the Gaussian-step family supported by the
+    importance-sampling comparator (:mod:`repro.core.importance`).
+    """
+
+    def __init__(self, drift: float = 0.0, sigma: float = 1.0,
+                 start: float = 0.0):
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.drift = drift
+        self.sigma = sigma
+        self.start = start
+
+    def initial_state(self) -> float:
+        return self.start
+
+    def step(self, state: float, t: int, rng: random.Random) -> float:
+        return state + rng.gauss(self.drift, self.sigma)
+
+    # --- Gaussian-step protocol (used by importance sampling) ---------
+
+    def step_with_noise(self, state: float, noise: float) -> float:
+        """Advance deterministically given the Gaussian noise draw."""
+        return state + self.drift + noise
+
+    def noise_sigma(self) -> float:
+        return self.sigma
+
+    def apply_impulse(self, state: float, magnitude: float) -> float:
+        return state + magnitude
+
+    @staticmethod
+    def position(state: float) -> float:
+        return float(state)

@@ -1,0 +1,15 @@
+"""LSTM-RNN-MDN sequence model, implemented from scratch in numpy."""
+
+from .lstm import LSTMLayer, sigmoid
+from .mdn import MDNHead
+from .model import LSTMMDNModel
+from .stock_model import (StockRNNProcess, build_stock_process,
+                          pretrained_stock_process)
+from .train import (Adam, TrainingResult, clip_gradients, make_windows,
+                    train_model)
+
+__all__ = [
+    "Adam", "LSTMLayer", "LSTMMDNModel", "MDNHead", "StockRNNProcess",
+    "TrainingResult", "build_stock_process", "clip_gradients",
+    "make_windows", "pretrained_stock_process", "sigmoid", "train_model",
+]

@@ -1,0 +1,142 @@
+"""A from-scratch LSTM layer in numpy (forward + BPTT backward).
+
+The paper's third experimental model is an LSTM-RNN with a mixture
+density head (Section 6, Figure 5).  No deep-learning framework is
+available offline, so this module implements the standard LSTM cell
+
+    z = [x, h] W + b,          (i, f, o, g) = split(z)
+    c' = sigmoid(f) * c + sigmoid(i) * tanh(g)
+    h' = sigmoid(o) * tanh(c')
+
+with exact backpropagation through time.  Weights follow the usual
+Glorot-uniform initialisation; the forget-gate bias starts at 1.0 (the
+standard trick that stabilises early training).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class LSTMLayer:
+    """One LSTM layer processing inputs of shape ``(batch, input_size)``.
+
+    Parameters are stored in a flat dict so generic optimizers
+    (:class:`repro.processes.rnn.train.Adam`) can walk them:
+
+    * ``W`` — ``(input_size + hidden_size, 4 * hidden_size)`` weights,
+      gate order ``[i, f, o, g]``;
+    * ``b`` — ``(4 * hidden_size,)`` biases.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError(
+                f"sizes must be >= 1, got input={input_size}, "
+                f"hidden={hidden_size}"
+            )
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        fan_in = input_size + hidden_size
+        limit = np.sqrt(6.0 / (fan_in + 4 * hidden_size))
+        weights = rng.uniform(-limit, limit, size=(fan_in, 4 * hidden_size))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias
+        self.params = {"W": weights, "b": bias}
+
+    def zero_state(self, batch: int) -> tuple:
+        h = np.zeros((batch, self.hidden_size))
+        c = np.zeros((batch, self.hidden_size))
+        return h, c
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+
+    def step(self, x: np.ndarray, h: np.ndarray, c: np.ndarray):
+        """One time step.  Returns ``(h_next, c_next, cache)``."""
+        hidden = self.hidden_size
+        xh = np.concatenate([x, h], axis=1)
+        z = xh @ self.params["W"] + self.params["b"]
+        i = sigmoid(z[:, :hidden])
+        f = sigmoid(z[:, hidden:2 * hidden])
+        o = sigmoid(z[:, 2 * hidden:3 * hidden])
+        g = np.tanh(z[:, 3 * hidden:])
+        c_next = f * c + i * g
+        tanh_c = np.tanh(c_next)
+        h_next = o * tanh_c
+        cache = (xh, i, f, o, g, c, tanh_c)
+        return h_next, c_next, cache
+
+    def forward(self, xs: np.ndarray, h: np.ndarray, c: np.ndarray):
+        """Process a sequence ``xs`` of shape ``(T, batch, input_size)``.
+
+        Returns ``(hs, (h_T, c_T), caches)`` where ``hs`` has shape
+        ``(T, batch, hidden_size)``.
+        """
+        steps = xs.shape[0]
+        hs = np.empty((steps, xs.shape[1], self.hidden_size))
+        caches = []
+        for t in range(steps):
+            h, c, cache = self.step(xs[t], h, c)
+            hs[t] = h
+            caches.append(cache)
+        return hs, (h, c), caches
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+
+    def backward(self, dhs: np.ndarray, caches: list):
+        """Backpropagate through time.
+
+        ``dhs`` carries the loss gradient w.r.t. every hidden output
+        (shape like the forward ``hs``).  Returns ``(dxs, grads)`` with
+        ``dxs`` the gradient w.r.t. the inputs and ``grads`` matching
+        the parameter dict.  Gradients w.r.t. the initial state are
+        discarded (training always starts from zero states).
+        """
+        hidden = self.hidden_size
+        weights = self.params["W"]
+        d_weights = np.zeros_like(weights)
+        d_bias = np.zeros_like(self.params["b"])
+        steps = dhs.shape[0]
+        batch = dhs.shape[1]
+        dxs = np.empty((steps, batch, self.input_size))
+        dh_next = np.zeros((batch, hidden))
+        dc_next = np.zeros((batch, hidden))
+
+        for t in range(steps - 1, -1, -1):
+            xh, i, f, o, g, c_prev, tanh_c = caches[t]
+            dh = dhs[t] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c * tanh_c) + dc_next
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_next = dc * f
+            # Gate pre-activations.
+            dz = np.concatenate([
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                do * o * (1.0 - o),
+                dg * (1.0 - g * g),
+            ], axis=1)
+            d_weights += xh.T @ dz
+            d_bias += dz.sum(axis=0)
+            dxh = dz @ weights.T
+            dxs[t] = dxh[:, :self.input_size]
+            dh_next = dxh[:, self.input_size:]
+
+        return dxs, {"W": d_weights, "b": d_bias}

@@ -1,0 +1,134 @@
+"""Mixture Density Network head (Bishop 1994), numpy implementation.
+
+The paper's stock model ends in a mixture layer: given the RNN hidden
+state, the MDN outputs the parameters of a ``K``-component Gaussian
+mixture over the next (normalised) log-return:
+
+    pi = softmax(h W_pi + b_pi),   mu = h W_mu + b_mu,
+    sigma = exp(h W_s + b_s).
+
+Training minimises the negative log-likelihood; the gradients have the
+classic closed form through the component responsibilities.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+# exp(log_sigma) is clamped to keep the NLL finite early in training.
+_LOG_SIGMA_MIN = -7.0
+_LOG_SIGMA_MAX = 7.0
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+class MDNHead:
+    """Dense layer emitting mixture parameters for a scalar target.
+
+    Parameters: ``W`` of shape ``(hidden, 3K)`` and ``b`` of shape
+    ``(3K,)``; column blocks are ``[logits, mu, log_sigma]``.
+    """
+
+    def __init__(self, hidden_size: int, n_mixtures: int,
+                 rng: np.random.Generator):
+        if hidden_size < 1 or n_mixtures < 1:
+            raise ValueError(
+                f"sizes must be >= 1, got hidden={hidden_size}, "
+                f"mixtures={n_mixtures}"
+            )
+        self.hidden_size = hidden_size
+        self.n_mixtures = n_mixtures
+        limit = np.sqrt(6.0 / (hidden_size + 3 * n_mixtures))
+        self.params = {
+            "W": rng.uniform(-limit, limit,
+                             size=(hidden_size, 3 * n_mixtures)),
+            "b": np.zeros(3 * n_mixtures),
+        }
+        # Spread the initial means so components differentiate.
+        self.params["b"][n_mixtures:2 * n_mixtures] = np.linspace(
+            -1.0, 1.0, n_mixtures)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+
+    def mixture_parameters(self, h: np.ndarray):
+        """Map hidden states ``(batch, hidden)`` to mixture parameters.
+
+        Returns ``(pi, mu, sigma, cache)``; each of shape
+        ``(batch, K)``.
+        """
+        k = self.n_mixtures
+        raw = h @ self.params["W"] + self.params["b"]
+        logits = raw[:, :k]
+        mu = raw[:, k:2 * k]
+        log_sigma = np.clip(raw[:, 2 * k:], _LOG_SIGMA_MIN, _LOG_SIGMA_MAX)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp_logits = np.exp(shifted)
+        pi = exp_logits / exp_logits.sum(axis=1, keepdims=True)
+        sigma = np.exp(log_sigma)
+        cache = (h, pi, mu, sigma)
+        return pi, mu, sigma, cache
+
+    def negative_log_likelihood(self, cache, y: np.ndarray):
+        """Mean NLL of targets ``y`` (shape ``(batch,)``) and its cache.
+
+        Returns ``(loss, responsibilities)``; responsibilities feed the
+        backward pass.
+        """
+        _, pi, mu, sigma = cache
+        y = y.reshape(-1, 1)
+        # log N(y; mu, sigma) per component, computed in log space.
+        z = (y - mu) / sigma
+        log_norm = -0.5 * z * z - np.log(sigma) - 0.5 * _LOG_2PI
+        log_weighted = np.log(np.maximum(pi, 1e-300)) + log_norm
+        top = log_weighted.max(axis=1, keepdims=True)
+        log_mix = top.squeeze(1) + np.log(
+            np.exp(log_weighted - top).sum(axis=1))
+        responsibilities = np.exp(log_weighted - log_mix.reshape(-1, 1))
+        return -float(log_mix.mean()), responsibilities
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+
+    def backward(self, cache, y: np.ndarray, responsibilities: np.ndarray):
+        """Gradients of the mean NLL.  Returns ``(dh, grads)``."""
+        h, pi, mu, sigma = cache
+        batch = h.shape[0]
+        y = y.reshape(-1, 1)
+        z = (y - mu) / sigma
+        d_logits = (pi - responsibilities) / batch
+        d_mu = -responsibilities * z / sigma / batch
+        d_log_sigma = responsibilities * (1.0 - z * z) / batch
+        d_raw = np.concatenate([d_logits, d_mu, d_log_sigma], axis=1)
+        grads = {
+            "W": h.T @ d_raw,
+            "b": d_raw.sum(axis=0),
+        }
+        dh = d_raw @ self.params["W"].T
+        return dh, grads
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample(self, h: np.ndarray, rng: random.Random) -> float:
+        """Draw one value from the mixture for a single hidden state.
+
+        ``h`` has shape ``(1, hidden)``; the caller's ``random.Random``
+        supplies all randomness (reproducibility contract of the
+        process interface).
+        """
+        pi, mu, sigma, _ = self.mixture_parameters(h)
+        u = rng.random()
+        acc = 0.0
+        component = self.n_mixtures - 1
+        for k in range(self.n_mixtures):
+            acc += pi[0, k]
+            if u < acc:
+                component = k
+                break
+        return rng.gauss(float(mu[0, component]), float(sigma[0, component]))

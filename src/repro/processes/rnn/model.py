@@ -1,0 +1,154 @@
+"""Stacked LSTM-MDN sequence model (the paper's Figure 5 architecture).
+
+Two (by default) stacked LSTM layers followed by a mixture density
+head, modelling the distribution of the next normalised log-return
+given the sequence so far.  The class exposes two faces:
+
+* a *training* face — ``loss_and_gradients`` over teacher-forced
+  windows, used by :mod:`repro.processes.rnn.train`;
+* a *generation* face — ``begin_state`` / ``advance`` / ``sample_next``
+  consumed by :class:`repro.processes.rnn.stock_model.StockRNNProcess`,
+  which adapts it to the step-wise simulation interface.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from .lstm import LSTMLayer
+from .mdn import MDNHead
+
+
+class LSTMMDNModel:
+    """Stacked LSTM layers with an MDN output head (scalar sequences)."""
+
+    def __init__(self, hidden_size: int = 32, n_layers: int = 2,
+                 n_mixtures: int = 5, seed: int = 0):
+        if n_layers < 1:
+            raise ValueError(f"n_layers must be >= 1, got {n_layers}")
+        rng = np.random.default_rng(seed)
+        self.hidden_size = hidden_size
+        self.n_layers = n_layers
+        self.n_mixtures = n_mixtures
+        self.layers = []
+        input_size = 1
+        for _ in range(n_layers):
+            self.layers.append(LSTMLayer(input_size, hidden_size, rng))
+            input_size = hidden_size
+        self.head = MDNHead(hidden_size, n_mixtures, rng)
+
+    # ------------------------------------------------------------------
+    # Parameter plumbing (flat dict for generic optimizers / saving)
+    # ------------------------------------------------------------------
+
+    def parameters(self) -> dict:
+        """Flat ``name -> array`` view of all trainable parameters."""
+        params = {}
+        for idx, layer in enumerate(self.layers):
+            for key, value in layer.params.items():
+                params[f"lstm{idx}.{key}"] = value
+        for key, value in self.head.params.items():
+            params[f"mdn.{key}"] = value
+        return params
+
+    def load_parameters(self, params: dict) -> None:
+        """Load parameters saved by :meth:`parameters` (shape-checked)."""
+        own = self.parameters()
+        missing = set(own) - set(params)
+        if missing:
+            raise ValueError(f"missing parameters: {sorted(missing)}")
+        for name, current in own.items():
+            incoming = np.asarray(params[name])
+            if incoming.shape != current.shape:
+                raise ValueError(
+                    f"parameter {name} has shape {incoming.shape}, "
+                    f"expected {current.shape}"
+                )
+            current[...] = incoming
+
+    # ------------------------------------------------------------------
+    # Training face
+    # ------------------------------------------------------------------
+
+    def loss_and_gradients(self, inputs: np.ndarray, targets: np.ndarray):
+        """Teacher-forced NLL over a batch of windows.
+
+        ``inputs`` has shape ``(T, batch)`` (scalar sequences) and
+        ``targets`` the same shape (next-step values).  Returns
+        ``(loss, grads)`` with ``grads`` keyed like :meth:`parameters`.
+        """
+        steps, batch = inputs.shape
+        xs = inputs.reshape(steps, batch, 1)
+        layer_caches = []
+        for layer in self.layers:
+            h0, c0 = layer.zero_state(batch)
+            xs, _, caches = layer.forward(xs, h0, c0)
+            layer_caches.append(caches)
+        hidden = xs.reshape(steps * batch, self.hidden_size)
+        _, _, _, mdn_cache = self.head.mixture_parameters(hidden)
+        flat_targets = targets.reshape(steps * batch)
+        loss, responsibilities = self.head.negative_log_likelihood(
+            mdn_cache, flat_targets)
+        d_hidden, head_grads = self.head.backward(
+            mdn_cache, flat_targets, responsibilities)
+        d_layer = d_hidden.reshape(steps, batch, self.hidden_size)
+        grads = {f"mdn.{key}": value for key, value in head_grads.items()}
+        for idx in range(self.n_layers - 1, -1, -1):
+            d_layer, layer_grads = self.layers[idx].backward(
+                d_layer, layer_caches[idx])
+            for key, value in layer_grads.items():
+                grads[f"lstm{idx}.{key}"] = value
+        return loss, grads
+
+    def sequence_nll(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Evaluation-only NLL (no gradients)."""
+        steps, batch = inputs.shape
+        xs = inputs.reshape(steps, batch, 1)
+        for layer in self.layers:
+            h0, c0 = layer.zero_state(batch)
+            xs, _, _ = layer.forward(xs, h0, c0)
+        hidden = xs.reshape(steps * batch, self.hidden_size)
+        _, _, _, cache = self.head.mixture_parameters(hidden)
+        loss, _ = self.head.negative_log_likelihood(
+            cache, targets.reshape(steps * batch))
+        return loss
+
+    # ------------------------------------------------------------------
+    # Generation face
+    # ------------------------------------------------------------------
+
+    def begin_state(self) -> tuple:
+        """Fresh per-layer ``(h, c)`` states for a batch of one."""
+        return tuple(layer.zero_state(1) for layer in self.layers)
+
+    def advance(self, x: float, state: tuple) -> tuple:
+        """Feed one scalar input; returns ``(new_state, hidden_row)``."""
+        current = np.array([[x]])
+        new_state = []
+        for layer, (h, c) in zip(self.layers, state):
+            h, c, _ = layer.step(current, h, c)
+            new_state.append((h, c))
+            current = h
+        return tuple(new_state), current
+
+    def sample_next(self, hidden_row: np.ndarray,
+                    rng: random.Random) -> float:
+        """Sample the next value from the MDN given the top hidden row."""
+        return self.head.sample(hidden_row, rng)
+
+    def warm_up(self, values, state: tuple | None = None) -> tuple:
+        """Run a sequence of scalars through the model (no sampling).
+
+        Returns ``(state, hidden_row)`` after the last input — the
+        conditioning context a generation process starts from.
+        """
+        if state is None:
+            state = self.begin_state()
+        hidden_row = None
+        for value in values:
+            state, hidden_row = self.advance(float(value), state)
+        if hidden_row is None:
+            raise ValueError("warm_up needs at least one value")
+        return state, hidden_row

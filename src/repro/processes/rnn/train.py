@@ -1,0 +1,142 @@
+"""Training loop for the LSTM-MDN model: Adam + BPTT over windows.
+
+Mirrors the paper's setup (Section 6): fixed-length training windows
+(sequence length 50 in the paper), mini-batches, and a standard
+gradient-based optimiser.  Adam is implemented from scratch; gradients
+are clipped by global norm, the usual guard for recurrent nets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .model import LSTMMDNModel
+
+
+class Adam:
+    """Adam optimiser over a flat ``name -> array`` parameter dict."""
+
+    def __init__(self, params: dict, learning_rate: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 epsilon: float = 1e-8):
+        if learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be > 0, got {learning_rate}"
+            )
+        self.params = params
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.t = 0
+        self._m = {name: np.zeros_like(p) for name, p in params.items()}
+        self._v = {name: np.zeros_like(p) for name, p in params.items()}
+
+    def step(self, grads: dict) -> None:
+        """Apply one Adam update in place."""
+        self.t += 1
+        correction1 = 1.0 - self.beta1 ** self.t
+        correction2 = 1.0 - self.beta2 ** self.t
+        for name, param in self.params.items():
+            grad = grads[name]
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / correction1
+            v_hat = v / correction2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat)
+                                                   + self.epsilon)
+
+
+def clip_gradients(grads: dict, max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for monitoring).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be > 0, got {max_norm}")
+    total = math.sqrt(sum(float((g * g).sum()) for g in grads.values()))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for grad in grads.values():
+            grad *= scale
+    return total
+
+
+def make_windows(series: Sequence[float], seq_len: int) -> tuple:
+    """Slice a scalar series into teacher-forcing windows.
+
+    Returns ``(inputs, targets)`` of shape ``(n_windows, seq_len)``
+    where ``targets`` is ``inputs`` shifted by one step.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    if seq_len < 1:
+        raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+    if values.size < seq_len + 1:
+        raise ValueError(
+            f"series of length {values.size} too short for "
+            f"windows of length {seq_len}"
+        )
+    n_windows = values.size - seq_len
+    inputs = np.empty((n_windows, seq_len))
+    targets = np.empty((n_windows, seq_len))
+    for i in range(n_windows):
+        inputs[i] = values[i:i + seq_len]
+        targets[i] = values[i + 1:i + seq_len + 1]
+    return inputs, targets
+
+
+@dataclass
+class TrainingResult:
+    """Losses observed while fitting the model."""
+
+    epoch_losses: list = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else math.nan
+
+
+def train_model(model: LSTMMDNModel, series: Sequence[float],
+                seq_len: int = 50, batch_size: int = 32,
+                epochs: int = 10, learning_rate: float = 3e-3,
+                clip_norm: float = 5.0, seed: int = 0) -> TrainingResult:
+    """Fit the model on a scalar series by mini-batch BPTT.
+
+    The series should already be normalised (zero mean, unit variance);
+    :mod:`repro.processes.rnn.stock_model` handles that.
+    """
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    inputs, targets = make_windows(series, seq_len)
+    n_windows = inputs.shape[0]
+    optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+    rng = np.random.default_rng(seed)
+    result = TrainingResult()
+
+    for _ in range(epochs):
+        order = rng.permutation(n_windows)
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, n_windows, batch_size):
+            batch_idx = order[start:start + batch_size]
+            # (T, batch) layout for the recurrent forward pass.
+            batch_inputs = inputs[batch_idx].T
+            batch_targets = targets[batch_idx].T
+            loss, grads = model.loss_and_gradients(batch_inputs,
+                                                   batch_targets)
+            clip_gradients(grads, clip_norm)
+            optimizer.step(grads)
+            epoch_loss += loss
+            n_batches += 1
+        result.epoch_losses.append(epoch_loss / max(n_batches, 1))
+    return result

@@ -1,0 +1,13 @@
+"""Experimental workloads: Table 2 queries, calibration, survival curves."""
+
+from .calibration_data import SURVIVAL_TABLES
+from .queries import (REGISTRY, VOLATILE_CPP_IMPULSE,
+                      VOLATILE_QUEUE_IMPULSE, WorkloadSpec, make_process,
+                      model_z, workload, workloads_for)
+from .survival import SurvivalCurve
+
+__all__ = [
+    "REGISTRY", "SURVIVAL_TABLES", "SurvivalCurve",
+    "VOLATILE_CPP_IMPULSE", "VOLATILE_QUEUE_IMPULSE", "WorkloadSpec",
+    "make_process", "model_z", "workload", "workloads_for",
+]

@@ -1,0 +1,36 @@
+"""Shared fixtures: small analytically solvable models and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analytic import hitting_probability
+from repro.core.levels import LevelPartition
+from repro.core.value_functions import DurabilityQuery
+from repro.processes.markov_chain import birth_death_chain
+
+
+@pytest.fixture(scope="session")
+def small_chain():
+    """A 13-state birth-death chain with an absorbing top state."""
+    return birth_death_chain(n=13, p_up=0.25, p_down=0.35, start=0)
+
+
+@pytest.fixture(scope="session")
+def small_chain_query(small_chain):
+    """Durability query: reach state 12 within 60 steps."""
+    return DurabilityQuery.threshold(
+        small_chain, small_chain.state_value, beta=12.0, horizon=60,
+        name="chain-12-60")
+
+
+@pytest.fixture(scope="session")
+def small_chain_exact(small_chain):
+    """The exact answer to ``small_chain_query`` (DP oracle)."""
+    return hitting_probability(small_chain.matrix, 0, [12], 60)
+
+
+@pytest.fixture(scope="session")
+def small_chain_partition():
+    """A sensible 3-level plan for the chain query (z = 4, 8 of 12)."""
+    return LevelPartition([4.0 / 12.0, 8.0 / 12.0])

@@ -1,0 +1,183 @@
+"""Tests for the exact hitting-probability oracles."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytic import (hitting_probability,
+                                 hitting_time_distribution,
+                                 random_walk_hitting_probability,
+                                 srs_relative_error, srs_required_paths)
+from repro.processes.markov_chain import birth_death_chain
+
+
+def brute_force_hitting(matrix, start, targets, horizon):
+    """Exact answer by enumerating every state sequence (tiny chains)."""
+    n = len(matrix)
+    target_set = set(targets)
+    total = 0.0
+    for path in itertools.product(range(n), repeat=horizon):
+        prob = 1.0
+        state = start
+        for nxt in path:
+            prob *= matrix[state][nxt]
+            state = nxt
+        if prob > 0 and any(s in target_set for s in path):
+            total += prob
+    return total
+
+
+class TestHittingProbability:
+    def test_two_state_closed_form(self):
+        # 0 -> target w.p. p each step: Pr[T <= s] = 1 - (1-p)^s.
+        p = 0.3
+        matrix = [[1 - p, p], [0.0, 1.0]]
+        for s in (1, 2, 5, 10):
+            assert hitting_probability(matrix, 0, [1], s) == pytest.approx(
+                1.0 - (1.0 - p) ** s)
+
+    def test_horizon_zero_is_zero(self):
+        matrix = [[0.5, 0.5], [0.0, 1.0]]
+        assert hitting_probability(matrix, 0, [1], 0) == 0.0
+
+    def test_start_in_target_does_not_count_at_time_zero(self):
+        """Hits are counted for t >= 1 (paper's definition)."""
+        matrix = [[0.9, 0.1], [0.5, 0.5]]
+        answer = hitting_probability(matrix, 1, [1], 1)
+        assert answer == pytest.approx(0.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2),
+           st.integers(min_value=1, max_value=5),
+           st.floats(min_value=0.05, max_value=0.9))
+    def test_matches_brute_force_on_random_chains(self, start, horizon, p):
+        matrix = [
+            [1 - p, p * 0.7, p * 0.3],
+            [p * 0.5, 1 - p, p * 0.5],
+            [0.1, 0.2, 0.7],
+        ]
+        expected = brute_force_hitting(matrix, start, [2], horizon)
+        assert hitting_probability(matrix, start, [2], horizon) == (
+            pytest.approx(expected, abs=1e-12))
+
+    def test_multiple_target_states(self):
+        matrix = [[0.6, 0.2, 0.2], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        answer = hitting_probability(matrix, 0, [1, 2], 1)
+        assert answer == pytest.approx(0.4)
+
+    def test_rejects_bad_inputs(self):
+        matrix = [[0.5, 0.5], [0.0, 1.0]]
+        with pytest.raises(ValueError):
+            hitting_probability(matrix, 0, [1], -1)
+        with pytest.raises(ValueError):
+            hitting_probability(matrix, 5, [1], 2)
+        with pytest.raises(ValueError):
+            hitting_probability(matrix, 0, [7], 2)
+        with pytest.raises(ValueError):
+            hitting_probability([[0.5, 0.5]], 0, [0], 1)
+
+
+class TestHittingTimeDistribution:
+    def test_cdf_is_monotone_and_consistent(self):
+        chain = birth_death_chain(n=6, p_up=0.4, p_down=0.3)
+        cdf = hitting_time_distribution(chain.matrix, 0, [5], 20)
+        assert cdf[0] == 0.0
+        assert all(b >= a - 1e-15 for a, b in zip(cdf, cdf[1:]))
+        for t in (1, 7, 20):
+            assert cdf[t] == pytest.approx(
+                hitting_probability(chain.matrix, 0, [5], t), abs=1e-12)
+
+
+class TestRandomWalkOracle:
+    def test_certain_when_threshold_at_start(self):
+        assert random_walk_hitting_probability(0.5, threshold=0,
+                                               horizon=5) == 1.0
+
+    def test_single_step(self):
+        assert random_walk_hitting_probability(
+            0.3, threshold=1, horizon=1) == pytest.approx(0.3)
+
+    def test_two_steps_to_reach_two(self):
+        # Must go up twice: p^2.
+        assert random_walk_hitting_probability(
+            0.3, threshold=2, horizon=2) == pytest.approx(0.09)
+
+    def test_reflection_style_identity(self):
+        # For symmetric +-1 walk, Pr[hit 1 within 3] =
+        # p + q p (first down then needs two ups... enumerate directly).
+        p = 0.5
+        # Enumerate all 8 paths of length 3.
+        total = 0.0
+        for moves in itertools.product([1, -1], repeat=3):
+            pos, hit = 0, False
+            for m in moves:
+                pos += m
+                if pos >= 1:
+                    hit = True
+                    break
+            if hit:
+                total += p ** 3  # all paths equally likely (full length
+                # paths that hit early still carry p^k, but since we sum
+                # over all continuations the total is correct)
+        assert random_walk_hitting_probability(
+            0.5, threshold=1, horizon=3) == pytest.approx(total)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=0.45),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=15))
+    def test_matches_markov_chain_dp(self, p_up, threshold, horizon):
+        """The banded DP equals the generic matrix DP on a big chain."""
+        floor = -horizon - 1
+        size = threshold - floor + 1
+        matrix = np.zeros((size, size))
+        p_down = 1.0 - p_up
+        for i in range(size):
+            pos = floor + i
+            if pos >= threshold:
+                matrix[i, i] = 1.0
+            elif i == 0:
+                matrix[i, i + 1] = p_up
+                matrix[i, i] = p_down
+            else:
+                matrix[i, i + 1] = p_up
+                matrix[i, i - 1] = p_down
+        expected = hitting_probability(matrix, -floor, [size - 1], horizon)
+        actual = random_walk_hitting_probability(p_up, threshold, horizon,
+                                                 p_down=p_down)
+        assert actual == pytest.approx(expected, abs=1e-10)
+
+    def test_lazy_walk_supported(self):
+        answer = random_walk_hitting_probability(
+            0.2, threshold=1, horizon=2, p_down=0.3)
+        # hit at t1 (0.2) or stay/down then up: 0.5*0.2
+        assert answer == pytest.approx(0.2 + 0.5 * 0.2)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            random_walk_hitting_probability(0.7, 1, 5, p_down=0.5)
+
+
+class TestSrsCostFormulas:
+    def test_required_paths_diverges_for_rare_events(self):
+        assert srs_required_paths(1e-4, 0.1) > srs_required_paths(1e-2, 0.1)
+        assert srs_required_paths(1e-4, 0.1) == pytest.approx(
+            (1 - 1e-4) / (1e-4 * 0.01))
+
+    def test_relative_error_roundtrip(self):
+        tau, n = 0.01, 5000
+        re = srs_relative_error(tau, n)
+        assert srs_required_paths(tau, re) == pytest.approx(n, rel=1e-9)
+
+    @pytest.mark.parametrize("call", [
+        lambda: srs_required_paths(0.0, 0.1),
+        lambda: srs_required_paths(1.0, 0.1),
+        lambda: srs_required_paths(0.5, 0.0),
+        lambda: srs_relative_error(0.5, 0),
+    ])
+    def test_rejects_bad_inputs(self, call):
+        with pytest.raises(ValueError):
+            call()

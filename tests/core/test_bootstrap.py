@@ -1,0 +1,117 @@
+"""Tests for the bootstrap variance estimator (Section 4.2)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import BootstrapResult, bootstrap_variance
+from repro.core.forest import ForestRunner
+from repro.core.gmlss import gmlss_point_estimate
+from repro.core.levels import LevelPartition, normalize_ratios
+from repro.core.records import ForestAggregate, RootRecord
+
+
+def srs_like_aggregate(hit_flags):
+    """An aggregate with no levels: per-root hits are Bernoulli labels."""
+    aggregate = ForestAggregate(1)
+    for flag in hit_flags:
+        record = RootRecord(1)
+        record.hits = int(flag)
+        aggregate.add(record)
+    return aggregate
+
+
+def chain_aggregate(query, partition, n_roots, seed):
+    ratios = normalize_ratios(3, partition.num_levels)
+    runner = ForestRunner(query, partition, ratios, random.Random(seed))
+    aggregate = ForestAggregate(partition.num_levels)
+    aggregate.extend(runner.run_roots(n_roots))
+    return aggregate, ratios
+
+
+class TestBootstrapBasics:
+    def test_too_few_roots_gives_zero_variance(self):
+        aggregate = srs_like_aggregate([1])
+        result = bootstrap_variance(aggregate, (1,), seed=0)
+        assert result.variance == 0.0
+        assert result.estimates.size == 0
+
+    def test_matches_binomial_variance_on_srs_aggregate(self):
+        """With one level the bootstrap must agree with p(1-p)/n."""
+        rng = random.Random(5)
+        flags = [rng.random() < 0.3 for _ in range(400)]
+        aggregate = srs_like_aggregate(flags)
+        p_hat = aggregate.hits / aggregate.n_roots
+        expected = p_hat * (1.0 - p_hat) / aggregate.n_roots
+        result = bootstrap_variance(aggregate, (1,), n_boot=600, seed=1)
+        assert result.variance == pytest.approx(expected, rel=0.25)
+
+    def test_bootstrap_mean_near_point_estimate(self, small_chain_query,
+                                                small_chain_partition):
+        aggregate, ratios = chain_aggregate(
+            small_chain_query, small_chain_partition, 600, seed=3)
+        point = gmlss_point_estimate(aggregate, ratios)
+        result = bootstrap_variance(aggregate, ratios, n_boot=400, seed=2)
+        assert result.mean == pytest.approx(point, rel=0.15)
+
+    def test_variance_shrinks_with_more_roots(self, small_chain_query,
+                                              small_chain_partition):
+        small, ratios = chain_aggregate(
+            small_chain_query, small_chain_partition, 200, seed=7)
+        large, _ = chain_aggregate(
+            small_chain_query, small_chain_partition, 1600, seed=7)
+        var_small = bootstrap_variance(small, ratios, seed=4).variance
+        var_large = bootstrap_variance(large, ratios, seed=4).variance
+        assert var_large < var_small
+
+    def test_reproducible_under_seed(self, small_chain_query,
+                                     small_chain_partition):
+        aggregate, ratios = chain_aggregate(
+            small_chain_query, small_chain_partition, 300, seed=9)
+        first = bootstrap_variance(aggregate, ratios, seed=11)
+        second = bootstrap_variance(aggregate, ratios, seed=11)
+        assert np.array_equal(first.estimates, second.estimates)
+
+    def test_subsampled_variance_rescaled(self, small_chain_query,
+                                          small_chain_partition):
+        """n_draw < n_roots estimates the same (full-sample) variance."""
+        aggregate, ratios = chain_aggregate(
+            small_chain_query, small_chain_partition, 800, seed=13)
+        full = bootstrap_variance(aggregate, ratios, n_boot=500, seed=15)
+        sub = bootstrap_variance(aggregate, ratios, n_boot=500, seed=15,
+                                 n_draw=200)
+        assert sub.variance == pytest.approx(full.variance, rel=0.6)
+
+    def test_rejects_bad_parameters(self, small_chain_query,
+                                    small_chain_partition):
+        aggregate, ratios = chain_aggregate(
+            small_chain_query, small_chain_partition, 50, seed=17)
+        with pytest.raises(ValueError):
+            bootstrap_variance(aggregate, ratios, n_boot=1)
+        with pytest.raises(ValueError):
+            bootstrap_variance(aggregate, ratios, n_draw=0)
+
+    def test_result_std_error(self):
+        result = BootstrapResult(variance=0.04, estimates=np.zeros(3))
+        assert result.std_error == pytest.approx(0.2)
+
+
+class TestBootstrapAgainstRepeatedRuns:
+    def test_variance_calibrated_against_independent_runs(
+            self, small_chain_query, small_chain_partition):
+        """Bootstrap variance ~ empirical variance over independent runs."""
+        estimates = []
+        for seed in range(40):
+            aggregate, ratios = chain_aggregate(
+                small_chain_query, small_chain_partition, 150, seed=seed)
+            estimates.append(gmlss_point_estimate(aggregate, ratios))
+        empirical = float(np.var(estimates, ddof=1))
+
+        aggregate, ratios = chain_aggregate(
+            small_chain_query, small_chain_partition, 150, seed=99)
+        booted = bootstrap_variance(aggregate, ratios, n_boot=400,
+                                    seed=1).variance
+        # Same order of magnitude is the contract (one run's bootstrap
+        # cannot match the ensemble exactly).
+        assert booted == pytest.approx(empirical, rel=0.9)

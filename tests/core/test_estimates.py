@@ -1,0 +1,66 @@
+"""Tests for the DurabilityEstimate result type."""
+
+import math
+
+import pytest
+
+from repro.core.estimates import DurabilityEstimate, TracePoint
+
+
+def make_estimate(probability=0.1, variance=1e-4, **kwargs):
+    defaults = dict(n_roots=1000, hits=100, steps=50_000, method="srs",
+                    elapsed_seconds=1.5)
+    defaults.update(kwargs)
+    return DurabilityEstimate(probability=probability, variance=variance,
+                              **defaults)
+
+
+class TestDurabilityEstimate:
+    def test_std_error(self):
+        assert make_estimate(variance=4e-4).std_error == pytest.approx(0.02)
+
+    def test_std_error_clamps_negative_variance(self):
+        assert make_estimate(variance=-1e-12).std_error == 0.0
+
+    def test_ci_is_symmetric_around_estimate(self):
+        estimate = make_estimate(probability=0.2, variance=1e-4)
+        lo, hi = estimate.ci(0.95)
+        assert (lo + hi) / 2 == pytest.approx(0.2)
+        assert hi - lo == pytest.approx(2 * 1.959964 * 0.01, rel=1e-4)
+
+    def test_ci_width_grows_with_confidence(self):
+        estimate = make_estimate()
+        assert estimate.ci_half_width(0.99) > estimate.ci_half_width(0.90)
+
+    def test_relative_error_against_estimate(self):
+        estimate = make_estimate(probability=0.1, variance=1e-4)
+        assert estimate.relative_error() == pytest.approx(0.1)
+
+    def test_relative_error_against_truth(self):
+        estimate = make_estimate(probability=0.1, variance=1e-4)
+        assert estimate.relative_error(truth=0.2) == pytest.approx(0.05)
+
+    def test_relative_error_of_zero_estimate_is_inf(self):
+        estimate = make_estimate(probability=0.0, variance=0.0)
+        assert math.isinf(estimate.relative_error())
+
+    def test_summary_contains_key_fields(self):
+        text = make_estimate().summary()
+        assert "srs" in text
+        assert "0.1" in text
+        assert "steps=50000" in text
+        assert str(make_estimate()) == make_estimate().summary()
+
+    def test_details_default_to_empty_dict(self):
+        estimate = make_estimate()
+        assert estimate.details == {}
+        estimate.details["x"] = 1  # mutable per instance
+        assert make_estimate().details == {}
+
+
+class TestTracePoint:
+    def test_fields(self):
+        point = TracePoint(steps=10, elapsed_seconds=0.5, probability=0.2,
+                           variance=1e-3, n_roots=5, hits=1)
+        assert point.steps == 10
+        assert point.probability == 0.2

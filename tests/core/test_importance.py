@@ -1,0 +1,96 @@
+"""Tests for importance sampling and the cross-entropy tilt search."""
+
+import pytest
+
+from repro.core.importance import ISSampler, cross_entropy_tilt
+from repro.core.srs import SRSSampler
+from repro.core.value_functions import DurabilityQuery
+from repro.processes.ar import ARProcess
+from repro.processes.random_walk import GaussianWalkProcess, RandomWalkProcess
+
+from ..helpers import assert_close_to
+
+
+def gaussian_walk_query(threshold=8.0, horizon=20, sigma=1.0):
+    process = GaussianWalkProcess(drift=0.0, sigma=sigma)
+    return DurabilityQuery.threshold(process, GaussianWalkProcess.position,
+                                     beta=threshold, horizon=horizon)
+
+
+class TestISSampler:
+    def test_zero_tilt_matches_srs_statistically(self):
+        query = gaussian_walk_query(threshold=3.0)
+        is_est = ISSampler(tilt=0.0).run(query, max_roots=3000, seed=1)
+        srs_est = SRSSampler().run(query, max_roots=3000, seed=2)
+        combined = (is_est.variance + srs_est.variance) ** 0.5
+        assert_close_to(is_est.probability, srs_est.probability, combined)
+
+    def test_positive_tilt_reduces_variance_on_rare_event(self):
+        query = gaussian_walk_query(threshold=8.0)
+        budget = 60_000
+        tilted = ISSampler(tilt=0.4).run(query, max_steps=budget, seed=3)
+        plain = SRSSampler().run(query, max_steps=budget, seed=3)
+        assert tilted.hits > plain.hits
+        assert 0.0 < tilted.variance < plain.variance
+
+    def test_tilted_estimate_agrees_with_long_srs(self):
+        query = gaussian_walk_query(threshold=6.0)
+        tilted = ISSampler(tilt=0.35).run(query, max_roots=4000, seed=5)
+        reference = SRSSampler().run(query, max_roots=40_000, seed=7)
+        combined = (tilted.variance + reference.variance) ** 0.5
+        assert_close_to(tilted.probability, reference.probability, combined)
+
+    def test_works_on_ar_process(self):
+        process = ARProcess([0.6], sigma=1.0)
+        query = DurabilityQuery.threshold(process, ARProcess.current_value,
+                                          beta=6.0, horizon=25)
+        estimate = ISSampler(tilt=0.3).run(query, max_roots=2000, seed=9)
+        assert 0.0 < estimate.probability < 1.0
+        assert estimate.method == "is"
+        assert estimate.details["tilt"] == 0.3
+
+    def test_rejects_non_gaussian_process(self):
+        process = RandomWalkProcess()
+        query = DurabilityQuery.threshold(process,
+                                          RandomWalkProcess.position,
+                                          beta=3.0, horizon=5)
+        with pytest.raises(TypeError):
+            ISSampler(tilt=0.1).run(query, max_roots=10, seed=0)
+
+    def test_requires_stopping_rule(self):
+        with pytest.raises(ValueError):
+            ISSampler(tilt=0.1).run(gaussian_walk_query(), seed=0)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            ISSampler(tilt=0.1, batch_paths=0)
+
+
+class TestCrossEntropyTilt:
+    def test_finds_positive_tilt_for_upward_target(self):
+        query = gaussian_walk_query(threshold=8.0)
+        tilt = cross_entropy_tilt(query, rounds=4, paths_per_round=400,
+                                  seed=11)
+        assert tilt > 0.05
+
+    def test_ce_tilt_beats_srs(self):
+        query = gaussian_walk_query(threshold=8.0)
+        tilt = cross_entropy_tilt(query, rounds=4, paths_per_round=400,
+                                  seed=13)
+        budget = 50_000
+        tuned = ISSampler(tilt=tilt).run(query, max_steps=budget, seed=15)
+        plain = SRSSampler().run(query, max_steps=budget, seed=15)
+        assert tuned.variance < plain.variance
+
+    def test_reproducible(self):
+        query = gaussian_walk_query(threshold=5.0)
+        tilts = [cross_entropy_tilt(query, rounds=2, paths_per_round=200,
+                                    seed=17) for _ in range(2)]
+        assert tilts[0] == tilts[1]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rounds": 0}, {"elite_fraction": 0.0}, {"elite_fraction": 1.5},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            cross_entropy_tilt(gaussian_walk_query(), **kwargs)

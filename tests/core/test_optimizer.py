@@ -1,0 +1,102 @@
+"""Tests for partition-plan evaluation (Eq. 15)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.levels import LevelPartition
+from repro.core.optimizer import (PlanTrial, eval_score, evaluate_partition,
+                                  pool_trials)
+
+
+class TestEvalScore:
+    def test_formula(self):
+        # Var * c / (r^(2(m-1)) * t0) with ratios (1, 3, 3).
+        value = eval_score(var_per_root=0.9, cost_per_root=120.0,
+                           ratios=(1, 3, 3), trial_steps=10_000)
+        assert value == pytest.approx(0.9 * 120.0 / (81 * 10_000))
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            eval_score(1.0, 1.0, (1, 3), 0)
+
+
+class TestEvaluatePartition:
+    def test_runs_at_least_the_budget(self, small_chain_query,
+                                      small_chain_partition):
+        trial = evaluate_partition(small_chain_query, small_chain_partition,
+                                   ratio=3, trial_steps=5000, seed=1)
+        assert trial.steps >= 5000
+        assert trial.n_roots > 0
+        assert trial.cost_per_root == pytest.approx(
+            trial.steps / trial.n_roots)
+
+    def test_infinite_score_without_hits(self):
+        """A plan whose trial never hits the target scores infinity."""
+        from repro.core.value_functions import DurabilityQuery
+        from ..helpers import ScriptedProcess, identity_z
+
+        query = DurabilityQuery.threshold(
+            ScriptedProcess([0.1, 0.2]), identity_z, beta=1.0, horizon=2)
+        trial = evaluate_partition(query, LevelPartition(), ratio=3,
+                                   trial_steps=60, seed=2)
+        assert trial.hits == 0
+        assert math.isinf(trial.eval_score)
+        assert not trial.reached_target
+
+    def test_estimate_is_unbiased_gmlss(self, small_chain_query,
+                                        small_chain_partition,
+                                        small_chain_exact):
+        """Trial estimates pool into the final answer, so they must be
+        the (general, unbiased) estimator."""
+        estimates = [
+            evaluate_partition(small_chain_query, small_chain_partition,
+                               ratio=3, trial_steps=40_000, seed=s).estimate
+            for s in range(8)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(small_chain_exact, rel=0.35)
+
+    def test_pi_hats_present(self, small_chain_query,
+                             small_chain_partition):
+        trial = evaluate_partition(small_chain_query, small_chain_partition,
+                                   ratio=3, trial_steps=10_000, seed=3)
+        assert len(trial.pi_hats) == small_chain_partition.num_levels
+
+    def test_shared_rng_stream(self, small_chain_query,
+                               small_chain_partition):
+        """Passing an rng continues one stream across evaluations."""
+        rng = random.Random(5)
+        first = evaluate_partition(small_chain_query, small_chain_partition,
+                                   ratio=3, trial_steps=2000, rng=rng)
+        second = evaluate_partition(small_chain_query, small_chain_partition,
+                                    ratio=3, trial_steps=2000, rng=rng)
+        assert (first.estimate, first.steps) != (second.estimate,
+                                                 second.steps)
+
+    def test_rejects_bad_budget(self, small_chain_query,
+                                small_chain_partition):
+        with pytest.raises(ValueError):
+            evaluate_partition(small_chain_query, small_chain_partition,
+                               trial_steps=0)
+
+
+class TestPoolTrials:
+    def _trial(self, estimate, n_roots, steps=100):
+        return PlanTrial(partition=LevelPartition(), ratios=(1,),
+                         trial_steps=steps, n_roots=n_roots, hits=0,
+                         steps=steps, estimate=estimate, var_per_root=0.0,
+                         cost_per_root=1.0, eval_score=0.0)
+
+    def test_weighted_average(self):
+        pooled, roots, steps = pool_trials([
+            self._trial(0.1, n_roots=100), self._trial(0.4, n_roots=300),
+        ])
+        assert pooled == pytest.approx((0.1 * 100 + 0.4 * 300) / 400)
+        assert roots == 400
+        assert steps == 200
+
+    def test_empty_trials(self):
+        pooled, roots, steps = pool_trials([])
+        assert (pooled, roots, steps) == (0.0, 0, 0)

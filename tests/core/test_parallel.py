@@ -1,0 +1,67 @@
+"""Tests for parallel root-path simulation."""
+
+import pytest
+
+from repro.core.parallel import run_parallel_mlss
+
+from ..helpers import assert_close_to
+
+
+class TestRunParallelMlss:
+    def test_single_worker_matches_exact(self, small_chain_query,
+                                         small_chain_partition,
+                                         small_chain_exact):
+        estimate = run_parallel_mlss(
+            small_chain_query, small_chain_partition, ratio=3,
+            total_roots=2000, n_workers=1, seed=1)
+        assert estimate.n_roots == 2000
+        assert_close_to(estimate.probability, small_chain_exact,
+                        estimate.std_error)
+
+    def test_two_workers_match_exact(self, small_chain_query,
+                                     small_chain_partition,
+                                     small_chain_exact):
+        estimate = run_parallel_mlss(
+            small_chain_query, small_chain_partition, ratio=3,
+            total_roots=2000, n_workers=2, seed=2)
+        assert estimate.n_roots == 2000
+        assert estimate.details["n_workers"] == 2
+        assert_close_to(estimate.probability, small_chain_exact,
+                        estimate.std_error)
+
+    def test_root_count_divides_unevenly(self, small_chain_query,
+                                         small_chain_partition):
+        estimate = run_parallel_mlss(
+            small_chain_query, small_chain_partition, ratio=3,
+            total_roots=101, n_workers=3, seed=3)
+        assert estimate.n_roots == 101
+
+    def test_smlss_estimator_option(self, small_chain_query,
+                                    small_chain_partition,
+                                    small_chain_exact):
+        estimate = run_parallel_mlss(
+            small_chain_query, small_chain_partition, ratio=3,
+            total_roots=1500, n_workers=2, seed=4, estimator="smlss")
+        assert estimate.method == "parallel-smlss"
+        assert not estimate.details["skipping_detected"]
+        assert_close_to(estimate.probability, small_chain_exact,
+                        estimate.std_error)
+
+    def test_reproducible_under_seed(self, small_chain_query,
+                                     small_chain_partition):
+        runs = [run_parallel_mlss(small_chain_query, small_chain_partition,
+                                  ratio=3, total_roots=400, n_workers=2,
+                                  seed=5) for _ in range(2)]
+        assert runs[0].probability == runs[1].probability
+        assert runs[0].steps == runs[1].steps
+
+    @pytest.mark.parametrize("kwargs", [
+        {"estimator": "bogus"}, {"total_roots": 0}, {"n_workers": 0},
+    ])
+    def test_rejects_bad_parameters(self, small_chain_query,
+                                    small_chain_partition, kwargs):
+        defaults = dict(total_roots=10, n_workers=1, seed=0)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            run_parallel_mlss(small_chain_query, small_chain_partition,
+                              ratio=3, **defaults)

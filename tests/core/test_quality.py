@@ -1,0 +1,97 @@
+"""Tests for the CI / RE stopping rules (Section 6 quality metrics)."""
+
+import pytest
+
+from repro.core.quality import (ConfidenceIntervalTarget, NeverTarget,
+                                RelativeErrorTarget)
+
+
+class TestConfidenceIntervalTarget:
+    def test_met_when_half_width_small(self):
+        target = ConfidenceIntervalTarget(half_width=0.01, relative=True,
+                                          min_hits=1, min_roots=1)
+        # sigma = 1e-4 -> half width ~ 1.96e-4 <= 0.01 * 0.1
+        assert target.is_met(0.1, 1e-8, hits=100, n_roots=1000)
+
+    def test_not_met_when_half_width_large(self):
+        target = ConfidenceIntervalTarget(half_width=0.01, relative=True,
+                                          min_hits=1, min_roots=1)
+        assert not target.is_met(0.1, 1e-4, hits=100, n_roots=1000)
+
+    def test_absolute_mode(self):
+        target = ConfidenceIntervalTarget(half_width=0.02, relative=False,
+                                          min_hits=1, min_roots=1)
+        # half width ~ 1.96 * 0.005 = 0.0098 <= 0.02 regardless of estimate
+        assert target.is_met(0.001, 2.5e-5, hits=10, n_roots=100)
+
+    def test_relative_tighter_for_small_estimates(self):
+        relative = ConfidenceIntervalTarget(half_width=0.05, relative=True,
+                                            min_hits=1, min_roots=1)
+        absolute = ConfidenceIntervalTarget(half_width=0.05, relative=False,
+                                            min_hits=1, min_roots=1)
+        variance = 1e-6
+        assert absolute.is_met(0.01, variance, 10, 100)
+        assert not relative.is_met(0.01, variance, 10, 100)
+
+    def test_minimum_evidence_guards(self):
+        target = ConfidenceIntervalTarget(half_width=0.5, min_hits=10,
+                                          min_roots=100)
+        assert not target.is_met(0.1, 0.0, hits=9, n_roots=1000)
+        assert not target.is_met(0.1, 0.0, hits=100, n_roots=99)
+        assert target.is_met(0.1, 0.0, hits=10, n_roots=100)
+
+    def test_zero_estimate_never_met(self):
+        target = ConfidenceIntervalTarget(min_hits=0, min_roots=0)
+        assert not target.is_met(0.0, 0.0, hits=0, n_roots=100)
+
+    def test_confidence_level_matters(self):
+        loose = ConfidenceIntervalTarget(half_width=0.01, confidence=0.80,
+                                         min_hits=1, min_roots=1)
+        tight = ConfidenceIntervalTarget(half_width=0.01, confidence=0.99,
+                                         min_hits=1, min_roots=1)
+        variance = (0.01 * 0.1 / 2.0) ** 2  # half-width ~ 2 sigma at 95 %
+        assert loose.is_met(0.1, variance, 10, 10)
+        assert not tight.is_met(0.1, variance, 10, 10)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"half_width": 0.0}, {"half_width": -1.0},
+        {"confidence": 0.0}, {"confidence": 1.0},
+    ])
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ConfidenceIntervalTarget(**kwargs)
+
+    def test_describe(self):
+        assert "CI" in ConfidenceIntervalTarget().describe()
+
+
+class TestRelativeErrorTarget:
+    def test_met_iff_ratio_below_target(self):
+        target = RelativeErrorTarget(target=0.10, min_hits=1, min_roots=1)
+        assert target.is_met(0.01, (0.0009) ** 2, hits=50, n_roots=500)
+        assert not target.is_met(0.01, (0.0011) ** 2, hits=50, n_roots=500)
+
+    def test_minimum_evidence_guards(self):
+        target = RelativeErrorTarget(target=0.5, min_hits=10, min_roots=100)
+        assert not target.is_met(0.1, 0.0, hits=9, n_roots=500)
+        assert not target.is_met(0.1, 0.0, hits=50, n_roots=50)
+
+    def test_zero_estimate_never_met(self):
+        target = RelativeErrorTarget(min_hits=0, min_roots=0)
+        assert not target.is_met(0.0, 0.0, hits=0, n_roots=10)
+
+    def test_rejects_invalid_target(self):
+        with pytest.raises(ValueError):
+            RelativeErrorTarget(target=0.0)
+
+    def test_describe(self):
+        assert "10%" in RelativeErrorTarget().describe()
+
+
+class TestNeverTarget:
+    def test_never_met(self):
+        target = NeverTarget()
+        assert not target.is_met(0.5, 0.0, hits=10**9, n_roots=10**9)
+
+    def test_describe(self):
+        assert "budget" in NeverTarget().describe()

@@ -1,0 +1,88 @@
+"""Tests for value functions and durability query construction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.value_functions import (TARGET_VALUE, DurabilityQuery,
+                                        ThresholdValueFunction)
+from repro.processes.random_walk import RandomWalkProcess
+
+from ..helpers import ScriptedProcess, identity_z
+
+
+class TestThresholdValueFunction:
+    def test_below_threshold_is_ratio(self):
+        f = ThresholdValueFunction(identity_z, beta=10.0)
+        assert f(2.5, 0) == pytest.approx(0.25)
+
+    def test_at_threshold_is_one(self):
+        f = ThresholdValueFunction(identity_z, beta=10.0)
+        assert f(10.0, 3) == TARGET_VALUE
+
+    def test_above_threshold_clamps_to_one(self):
+        f = ThresholdValueFunction(identity_z, beta=10.0)
+        assert f(25.0, 1) == TARGET_VALUE
+
+    def test_negative_values_clamp_to_zero(self):
+        f = ThresholdValueFunction(identity_z, beta=10.0)
+        assert f(-3.0, 1) == 0.0
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ValueError):
+            ThresholdValueFunction(identity_z, beta=0.0)
+        with pytest.raises(ValueError):
+            ThresholdValueFunction(identity_z, beta=-1.0)
+
+    @given(st.floats(min_value=-50, max_value=50),
+           st.floats(min_value=0.1, max_value=40))
+    def test_range_is_unit_interval(self, value, beta):
+        f = ThresholdValueFunction(identity_z, beta=beta)
+        assert 0.0 <= f(value, 0) <= 1.0
+
+    @given(st.floats(min_value=0.1, max_value=40))
+    def test_one_iff_threshold_met(self, beta):
+        """The paper's requirement: f = 1 iff q = 1."""
+        f = ThresholdValueFunction(identity_z, beta=beta)
+        assert f(beta, 0) == TARGET_VALUE
+        assert f(beta * 0.999, 0) < TARGET_VALUE
+
+    def test_repr_mentions_beta(self):
+        f = ThresholdValueFunction(identity_z, beta=7.0)
+        assert "7.0" in repr(f)
+
+
+class TestDurabilityQuery:
+    def test_threshold_constructor(self):
+        process = RandomWalkProcess()
+        query = DurabilityQuery.threshold(
+            process, RandomWalkProcess.position, beta=5.0, horizon=20)
+        assert query.horizon == 20
+        assert query.process is process
+
+    def test_satisfied_follows_value_function(self):
+        process = ScriptedProcess([1.0])
+        query = DurabilityQuery.threshold(process, identity_z, beta=2.0,
+                                          horizon=5)
+        assert not query.satisfied(1.0, 1)
+        assert query.satisfied(2.0, 1)
+        assert query.satisfied(3.0, 1)
+
+    def test_initial_value(self):
+        process = ScriptedProcess([1.0], initial=1.0)
+        query = DurabilityQuery.threshold(process, identity_z, beta=4.0,
+                                          horizon=5)
+        assert query.initial_value() == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("horizon", [0, -1])
+    def test_rejects_nonpositive_horizon(self, horizon):
+        with pytest.raises(ValueError):
+            DurabilityQuery.threshold(ScriptedProcess([1.0]), identity_z,
+                                      beta=1.0, horizon=horizon)
+
+    def test_custom_value_function(self):
+        def value_fn(state, t):
+            return 0.5 if t < 3 else 1.0
+
+        query = DurabilityQuery(ScriptedProcess([0.0]), value_fn, horizon=5)
+        assert not query.satisfied(0.0, 2)
+        assert query.satisfied(0.0, 3)

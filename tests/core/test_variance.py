@@ -1,0 +1,175 @@
+"""Tests for the closed-form variance results (Eq. 11-13)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.variance import (balanced_advancement_probability,
+                                 balanced_boundaries_from_survival,
+                                 balanced_growth_variance,
+                                 optimal_num_levels, srs_variance_formula,
+                                 two_level_skip_variance,
+                                 variance_reduction_factor)
+
+
+class TestBalancedGrowth:
+    def test_advancement_probability(self):
+        assert balanced_advancement_probability(0.01, 2) == pytest.approx(0.1)
+        assert balanced_advancement_probability(0.001, 3) == pytest.approx(0.1)
+
+    def test_single_level_recovers_srs_variance(self):
+        """Eq. 13 with m = 1 must equal tau (1 - tau) / N0."""
+        tau, n0 = 0.02, 500
+        assert balanced_growth_variance(tau, 1, n0) == pytest.approx(
+            srs_variance_formula(tau, n0))
+
+    def test_more_levels_reduce_variance(self):
+        tau, n0 = 1e-4, 1000
+        variances = [balanced_growth_variance(tau, m, n0)
+                     for m in range(1, 8)]
+        assert all(b < a for a, b in zip(variances, variances[1:]))
+
+    def test_variance_scales_inversely_with_roots(self):
+        assert balanced_growth_variance(0.01, 3, 2000) == pytest.approx(
+            balanced_growth_variance(0.01, 3, 1000) / 2.0)
+
+    @given(st.floats(min_value=1e-6, max_value=0.5),
+           st.integers(min_value=1, max_value=10))
+    def test_variance_positive(self, tau, m):
+        assert balanced_growth_variance(tau, m, 100) > 0.0
+
+    def test_reduction_factor_grows_for_rarer_events(self):
+        assert variance_reduction_factor(1e-5, 5) > (
+            variance_reduction_factor(1e-2, 5))
+
+    @pytest.mark.parametrize("call", [
+        lambda: balanced_growth_variance(0.0, 2, 10),
+        lambda: balanced_growth_variance(1.0, 2, 10),
+        lambda: balanced_growth_variance(0.1, 0, 10),
+        lambda: balanced_growth_variance(0.1, 2, 0),
+    ])
+    def test_rejects_bad_inputs(self, call):
+        with pytest.raises(ValueError):
+            call()
+
+
+class TestOptimalNumLevels:
+    def test_rarer_queries_want_more_levels(self):
+        assert optimal_num_levels(1e-6) > optimal_num_levels(1e-2)
+
+    def test_near_theory_prediction(self):
+        """m* should track -ln(tau)/2 (the p = e^-2 rule).
+
+        The search uses a slightly different cost model than the
+        classic derivation, so only rough agreement is expected.
+        """
+        for tau in (1e-3, 1e-5, 1e-8):
+            predicted = -math.log(tau) / 2.0
+            assert abs(optimal_num_levels(tau) - predicted) <= max(
+                2.0, 0.45 * predicted)
+
+    def test_moderate_probability_wants_few_levels(self):
+        assert optimal_num_levels(0.3) <= 2
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            optimal_num_levels(0.0)
+
+
+class TestTwoLevelSkipVariance:
+    def test_degenerates_without_skipping(self):
+        """Eq. 11 with p02 = 0, p01 = 1 reduces to Eq. 5's form."""
+        var_offspring, n0, r = 0.7, 200, 3
+        value = two_level_skip_variance(1.0, 0.5, 0.0, var_offspring, n0, r)
+        assert value == pytest.approx(var_offspring / (n0 * r * r))
+
+    def test_pure_skip_is_binomial(self):
+        value = two_level_skip_variance(0.0, 0.0, 0.2, 0.0, 100, 3)
+        assert value == pytest.approx(0.2 * 0.8 / 100)
+
+    def test_all_terms_accumulate(self):
+        full = two_level_skip_variance(0.5, 0.4, 0.1, 0.6, 100, 2)
+        no_skip = two_level_skip_variance(0.5, 0.4, 0.0, 0.6, 100, 2)
+        assert full > no_skip
+
+    @pytest.mark.parametrize("kwargs", [
+        {"p01": -0.1}, {"p12": 1.5}, {"p02": 2.0},
+    ])
+    def test_rejects_bad_probabilities(self, kwargs):
+        base = dict(p01=0.5, p12=0.5, p02=0.1, var_offspring_hits=0.5,
+                    n_roots=10, ratio=2)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            two_level_skip_variance(**base)
+
+
+class TestSuggestRatios:
+    def test_inverse_probability_rule(self):
+        from repro.core.variance import suggest_ratios
+        assert suggest_ratios([0.9, 0.5, 0.25, 0.33]) == [2, 4, 3]
+
+    def test_dead_levels_get_max_ratio(self):
+        from repro.core.variance import suggest_ratios
+        assert suggest_ratios([0.5, 0.0, 0.1], max_ratio=6) == [6, 6]
+
+    def test_ratio_clamped(self):
+        from repro.core.variance import suggest_ratios
+        assert suggest_ratios([0.5, 0.001], max_ratio=5) == [5]
+        assert suggest_ratios([0.5, 0.99]) == [1]
+
+    def test_degenerate_plans(self):
+        from repro.core.variance import suggest_ratios
+        assert suggest_ratios([0.3]) == []
+        assert suggest_ratios([]) == []
+
+    def test_rejects_bad_max(self):
+        import pytest as _pytest
+        from repro.core.variance import suggest_ratios
+        with _pytest.raises(ValueError):
+            suggest_ratios([0.5, 0.5], max_ratio=0)
+
+    def test_usable_by_gmlss_sampler(self, small_chain_query,
+                                     small_chain_partition,
+                                     small_chain_exact):
+        """End to end: measure pi_hats, derive ratios, re-estimate."""
+        from repro.core.gmlss import GMLSSSampler
+        from repro.core.variance import suggest_ratios
+        from ..helpers import assert_close_to
+
+        pilot = GMLSSSampler(small_chain_partition, ratio=3).run(
+            small_chain_query, max_roots=400, seed=1)
+        ratios = suggest_ratios(pilot.details["pi_hats"])
+        assert len(ratios) == 2
+        tuned = GMLSSSampler(small_chain_partition, ratio=ratios).run(
+            small_chain_query, max_roots=1500, seed=2)
+        assert_close_to(tuned.probability, small_chain_exact,
+                        tuned.std_error)
+
+
+class TestBalancedBoundariesFromSurvival:
+    def test_exponential_survival_yields_equal_spacing(self):
+        """For S(v) = tau^v the balanced boundaries are uniform."""
+        tau = 1e-4
+
+        def survival(v):
+            return tau ** v
+
+        boundaries = balanced_boundaries_from_survival(survival, 4)
+        assert boundaries == pytest.approx([0.25, 0.5, 0.75], abs=1e-6)
+
+    def test_single_level_is_empty(self):
+        boundaries = balanced_boundaries_from_survival(lambda v: 0.01 ** v, 1)
+        assert boundaries == []
+
+    def test_boundaries_sorted_in_open_interval(self):
+        def survival(v):
+            return math.exp(-9.0 * v * v)  # non-exponential tail
+
+        boundaries = balanced_boundaries_from_survival(survival, 5)
+        assert all(0.0 < b < 1.0 for b in boundaries)
+        assert boundaries == sorted(boundaries)
+
+    def test_rejects_degenerate_survival(self):
+        with pytest.raises(ValueError):
+            balanced_boundaries_from_survival(lambda v: 1.0, 3)

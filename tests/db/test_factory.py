@@ -1,0 +1,83 @@
+"""Tests for model (de)serialisation."""
+
+import random
+
+import pytest
+
+from repro.db.factory import (build_process, default_z, state_value,
+                              supported_kinds)
+from repro.processes.ar import ARProcess
+from repro.processes.cpp import CompoundPoissonProcess
+from repro.processes.queueing import TandemQueueProcess
+from repro.processes.volatile import ImpulseProcess
+
+
+class TestBuildProcess:
+    def test_supported_kinds_listed(self):
+        kinds = supported_kinds()
+        assert "queue" in kinds and "cpp" in kinds
+
+    def test_queue_with_defaults(self):
+        process = build_process("queue", {})
+        assert isinstance(process, TandemQueueProcess)
+        assert process.arrival_rate == 0.5
+
+    def test_queue_with_params(self):
+        process = build_process("queue", {"arrival_rate": 0.7,
+                                          "mean_service1": 1.5})
+        assert process.arrival_rate == 0.7
+        assert process.mean_service1 == 1.5
+
+    def test_cpp(self):
+        process = build_process("cpp", {"initial_surplus": 20.0})
+        assert isinstance(process, CompoundPoissonProcess)
+        assert process.initial_surplus == 20.0
+
+    def test_ar_requires_coefficients(self):
+        process = build_process("ar", {"coefficients": [0.5, 0.2]})
+        assert isinstance(process, ARProcess)
+        with pytest.raises(KeyError):
+            build_process("ar", {})
+
+    def test_markov(self):
+        process = build_process(
+            "markov", {"transition_matrix": [[0.5, 0.5], [0.0, 1.0]]})
+        assert process.num_states == 2
+
+    def test_random_walks_and_gbm(self):
+        assert build_process("random_walk", {"p_up": 0.3}).p_up == 0.3
+        assert build_process("gaussian_walk", {"drift": 0.1}).drift == 0.1
+        assert build_process("gbm", {"sigma": 0.02}).sigma == 0.02
+
+    def test_impulse_wrapper(self):
+        process = build_process("cpp", {
+            "impulse": {"magnitude": 40.0, "probability": 0.002,
+                        "active_after": 0},
+        })
+        assert isinstance(process, ImpulseProcess)
+        assert process.impulse == 40.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_process("quantum", {})
+
+    def test_built_process_simulates(self):
+        process = build_process("queue", {})
+        state = process.initial_state()
+        state = process.step(state, 1, random.Random(0))
+        assert len(state) == 2
+
+
+class TestDefaultZ:
+    def test_queue_z_is_backlog(self):
+        assert default_z("queue")((3, 9)) == 9.0
+
+    def test_cpp_z_is_surplus(self):
+        assert default_z("cpp")(12.5) == 12.5
+
+    def test_state_value_helper(self):
+        assert state_value("random_walk", 4) == 4.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            default_z("mystery")

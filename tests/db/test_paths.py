@@ -1,0 +1,86 @@
+"""Tests for sample-path materialisation and SQL analysis."""
+
+import random
+import sqlite3
+
+import pytest
+
+from repro.core.value_functions import DurabilityQuery
+from repro.db.paths import (hitting_fraction, materialize_paths, path_count,
+                            path_series, value_quantiles)
+from repro.db.schema import create_schema
+from repro.processes.random_walk import RandomWalkProcess
+
+
+@pytest.fixture()
+def connection():
+    conn = sqlite3.connect(":memory:")
+    create_schema(conn)
+    yield conn
+    conn.close()
+
+
+@pytest.fixture()
+def walk_run(connection):
+    process = RandomWalkProcess(p_up=0.6, p_down=0.4)
+    query = DurabilityQuery.threshold(process, RandomWalkProcess.position,
+                                      beta=5.0, horizon=20)
+    rows = materialize_paths(connection, run_id=1, query=query,
+                             kind="random_walk", n_paths=25,
+                             rng=random.Random(5))
+    return connection, rows
+
+
+class TestMaterializePaths:
+    def test_row_count(self, walk_run):
+        connection, rows = walk_run
+        assert rows == 25 * 21  # t = 0..20 per path
+        assert path_count(connection, 1) == 25
+
+    def test_paths_run_full_horizon(self, walk_run):
+        connection, _ = walk_run
+        series = path_series(connection, 1, 3)
+        assert [t for t, _ in series] == list(range(21))
+
+    def test_initial_value_recorded(self, walk_run):
+        connection, _ = walk_run
+        for path_id in range(5):
+            assert path_series(connection, 1, path_id)[0] == (0, 0.0)
+
+    def test_rejects_zero_paths(self, connection):
+        process = RandomWalkProcess()
+        query = DurabilityQuery.threshold(
+            process, RandomWalkProcess.position, beta=3.0, horizon=5)
+        with pytest.raises(ValueError):
+            materialize_paths(connection, 1, query, "random_walk", 0)
+
+
+class TestSqlAnalysis:
+    def test_value_quantiles_ordered(self, walk_run):
+        connection, _ = walk_run
+        q10, q50, q90 = value_quantiles(connection, 1, t=20,
+                                        quantiles=(0.1, 0.5, 0.9))
+        assert q10 <= q50 <= q90
+
+    def test_quantiles_validate_inputs(self, walk_run):
+        connection, _ = walk_run
+        with pytest.raises(ValueError):
+            value_quantiles(connection, 1, t=20, quantiles=(1.5,))
+        with pytest.raises(ValueError):
+            value_quantiles(connection, 99, t=0)
+
+    def test_hitting_fraction_matches_python_count(self, walk_run):
+        connection, _ = walk_run
+        threshold = 5.0
+        hits = 0
+        for path_id in range(25):
+            series = path_series(connection, 1, path_id)
+            if any(v >= threshold for t, v in series if t >= 1):
+                hits += 1
+        assert hitting_fraction(connection, 1, threshold) == pytest.approx(
+            hits / 25)
+
+    def test_hitting_fraction_upward_drift_is_high(self, walk_run):
+        connection, _ = walk_run
+        # drift +0.2/step over 20 steps: most paths pass 2.
+        assert hitting_fraction(connection, 1, 2.0) > 0.5

@@ -1,0 +1,109 @@
+"""Tests for the in-DBMS query pipeline (DurabilityDB)."""
+
+import pytest
+
+from repro.core.quality import RelativeErrorTarget
+from repro.db.procedures import DurabilityDB
+
+from ..helpers import assert_close_to
+
+
+@pytest.fixture()
+def db():
+    with DurabilityDB() as database:
+        yield database
+
+
+@pytest.fixture()
+def walk_query(db):
+    """A registered random-walk query with a known-ish answer."""
+    model_id = db.register_model("walk", "random_walk", {"p_up": 0.45})
+    query_id = db.register_query("walk-5-30", model_id, horizon=30,
+                                 threshold=5.0)
+    return query_id
+
+
+class TestRegistration:
+    def test_register_model_validates_kind(self, db):
+        with pytest.raises(ValueError):
+            db.register_model("bad", "nope", {})
+
+    def test_register_query_needs_model(self, db):
+        with pytest.raises(ValueError):
+            db.register_query("q", model_id=99, horizon=10, threshold=1.0)
+
+    def test_register_plan_validates_boundaries(self, db, walk_query):
+        with pytest.raises(ValueError):
+            db.register_plan(walk_query, [1.5])
+        plan_id = db.register_plan(walk_query, [0.4, 0.8], ratio=3)
+        partition, ratio = db.load_plan(plan_id)
+        assert partition.boundaries == (0.4, 0.8)
+        assert ratio == 3
+
+    def test_load_query_rebuilds_process(self, db, walk_query):
+        query = db.load_query(walk_query)
+        assert query.horizon == 30
+        assert query.process.p_up == 0.45
+        assert query.name == "walk-5-30"
+
+    def test_load_missing_raises(self, db):
+        with pytest.raises(ValueError):
+            db.load_query(42)
+        with pytest.raises(ValueError):
+            db.load_plan(42)
+
+
+class TestAnswerQuery:
+    def test_srs_run_recorded(self, db, walk_query):
+        estimate = db.answer_query(walk_query, method="srs",
+                                   max_roots=2000, seed=1)
+        rows = db.estimates_for(walk_query)
+        assert len(rows) == 1
+        assert rows[0]["method"] == "srs"
+        assert rows[0]["probability"] == estimate.probability
+        assert rows[0]["steps"] == estimate.steps
+        assert rows[0]["seed"] == 1
+
+    def test_mlss_with_registered_plan(self, db, walk_query):
+        from repro.core.analytic import random_walk_hitting_probability
+
+        plan_id = db.register_plan(walk_query, [0.4, 0.8], ratio=3)
+        estimate = db.answer_query(walk_query, method="gmlss",
+                                   plan_id=plan_id, max_roots=2000, seed=2)
+        exact = random_walk_hitting_probability(0.45, 5, 30, p_down=0.55)
+        assert_close_to(estimate.probability, exact, estimate.std_error)
+
+    def test_smlss_and_quality_target(self, db, walk_query):
+        plan_id = db.register_plan(walk_query, [0.4, 0.8])
+        estimate = db.answer_query(
+            walk_query, method="smlss", plan_id=plan_id,
+            quality=RelativeErrorTarget(target=0.3), max_roots=10**6,
+            seed=3)
+        assert estimate.relative_error() <= 0.3 + 1e-9
+
+    def test_multiple_runs_logged_newest_first(self, db, walk_query):
+        db.answer_query(walk_query, method="srs", max_roots=100, seed=1)
+        db.answer_query(walk_query, method="srs", max_roots=200, seed=2)
+        rows = db.estimates_for(walk_query)
+        assert len(rows) == 2
+        assert rows[0]["n_roots"] == 200
+
+    def test_best_estimate_prefers_low_variance(self, db, walk_query):
+        db.answer_query(walk_query, method="srs", max_roots=100, seed=1)
+        db.answer_query(walk_query, method="srs", max_roots=5000, seed=2)
+        best = db.best_estimate(walk_query)
+        assert best["n_roots"] == 5000
+
+    def test_best_estimate_empty(self, db, walk_query):
+        assert db.best_estimate(walk_query) is None
+
+    def test_materialised_paths_stored(self, db, walk_query):
+        from repro.db.paths import path_count, path_series
+
+        estimate = db.answer_query(walk_query, method="srs",
+                                   max_roots=50, seed=4, materialize=7)
+        run_id = estimate.details["run_id"]
+        assert path_count(db.connection, run_id) == 7
+        series = path_series(db.connection, run_id, 0)
+        assert len(series) == 31  # t = 0 .. horizon
+        assert series[0] == (0, 0.0)

@@ -1,0 +1,53 @@
+"""Tests for the database schema."""
+
+import sqlite3
+
+import pytest
+
+from repro.db.schema import create_schema, table_names
+
+
+@pytest.fixture()
+def connection():
+    conn = sqlite3.connect(":memory:")
+    yield conn
+    conn.close()
+
+
+class TestCreateSchema:
+    def test_creates_all_tables(self, connection):
+        create_schema(connection)
+        names = table_names(connection)
+        assert {"models", "queries", "level_plans", "estimates",
+                "sample_paths"} <= names
+
+    def test_idempotent(self, connection):
+        create_schema(connection)
+        create_schema(connection)  # must not raise
+        assert "models" in table_names(connection)
+
+    def test_model_names_unique(self, connection):
+        create_schema(connection)
+        connection.execute(
+            "INSERT INTO models (name, kind, params) VALUES ('a','q','{}')")
+        with pytest.raises(sqlite3.IntegrityError):
+            connection.execute(
+                "INSERT INTO models (name, kind, params)"
+                " VALUES ('a','q','{}')")
+
+    def test_queries_check_horizon(self, connection):
+        create_schema(connection)
+        connection.execute(
+            "INSERT INTO models (name, kind, params) VALUES ('a','q','{}')")
+        with pytest.raises(sqlite3.IntegrityError):
+            connection.execute(
+                "INSERT INTO queries (model_id, name, horizon, threshold)"
+                " VALUES (1, 'bad', 0, 1.0)")
+
+    def test_sample_paths_primary_key(self, connection):
+        create_schema(connection)
+        connection.execute(
+            "INSERT INTO sample_paths VALUES (1, 0, 0, 1.5)")
+        with pytest.raises(sqlite3.IntegrityError):
+            connection.execute(
+                "INSERT INTO sample_paths VALUES (1, 0, 0, 2.5)")

@@ -1,0 +1,94 @@
+"""Shared test utilities: scripted processes and statistical assertions."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.processes.base import ImmutableStateProcess
+
+
+class ScriptedProcess(ImmutableStateProcess):
+    """A deterministic process replaying a fixed value sequence.
+
+    The state is the current scalar value; ``step`` at time ``t``
+    returns ``script[t - 1]`` regardless of randomness.  Perfect for
+    pinning down the splitting forest's counter bookkeeping by hand.
+    """
+
+    def __init__(self, script, initial: float = 0.0):
+        if not script:
+            raise ValueError("script must be non-empty")
+        self.script = tuple(float(v) for v in script)
+        self.initial = float(initial)
+
+    def initial_state(self) -> float:
+        return self.initial
+
+    def step(self, state: float, t: int, rng: random.Random) -> float:
+        index = min(t - 1, len(self.script) - 1)
+        return self.script[index]
+
+
+class TwoBranchProcess(ImmutableStateProcess):
+    """Random process choosing one of two scripted paths at time 1.
+
+    With probability ``p_first`` the whole path follows ``first``,
+    otherwise ``second``; afterwards it is deterministic.  The state is
+    ``(branch, value)``.  The exact hitting probability of any
+    threshold is computable by hand, and the two branches can be given
+    very different level behaviour (e.g. one skips levels).
+    """
+
+    def __init__(self, first, second, p_first: float):
+        if not 0.0 <= p_first <= 1.0:
+            raise ValueError(f"p_first must be in [0, 1], got {p_first}")
+        self.first = tuple(float(v) for v in first)
+        self.second = tuple(float(v) for v in second)
+        self.p_first = p_first
+
+    def initial_state(self) -> tuple:
+        return (-1, 0.0)
+
+    def step(self, state: tuple, t: int, rng: random.Random) -> tuple:
+        branch, _ = state
+        if t == 1:
+            branch = 0 if rng.random() < self.p_first else 1
+        script = self.first if branch == 0 else self.second
+        index = min(t - 1, len(script) - 1)
+        return (branch, script[index])
+
+    @staticmethod
+    def value(state: tuple) -> float:
+        return state[1]
+
+
+def identity_z(state) -> float:
+    """``z`` for processes whose state is already the value."""
+    return float(state)
+
+
+def assert_close_to(estimate: float, truth: float, std_error: float,
+                    z_bound: float = 4.5, absolute_floor: float = 1e-12):
+    """Assert a point estimate is within ``z_bound`` standard errors.
+
+    Adds a tiny absolute floor so exact-zero variances (degenerate
+    runs) do not produce vacuous failures.
+    """
+    tolerance = z_bound * max(std_error, 0.0) + absolute_floor
+    assert abs(estimate - truth) <= tolerance, (
+        f"estimate {estimate} deviates from truth {truth} by "
+        f"{abs(estimate - truth):.3g} > tolerance {tolerance:.3g}"
+    )
+
+
+def run_mean_estimate(run_once, n_runs: int, seed_base: int = 0) -> tuple:
+    """Mean and standard error of ``run_once(seed)`` over repeated runs."""
+    values = [run_once(seed_base + i) for i in range(n_runs)]
+    mean = sum(values) / n_runs
+    if n_runs > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n_runs - 1)
+        std_error = math.sqrt(var / n_runs)
+    else:
+        std_error = 0.0
+    return mean, std_error

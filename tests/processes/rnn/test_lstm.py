@@ -1,0 +1,124 @@
+"""Tests for the from-scratch LSTM layer (forward shapes + exact BPTT)."""
+
+import numpy as np
+import pytest
+
+from repro.processes.rnn.lstm import LSTMLayer, sigmoid
+
+
+class TestSigmoid:
+    def test_standard_values(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert sigmoid(np.array([100.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-100.0]))[0] == pytest.approx(0.0)
+
+    def test_matches_naive_formula(self):
+        x = np.linspace(-5, 5, 31)
+        assert np.allclose(sigmoid(x), 1.0 / (1.0 + np.exp(-x)))
+
+    def test_no_overflow_for_extremes(self):
+        x = np.array([-1000.0, 1000.0])
+        values = sigmoid(x)
+        assert np.all(np.isfinite(values))
+
+
+class TestLSTMForward:
+    def test_shapes(self):
+        layer = LSTMLayer(3, 5, np.random.default_rng(0))
+        xs = np.random.default_rng(1).normal(size=(7, 4, 3))
+        h0, c0 = layer.zero_state(4)
+        hs, (h, c), caches = layer.forward(xs, h0, c0)
+        assert hs.shape == (7, 4, 5)
+        assert h.shape == (4, 5)
+        assert c.shape == (4, 5)
+        assert len(caches) == 7
+
+    def test_forget_bias_initialised_to_one(self):
+        layer = LSTMLayer(2, 4, np.random.default_rng(0))
+        bias = layer.params["b"]
+        assert np.all(bias[4:8] == 1.0)
+        assert np.all(bias[:4] == 0.0)
+
+    def test_outputs_bounded_by_tanh(self):
+        layer = LSTMLayer(2, 6, np.random.default_rng(3))
+        xs = np.random.default_rng(4).normal(size=(20, 3, 2)) * 5
+        h0, c0 = layer.zero_state(3)
+        hs, _, _ = layer.forward(xs, h0, c0)
+        assert np.all(np.abs(hs) < 1.0)
+
+    def test_zero_state_is_zero(self):
+        layer = LSTMLayer(2, 3, np.random.default_rng(0))
+        h, c = layer.zero_state(5)
+        assert not h.any() and not c.any()
+        assert h.shape == (5, 3)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            LSTMLayer(0, 3, np.random.default_rng(0))
+
+
+class TestLSTMBackward:
+    def test_gradients_match_numerical(self):
+        """Exact BPTT: compare every parameter against finite differences."""
+        rng = np.random.default_rng(7)
+        layer = LSTMLayer(2, 4, rng)
+        xs = rng.normal(size=(5, 3, 2))
+        # Loss = sum of weighted hidden outputs (arbitrary projection).
+        weights = rng.normal(size=(5, 3, 4))
+
+        def loss():
+            h0, c0 = layer.zero_state(3)
+            hs, _, _ = layer.forward(xs, h0, c0)
+            return float((hs * weights).sum())
+
+        hs, _, caches = layer.forward(xs, *layer.zero_state(3))
+        dxs, grads = layer.backward(weights, caches)
+
+        eps = 1e-6
+        for name in ("W", "b"):
+            param = layer.params[name]
+            flat_indices = [(0, 0), (1, 3)] if param.ndim == 2 else [0, 7]
+            for idx in flat_indices:
+                original = param[idx]
+                param[idx] = original + eps
+                up = loss()
+                param[idx] = original - eps
+                down = loss()
+                param[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert grads[name][idx] == pytest.approx(numeric, rel=1e-4,
+                                                         abs=1e-7)
+
+    def test_input_gradients_match_numerical(self):
+        rng = np.random.default_rng(9)
+        layer = LSTMLayer(2, 3, rng)
+        xs = rng.normal(size=(4, 2, 2))
+        weights = rng.normal(size=(4, 2, 3))
+
+        def loss(inputs):
+            h0, c0 = layer.zero_state(2)
+            hs, _, _ = layer.forward(inputs, h0, c0)
+            return float((hs * weights).sum())
+
+        hs, _, caches = layer.forward(xs, *layer.zero_state(2))
+        dxs, _ = layer.backward(weights, caches)
+
+        eps = 1e-6
+        for idx in [(0, 0, 0), (2, 1, 1), (3, 0, 1)]:
+            perturbed = xs.copy()
+            perturbed[idx] += eps
+            up = loss(perturbed)
+            perturbed[idx] -= 2 * eps
+            down = loss(perturbed)
+            numeric = (up - down) / (2 * eps)
+            assert dxs[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    def test_gradient_shapes(self):
+        rng = np.random.default_rng(11)
+        layer = LSTMLayer(3, 4, rng)
+        xs = rng.normal(size=(6, 2, 3))
+        hs, _, caches = layer.forward(xs, *layer.zero_state(2))
+        dxs, grads = layer.backward(np.ones_like(hs), caches)
+        assert dxs.shape == xs.shape
+        assert grads["W"].shape == layer.params["W"].shape
+        assert grads["b"].shape == layer.params["b"].shape

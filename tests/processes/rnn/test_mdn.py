@@ -1,0 +1,140 @@
+"""Tests for the mixture density network head."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.processes.rnn.mdn import MDNHead
+
+
+def make_head(hidden=4, mixtures=3, seed=0):
+    return MDNHead(hidden, mixtures, np.random.default_rng(seed))
+
+
+class TestMixtureParameters:
+    def test_shapes_and_simplex(self):
+        head = make_head()
+        h = np.random.default_rng(1).normal(size=(6, 4))
+        pi, mu, sigma, _ = head.mixture_parameters(h)
+        assert pi.shape == mu.shape == sigma.shape == (6, 3)
+        assert np.allclose(pi.sum(axis=1), 1.0)
+        assert np.all(pi >= 0)
+        assert np.all(sigma > 0)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            MDNHead(0, 3, np.random.default_rng(0))
+
+
+class TestNegativeLogLikelihood:
+    def test_single_component_matches_gaussian_nll(self):
+        head = MDNHead(2, 1, np.random.default_rng(2))
+        h = np.zeros((1, 2))
+        _, mu, sigma, cache = head.mixture_parameters(h)
+        y = np.array([mu[0, 0] + sigma[0, 0]])  # one sigma away
+        loss, resp = head.negative_log_likelihood(cache, y)
+        expected = 0.5 + math.log(sigma[0, 0]) + 0.5 * math.log(2 * math.pi)
+        assert loss == pytest.approx(expected, rel=1e-9)
+        assert resp[0, 0] == pytest.approx(1.0)
+
+    def test_responsibilities_sum_to_one(self):
+        head = make_head(seed=3)
+        h = np.random.default_rng(4).normal(size=(5, 4))
+        _, _, _, cache = head.mixture_parameters(h)
+        y = np.random.default_rng(5).normal(size=5)
+        _, resp = head.negative_log_likelihood(cache, y)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_loss_decreases_near_the_mean(self):
+        head = make_head(seed=6)
+        h = np.zeros((1, 4))
+        pi, mu, sigma, cache = head.mixture_parameters(h)
+        best_guess = float((pi * mu).sum())
+        near, _ = head.negative_log_likelihood(cache,
+                                               np.array([best_guess]))
+        far, _ = head.negative_log_likelihood(cache,
+                                              np.array([best_guess + 50]))
+        assert near < far
+
+
+class TestBackward:
+    def test_gradients_match_numerical(self):
+        rng = np.random.default_rng(7)
+        head = make_head(seed=8)
+        h = rng.normal(size=(3, 4))
+        y = rng.normal(size=3)
+
+        def loss():
+            _, _, _, cache = head.mixture_parameters(h)
+            value, _ = head.negative_log_likelihood(cache, y)
+            return value
+
+        _, _, _, cache = head.mixture_parameters(h)
+        _, resp = head.negative_log_likelihood(cache, y)
+        dh, grads = head.backward(cache, y, resp)
+
+        eps = 1e-6
+        for name in ("W", "b"):
+            param = head.params[name]
+            indices = [(0, 0), (3, 5)] if param.ndim == 2 else [1, 6]
+            for idx in indices:
+                original = param[idx]
+                param[idx] = original + eps
+                up = loss()
+                param[idx] = original - eps
+                down = loss()
+                param[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert grads[name][idx] == pytest.approx(numeric, rel=1e-4,
+                                                         abs=1e-8)
+
+    def test_hidden_gradients_match_numerical(self):
+        rng = np.random.default_rng(9)
+        head = make_head(seed=10)
+        h = rng.normal(size=(2, 4))
+        y = rng.normal(size=2)
+
+        def loss(hidden):
+            _, _, _, cache = head.mixture_parameters(hidden)
+            value, _ = head.negative_log_likelihood(cache, y)
+            return value
+
+        _, _, _, cache = head.mixture_parameters(h)
+        _, resp = head.negative_log_likelihood(cache, y)
+        dh, _ = head.backward(cache, y, resp)
+
+        eps = 1e-6
+        for idx in [(0, 0), (1, 3)]:
+            perturbed = h.copy()
+            perturbed[idx] += eps
+            up = loss(perturbed)
+            perturbed[idx] -= 2 * eps
+            down = loss(perturbed)
+            numeric = (up - down) / (2 * eps)
+            assert dh[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+
+class TestSampling:
+    def test_sample_statistics_match_mixture(self):
+        head = make_head(seed=11)
+        h = np.random.default_rng(12).normal(size=(1, 4))
+        pi, mu, sigma, _ = head.mixture_parameters(h)
+        expected_mean = float((pi * mu).sum())
+        rng = random.Random(13)
+        draws = [head.sample(h, rng) for _ in range(6000)]
+        mean = sum(draws) / len(draws)
+        mixture_var = float((pi * (sigma ** 2 + mu ** 2)).sum()
+                            - expected_mean ** 2)
+        standard_error = math.sqrt(mixture_var / len(draws))
+        assert abs(mean - expected_mean) < 5 * standard_error
+
+    def test_sampling_reproducible(self):
+        head = make_head(seed=14)
+        h = np.random.default_rng(15).normal(size=(1, 4))
+        rng_a, rng_b = random.Random(16), random.Random(16)
+        a = [head.sample(h, rng_a) for _ in range(5)]
+        b = [head.sample(h, rng_b) for _ in range(5)]
+        assert a == b
+        assert len(set(a)) > 1  # consecutive draws differ

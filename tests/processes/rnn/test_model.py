@@ -1,0 +1,128 @@
+"""Tests for the stacked LSTM-MDN sequence model."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.processes.rnn.model import LSTMMDNModel
+
+
+def tiny_model(seed=0):
+    return LSTMMDNModel(hidden_size=6, n_layers=2, n_mixtures=3, seed=seed)
+
+
+class TestParameters:
+    def test_parameter_names_cover_all_layers(self):
+        params = tiny_model().parameters()
+        assert {"lstm0.W", "lstm0.b", "lstm1.W", "lstm1.b",
+                "mdn.W", "mdn.b"} == set(params)
+
+    def test_first_layer_takes_scalar_input(self):
+        params = tiny_model().parameters()
+        assert params["lstm0.W"].shape == (1 + 6, 4 * 6)
+        assert params["lstm1.W"].shape == (6 + 6, 4 * 6)
+
+    def test_load_parameters_roundtrip(self):
+        source = tiny_model(seed=1)
+        target = tiny_model(seed=2)
+        target.load_parameters(source.parameters())
+        for name, value in source.parameters().items():
+            assert np.array_equal(target.parameters()[name], value)
+
+    def test_load_rejects_missing_and_misshapen(self):
+        model = tiny_model()
+        params = model.parameters()
+        incomplete = {k: v for k, v in params.items() if k != "mdn.b"}
+        with pytest.raises(ValueError):
+            model.load_parameters(incomplete)
+        bad = dict(params)
+        bad["mdn.b"] = np.zeros(1)
+        with pytest.raises(ValueError):
+            model.load_parameters(bad)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            LSTMMDNModel(n_layers=0)
+
+
+class TestTrainingFace:
+    def test_loss_and_gradients_cover_all_parameters(self):
+        model = tiny_model(seed=3)
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=(5, 4))
+        targets = rng.normal(size=(5, 4))
+        loss, grads = model.loss_and_gradients(inputs, targets)
+        assert np.isfinite(loss)
+        assert set(grads) == set(model.parameters())
+        assert all(np.all(np.isfinite(g)) for g in grads.values())
+
+    def test_full_model_gradient_check(self):
+        model = tiny_model(seed=5)
+        rng = np.random.default_rng(6)
+        inputs = rng.normal(size=(4, 3))
+        targets = rng.normal(size=(4, 3))
+        _, grads = model.loss_and_gradients(inputs, targets)
+
+        eps = 1e-6
+        for name in ("lstm0.W", "lstm1.W", "mdn.W"):
+            param = model.parameters()[name]
+            idx = (1, 2)
+            original = param[idx]
+            param[idx] = original + eps
+            up = model.sequence_nll(inputs, targets)
+            param[idx] = original - eps
+            down = model.sequence_nll(inputs, targets)
+            param[idx] = original
+            numeric = (up - down) / (2 * eps)
+            assert grads[name][idx] == pytest.approx(numeric, rel=1e-3,
+                                                     abs=1e-7)
+
+    def test_sequence_nll_matches_loss(self):
+        model = tiny_model(seed=7)
+        rng = np.random.default_rng(8)
+        inputs = rng.normal(size=(6, 2))
+        targets = rng.normal(size=(6, 2))
+        loss, _ = model.loss_and_gradients(inputs, targets)
+        assert model.sequence_nll(inputs, targets) == pytest.approx(loss)
+
+
+class TestGenerationFace:
+    def test_begin_state_shapes(self):
+        model = tiny_model()
+        state = model.begin_state()
+        assert len(state) == 2
+        for h, c in state:
+            assert h.shape == (1, 6)
+            assert not h.any()
+
+    def test_advance_returns_top_hidden(self):
+        model = tiny_model(seed=9)
+        state, hidden = model.advance(0.5, model.begin_state())
+        assert hidden.shape == (1, 6)
+        assert len(state) == 2
+        # Advancing changed the state.
+        assert state[0][0].any()
+
+    def test_warm_up_equals_manual_advances(self):
+        model = tiny_model(seed=10)
+        values = [0.1, -0.4, 0.7]
+        state_a, hidden_a = model.warm_up(values)
+        state_b = model.begin_state()
+        for v in values:
+            state_b, hidden_b = model.advance(v, state_b)
+        assert np.allclose(hidden_a, hidden_b)
+        for (ha, ca), (hb, cb) in zip(state_a, state_b):
+            assert np.allclose(ha, hb)
+            assert np.allclose(ca, cb)
+
+    def test_warm_up_requires_values(self):
+        with pytest.raises(ValueError):
+            tiny_model().warm_up([])
+
+    def test_sample_next_uses_rng(self):
+        model = tiny_model(seed=11)
+        _, hidden = model.advance(0.2, model.begin_state())
+        rng = random.Random(12)
+        draws = {model.sample_next(hidden, rng) for _ in range(10)}
+        assert len(draws) > 1

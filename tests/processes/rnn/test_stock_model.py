@@ -1,0 +1,136 @@
+"""Tests for the trained stock process (the paper's black-box model)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.processes.gbm import synthetic_stock_series
+from repro.processes.rnn.model import LSTMMDNModel
+from repro.processes.rnn.stock_model import (StockRNNProcess,
+                                             build_stock_process,
+                                             pretrained_stock_process)
+
+
+@pytest.fixture(scope="module")
+def tiny_stock_process():
+    """A fast-to-train stock process shared across this module."""
+    prices = synthetic_stock_series(n_days=400)
+    process, result = build_stock_process(
+        prices, hidden_size=8, n_layers=1, n_mixtures=3, seq_len=20,
+        epochs=2, context_len=20, seed=0)
+    return process, result, prices
+
+
+class TestBuildStockProcess:
+    def test_training_ran(self, tiny_stock_process):
+        _, result, _ = tiny_stock_process
+        assert len(result.epoch_losses) == 2
+        assert all(np.isfinite(loss) for loss in result.epoch_losses)
+
+    def test_start_price_is_last_training_price(self, tiny_stock_process):
+        process, _, prices = tiny_stock_process
+        assert process.start_price == pytest.approx(prices[-1])
+
+    def test_simulated_prices_positive_and_finite(self, tiny_stock_process):
+        process, _, _ = tiny_stock_process
+        rng = random.Random(1)
+        state = process.initial_state()
+        for t in range(1, 101):
+            state = process.step(state, t, rng)
+            price = process.price(state)
+            assert price > 0 and math.isfinite(price)
+
+    def test_daily_moves_are_plausible(self, tiny_stock_process):
+        """Sampled log-returns should be within a few training sigmas."""
+        process, _, prices = tiny_stock_process
+        rng = random.Random(2)
+        state = process.initial_state()
+        last = process.price(state)
+        for t in range(1, 201):
+            state = process.step(state, t, rng)
+            price = process.price(state)
+            assert abs(math.log(price / last)) < 0.5
+            last = price
+
+
+class TestProcessContract:
+    def test_initial_states_are_independent(self, tiny_stock_process):
+        process, _, _ = tiny_stock_process
+        a = process.initial_state()
+        b = process.initial_state()
+        rng = random.Random(3)
+        process.step(a, 1, rng)
+        # b's hidden arrays untouched by stepping a
+        for (ha, _), (hb, _) in zip(a[0], b[0]):
+            assert ha is not hb
+
+    def test_copy_state_is_deep_for_arrays(self, tiny_stock_process):
+        process, _, _ = tiny_stock_process
+        state = process.initial_state()
+        clone = process.copy_state(state)
+        rng = random.Random(4)
+        stepped = process.step(clone, 1, rng)
+        assert process.price(state) == process.start_price
+        assert stepped is not clone
+
+    def test_same_seed_same_path(self, tiny_stock_process):
+        process, _, _ = tiny_stock_process
+
+        def path(seed):
+            rng = random.Random(seed)
+            state = process.initial_state()
+            values = []
+            for t in range(1, 31):
+                state = process.step(state, t, rng)
+                values.append(process.price(state))
+            return values
+
+        assert path(7) == path(7)
+        assert path(7) != path(8)
+
+    def test_split_from_shared_state_diverges(self, tiny_stock_process):
+        """The property MLSS relies on: offspring evolve independently."""
+        process, _, _ = tiny_stock_process
+        rng = random.Random(9)
+        state = process.initial_state()
+        for t in range(1, 11):
+            state = process.step(state, t, rng)
+        first = process.step(process.copy_state(state), 11, rng)
+        second = process.step(process.copy_state(state), 11, rng)
+        assert process.price(first) != process.price(second)
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        model = LSTMMDNModel(hidden_size=4, n_layers=1, seed=0)
+        with pytest.raises(ValueError):
+            StockRNNProcess(model, 0.0, 0.0, [0.1], 100.0)
+        with pytest.raises(ValueError):
+            StockRNNProcess(model, 0.0, 1.0, [], 100.0)
+        with pytest.raises(ValueError):
+            StockRNNProcess(model, 0.0, 1.0, [0.1], 0.0)
+
+
+class TestPretrainedCache:
+    def test_in_memory_cache_returns_same_object(self, tmp_path):
+        a = pretrained_stock_process(hidden_size=4, n_layers=1,
+                                     n_mixtures=2, seq_len=10, epochs=1,
+                                     seed=3)
+        b = pretrained_stock_process(hidden_size=4, n_layers=1,
+                                     n_mixtures=2, seq_len=10, epochs=1,
+                                     seed=3)
+        assert a is b
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        from repro.processes.rnn import stock_model
+
+        kwargs = dict(hidden_size=4, n_layers=1, n_mixtures=2, seq_len=10,
+                      epochs=1, seed=4, cache_dir=str(tmp_path))
+        first = pretrained_stock_process(**kwargs)
+        stock_model._PROCESS_CACHE.clear()
+        second = pretrained_stock_process(**kwargs)
+        assert first is not second
+        for name, value in first.model.parameters().items():
+            assert np.array_equal(second.model.parameters()[name], value)

@@ -1,0 +1,67 @@
+"""Tests for the process interface and path simulation helper."""
+
+import random
+
+import pytest
+
+from repro.processes.base import (ImmutableStateProcess, StochasticProcess,
+                                  simulate_path)
+from repro.processes.random_walk import RandomWalkProcess
+
+from ..helpers import ScriptedProcess
+
+
+class MutableStateProcess(StochasticProcess):
+    """A process whose state is a mutable list (exercise deepcopy)."""
+
+    def initial_state(self):
+        return [0.0]
+
+    def step(self, state, t, rng):
+        state[0] += 1.0
+        return state
+
+
+class TestSimulatePath:
+    def test_path_length_and_contents(self):
+        process = ScriptedProcess([0.1, 0.2, 0.3])
+        path = simulate_path(process, 3, random.Random(0))
+        assert path == [0.0, 0.1, 0.2, 0.3]
+
+    def test_horizon_zero_is_initial_only(self):
+        process = ScriptedProcess([0.5])
+        assert simulate_path(process, 0, random.Random(0)) == [0.0]
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_path(ScriptedProcess([0.5]), -1, random.Random(0))
+
+    def test_explicit_initial_state(self):
+        process = RandomWalkProcess(p_up=1.0, p_down=0.0)
+        path = simulate_path(process, 3, random.Random(0), initial_state=10)
+        assert path == [10, 11, 12, 13]
+
+
+class TestCopyState:
+    def test_immutable_process_copy_is_identity(self):
+        process = ScriptedProcess([0.5])
+        state = (1, 2)
+        assert process.copy_state(state) is state
+
+    def test_default_copy_is_deep(self):
+        process = MutableStateProcess()
+        state = process.initial_state()
+        copy = process.copy_state(state)
+        assert copy == state
+        assert copy is not state
+        process.step(copy, 1, random.Random(0))
+        assert state == [0.0]
+
+    def test_impulse_hook_refuses_by_default(self):
+        process = MutableStateProcess()
+        with pytest.raises(NotImplementedError):
+            process.apply_impulse([0.0], 5.0)
+
+    def test_immutable_base_class_is_abstract_over_step(self):
+        with pytest.raises(TypeError):
+            ImmutableStateProcess()  # abstract methods missing

@@ -1,0 +1,98 @@
+"""Tests for the random walk processes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytic import random_walk_hitting_probability
+from repro.core.srs import SRSSampler
+from repro.core.value_functions import DurabilityQuery
+from repro.processes.base import simulate_path
+from repro.processes.random_walk import (GaussianWalkProcess,
+                                         RandomWalkProcess)
+
+from ..helpers import assert_close_to
+
+
+class TestRandomWalkProcess:
+    def test_pure_up_walk(self):
+        process = RandomWalkProcess(p_up=1.0, p_down=0.0)
+        path = simulate_path(process, 5, random.Random(0))
+        assert path == [0, 1, 2, 3, 4, 5]
+
+    def test_default_is_symmetric_two_sided(self):
+        process = RandomWalkProcess(p_up=0.5)
+        assert process.p_down == 0.5
+
+    def test_lazy_walk_can_stay(self):
+        process = RandomWalkProcess(p_up=0.2, p_down=0.2)
+        path = simulate_path(process, 200, random.Random(1))
+        stays = sum(1 for a, b in zip(path, path[1:]) if a == b)
+        assert stays > 0
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWalkProcess(p_up=0.7, p_down=0.5)
+        with pytest.raises(ValueError):
+            RandomWalkProcess(p_up=-0.1)
+
+    def test_position_z(self):
+        assert RandomWalkProcess.position(7) == 7.0
+
+    def test_impulse_shifts_position(self):
+        process = RandomWalkProcess()
+        assert process.apply_impulse(3, 4.0) == 7
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.2, max_value=0.6),
+           st.integers(min_value=2, max_value=5))
+    def test_agrees_with_analytic_oracle(self, p_up, threshold):
+        """SRS on the walk matches the exact DP hitting probability."""
+        process = RandomWalkProcess(p_up=p_up)
+        horizon = 12
+        query = DurabilityQuery.threshold(
+            process, RandomWalkProcess.position, beta=float(threshold),
+            horizon=horizon)
+        exact = random_walk_hitting_probability(
+            p_up, threshold, horizon, p_down=process.p_down)
+        estimate = SRSSampler().run(query, max_roots=3000, seed=11)
+        assert_close_to(estimate.probability, exact, estimate.std_error)
+
+
+class TestGaussianWalkProcess:
+    def test_drift_moves_the_mean(self):
+        process = GaussianWalkProcess(drift=0.5, sigma=0.001)
+        path = simulate_path(process, 100, random.Random(2))
+        assert path[-1] == pytest.approx(50.0, abs=1.0)
+
+    def test_sigma_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GaussianWalkProcess(sigma=0.0)
+
+    def test_gaussian_step_protocol(self):
+        process = GaussianWalkProcess(drift=0.1, sigma=2.0, start=1.0)
+        assert process.noise_sigma() == 2.0
+        assert process.step_with_noise(1.0, 0.5) == pytest.approx(1.6)
+
+    def test_step_with_noise_consistent_with_step(self):
+        """step(state) = step_with_noise(state, gauss(0, sigma))."""
+        process = GaussianWalkProcess(drift=0.25, sigma=1.5)
+        rng = random.Random(3)
+        stepped = process.step(0.0, 1, rng)
+        rng = random.Random(3)
+        noise = rng.gauss(0.0, 1.5)
+        assert stepped == pytest.approx(process.step_with_noise(0.0, noise),
+                                        abs=1e-12)
+
+    def test_impulse(self):
+        process = GaussianWalkProcess()
+        assert process.apply_impulse(1.0, 2.5) == 3.5
+
+    def test_variance_accumulates(self):
+        process = GaussianWalkProcess(drift=0.0, sigma=1.0)
+        rng = random.Random(4)
+        finals = [simulate_path(process, 25, rng)[-1] for _ in range(400)]
+        mean = sum(finals) / len(finals)
+        var = sum((v - mean) ** 2 for v in finals) / (len(finals) - 1)
+        assert var == pytest.approx(25.0, rel=0.25)

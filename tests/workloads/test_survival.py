@@ -1,0 +1,109 @@
+"""Tests for the calibrated survival curves."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.calibration_data import SURVIVAL_TABLES
+from repro.workloads.survival import SurvivalCurve
+
+
+class TestConstruction:
+    def test_all_calibrated_models_load(self):
+        for model in SURVIVAL_TABLES:
+            curve = SurvivalCurve.for_model(model)
+            assert curve.n_pilot > 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            SurvivalCurve.for_model("submarine")
+
+    def test_validates_monotonicity(self):
+        with pytest.raises(ValueError):
+            SurvivalCurve([1.0, 2.0], [-1.0, -0.5], 1.0, 1.0, 10, 10)
+        with pytest.raises(ValueError):
+            SurvivalCurve([2.0, 1.0], [-0.5, -1.0], 1.0, 1.0, 10, 10)
+
+    def test_validates_lengths_and_tail(self):
+        with pytest.raises(ValueError):
+            SurvivalCurve([1.0], [-0.5], 1.0, 1.0, 10, 10)
+        with pytest.raises(ValueError):
+            SurvivalCurve([1.0, 2.0], [-0.5, -1.0], 1.0, -1.0, 10, 10)
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def queue_curve(self):
+        return SurvivalCurve.for_model("queue")
+
+    def test_survival_bounded(self, queue_curve):
+        assert queue_curve.survival(-5.0) == 1.0
+        assert 0.0 < queue_curve.survival(30.0) < 1.0
+        assert queue_curve.survival(200.0) < 1e-10
+
+    def test_survival_monotone_decreasing(self, queue_curve):
+        values = [queue_curve.survival(v) for v in range(0, 120, 5)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_breakpoints_reproduced(self, queue_curve):
+        for value, log_surv in zip(queue_curve.values[1:-1],
+                                   queue_curve.log_survival[1:-1]):
+            assert queue_curve.log_surv(value) == pytest.approx(log_surv,
+                                                                abs=1e-9)
+
+    def test_tail_takes_over_beyond_data(self, queue_curve):
+        beyond = queue_curve.values[-1] + 10.0
+        expected = queue_curve.tail_a - queue_curve.tail_b * beyond
+        assert queue_curve.log_surv(beyond) == pytest.approx(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0001, max_value=0.8))
+    def test_threshold_for_inverts_survival(self, probability):
+        curve = SurvivalCurve.for_model("cpp")
+        value = curve.threshold_for(probability)
+        assert curve.survival(value) == pytest.approx(probability,
+                                                      rel=0.02)
+
+    def test_threshold_for_validates(self):
+        curve = SurvivalCurve.for_model("cpp")
+        with pytest.raises(ValueError):
+            curve.threshold_for(0.0)
+        with pytest.raises(ValueError):
+            curve.threshold_for(1.0)
+
+
+class TestBalancedPartition:
+    def test_boundaries_in_unit_interval(self):
+        curve = SurvivalCurve.for_model("queue")
+        plan = curve.balanced_partition(beta=57, num_levels=5)
+        assert 3 <= plan.num_levels <= 5
+        assert all(0.0 < b < 1.0 for b in plan.boundaries)
+
+    def test_survival_ladder_is_geometric(self):
+        curve = SurvivalCurve.for_model("cpp")
+        beta = 88.0
+        plan = curve.balanced_partition(beta=beta, num_levels=4)
+        tau = curve.survival(beta)
+        ladder = [curve.survival(b * beta) for b in plan.boundaries]
+        goals = [tau ** (i / 4) for i in range(1, 4)]
+        for actual, goal in zip(ladder, goals):
+            assert math.log(actual) == pytest.approx(math.log(goal),
+                                                     rel=0.1)
+
+    def test_initial_value_respected(self):
+        curve = SurvivalCurve.for_model("cpp")
+        plan = curve.balanced_partition(beta=40.0, num_levels=5,
+                                        initial_value=15.0)
+        assert all(b > 15.0 / 40.0 for b in plan.boundaries)
+
+    def test_single_level_is_empty(self):
+        curve = SurvivalCurve.for_model("queue")
+        assert curve.balanced_partition(beta=30, num_levels=1).boundaries == ()
+
+    def test_rejects_bad_inputs(self):
+        curve = SurvivalCurve.for_model("queue")
+        with pytest.raises(ValueError):
+            curve.balanced_partition(beta=30, num_levels=0)
+        with pytest.raises(ValueError):
+            curve.balanced_partition(beta=-1.0, num_levels=3)
