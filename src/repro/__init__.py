@@ -18,6 +18,33 @@ Quick start::
     estimate = answer_durability_query(query, method="auto",
                                        max_steps=500_000, seed=42)
     print(estimate.summary())
+
+Simulation backends
+-------------------
+
+``answer_durability_query`` (and each sampler) takes a ``backend``
+option selecting how paths are simulated:
+
+* ``"auto"`` (engine default) — the NumPy batch backend when the
+  process implements the batched contract, the scalar loop otherwise;
+* ``"vectorized"`` — force batching (scalar-only processes are wrapped
+  in a ``ScalarFallback``);
+* ``"scalar"`` — the original one-path-at-a-time loop.
+
+Both backends draw the same distributions — batching only reorders
+independent draws — so estimates are exchangeable; the vectorized
+backend is ~5-12x more steps/second on the bundled workloads (see
+``benchmarks/bench_vectorized_backend.py``).
+
+A process opts into batching by implementing
+:class:`repro.processes.base.VectorizedProcess`: ``initial_states(n)``
+returns a NumPy state array (one row per path), ``step_batch(states,
+t, rng)`` advances every row with a ``numpy.random.Generator``, and
+``replicate(states, indices, counts)`` clones entrance states for the
+splitting samplers.  The bundled random-walk, Gaussian-walk, GBM, AR,
+Markov-chain and tandem-queue processes are vectorized natively;
+``register_batch_z`` vectorizes the state evaluations value functions
+are built from.
 """
 
 from .core import (ConfidenceIntervalTarget, DurabilityEstimate,
@@ -28,7 +55,7 @@ from .core import (ConfidenceIntervalTarget, DurabilityEstimate,
                    balanced_growth_partition, cross_entropy_tilt,
                    run_parallel_mlss)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConfidenceIntervalTarget", "DurabilityEstimate", "DurabilityQuery",

@@ -7,7 +7,8 @@ from .balanced import balanced_growth_partition, pilot_max_values
 from .bootstrap import BootstrapResult, bootstrap_variance
 from .engine import answer_durability_query
 from .estimates import DurabilityEstimate, TracePoint
-from .forest import ForestRunner, LevelPlanError
+from .forest import (ForestRunner, LevelPlanError, VectorizedForestRunner,
+                     validate_plan)
 from .gmlss import (GMLSSSampler, gmlss_estimate_from_totals,
                     gmlss_pi_hats, gmlss_point_estimate)
 from .greedy import GreedyResult, adaptive_greedy_partition
@@ -18,10 +19,11 @@ from .parallel import run_parallel_mlss
 from .quality import (ConfidenceIntervalTarget, NeverTarget, QualityTarget,
                       RelativeErrorTarget)
 from .records import ForestAggregate, RootRecord
-from .smlss import SMLSSSampler, smlss_point_estimate, smlss_variance
+from .smlss import (SMLSSSampler, make_forest_runner, smlss_point_estimate,
+                    smlss_variance)
 from .srs import SRSSampler, srs_variance
 from .value_functions import (TARGET_VALUE, DurabilityQuery,
-                              ThresholdValueFunction)
+                              ThresholdValueFunction, batch_values)
 from .variance import (balanced_advancement_probability,
                        balanced_growth_variance, optimal_num_levels,
                        srs_variance_formula, suggest_ratios,
@@ -33,13 +35,16 @@ __all__ = [
     "GreedyResult", "ISSampler", "LevelPartition", "LevelPlanError",
     "NeverTarget", "PlanTrial", "QualityTarget", "RelativeErrorTarget",
     "RootRecord", "SMLSSSampler", "SRSSampler", "TARGET_VALUE",
-    "ThresholdValueFunction", "TracePoint", "adaptive_greedy_partition",
-    "answer_durability_query", "balanced_advancement_probability",
-    "balanced_growth_partition", "balanced_growth_variance",
+    "ThresholdValueFunction", "TracePoint", "VectorizedForestRunner",
+    "adaptive_greedy_partition", "answer_durability_query",
+    "balanced_advancement_probability", "balanced_growth_partition",
+    "balanced_growth_variance", "batch_values",
     "bootstrap_variance", "cross_entropy_tilt", "evaluate_partition",
     "gmlss_estimate_from_totals", "gmlss_pi_hats", "gmlss_point_estimate",
-    "hitting_probability", "hitting_time_distribution", "normalize_ratios",
+    "hitting_probability", "hitting_time_distribution",
+    "make_forest_runner", "normalize_ratios",
     "optimal_num_levels", "pilot_max_values", "pool_trials",
+    "validate_plan",
     "random_walk_hitting_probability", "run_parallel_mlss",
     "smlss_point_estimate", "smlss_variance", "srs_relative_error",
     "srs_required_paths", "srs_variance", "srs_variance_formula",

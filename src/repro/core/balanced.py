@@ -22,19 +22,26 @@ import math
 import random
 from typing import Callable, Optional, Sequence
 
+import numpy as np
+
+from ..processes.base import as_vectorized, resolve_backend
 from .levels import LevelPartition
-from .value_functions import TARGET_VALUE, DurabilityQuery
+from .value_functions import TARGET_VALUE, DurabilityQuery, batch_values
 from .variance import balanced_boundaries_from_survival
 
 
 def pilot_max_values(query: DurabilityQuery, n_paths: int = 2000,
-                     seed: Optional[int] = None) -> list:
+                     seed: Optional[int] = None,
+                     backend: str = "scalar") -> list:
     """Max value-function score per SRS pilot path (sorted ascending).
 
-    Paths stop early once they hit the target (their max is 1).
+    Paths stop early once they hit the target (their max is 1).  The
+    vectorized backend runs the whole pilot as one path cohort.
     """
     if n_paths < 1:
         raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    if resolve_backend(backend, query.process) == "vectorized":
+        return _pilot_max_values_vectorized(query, n_paths, seed)
     rng = random.Random(seed)
     process = query.process
     value_fn = query.value_function
@@ -53,6 +60,37 @@ def pilot_max_values(query: DurabilityQuery, n_paths: int = 2000,
                 if best >= TARGET_VALUE:
                     break
         maxima.append(min(best, TARGET_VALUE))
+    maxima.sort()
+    return maxima
+
+
+def _pilot_max_values_vectorized(query: DurabilityQuery, n_paths: int,
+                                 seed: Optional[int]) -> list:
+    """Batched pilot: track the running max score of every live path."""
+    rng = np.random.default_rng(seed)
+    process = as_vectorized(query.process)
+    value_fn = query.value_function
+    horizon = query.horizon
+
+    states = process.initial_states(n_paths)
+    best = np.minimum(batch_values(value_fn, states, 0), TARGET_VALUE)
+    n_hit = int(np.count_nonzero(best >= TARGET_VALUE))
+    alive = best < TARGET_VALUE
+    states, best = states[alive], best[alive]
+    maxima = []
+    for t in range(1, horizon + 1):
+        if not len(states):
+            break
+        states = process.step_batch(states, t, rng)
+        best = np.maximum(best, batch_values(value_fn, states, t))
+        hit = best >= TARGET_VALUE
+        count = int(np.count_nonzero(hit))
+        if count:
+            n_hit += count
+            keep = ~hit
+            states, best = states[keep], best[keep]
+    maxima.extend(best.tolist())
+    maxima.extend([TARGET_VALUE] * n_hit)
     maxima.sort()
     return maxima
 
@@ -132,7 +170,8 @@ def hybrid_survival(maxima: Sequence[float],
 
 def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
                               pilot_paths: int = 2000,
-                              seed: Optional[int] = None) -> LevelPartition:
+                              seed: Optional[int] = None,
+                              backend: str = "scalar") -> LevelPartition:
     """Build an (approximately) balanced-growth plan with ``m`` levels.
 
     This is the automated stand-in for the paper's manually tuned
@@ -144,7 +183,8 @@ def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
         raise ValueError(f"num_levels must be >= 1, got {num_levels}")
     if num_levels == 1:
         return LevelPartition()
-    maxima = pilot_max_values(query, n_paths=pilot_paths, seed=seed)
+    maxima = pilot_max_values(query, n_paths=pilot_paths, seed=seed,
+                              backend=backend)
     survival = hybrid_survival(maxima)
     tau = survival(TARGET_VALUE)
     if tau >= 1.0:

@@ -13,12 +13,23 @@ guarantee.  Methods:
 
 When a partition is supplied it is pruned so every boundary exceeds the
 initial state's value (a requirement of the splitting bookkeeping).
+
+Orthogonally to the method, ``backend`` selects how the simulation
+itself runs: ``"auto"`` (default) uses the NumPy batch backend whenever
+the process implements :class:`repro.processes.base.VectorizedProcess`
+and the scalar per-path loop otherwise; ``"vectorized"`` forces
+batching (falling back to a ``ScalarFallback`` wrapper for scalar-only
+processes) and ``"scalar"`` forces the original loop.  The resolved
+backend drives the sampler *and* the pilot runs of the plan search, and
+changes only the order of independent random draws — never the
+distribution of the estimate.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..processes.base import resolve_backend
 from .balanced import balanced_growth_partition
 from .estimates import DurabilityEstimate
 from .gmlss import GMLSSSampler
@@ -36,10 +47,13 @@ def resolve_partition(query: DurabilityQuery,
                       partition: Optional[LevelPartition],
                       num_levels: Optional[int],
                       ratio, trial_steps: int,
-                      seed: Optional[int]):
+                      seed: Optional[int],
+                      backend: str = "scalar"):
     """Choose the level plan: explicit > balanced pilot > greedy search.
 
-    Returns ``(partition, search_details_or_None)``.
+    Returns ``(partition, search_details_or_None)``.  Pilot simulations
+    (balanced-growth pilots and greedy candidate trials) run on the
+    requested backend.
     """
     initial_value = query.initial_value()
     if partition is not None:
@@ -47,10 +61,12 @@ def resolve_partition(query: DurabilityQuery,
     if num_levels is not None:
         plan = balanced_growth_partition(
             query, num_levels, pilot_paths=max(trial_steps // query.horizon,
-                                               200), seed=seed)
+                                               200), seed=seed,
+            backend=backend)
         return plan, None
     result = adaptive_greedy_partition(
-        query, ratio=ratio, trial_steps=trial_steps, seed=seed)
+        query, ratio=ratio, trial_steps=trial_steps, seed=seed,
+        backend=backend)
     details = {
         "search_steps": result.search_steps,
         "search_rounds": result.num_rounds,
@@ -73,6 +89,7 @@ def answer_durability_query(
         seed: Optional[int] = None,
         trial_steps: int = 20000,
         record_trace: bool = False,
+        backend: str = "auto",
         sampler_options: Optional[dict] = None) -> DurabilityEstimate:
     """Answer ``Q(q, s)`` with the requested method and stopping rule.
 
@@ -93,23 +110,36 @@ def answer_durability_query(
         least one must be given.
     trial_steps:
         Per-trial budget of the greedy search (when it runs).
+    backend:
+        Simulation backend: ``"auto"`` (default; vectorized when the
+        process supports batching, scalar otherwise), ``"vectorized"``,
+        or ``"scalar"``.  Applies to the sampler and to plan-search
+        pilot runs alike.
     sampler_options:
         Extra keyword arguments for the chosen sampler's constructor.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    backend = resolve_backend(backend, query.process)
     options = dict(sampler_options or {})
     options.setdefault("record_trace", record_trace)
+    options.setdefault("backend", backend)
+    # A sampler_options override may pick a different backend than the
+    # engine-level argument; report what the sampler actually ran.
+    sampler_backend = resolve_backend(options["backend"], query.process)
 
     if method == "srs":
         sampler = SRSSampler(**options)
-        return sampler.run(query, quality=quality, max_steps=max_steps,
-                           max_roots=max_roots, seed=seed)
+        estimate = sampler.run(query, quality=quality, max_steps=max_steps,
+                               max_roots=max_roots, seed=seed)
+        estimate.details["backend"] = sampler_backend
+        return estimate
 
     search_details = None
     if method in ("smlss", "gmlss", "auto"):
         partition, search_details = resolve_partition(
-            query, partition, num_levels, ratio, trial_steps, seed)
+            query, partition, num_levels, ratio, trial_steps, seed,
+            backend=backend)
 
     if method == "smlss":
         sampler = SMLSSSampler(partition, ratio=ratio, **options)
@@ -117,6 +147,7 @@ def answer_durability_query(
         sampler = GMLSSSampler(partition, ratio=ratio, **options)
     estimate = sampler.run(query, quality=quality, max_steps=max_steps,
                            max_roots=max_roots, seed=seed)
+    estimate.details["backend"] = sampler_backend
     if search_details is not None:
         estimate.details["plan_search"] = search_details
     return estimate

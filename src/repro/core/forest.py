@@ -22,19 +22,51 @@ Bookkeeping per path (born at level ``b``):
 
 The simulation is iterative (explicit stack), so deep level hierarchies
 cannot overflow Python's recursion limit.
+
+Two runners produce identical bookkeeping:
+
+* :class:`ForestRunner` — the scalar reference: one path at a time,
+  depth-first over the splitting tree.
+* :class:`VectorizedForestRunner` — the batched backend: a whole cohort
+  of root trees advances breadth-first in time, every live path (roots
+  and offspring alike) stepping through one ``step_batch`` call per time
+  index.  Splitting events are processed per event — rare next to steps
+  — so the hot loop stays NumPy-level.  Per-root counters are collected
+  into the same :class:`RootRecord` objects, so the estimators and the
+  bootstrap cannot tell the backends apart.
 """
 
 from __future__ import annotations
 
 import random
 
+import numpy as np
+
+from ..processes.base import as_vectorized
 from .levels import LevelPartition, normalize_ratios
 from .records import RootRecord
-from .value_functions import TARGET_VALUE, DurabilityQuery
+from .value_functions import TARGET_VALUE, DurabilityQuery, batch_values
 
 
 class LevelPlanError(ValueError):
     """Raised when a partition plan is inconsistent with the query."""
+
+
+def validate_plan(query: DurabilityQuery,
+                  partition: LevelPartition) -> None:
+    """Check a partition plan is usable for the query's initial state."""
+    initial_value = query.initial_value()
+    if initial_value >= TARGET_VALUE:
+        raise LevelPlanError(
+            "initial state already satisfies the query; the answer "
+            "is trivially 1"
+        )
+    if partition.boundaries and partition.boundaries[0] <= initial_value:
+        raise LevelPlanError(
+            f"boundary {partition.boundaries[0]} does not exceed the "
+            f"initial state's value {initial_value}; prune the plan "
+            f"with partition.pruned_above(initial_value)"
+        )
 
 
 class ForestRunner:
@@ -57,18 +89,7 @@ class ForestRunner:
 
     def __init__(self, query: DurabilityQuery, partition: LevelPartition,
                  ratios, rng: random.Random):
-        initial_value = query.initial_value()
-        if initial_value >= TARGET_VALUE:
-            raise LevelPlanError(
-                "initial state already satisfies the query; the answer "
-                "is trivially 1"
-            )
-        if partition.boundaries and partition.boundaries[0] <= initial_value:
-            raise LevelPlanError(
-                f"boundary {partition.boundaries[0]} does not exceed the "
-                f"initial state's value {initial_value}; prune the plan "
-                f"with partition.pruned_above(initial_value)"
-            )
+        validate_plan(query, partition)
         self.query = query
         self.partition = partition
         self.ratios = normalize_ratios(ratios, partition.num_levels)
@@ -144,3 +165,160 @@ class ForestRunner:
         if n_roots < 0:
             raise ValueError(f"n_roots must be >= 0, got {n_roots}")
         return [self.run_root() for _ in range(n_roots)]
+
+    def accumulate(self, aggregate, batch_roots: int,
+                   max_steps=None, max_roots=None) -> bool:
+        """Fold up to ``batch_roots`` more trees into ``aggregate``.
+
+        Budgets are checked before every tree; returns True once a
+        budget is exhausted (the sampler's signal to stop).
+        """
+        for _ in range(batch_roots):
+            if max_roots is not None and aggregate.n_roots >= max_roots:
+                return True
+            if max_steps is not None and aggregate.steps >= max_steps:
+                return True
+            aggregate.add(self.run_root())
+        return False
+
+
+class VectorizedForestRunner:
+    """Batched splitting-forest simulation over a vectorized process.
+
+    Simulates whole *cohorts* of root trees in lock-step: at each time
+    index every live path — root segments and all spawned offspring —
+    advances through one :meth:`VectorizedProcess.step_batch` call.
+    Offspring spawned at time ``t`` join the frontier and take their
+    first step at ``t + 1``, exactly as in the scalar runner; only the
+    interleaving of independent random draws differs, so all counter
+    distributions are unchanged.
+
+    Parameters match :class:`ForestRunner` except that ``rng`` is a
+    :class:`numpy.random.Generator`.  Non-vectorized processes are
+    wrapped in a :class:`~repro.processes.base.ScalarFallback`
+    automatically, which keeps results correct (if not faster).
+    """
+
+    def __init__(self, query: DurabilityQuery, partition: LevelPartition,
+                 ratios, rng: np.random.Generator):
+        validate_plan(query, partition)
+        self.query = query
+        self.partition = partition
+        self.ratios = normalize_ratios(ratios, partition.num_levels)
+        self.rng = rng
+        self.process = as_vectorized(query.process)
+        self._bounds = np.asarray(partition.boundaries, dtype=np.float64)
+
+    def run_cohort(self, n_roots: int) -> list:
+        """Simulate ``n_roots`` root trees; one :class:`RootRecord` each."""
+        if n_roots < 0:
+            raise ValueError(f"n_roots must be >= 0, got {n_roots}")
+        if n_roots == 0:
+            return []
+        process = self.process
+        value_fn = self.query.value_function
+        horizon = self.query.horizon
+        num_levels = self.partition.num_levels
+        bounds = self._bounds
+        ratios = self.ratios
+        rng = self.rng
+
+        records = [RootRecord(num_levels) for _ in range(n_roots)]
+        steps_per_root = np.zeros(n_roots, dtype=np.int64)
+        # Per-split crossing counters: splits[slot] = [root, level, crossed].
+        splits = []
+
+        # Frontier arrays, one entry per live path segment.
+        states = process.initial_states(n_roots)
+        roots = np.arange(n_roots)
+        born = np.zeros(n_roots, dtype=np.int64)
+        parents = np.full(n_roots, -1, dtype=np.int64)
+
+        for t in range(1, horizon + 1):
+            if not len(roots):
+                break
+            states = process.step_batch(states, t, rng)
+            steps_per_root += np.bincount(roots, minlength=n_roots)
+            values = batch_values(value_fn, states, t)
+            hit = values >= TARGET_VALUE
+            levels = np.searchsorted(bounds, values, side="right")
+            promoted = ~hit & (levels > born)
+            event = hit | promoted
+            if not event.any():
+                continue
+
+            # Events (hits and promotions) are rare relative to steps;
+            # handle them path by path while the frontier stays batched.
+            spawn_rows, spawn_slots, spawn_levels = [], [], []
+            for i in np.nonzero(event)[0]:
+                record = records[roots[i]]
+                level_born = born[i]
+                if hit[i]:
+                    record.hits += 1
+                    for k in range(level_born + 1, num_levels):
+                        record.skips[k] += 1
+                else:
+                    level = int(levels[i])
+                    for k in range(level_born + 1, level):
+                        record.skips[k] += 1
+                    record.landings[level] += 1
+                    slot = len(splits)
+                    splits.append([roots[i], level, 0])
+                    if t < horizon:
+                        spawn_rows.append(i)
+                        spawn_slots.append(slot)
+                        spawn_levels.append(level)
+                    # Landing exactly at the horizon leaves the offspring
+                    # no time: mu(h) = 0, recorded implicitly by the
+                    # split having zero crossings.
+                # Either way the path crossed its birth level's upper
+                # boundary, which feeds its parent split's counter.
+                parent = parents[i]
+                if parent >= 0:
+                    splits[parent][2] += 1
+
+            survivors = ~event
+            if spawn_rows:
+                counts = np.asarray([ratios[lv] for lv in spawn_levels])
+                offspring = process.replicate(states, spawn_rows, counts)
+                states = np.concatenate([states[survivors], offspring])
+                roots = np.concatenate(
+                    [roots[survivors],
+                     np.repeat(roots[spawn_rows], counts)])
+                born = np.concatenate(
+                    [born[survivors], np.repeat(spawn_levels, counts)])
+                parents = np.concatenate(
+                    [parents[survivors], np.repeat(spawn_slots, counts)])
+            else:
+                states = states[survivors]
+                roots = roots[survivors]
+                born = born[survivors]
+                parents = parents[survivors]
+
+        for root, level, crossed in splits:
+            records[root].crossings[level] += crossed
+        for root, record in enumerate(records):
+            record.steps = int(steps_per_root[root])
+        return records
+
+    def accumulate(self, aggregate, batch_roots: int,
+                   max_steps=None, max_roots=None) -> bool:
+        """Fold up to ``batch_roots`` more trees into ``aggregate``.
+
+        Budgets are enforced at cohort granularity: every started tree
+        runs to completion (truncating would bias the counters), so
+        ``max_steps`` can overshoot by at most one cohort.  Returns True
+        once a budget is exhausted.
+        """
+        cohort = batch_roots
+        if max_roots is not None:
+            cohort = min(cohort, max_roots - aggregate.n_roots)
+        if max_steps is not None and aggregate.steps >= max_steps:
+            return True
+        if cohort <= 0:
+            return True
+        aggregate.extend(self.run_cohort(cohort))
+        return ((max_roots is not None
+                 and aggregate.n_roots >= max_roots)
+                or (max_steps is not None
+                    and aggregate.steps >= max_steps))

@@ -32,10 +32,10 @@ from typing import Optional, Sequence
 
 from .bootstrap import bootstrap_variance
 from .estimates import DurabilityEstimate, TracePoint
-from .forest import ForestRunner
 from .levels import LevelPartition, normalize_ratios
 from .quality import QualityTarget
 from .records import ForestAggregate
+from .smlss import make_forest_runner
 from .value_functions import DurabilityQuery
 
 
@@ -118,6 +118,9 @@ class GMLSSSampler:
         ``check_growth`` — the "conservative bootstrapping" policy.
     record_trace:
         Record convergence snapshots (taken at bootstrap evaluations).
+    backend:
+        ``"scalar"`` (default), ``"vectorized"``, or ``"auto"``
+        (vectorized exactly when the process supports batching).
     """
 
     method_name = "gmlss"
@@ -125,7 +128,7 @@ class GMLSSSampler:
     def __init__(self, partition: LevelPartition, ratio=3,
                  batch_roots: int = 100, bootstrap_rounds: int = 200,
                  first_check_roots: int = 200, check_growth: float = 1.5,
-                 record_trace: bool = False):
+                 record_trace: bool = False, backend: str = "scalar"):
         if batch_roots < 1:
             raise ValueError(f"batch_roots must be >= 1, got {batch_roots}")
         if bootstrap_rounds < 2:
@@ -143,6 +146,7 @@ class GMLSSSampler:
         self.first_check_roots = first_check_roots
         self.check_growth = check_growth
         self.record_trace = record_trace
+        self.backend = backend
 
     def run(self, query: DurabilityQuery,
             quality: Optional[QualityTarget] = None,
@@ -156,7 +160,8 @@ class GMLSSSampler:
             )
         rng = random.Random(seed)
         boot_seed = rng.randrange(2 ** 31)
-        runner = ForestRunner(query, self.partition, self.ratios, rng)
+        runner = make_forest_runner(self.backend, query, self.partition,
+                                    self.ratios, seed, scalar_rng=rng)
         aggregate = ForestAggregate(self.partition.num_levels)
         trace = []
         bootstrap_seconds = 0.0
@@ -178,14 +183,11 @@ class GMLSSSampler:
 
         done = False
         while not done:
-            for _ in range(self.batch_roots):
-                if max_roots is not None and aggregate.n_roots >= max_roots:
-                    done = True
-                    break
-                if max_steps is not None and aggregate.steps >= max_steps:
-                    done = True
-                    break
-                aggregate.add(runner.run_root())
+            roots_before = aggregate.n_roots
+            done = runner.accumulate(aggregate, self.batch_roots,
+                                     max_steps=max_steps,
+                                     max_roots=max_roots)
+            if aggregate.n_roots > roots_before:
                 variance_fresh = False
             if aggregate.n_roots == 0:
                 break

@@ -80,7 +80,8 @@ def adaptive_greedy_partition(query: DurabilityQuery, ratio=3,
                               trial_steps: int = 20000,
                               candidates_per_round: int = 5,
                               max_rounds: int = 10,
-                              seed: Optional[int] = None) -> GreedyResult:
+                              seed: Optional[int] = None,
+                              backend: str = "scalar") -> GreedyResult:
     """Algorithm 1: search for a (near-)optimal partition plan.
 
     Parameters
@@ -97,6 +98,10 @@ def adaptive_greedy_partition(query: DurabilityQuery, ratio=3,
         Number of candidate boundaries generated per round.
     max_rounds:
         Hard cap on rounds (each successful round adds one boundary).
+    backend:
+        Simulation backend for the candidate trials — ``"scalar"``,
+        ``"vectorized"``, or ``"auto"`` (see
+        :func:`repro.processes.base.resolve_backend`).
     """
     rng = random.Random(seed)
     initial_value = query.initial_value()
@@ -116,7 +121,7 @@ def adaptive_greedy_partition(query: DurabilityQuery, ratio=3,
         for value in candidates:
             trial = evaluate_partition(
                 query, plan.with_boundary(value), ratio=ratio,
-                trial_steps=trial_steps, rng=rng)
+                trial_steps=trial_steps, rng=rng, backend=backend)
             trials.append(trial)
             search_steps += trial.steps
         scored = sorted(zip(trials, candidates),

@@ -25,12 +25,38 @@ import random
 import time
 from typing import Optional
 
+import numpy as np
+
+from ..processes.base import resolve_backend
 from .estimates import DurabilityEstimate, TracePoint
-from .forest import ForestRunner
+from .forest import ForestRunner, VectorizedForestRunner
 from .levels import LevelPartition, normalize_ratios
 from .quality import QualityTarget
 from .records import ForestAggregate
 from .value_functions import DurabilityQuery
+
+
+def make_forest_runner(backend: str, query: DurabilityQuery,
+                       partition: LevelPartition, ratios,
+                       seed: Optional[int],
+                       scalar_rng: Optional[random.Random] = None):
+    """Build the forest runner for a resolved backend.
+
+    ``"vectorized"`` drives whole cohorts through
+    :class:`VectorizedForestRunner` (with a NumPy generator);
+    ``"scalar"`` keeps the original per-path runner, reusing
+    ``scalar_rng`` when the caller already owns a stream (so scalar
+    results stay bit-identical to the pre-backend code).  Both runners
+    expose the same ``accumulate`` interface, so samplers are
+    backend-agnostic past this point.
+    """
+    backend = resolve_backend(backend, query.process)
+    if backend == "vectorized":
+        return VectorizedForestRunner(query, partition, ratios,
+                                      np.random.default_rng(seed))
+    return ForestRunner(query, partition, ratios,
+                        scalar_rng if scalar_rng is not None
+                        else random.Random(seed))
 
 
 def ratio_product(ratios: tuple) -> int:
@@ -66,21 +92,27 @@ class SMLSSSampler:
         Fixed splitting ratio ``r`` (paper default 3) or per-level
         ratios.
     batch_roots:
-        Root trees between stopping-rule checks.
+        Root trees between stopping-rule checks (and the cohort size of
+        the vectorized backend).
     record_trace:
         Record convergence snapshots in ``details["trace"]``.
+    backend:
+        ``"scalar"`` (default), ``"vectorized"``, or ``"auto"``
+        (vectorized exactly when the process supports batching).
     """
 
     method_name = "smlss"
 
     def __init__(self, partition: LevelPartition, ratio=3,
-                 batch_roots: int = 100, record_trace: bool = False):
+                 batch_roots: int = 100, record_trace: bool = False,
+                 backend: str = "scalar"):
         if batch_roots < 1:
             raise ValueError(f"batch_roots must be >= 1, got {batch_roots}")
         self.partition = partition
         self.ratios = normalize_ratios(ratio, partition.num_levels)
         self.batch_roots = batch_roots
         self.record_trace = record_trace
+        self.backend = backend
 
     def run(self, query: DurabilityQuery,
             quality: Optional[QualityTarget] = None,
@@ -92,22 +124,17 @@ class SMLSSSampler:
                 "provide a quality target, max_steps or max_roots; "
                 "otherwise the sampler would never stop"
             )
-        rng = random.Random(seed)
-        runner = ForestRunner(query, self.partition, self.ratios, rng)
+        runner = make_forest_runner(self.backend, query, self.partition,
+                                    self.ratios, seed)
         aggregate = ForestAggregate(self.partition.num_levels)
         trace = []
         started = time.perf_counter()
 
         done = False
         while not done:
-            for _ in range(self.batch_roots):
-                if max_roots is not None and aggregate.n_roots >= max_roots:
-                    done = True
-                    break
-                if max_steps is not None and aggregate.steps >= max_steps:
-                    done = True
-                    break
-                aggregate.add(runner.run_root())
+            done = runner.accumulate(aggregate, self.batch_roots,
+                                     max_steps=max_steps,
+                                     max_roots=max_roots)
             if done or aggregate.n_roots == 0:
                 break
             probability = smlss_point_estimate(aggregate, self.ratios)

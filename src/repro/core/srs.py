@@ -9,6 +9,18 @@ fraction:
 A path stops as soon as it hits the target (the durability query only
 asks about the *first* hitting time), so the cost of a successful path
 is its hitting time, not the full horizon.
+
+Two interchangeable backends run the simulation:
+
+* ``"scalar"`` — the original per-path Python loop (works for any
+  process);
+* ``"vectorized"`` — whole cohorts of paths advance through
+  :meth:`VectorizedProcess.step_batch` array operations; paths that hit
+  the target drop out of the batch, so early stopping is preserved.
+
+Both count cost identically (one ``g`` invocation per live path per
+step) and sample the same distribution — batching merely reorders
+independent draws — so estimates from either backend are exchangeable.
 """
 
 from __future__ import annotations
@@ -17,9 +29,12 @@ import random
 import time
 from typing import Optional
 
+import numpy as np
+
+from ..processes.base import as_vectorized, resolve_backend
 from .estimates import DurabilityEstimate, TracePoint
 from .quality import QualityTarget
-from .value_functions import TARGET_VALUE, DurabilityQuery
+from .value_functions import TARGET_VALUE, DurabilityQuery, batch_values
 
 
 def srs_variance(probability: float, n_paths: int) -> float:
@@ -35,20 +50,28 @@ class SRSSampler:
     Parameters
     ----------
     batch_roots:
-        Number of paths to simulate between stopping-rule checks.
+        Number of paths to simulate between stopping-rule checks (and
+        the cohort size of the vectorized backend).
     record_trace:
         When True, a :class:`TracePoint` is recorded at every check;
         the trace lands in ``estimate.details["trace"]`` (used for the
         convergence study, Figure 8).
+    backend:
+        ``"scalar"`` (default), ``"vectorized"``, or ``"auto"``
+        (vectorized exactly when the process natively supports
+        batching).  The engine resolves ``"auto"`` before constructing
+        samplers.
     """
 
     method_name = "srs"
 
-    def __init__(self, batch_roots: int = 500, record_trace: bool = False):
+    def __init__(self, batch_roots: int = 500, record_trace: bool = False,
+                 backend: str = "scalar"):
         if batch_roots < 1:
             raise ValueError(f"batch_roots must be >= 1, got {batch_roots}")
         self.batch_roots = batch_roots
         self.record_trace = record_trace
+        self.backend = backend
 
     def run(self, query: DurabilityQuery,
             quality: Optional[QualityTarget] = None,
@@ -61,6 +84,10 @@ class SRSSampler:
                 "provide a quality target, max_steps or max_roots; "
                 "otherwise the sampler would never stop"
             )
+        if resolve_backend(self.backend, query.process) == "vectorized":
+            return self._run_vectorized(query, quality=quality,
+                                        max_steps=max_steps,
+                                        max_roots=max_roots, seed=seed)
         rng = random.Random(seed)
         process = query.process
         step = process.step
@@ -105,6 +132,81 @@ class SRSSampler:
                 n_paths += 1
             if done or n_paths == 0:
                 break
+            probability = hits / n_paths
+            variance = srs_variance(probability, n_paths)
+            if self.record_trace:
+                trace.append(TracePoint(
+                    steps=steps,
+                    elapsed_seconds=time.perf_counter() - started,
+                    probability=probability, variance=variance,
+                    n_roots=n_paths, hits=hits,
+                ))
+            if quality is not None and quality.is_met(
+                    probability, variance, hits, n_paths):
+                break
+
+        return make_estimate()
+
+    def _run_vectorized(self, query: DurabilityQuery,
+                        quality: Optional[QualityTarget],
+                        max_steps: Optional[int],
+                        max_roots: Optional[int],
+                        seed: Optional[int]) -> DurabilityEstimate:
+        """Cohorts of paths advance as NumPy batches between checks.
+
+        Budgets are enforced at cohort granularity: every started path
+        runs to its hit or the horizon (truncating mid-flight would bias
+        the hit fraction), so ``max_steps`` can be overshot by at most
+        one cohort.  The cohort is shrunk when the remaining budget
+        cannot fill it, keeping that overshoot small.
+        """
+        rng = np.random.default_rng(seed)
+        process = as_vectorized(query.process)
+        value_fn = query.value_function
+        horizon = query.horizon
+
+        n_paths = 0
+        hits = 0
+        steps = 0
+        trace = []
+        started = time.perf_counter()
+
+        def make_estimate() -> DurabilityEstimate:
+            probability = hits / n_paths if n_paths else 0.0
+            return DurabilityEstimate(
+                probability=probability,
+                variance=srs_variance(probability, n_paths),
+                n_roots=n_paths, hits=hits, steps=steps,
+                method=self.method_name,
+                elapsed_seconds=time.perf_counter() - started,
+                details={"trace": trace} if self.record_trace else {},
+            )
+
+        while True:
+            cohort = self.batch_roots
+            if max_roots is not None:
+                cohort = min(cohort, max_roots - n_paths)
+            if max_steps is not None:
+                if steps >= max_steps:
+                    break
+                cohort = min(cohort, (max_steps - steps) // horizon + 1)
+            if cohort <= 0:
+                break
+
+            states = process.initial_states(cohort)
+            t = 0
+            while t < horizon and len(states):
+                t += 1
+                states = process.step_batch(states, t, rng)
+                steps += len(states)
+                values = batch_values(value_fn, states, t)
+                hit = values >= TARGET_VALUE
+                n_hit = int(np.count_nonzero(hit))
+                if n_hit:
+                    hits += n_hit
+                    states = states[~hit]
+            n_paths += cohort
+
             probability = hits / n_paths
             variance = srs_variance(probability, n_paths)
             if self.record_trace:

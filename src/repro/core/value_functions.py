@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..processes.base import State, StochasticProcess
+import numpy as np
+
+from ..processes.base import State, StochasticProcess, batch_z_values
 
 # A value function maps (state, t) to a score; >= 1.0 means the query
 # condition is satisfied.
@@ -27,6 +29,21 @@ ValueFunction = Callable[[State, int], float]
 
 #: Scores at or above this value count as hitting the query target.
 TARGET_VALUE = 1.0
+
+
+def batch_values(value_fn: ValueFunction, states: np.ndarray,
+                 t: int) -> np.ndarray:
+    """Evaluate a value function over a whole state array at time ``t``.
+
+    Uses the value function's ``batch`` method when it has one (e.g.
+    :meth:`ThresholdValueFunction.batch`); otherwise falls back to a
+    row-wise scalar loop, which is always correct — the simulation side
+    stays batched either way.
+    """
+    batch = getattr(value_fn, "batch", None)
+    if batch is not None:
+        return np.asarray(batch(states, t), dtype=np.float64)
+    return np.asarray([value_fn(s, t) for s in states], dtype=np.float64)
 
 
 class ThresholdValueFunction:
@@ -54,6 +71,17 @@ class ThresholdValueFunction:
         if ratio <= 0.0:
             return 0.0
         return ratio
+
+    def batch(self, states: np.ndarray, t: int) -> np.ndarray:
+        """Vectorized evaluation: one score per state-array row.
+
+        ``z`` is vectorized through :func:`repro.processes.base.
+        batch_z_values` (explicit ``z.batch`` attribute, the
+        ``register_batch_z`` registry, or a row-wise fallback); the
+        clamp is element-wise identical to the scalar ``__call__``.
+        """
+        ratios = batch_z_values(self.z, states) / self.beta
+        return np.clip(ratios, 0.0, TARGET_VALUE)
 
     def __repr__(self) -> str:
         z_name = getattr(self.z, "__qualname__", repr(self.z))

@@ -1,7 +1,10 @@
 """Simulation models: the substrates the paper evaluates MLSS on."""
 
 from .ar import ARProcess
-from .base import ImmutableStateProcess, StochasticProcess, simulate_path
+from .base import (ImmutableStateProcess, ScalarFallback, StochasticProcess,
+                   VectorizedProcess, as_vectorized, batch_z_values,
+                   register_batch_z, resolve_backend, simulate_path,
+                   supports_batch)
 from .cpp import CompoundPoissonProcess, poisson_variate
 from .gbm import GBMProcess, log_returns, synthetic_stock_series
 from .markov_chain import MarkovChainProcess, birth_death_chain
@@ -12,8 +15,10 @@ from .volatile import ImpulseProcess, volatile_cpp, volatile_queue
 __all__ = [
     "ARProcess", "CompoundPoissonProcess", "GBMProcess",
     "GaussianWalkProcess", "ImmutableStateProcess", "ImpulseProcess",
-    "MarkovChainProcess", "RandomWalkProcess", "StochasticProcess",
-    "TandemQueueProcess", "birth_death_chain", "log_returns",
-    "poisson_variate", "simulate_path", "synthetic_stock_series",
+    "MarkovChainProcess", "RandomWalkProcess", "ScalarFallback",
+    "StochasticProcess", "TandemQueueProcess", "VectorizedProcess",
+    "as_vectorized", "batch_z_values", "birth_death_chain", "log_returns",
+    "poisson_variate", "register_batch_z", "resolve_backend",
+    "simulate_path", "supports_batch", "synthetic_stock_series",
     "volatile_cpp", "volatile_queue",
 ]

@@ -14,10 +14,12 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
-from .base import ImmutableStateProcess
+import numpy as np
+
+from .base import ImmutableStateProcess, VectorizedProcess, register_batch_z
 
 
-class ARProcess(ImmutableStateProcess):
+class ARProcess(ImmutableStateProcess, VectorizedProcess):
     """AR(m) model with Gaussian innovations.
 
     Parameters
@@ -50,6 +52,7 @@ class ARProcess(ImmutableStateProcess):
         self.coefficients = coeffs
         self.sigma = sigma
         self._initial = init
+        self._coeff_array = np.asarray(coeffs, dtype=np.float64)
 
     @property
     def order(self) -> int:
@@ -64,6 +67,17 @@ class ARProcess(ImmutableStateProcess):
             value += phi * past
         # Shift the window: newest value first.
         return (value,) + state[:-1]
+
+    def initial_states(self, n: int) -> np.ndarray:
+        """State array of shape ``(n, m)``: one lag window per row."""
+        return np.tile(np.asarray(self._initial, dtype=np.float64), (n, 1))
+
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator) -> np.ndarray:
+        values = states @ self._coeff_array
+        values += rng.normal(0.0, self.sigma, len(states))
+        # Shift each window: newest value first.
+        return np.concatenate([values[:, None], states[:, :-1]], axis=1)
 
     def apply_impulse(self, state: tuple, magnitude: float) -> tuple:
         return (state[0] + magnitude,) + state[1:]
@@ -83,3 +97,14 @@ class ARProcess(ImmutableStateProcess):
     def current_value(state: tuple) -> float:
         """Real-valued evaluation ``z`` of a state: the latest value."""
         return float(state[0])
+
+
+def _current_values(states: np.ndarray) -> np.ndarray:
+    # Object arrays (ScalarFallback wrapping, e.g. an impulse-decorated
+    # AR process) hold tuple states; unpack before the column read.
+    rows = np.asarray([tuple(s) for s in states]) \
+        if states.dtype == object else states
+    return rows[:, 0].astype(np.float64)
+
+
+register_batch_z(ARProcess.current_value, _current_values)

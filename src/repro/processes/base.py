@@ -1,4 +1,4 @@
-"""Abstract interface for step-wise simulation models.
+"""Abstract interfaces for step-wise simulation models.
 
 The paper (Section 2.1) assumes only that the predictive model exposes a
 step-wise simulation procedure ``g``: given the states up to time ``t - 1``
@@ -16,6 +16,32 @@ samplers in :mod:`repro.core` interact with models exclusively through
 
 Cost is accounted as the number of ``step`` invocations, matching the
 paper's cost model ("total number of invocations of g").
+
+Batched simulation
+------------------
+
+The scalar contract dispatches one Python call per path per step, which
+dominates the runtime of every sampler.  :class:`VectorizedProcess` is
+the batched counterpart: a *state array* holds one state per row, and
+
+* :meth:`VectorizedProcess.initial_states` returns ``n`` fresh rows,
+* :meth:`VectorizedProcess.step_batch` advances every row one time step
+  with a single NumPy-level operation, and
+* :meth:`VectorizedProcess.replicate` clones selected rows (the batched
+  analogue of ``copy_state``, used by splitting samplers).
+
+Cost accounting is unchanged: one ``step_batch`` over ``k`` rows counts
+as ``k`` invocations of ``g``.  Because all rows are independent paths,
+batching only *reorders* independent random draws — every estimator's
+unbiasedness argument goes through untouched.
+
+:class:`ScalarFallback` adapts any scalar :class:`StochasticProcess` to
+the batched contract (rows of a NumPy object array hold the scalar
+states), so callers can program against :class:`VectorizedProcess`
+uniformly; :func:`as_vectorized` picks the native implementation when
+one exists.  :func:`register_batch_z` / :func:`batch_z_values` vectorize
+the real-valued state evaluations ``z`` that value functions are built
+from (see :mod:`repro.core.value_functions`).
 """
 
 from __future__ import annotations
@@ -23,9 +49,14 @@ from __future__ import annotations
 import abc
 import copy
 import random
-from typing import Any
+from typing import Any, Callable, Sequence
+
+import numpy as np
 
 State = Any
+
+#: Concrete simulation backends (``"auto"`` resolves to one of these).
+BACKENDS = ("scalar", "vectorized")
 
 
 class StochasticProcess(abc.ABC):
@@ -110,3 +141,200 @@ def simulate_path(
         state = process.step(state, t, rng)
         path.append(state)
     return path
+
+
+# ----------------------------------------------------------------------
+# Batched simulation protocol
+# ----------------------------------------------------------------------
+
+class VectorizedProcess(abc.ABC):
+    """Mixin contract for processes that simulate whole batches at once.
+
+    A *state array* represents one state per row: a 1-D array for scalar
+    states (walk positions, chain indices, prices) or a 2-D array of
+    shape ``(n, d)`` for structured states (AR windows, queue pairs).
+    Rows are independent sample paths.
+
+    Contract:
+
+    * ``initial_states(n)`` returns a state array of ``n`` fresh,
+      independently-simulatable time-0 states.
+    * ``step_batch(states, t, rng)`` returns the state array at time
+      ``t`` given the array at ``t - 1``.  ``rng`` is a
+      :class:`numpy.random.Generator`; implementations must draw all
+      randomness from it.  Each call accounts for ``len(states)``
+      invocations of ``g``.  Implementations must not mutate the input
+      array (return a fresh array, or operate on a copy).
+    * ``replicate(states, indices, counts)`` returns a state array with
+      ``counts[j]`` independent copies of row ``indices[j]``, in order —
+      the batched ``copy_state`` used when splitting samplers spawn
+      offspring from entrance states.
+
+    Row selection (``states[mask]``) and concatenation
+    (``numpy.concatenate``) must produce valid state arrays; plain
+    value-typed NumPy arrays satisfy this for free.
+    """
+
+    @abc.abstractmethod
+    def initial_states(self, n: int) -> np.ndarray:
+        """Return a state array of ``n`` fresh time-0 states."""
+
+    @abc.abstractmethod
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator) -> np.ndarray:
+        """Advance every row one step: the state array at time ``t``."""
+
+    def replicate(self, states: np.ndarray, indices, counts) -> np.ndarray:
+        """Clone rows: ``counts[j]`` independent copies of ``indices[j]``.
+
+        The default is :func:`numpy.repeat`, correct whenever states are
+        plain value arrays (no shared mutable structure between rows).
+        """
+        return np.repeat(states[np.asarray(indices)],
+                         np.asarray(counts), axis=0)
+
+
+class ScalarFallback(VectorizedProcess, StochasticProcess):
+    """Adapt any scalar :class:`StochasticProcess` to the batched contract.
+
+    State arrays are 1-D NumPy object arrays whose elements are the
+    wrapped process's scalar states, so the adapter works for *any*
+    state type at scalar-loop speed.  It exists so that every sampler
+    can be written once against :class:`VectorizedProcess`; use
+    :func:`as_vectorized` to prefer a native implementation.
+
+    Randomness: ``step_batch`` draws from a :class:`random.Random`
+    seeded once from the caller's NumPy generator, so runs remain
+    reproducible under a fixed seed.
+    """
+
+    def __init__(self, process: StochasticProcess):
+        if isinstance(process, VectorizedProcess):
+            raise TypeError(
+                f"{type(process).__name__} is already vectorized; "
+                f"wrapping it in ScalarFallback would only slow it down"
+            )
+        self.process = process
+        self._scalar_rng: random.Random | None = None
+
+    # -- scalar contract: delegate straight through --------------------
+
+    def initial_state(self) -> State:
+        return self.process.initial_state()
+
+    def step(self, state: State, t: int, rng: random.Random) -> State:
+        return self.process.step(state, t, rng)
+
+    def copy_state(self, state: State) -> State:
+        return self.process.copy_state(state)
+
+    def apply_impulse(self, state: State, magnitude: float) -> State:
+        return self.process.apply_impulse(state, magnitude)
+
+    # -- batched contract ----------------------------------------------
+
+    @staticmethod
+    def _object_array(items: Sequence) -> np.ndarray:
+        # np.array() would try to broadcast tuple states into a 2-D
+        # array; element-wise assignment keeps rows opaque.
+        out = np.empty(len(items), dtype=object)
+        for j, item in enumerate(items):
+            out[j] = item
+        return out
+
+    def _rng_for(self, rng: np.random.Generator) -> random.Random:
+        if self._scalar_rng is None:
+            self._scalar_rng = random.Random(int(rng.integers(1 << 62)))
+        return self._scalar_rng
+
+    def initial_states(self, n: int) -> np.ndarray:
+        fresh = self.process.initial_state
+        return self._object_array([fresh() for _ in range(n)])
+
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator) -> np.ndarray:
+        scalar_rng = self._rng_for(rng)
+        step = self.process.step
+        return self._object_array([step(s, t, scalar_rng) for s in states])
+
+    def replicate(self, states: np.ndarray, indices, counts) -> np.ndarray:
+        copy_state = self.process.copy_state
+        clones = []
+        for index, count in zip(indices, counts):
+            source = states[index]
+            clones.extend(copy_state(source) for _ in range(count))
+        return self._object_array(clones)
+
+    def __repr__(self) -> str:
+        return f"ScalarFallback({self.process!r})"
+
+
+def supports_batch(process: StochasticProcess) -> bool:
+    """True when the process natively implements the batched contract."""
+    return isinstance(process, VectorizedProcess)
+
+
+def as_vectorized(process: StochasticProcess) -> VectorizedProcess:
+    """The process itself if vectorized, else a :class:`ScalarFallback`."""
+    if isinstance(process, VectorizedProcess):
+        return process
+    return ScalarFallback(process)
+
+
+def resolve_backend(backend: str, process: StochasticProcess) -> str:
+    """Resolve a backend request to a concrete ``"scalar"``/``"vectorized"``.
+
+    ``"auto"`` picks ``"vectorized"`` exactly when the process natively
+    supports batching (a :class:`ScalarFallback` would add overhead, not
+    remove it); explicit requests are honoured as-is.
+    """
+    if backend == "auto":
+        return "vectorized" if supports_batch(process) else "scalar"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from "
+            f"{('auto',) + BACKENDS}"
+        )
+    return backend
+
+
+# ----------------------------------------------------------------------
+# Batched state evaluations (vectorized ``z``)
+# ----------------------------------------------------------------------
+
+# Maps a scalar ``z`` function (or the underlying __func__ of a bound
+# method) to its batch variant.  Functions registered here let
+# ThresholdValueFunction evaluate whole state arrays in one NumPy call.
+_BATCH_Z: dict = {}
+
+
+def register_batch_z(scalar_z: Callable, batch_z: Callable) -> Callable:
+    """Register the batch variant of a scalar state evaluation ``z``.
+
+    ``batch_z`` receives a state array (plus the bound instance first,
+    when ``scalar_z`` is declared as an instance method) and returns one
+    value per row.  Returns ``batch_z`` so it can be used as a
+    decorator-style helper.
+    """
+    _BATCH_Z[getattr(scalar_z, "__func__", scalar_z)] = batch_z
+    return batch_z
+
+
+def batch_z_values(z: Callable, states: np.ndarray) -> np.ndarray:
+    """Evaluate ``z`` over a state array, one value per row.
+
+    Resolution order: an explicit ``z.batch`` attribute, then the
+    :func:`register_batch_z` registry (bound methods are looked up by
+    their underlying function and called with their instance), then a
+    row-wise scalar loop — always correct, merely slower.
+    """
+    batch = getattr(z, "batch", None)
+    if batch is not None:
+        return np.asarray(batch(states), dtype=np.float64)
+    registered = _BATCH_Z.get(getattr(z, "__func__", z))
+    if registered is not None:
+        owner = getattr(z, "__self__", None)
+        if owner is not None:
+            return np.asarray(registered(owner, states), dtype=np.float64)
+        return np.asarray(registered(states), dtype=np.float64)
+    return np.asarray([z(s) for s in states], dtype=np.float64)

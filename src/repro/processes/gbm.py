@@ -17,10 +17,12 @@ from __future__ import annotations
 import math
 import random
 
-from .base import ImmutableStateProcess
+import numpy as np
+
+from .base import ImmutableStateProcess, VectorizedProcess, register_batch_z
 
 
-class GBMProcess(ImmutableStateProcess):
+class GBMProcess(ImmutableStateProcess, VectorizedProcess):
     """Geometric Brownian motion observed at integer times (days).
 
     ``S_t = S_{t-1} * exp((mu - sigma^2/2) + sigma * Z_t)`` with
@@ -45,6 +47,14 @@ class GBMProcess(ImmutableStateProcess):
     def step(self, state: float, t: int, rng: random.Random) -> float:
         return state * math.exp(self._log_drift + self.sigma * rng.gauss(0.0, 1.0))
 
+    def initial_states(self, n: int) -> np.ndarray:
+        return np.full(n, float(self.start_price), dtype=np.float64)
+
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator) -> np.ndarray:
+        shocks = rng.standard_normal(len(states))
+        return states * np.exp(self._log_drift + self.sigma * shocks)
+
     def apply_impulse(self, state: float, magnitude: float) -> float:
         return state + magnitude
 
@@ -52,6 +62,10 @@ class GBMProcess(ImmutableStateProcess):
     def price(state: float) -> float:
         """Real-valued evaluation ``z``: the simulated price."""
         return float(state)
+
+
+register_batch_z(GBMProcess.price,
+                 lambda states: np.asarray(states, dtype=np.float64))
 
 
 def synthetic_stock_series(n_days: int = 1258, seed: int = 20150102,

@@ -13,10 +13,12 @@ import bisect
 import random
 from typing import Sequence
 
-from .base import ImmutableStateProcess
+import numpy as np
+
+from .base import ImmutableStateProcess, VectorizedProcess, register_batch_z
 
 
-class MarkovChainProcess(ImmutableStateProcess):
+class MarkovChainProcess(ImmutableStateProcess, VectorizedProcess):
     """A finite discrete-time Markov chain over states ``0..n-1``.
 
     Parameters
@@ -69,6 +71,8 @@ class MarkovChainProcess(ImmutableStateProcess):
                 cum.append(acc)
             cum[-1] = 1.0 + 1e-12  # guard against float round-off
             self._cumulative.append(cum)
+        self._cumulative_array = np.asarray(self._cumulative)
+        self._value_array = np.asarray(self.values, dtype=np.float64)
 
     @property
     def num_states(self) -> int:
@@ -80,9 +84,25 @@ class MarkovChainProcess(ImmutableStateProcess):
     def step(self, state: int, t: int, rng: random.Random) -> int:
         return bisect.bisect_right(self._cumulative[state], rng.random())
 
+    def initial_states(self, n: int) -> np.ndarray:
+        return np.full(n, self.start, dtype=np.int64)
+
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator) -> np.ndarray:
+        # Row-wise bisect_right over the cumulative transition rows:
+        # count the cumulative entries <= u, exactly as the scalar step.
+        rows = self._cumulative_array[states]
+        u = rng.random(len(states))
+        return (rows <= u[:, None]).sum(axis=1)
+
     def state_value(self, state: int) -> float:
         """Real-valued evaluation ``z`` of a state."""
         return self.values[state]
+
+
+register_batch_z(
+    MarkovChainProcess.state_value,
+    lambda self, states: self._value_array[np.asarray(states, dtype=np.intp)])
 
 
 def birth_death_chain(n: int, p_up: float, p_down: float,

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import random
 
-from .base import ImmutableStateProcess
+import numpy as np
+
+from .base import ImmutableStateProcess, VectorizedProcess, register_batch_z
 
 
-class RandomWalkProcess(ImmutableStateProcess):
+class RandomWalkProcess(ImmutableStateProcess, VectorizedProcess):
     """A lazy simple random walk on the integers.
 
     At each step the walk moves up by 1 with probability ``p_up``, down
@@ -45,6 +47,16 @@ class RandomWalkProcess(ImmutableStateProcess):
             return state - 1
         return state
 
+    def initial_states(self, n: int) -> np.ndarray:
+        return np.full(n, self.start, dtype=np.int64)
+
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator) -> np.ndarray:
+        u = rng.random(len(states))
+        moves = np.where(u < self.p_up, 1,
+                         np.where(u < self.p_up + self.p_down, -1, 0))
+        return states + moves
+
     def apply_impulse(self, state: int, magnitude: float) -> int:
         return state + int(magnitude)
 
@@ -54,7 +66,11 @@ class RandomWalkProcess(ImmutableStateProcess):
         return float(state)
 
 
-class GaussianWalkProcess(ImmutableStateProcess):
+register_batch_z(RandomWalkProcess.position,
+                 lambda states: np.asarray(states, dtype=np.float64))
+
+
+class GaussianWalkProcess(ImmutableStateProcess, VectorizedProcess):
     """A random walk with Gaussian increments ``N(drift, sigma)``.
 
     The continuous-state cousin of :class:`RandomWalkProcess`; its value
@@ -78,6 +94,13 @@ class GaussianWalkProcess(ImmutableStateProcess):
     def step(self, state: float, t: int, rng: random.Random) -> float:
         return state + rng.gauss(self.drift, self.sigma)
 
+    def initial_states(self, n: int) -> np.ndarray:
+        return np.full(n, self.start, dtype=np.float64)
+
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator) -> np.ndarray:
+        return states + rng.normal(self.drift, self.sigma, len(states))
+
     # --- Gaussian-step protocol (used by importance sampling) ---------
 
     def step_with_noise(self, state: float, noise: float) -> float:
@@ -93,3 +116,7 @@ class GaussianWalkProcess(ImmutableStateProcess):
     @staticmethod
     def position(state: float) -> float:
         return float(state)
+
+
+register_batch_z(GaussianWalkProcess.position,
+                 lambda states: np.asarray(states, dtype=np.float64))

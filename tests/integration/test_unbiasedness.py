@@ -127,6 +127,76 @@ class TestVarianceCalibration:
         assert reported == pytest.approx(empirical, rel=0.7)
 
 
+class TestVectorizedBackendAgreement:
+    """The batched backend is the same estimator, only reordered draws.
+
+    Both claims of the backend refactor are checked against the exact
+    DP oracle on a known-analytic query: (a) vectorized SRS and g-MLSS
+    are unbiased (mean over independent runs matches the exact answer
+    within the standard error of the mean), and (b) each vectorized
+    estimate agrees with its scalar twin within the joint 95 % CI
+    half-width implied by their reported variances.
+    """
+
+    def test_vectorized_srs_unbiased(self, small_chain_query,
+                                     small_chain_exact):
+        def run_once(seed):
+            return SRSSampler(backend="vectorized").run(
+                small_chain_query, max_roots=2000, seed=seed).probability
+
+        mean, std_error = run_mean_estimate(run_once, n_runs=40)
+        assert abs(mean - small_chain_exact) < 4 * std_error + 1e-4
+
+    def test_vectorized_gmlss_unbiased(self, small_chain_query,
+                                       small_chain_exact):
+        partition = LevelPartition([4 / 12, 8 / 12])
+
+        def run_once(seed):
+            return GMLSSSampler(partition, ratio=3,
+                                backend="vectorized").run(
+                small_chain_query, max_roots=150, seed=seed).probability
+
+        mean, std_error = run_mean_estimate(run_once, n_runs=50)
+        assert abs(mean - small_chain_exact) < 4 * std_error + 1e-4
+
+    def test_vectorized_gmlss_with_skipping_unbiased(self):
+        chain = skipping_chain()
+        horizon = 12
+        exact = hitting_probability(chain.matrix, 0, [4], horizon)
+        query = DurabilityQuery.threshold(chain, chain.state_value,
+                                          beta=4.0, horizon=horizon)
+        partition = LevelPartition([0.3, 0.6, 0.9])
+
+        def run_once(seed):
+            return GMLSSSampler(partition, ratio=3,
+                                backend="vectorized").run(
+                query, max_roots=150, seed=seed).probability
+
+        mean, std_error = run_mean_estimate(run_once, n_runs=50)
+        assert abs(mean - exact) < 4 * std_error + 1e-4
+
+    def test_backends_agree_within_ci_half_width(self, small_chain_query,
+                                                 small_chain_exact):
+        from repro.core.stats import critical_value
+
+        partition = LevelPartition([4 / 12, 8 / 12])
+        scalar = GMLSSSampler(partition, ratio=3).run(
+            small_chain_query, max_roots=4000, seed=101)
+        batched = GMLSSSampler(partition, ratio=3,
+                               backend="vectorized").run(
+            small_chain_query, max_roots=4000, seed=202)
+        z95 = critical_value(0.95)
+        joint_half_width = z95 * math.sqrt(scalar.variance
+                                           + batched.variance)
+        assert abs(scalar.probability - batched.probability) <= \
+            joint_half_width + 1e-4
+        # ... and both straddle the exact answer within their own CI.
+        for estimate in (scalar, batched):
+            half = z95 * math.sqrt(estimate.variance)
+            assert abs(estimate.probability - small_chain_exact) <= \
+                half + 1e-3
+
+
 class TestEfficiencyClaim:
     """MLSS reaches a target RE with fewer steps than SRS (Figure 6)."""
 
