@@ -1,64 +1,82 @@
-"""Server-cluster SLA risk with the tandem queue model.
+"""Server-fleet SLA screening with the engine's batch API.
 
 The paper's reliability example: *"what is the chance for our proposed
 server cluster to fail the required service-level agreement before its
 term ends?"*  Requests pass through an ingress stage (Queue 1) into a
 worker stage (Queue 2); the SLA is breached if the worker backlog ever
-reaches 48 requests during a 500-minute window.
+reaches a threshold during a 500-minute window.
 
-The example compares the s-MLSS and g-MLSS answers at several backlog
-thresholds, runs everything inside the embedded DBMS pipeline, and
-materialises sample paths so the "possible worlds" can be inspected
-with SQL — the paper's Section 6.4 workflow.
+A capacity planner never asks this once: they screen *several candidate
+configurations* against *several backlog thresholds*.  That is exactly
+the shape :meth:`repro.DurabilityEngine.answer_batch` is built for —
+per configuration, the three threshold queries form a cohort answered
+by **one** shared simulation pass (running path maxima over the
+vectorized backend) instead of one run each, and the execution policy
+that drives the whole screen is a single serializable object.
 
 Run:  python examples/server_sla.py
 """
 
-from repro import RelativeErrorTarget
-from repro.db import DurabilityDB, hitting_fraction, value_quantiles
-from repro.workloads import workload
+import json
+
+from repro import DurabilityEngine, DurabilityQuery, ExecutionPolicy
+from repro.processes import TandemQueueProcess
+
+#: Candidate worker provisioning: mean service time of the worker stage
+#: (minutes per request).  2.0 is critical load; lower is more capacity.
+CONFIGS = {"baseline (2.0 min)": 2.0,
+           "faster workers (1.9 min)": 1.9,
+           "overloaded (2.1 min)": 2.1}
+
+#: SLA backlog thresholds to screen against.
+THRESHOLDS = (36, 48, 57)
+
+HORIZON = 500  # minutes in the SLA term
 
 
 def main() -> None:
-    with DurabilityDB() as db:
-        model_id = db.register_model(
-            "cluster", "queue",
-            {"arrival_rate": 0.5, "mean_service1": 2.0,
-             "mean_service2": 2.0})
-        print("Registered the cluster model inside the DBMS.\n")
+    policy = ExecutionPolicy(method="srs", max_roots=3_000, seed=7)
+    engine = DurabilityEngine(policy)
+    print("Execution policy (serializable, reusable across the screen):")
+    print(" ", json.dumps(policy.to_dict()), "\n")
 
-        print(f"{'backlog':>8s} {'P(SLA breach)':>14s} "
-              f"{'RE':>6s} {'steps':>10s}")
-        run_id = None
-        for threshold in (36, 48, 57):
-            spec = workload("queue-tiny")  # reuse its balanced plan shape
-            query_id = db.register_query(f"sla-{threshold}", model_id,
-                                         horizon=500, threshold=threshold)
-            plan = spec.survival_curve().balanced_partition(
-                threshold, num_levels=5)
-            plan_id = db.register_plan(query_id, plan.boundaries, ratio=3,
-                                       source="balanced")
-            estimate = db.answer_query(
-                query_id, method="gmlss", plan_id=plan_id,
-                quality=RelativeErrorTarget(target=0.15),
-                max_steps=2_000_000, seed=threshold,
-                materialize=20 if threshold == 48 else 0)
-            print(f"{threshold:>8d} {estimate.probability:>14.5f} "
-                  f"{estimate.relative_error():>6.2f} "
-                  f"{estimate.steps:>10d}")
-            if threshold == 48:
-                run_id = estimate.details["run_id"]
+    queries = []
+    labels = []
+    for name, mean_service2 in CONFIGS.items():
+        cluster = TandemQueueProcess(arrival_rate=0.5, mean_service1=2.0,
+                                     mean_service2=mean_service2)
+        for threshold in THRESHOLDS:
+            queries.append(DurabilityQuery.threshold(
+                cluster, TandemQueueProcess.queue2_length,
+                beta=threshold, horizon=HORIZON,
+                name=f"{name} @ backlog {threshold}"))
+            labels.append((name, threshold))
 
-        print("\nInspecting the materialised possible worlds (SQL):")
-        q10, q50, q90 = value_quantiles(db.connection, run_id, t=500,
-                                        quantiles=(0.1, 0.5, 0.9))
-        print(f"  backlog at t=500: 10/50/90% quantiles = "
-              f"{q10:.0f}/{q50:.0f}/{q90:.0f}")
-        for level in (10, 20, 30):
-            frac = hitting_fraction(db.connection, run_id, level)
-            print(f"  fraction of worlds ever above {level:>2d}: {frac:.2f}")
-        print("\n(Materialised paths live in the sample_paths table for "
-              "any further analysis.)")
+    estimates = engine.answer_batch(queries)
+
+    print(f"{'configuration':<26s} {'backlog':>8s} {'P(SLA breach)':>14s} "
+          f"{'95% CI half':>12s} {'cohort':>7s}")
+    for (name, threshold), estimate in zip(labels, estimates):
+        print(f"{name:<26s} {threshold:>8d} "
+              f"{estimate.probability:>14.5f} "
+              f"{estimate.ci_half_width():>12.5f} "
+              f"{estimate.details.get('cohort_size', 1):>7d}")
+
+    # Cohort members report the *shared* cost of their single pass, so
+    # one representative per configuration counts each pass once.
+    total_steps = sum(estimate.steps
+                      for (_, threshold), estimate in zip(labels, estimates)
+                      if threshold == THRESHOLDS[0])
+    print(f"\n{len(queries)} queries answered with {len(CONFIGS)} "
+          f"simulation passes ({total_steps:,} steps total): each "
+          f"configuration's thresholds share one pass through the "
+          f"vectorized backend.")
+
+    worst = max(zip(labels, estimates), key=lambda it: it[1].probability)
+    safest = min(zip(labels, estimates), key=lambda it: it[1].probability)
+    print(f"Highest risk: {worst[0][0]} at backlog {worst[0][1]} "
+          f"(P = {worst[1].probability:.3f}); safest: {safest[0][0]} at "
+          f"backlog {safest[0][1]} (P = {safest[1].probability:.4f}).")
 
 
 if __name__ == "__main__":

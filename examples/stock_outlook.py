@@ -1,27 +1,34 @@
-"""Durability queries over a black-box neural sequence model.
+"""Durability curves and top-k ranking over stock models.
 
-The paper's headline generality claim: MLSS needs nothing from the
-model beyond step-by-step simulation, so it works unchanged on an
-LSTM-MDN stock model.  This example trains a small model on the
-synthetic "Google 2015-2020" daily series (a GBM stand-in; see
-DESIGN.md), then asks: *what is the probability the stock reaches a
-target price within the next 120 trading days?*
+Two of the paper's headline finance scenarios, driven end to end
+through the :class:`repro.DurabilityEngine` service API:
 
-Training a fresh model takes a couple of minutes at the default size;
-this example uses a compact configuration so it finishes quickly.
+1. **Outlook curve over a black-box neural model.**  MLSS needs nothing
+   from the model beyond step-by-step simulation, so it works unchanged
+   on an LSTM-MDN stock model.  We train a compact model on the
+   synthetic "Google 2015-2020" daily series and chart
+   ``Pr[price reaches target within 120 trading days]`` over a whole
+   grid of targets — from **one** simulation pass
+   (:meth:`DurabilityEngine.durability_curve`), not one run per target.
+
+2. **Top-k durable stocks.**  A screening desk ranks many tickers by
+   the probability of hitting a common return target.  Each ticker is a
+   GBM model with its own drift/volatility; ``answer_batch`` answers
+   the whole screen and we rank by estimated durability.
+
+Training the model takes a minute or two at the default compact size.
 
 Run:  python examples/stock_outlook.py
 """
 
 import time
 
-from repro import (DurabilityQuery, GMLSSSampler, SRSSampler,
-                   balanced_growth_partition)
-from repro.processes.gbm import synthetic_stock_series
+from repro import DurabilityEngine, DurabilityQuery, ExecutionPolicy
+from repro.processes.gbm import GBMProcess, synthetic_stock_series
 from repro.processes.rnn import StockRNNProcess, build_stock_process
 
 
-def main() -> None:
+def outlook_curve(engine: DurabilityEngine) -> None:
     print("Training the LSTM-MDN stock model (compact config)...")
     started = time.perf_counter()
     prices = synthetic_stock_series()
@@ -33,30 +40,59 @@ def main() -> None:
     print(f"  last close: ${model.start_price:.0f}\n")
 
     horizon = 120
-    target_price = round(model.start_price * 1.55)
+    targets = [round(model.start_price * factor)
+               for factor in (1.10, 1.25, 1.40, 1.55)]
     query = DurabilityQuery.threshold(
-        model, StockRNNProcess.price, beta=target_price, horizon=horizon,
-        name=f"hits-{target_price}")
-    print(f"Query: P(price reaches ${target_price} within {horizon} "
-          f"trading days)?\n")
+        model, StockRNNProcess.price, beta=targets[-1], horizon=horizon,
+        name="stock-outlook")
 
-    budget = 120_000
-    print("Tuning a balanced 4-level plan from a pilot...")
-    partition = balanced_growth_partition(query, num_levels=4,
-                                          pilot_paths=250, seed=1)
-    print(f"  plan: {partition}\n")
+    print(f"Outlook curve: P(price reaches target within {horizon} "
+          f"trading days), all targets from ONE simulation pass:")
+    curve = engine.durability_curve(query, targets, max_roots=400, seed=2)
+    for target, estimate in curve:
+        lo, hi = estimate.ci()
+        print(f"  ${target:>4.0f}: {estimate.probability:>7.4f} "
+              f"(95% CI [{max(lo, 0.0):.4f}, {hi:.4f}])")
+    print(f"  shared cost: {curve.steps:,} model invocations for "
+          f"{len(curve)} targets ({curve.elapsed_seconds:.1f}s)\n")
 
-    mlss = GMLSSSampler(partition, ratio=3).run(query, max_steps=budget,
-                                                seed=2)
-    srs = SRSSampler().run(query, max_steps=budget, seed=3)
 
-    print(f"{'method':8s} {'estimate':>10s} {'hits':>6s} {'RE':>7s}")
-    for estimate in (srs, mlss):
-        print(f"{estimate.method:8s} {estimate.probability:>10.5f} "
-              f"{estimate.hits:>6d} {estimate.relative_error():>7.2f}")
-    print(f"\nSame budget ({budget} model invocations); MLSS collected "
-          f"{mlss.hits / max(srs.hits, 1):.0f}x the target hits "
-          f"({mlss.hits} vs {srs.hits}).")
+def top_k_stocks(engine: DurabilityEngine, k: int = 3) -> None:
+    # A small synthetic "universe": per-ticker daily drift/volatility.
+    universe = {
+        "steady-climber": (0.0009, 0.010),
+        "high-flyer": (0.0014, 0.028),
+        "choppy-sideways": (0.0001, 0.022),
+        "slow-decliner": (-0.0004, 0.014),
+        "volatile-bet": (0.0006, 0.035),
+        "blue-chip": (0.0005, 0.009),
+    }
+    horizon = 120
+    target_return = 1.20  # +20% within the horizon
+
+    queries = [
+        DurabilityQuery.threshold(
+            GBMProcess(start_price=100.0, mu=mu, sigma=sigma),
+            GBMProcess.price, beta=100.0 * target_return, horizon=horizon,
+            name=ticker)
+        for ticker, (mu, sigma) in universe.items()
+    ]
+    print(f"Top-{k} screen: P(+{target_return - 1:.0%} within {horizon} "
+          f"trading days) across {len(universe)} tickers "
+          f"(one answer_batch call):")
+    estimates = engine.answer_batch(queries, max_roots=20_000, seed=3)
+    ranked = sorted(zip(universe, estimates),
+                    key=lambda pair: pair[1].probability, reverse=True)
+    for rank, (ticker, estimate) in enumerate(ranked, start=1):
+        marker = "  <- top-k" if rank <= k else ""
+        print(f"  {rank}. {ticker:<16s} {estimate.probability:>7.4f} "
+              f"+/- {estimate.ci_half_width():.4f}{marker}")
+
+
+def main() -> None:
+    engine = DurabilityEngine(ExecutionPolicy(method="srs"))
+    outlook_curve(engine)
+    top_k_stocks(engine)
 
 
 if __name__ == "__main__":

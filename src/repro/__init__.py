@@ -19,6 +19,35 @@ Quick start::
                                        max_steps=500_000, seed=42)
     print(estimate.summary())
 
+The engine service
+------------------
+
+``answer_durability_query`` re-runs plan search and simulation from
+scratch on every call.  Multi-query workloads — ranking durable
+objects, screening fleets against SLA thresholds, charting durability
+against a threshold grid — should hold a stateful
+:class:`repro.engine.DurabilityEngine` instead::
+
+    from repro import DurabilityEngine, ExecutionPolicy
+
+    engine = DurabilityEngine(ExecutionPolicy(max_steps=500_000, seed=42))
+    estimate = engine.answer(query)                 # plans are cached
+    curve = engine.durability_curve(query, thresholds=range(10, 26))
+    answers = engine.answer_batch(queries)          # shared cohorts
+
+"What to ask" (:class:`DurabilityQuery`) is separated from "how to run
+it" (:class:`repro.engine.ExecutionPolicy` — method, backend, ratio,
+budgets, quality target, seed policy; serializable via
+``to_dict``/``from_dict``).  The engine memoizes level plans in a
+:class:`repro.engine.PlanCache` keyed by (process family, horizon,
+initial value, threshold bucket), so repeated query shapes skip the
+greedy plan search.  ``durability_curve`` answers an entire threshold
+grid from **one** simulation pass — running path maxima under SRS,
+per-level root records under MLSS — instead of one run per threshold,
+and ``answer_batch`` groups compatible queries into cohorts that share
+a pass the same way (see ``benchmarks/bench_engine_api.py`` for the
+measured speedups).
+
 Simulation backends
 -------------------
 
@@ -47,19 +76,24 @@ Markov-chain and tandem-queue processes are vectorized natively;
 are built from.
 """
 
-from .core import (ConfidenceIntervalTarget, DurabilityEstimate,
+from .core import (ConfidenceIntervalTarget, DurabilityCurve,
+                   DurabilityEstimate,
                    DurabilityQuery, GMLSSSampler, ISSampler, LevelPartition,
                    NeverTarget, RelativeErrorTarget, SMLSSSampler,
                    SRSSampler, ThresholdValueFunction,
                    adaptive_greedy_partition, answer_durability_query,
                    balanced_growth_partition, cross_entropy_tilt,
                    run_parallel_mlss)
+from .engine import DurabilityEngine, ExecutionPolicy, PlanCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "ConfidenceIntervalTarget", "DurabilityEstimate", "DurabilityQuery",
+    "ConfidenceIntervalTarget", "DurabilityCurve", "DurabilityEngine",
+    "DurabilityEstimate", "DurabilityQuery",
+    "ExecutionPolicy",
     "GMLSSSampler", "ISSampler", "LevelPartition", "NeverTarget",
+    "PlanCache",
     "RelativeErrorTarget", "SMLSSSampler", "SRSSampler",
     "ThresholdValueFunction", "adaptive_greedy_partition",
     "answer_durability_query", "balanced_growth_partition",

@@ -4,13 +4,15 @@ from .analytic import (hitting_probability, hitting_time_distribution,
                        random_walk_hitting_probability, srs_relative_error,
                        srs_required_paths)
 from .balanced import balanced_growth_partition, pilot_max_values
-from .bootstrap import BootstrapResult, bootstrap_variance
-from .engine import answer_durability_query
-from .estimates import DurabilityEstimate, TracePoint
+from .bootstrap import (BootstrapResult, bootstrap_curve_variances,
+                        bootstrap_variance)
+from .engine import answer_durability_query, resolve_partition
+from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
 from .forest import (ForestRunner, LevelPlanError, VectorizedForestRunner,
                      validate_plan)
 from .gmlss import (GMLSSSampler, gmlss_estimate_from_totals,
-                    gmlss_pi_hats, gmlss_point_estimate)
+                    gmlss_pi_hats, gmlss_point_estimate,
+                    gmlss_prefix_estimates)
 from .greedy import GreedyResult, adaptive_greedy_partition
 from .importance import ISSampler, cross_entropy_tilt
 from .levels import LevelPartition, normalize_ratios, uniform_partition
@@ -20,17 +22,20 @@ from .quality import (ConfidenceIntervalTarget, NeverTarget, QualityTarget,
                       RelativeErrorTarget)
 from .records import ForestAggregate, RootRecord
 from .smlss import (SMLSSSampler, make_forest_runner, smlss_point_estimate,
-                    smlss_variance)
-from .srs import SRSSampler, srs_variance
+                    smlss_prefix_estimates, smlss_variance)
+from .srs import (SRSSampler, prepare_curve_grid, srs_variance,
+                  validate_curve_levels)
 from .value_functions import (TARGET_VALUE, DurabilityQuery,
-                              ThresholdValueFunction, batch_values)
+                              ThresholdValueFunction, batch_values,
+                              threshold_grid)
 from .variance import (balanced_advancement_probability,
                        balanced_growth_variance, optimal_num_levels,
                        srs_variance_formula, suggest_ratios,
                        two_level_skip_variance, variance_reduction_factor)
 
 __all__ = [
-    "BootstrapResult", "ConfidenceIntervalTarget", "DurabilityEstimate",
+    "BootstrapResult", "ConfidenceIntervalTarget", "DurabilityCurve",
+    "DurabilityEstimate",
     "DurabilityQuery", "ForestAggregate", "ForestRunner", "GMLSSSampler",
     "GreedyResult", "ISSampler", "LevelPartition", "LevelPlanError",
     "NeverTarget", "PlanTrial", "QualityTarget", "RelativeErrorTarget",
@@ -39,15 +44,19 @@ __all__ = [
     "adaptive_greedy_partition", "answer_durability_query",
     "balanced_advancement_probability", "balanced_growth_partition",
     "balanced_growth_variance", "batch_values",
+    "bootstrap_curve_variances",
     "bootstrap_variance", "cross_entropy_tilt", "evaluate_partition",
     "gmlss_estimate_from_totals", "gmlss_pi_hats", "gmlss_point_estimate",
+    "gmlss_prefix_estimates",
     "hitting_probability", "hitting_time_distribution",
     "make_forest_runner", "normalize_ratios",
     "optimal_num_levels", "pilot_max_values", "pool_trials",
-    "validate_plan",
+    "prepare_curve_grid", "resolve_partition", "validate_plan",
     "random_walk_hitting_probability", "run_parallel_mlss",
-    "smlss_point_estimate", "smlss_variance", "srs_relative_error",
+    "smlss_point_estimate", "smlss_prefix_estimates", "smlss_variance",
+    "srs_relative_error",
     "srs_required_paths", "srs_variance", "srs_variance_formula",
-    "suggest_ratios", "two_level_skip_variance", "uniform_partition",
+    "suggest_ratios", "threshold_grid", "two_level_skip_variance",
+    "uniform_partition", "validate_curve_levels",
     "variance_reduction_factor",
 ]

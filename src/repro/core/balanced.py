@@ -171,18 +171,28 @@ def hybrid_survival(maxima: Sequence[float],
 def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
                               pilot_paths: int = 2000,
                               seed: Optional[int] = None,
-                              backend: str = "scalar") -> LevelPartition:
+                              backend: str = "scalar",
+                              plan_cache=None) -> LevelPartition:
     """Build an (approximately) balanced-growth plan with ``m`` levels.
 
     This is the automated stand-in for the paper's manually tuned
     MLSS-BAL plans; the pilot cost is *not* charged to the estimate, as
     in the paper's Figure 13 protocol ("we do not charge the cost of
     manual tuning to running MLSS-BAL").
+
+    ``plan_cache`` (a :class:`repro.engine.PlanCache` or compatible) is
+    consulted before the pilot runs — a hit skips the pilot entirely —
+    and updated afterwards, keyed separately per ``num_levels``.
     """
     if num_levels < 1:
         raise ValueError(f"num_levels must be >= 1, got {num_levels}")
     if num_levels == 1:
         return LevelPartition()
+    cache_kind = ("balanced", num_levels)
+    if plan_cache is not None:
+        entry = plan_cache.get(query, kind=cache_kind)
+        if entry is not None:
+            return entry.partition
     maxima = pilot_max_values(query, n_paths=pilot_paths, seed=seed,
                               backend=backend)
     survival = hybrid_survival(maxima)
@@ -194,4 +204,7 @@ def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
         )
     boundaries = balanced_boundaries_from_survival(survival, num_levels)
     initial_value = query.initial_value()
-    return LevelPartition(b for b in boundaries if b > initial_value)
+    plan = LevelPartition(b for b in boundaries if b > initial_value)
+    if plan_cache is not None:
+        plan_cache.put(query, plan, kind=cache_kind)
+    return plan

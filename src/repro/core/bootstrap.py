@@ -92,3 +92,41 @@ def bootstrap_variance(aggregate: ForestAggregate, ratios: tuple,
         # to the full-sample estimator's ~ 1/n_roots.
         variance *= n_draw / n_roots
     return BootstrapResult(variance=variance, estimates=estimates)
+
+
+def bootstrap_curve_variances(aggregate: ForestAggregate, ratios: tuple,
+                              n_boot: int = 200,
+                              seed: Optional[int] = None) -> np.ndarray:
+    """Bootstrap variances for *all* boundary-crossing estimates at once.
+
+    The durability-curve reader needs a variance per grid level, i.e.
+    per prefix of the g-MLSS product (Eq. 8).  One resampling pass is
+    enough: every replicate refolds the resampled counters through all
+    prefixes simultaneously, so the cost is the same as bootstrapping
+    the final estimate alone.  Returns an array of length
+    ``aggregate.num_levels`` aligned with
+    :func:`repro.core.gmlss.gmlss_prefix_estimates`.
+    """
+    from .gmlss import gmlss_prefix_estimates_from_totals
+
+    m = aggregate.num_levels
+    n_roots = aggregate.n_roots
+    if n_roots < 2:
+        return np.zeros(m, dtype=np.float64)
+    if n_boot < 2:
+        raise ValueError(f"n_boot must be >= 2, got {n_boot}")
+
+    landings, skips, crossings, hits = aggregate.per_root_matrices()
+    rng = np.random.default_rng(seed)
+    estimates = np.empty((n_boot, m), dtype=np.float64)
+    for b in range(n_boot):
+        idx = rng.integers(0, n_roots, size=n_roots)
+        estimates[b] = gmlss_prefix_estimates_from_totals(
+            landings[idx].sum(axis=0),
+            skips[idx].sum(axis=0),
+            crossings[idx].sum(axis=0),
+            float(hits[idx].sum()),
+            float(n_roots),
+            ratios,
+        )
+    return estimates.var(axis=0)

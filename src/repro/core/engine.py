@@ -1,9 +1,16 @@
-"""High-level query answering: one entry point for the whole pipeline.
+"""One-shot query answering: the thin wrapper over the engine service.
 
-``answer_durability_query`` wires together everything the paper
-describes: pick (or search for) a level plan, run the right sampler,
-stop on a quality target or budget, and return an estimate carrying its
-guarantee.  Methods:
+``answer_durability_query`` is the original single-call entry point and
+is kept for compatibility and convenience; since the introduction of
+:class:`repro.engine.DurabilityEngine` it simply packs its arguments
+into an :class:`repro.engine.ExecutionPolicy` and runs a fresh engine
+for one call.  Long-running or multi-query callers should hold a
+:class:`~repro.engine.DurabilityEngine` instead: it memoizes level
+plans across calls, groups compatible queries into shared simulation
+cohorts (``answer_batch``) and answers whole threshold grids in one
+pass (``durability_curve``).
+
+Methods:
 
 * ``"srs"``   — the baseline sampler;
 * ``"smlss"`` — simple MLSS (only sound without level skipping);
@@ -29,15 +36,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..processes.base import resolve_backend
-from .balanced import balanced_growth_partition
+from ..engine.policy import ExecutionPolicy
+from ..engine.service import DurabilityEngine, resolve_plan
 from .estimates import DurabilityEstimate
-from .gmlss import GMLSSSampler
-from .greedy import adaptive_greedy_partition
 from .levels import LevelPartition
 from .quality import QualityTarget
-from .smlss import SMLSSSampler
-from .srs import SRSSampler
 from .value_functions import DurabilityQuery
 
 METHODS = ("srs", "smlss", "gmlss", "auto")
@@ -51,30 +54,15 @@ def resolve_partition(query: DurabilityQuery,
                       backend: str = "scalar"):
     """Choose the level plan: explicit > balanced pilot > greedy search.
 
-    Returns ``(partition, search_details_or_None)``.  Pilot simulations
-    (balanced-growth pilots and greedy candidate trials) run on the
-    requested backend.
+    Returns ``(partition, search_details_or_None)``.  The cache-less
+    view of :func:`repro.engine.service.resolve_plan` (the single
+    source of truth for plan precedence); the engine service adds plan
+    caching on top (:meth:`repro.engine.DurabilityEngine.answer`).
     """
-    initial_value = query.initial_value()
-    if partition is not None:
-        return partition.pruned_above(initial_value), None
-    if num_levels is not None:
-        plan = balanced_growth_partition(
-            query, num_levels, pilot_paths=max(trial_steps // query.horizon,
-                                               200), seed=seed,
-            backend=backend)
-        return plan, None
-    result = adaptive_greedy_partition(
-        query, ratio=ratio, trial_steps=trial_steps, seed=seed,
-        backend=backend)
-    details = {
-        "search_steps": result.search_steps,
-        "search_rounds": result.num_rounds,
-        "pooled_estimate": result.pooled_estimate,
-        "pooled_roots": result.pooled_roots,
-        "partition": result.partition,
-    }
-    return result.partition, details
+    plan, search_details, _ = resolve_plan(
+        query, partition, num_levels, ratio, trial_steps, seed,
+        backend=backend, plan_cache=None)
+    return plan, search_details
 
 
 def answer_durability_query(
@@ -107,7 +95,8 @@ def answer_durability_query(
         Splitting ratio ``r`` (paper default 3).
     quality / max_steps / max_roots:
         Stopping rule: quality target and/or simulation budgets; at
-        least one must be given.
+        least one must be given (a ``ValueError`` is raised *before*
+        any plan search otherwise).
     trial_steps:
         Per-trial budget of the greedy search (when it runs).
     backend:
@@ -118,36 +107,12 @@ def answer_durability_query(
     sampler_options:
         Extra keyword arguments for the chosen sampler's constructor.
     """
-    if method not in METHODS:
-        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
-    backend = resolve_backend(backend, query.process)
-    options = dict(sampler_options or {})
-    options.setdefault("record_trace", record_trace)
-    options.setdefault("backend", backend)
-    # A sampler_options override may pick a different backend than the
-    # engine-level argument; report what the sampler actually ran.
-    sampler_backend = resolve_backend(options["backend"], query.process)
-
-    if method == "srs":
-        sampler = SRSSampler(**options)
-        estimate = sampler.run(query, quality=quality, max_steps=max_steps,
-                               max_roots=max_roots, seed=seed)
-        estimate.details["backend"] = sampler_backend
-        return estimate
-
-    search_details = None
-    if method in ("smlss", "gmlss", "auto"):
-        partition, search_details = resolve_partition(
-            query, partition, num_levels, ratio, trial_steps, seed,
-            backend=backend)
-
-    if method == "smlss":
-        sampler = SMLSSSampler(partition, ratio=ratio, **options)
-    else:  # gmlss or auto
-        sampler = GMLSSSampler(partition, ratio=ratio, **options)
-    estimate = sampler.run(query, quality=quality, max_steps=max_steps,
-                           max_roots=max_roots, seed=seed)
-    estimate.details["backend"] = sampler_backend
-    if search_details is not None:
-        estimate.details["plan_search"] = search_details
-    return estimate
+    policy = ExecutionPolicy(
+        method=method, backend=backend, ratio=ratio, num_levels=num_levels,
+        trial_steps=trial_steps, quality=quality, max_steps=max_steps,
+        max_roots=max_roots, seed=seed, record_trace=record_trace,
+        # One-shot calls build a fresh engine, so its cache could never
+        # hit; skip the lookups (and keep details identical to before).
+        use_plan_cache=False,
+        sampler_options=sampler_options)
+    return DurabilityEngine(policy).answer(query, partition=partition)

@@ -111,6 +111,7 @@ class ForestRunner:
         record = RootRecord(num_levels)
         landings = record.landings
         skips = record.skips
+        max_level = 0
         # Per-split crossing counters: splits[k] = [level, crossed].
         splits = []
         # Work stack of pending path segments.
@@ -128,12 +129,15 @@ class ForestRunner:
                 value = value_fn(state, t)
                 if value >= TARGET_VALUE:
                     hits += 1
+                    max_level = num_levels
                     for k in range(born + 1, num_levels):
                         skips[k] += 1
                     crossed = True
                     break
                 level = level_of(value)
                 if level > born:
+                    if level > max_level:
+                        max_level = level
                     for k in range(born + 1, level):
                         skips[k] += 1
                     landings[level] += 1
@@ -158,6 +162,7 @@ class ForestRunner:
             crossings[level] += n_crossed
         record.hits = hits
         record.steps = steps
+        record.max_level = max_level
         return record
 
     def run_roots(self, n_roots: int) -> list:
@@ -255,10 +260,13 @@ class VectorizedForestRunner:
                 level_born = born[i]
                 if hit[i]:
                     record.hits += 1
+                    record.max_level = num_levels
                     for k in range(level_born + 1, num_levels):
                         record.skips[k] += 1
                 else:
                     level = int(levels[i])
+                    if level > record.max_level:
+                        record.max_level = level
                     for k in range(level_born + 1, level):
                         record.skips[k] += 1
                     record.landings[level] += 1

@@ -30,12 +30,13 @@ import random
 import time
 from typing import Optional, Sequence
 
-from .bootstrap import bootstrap_variance
-from .estimates import DurabilityEstimate, TracePoint
+from .bootstrap import bootstrap_curve_variances, bootstrap_variance
+from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
 from .levels import LevelPartition, normalize_ratios
 from .quality import QualityTarget
 from .records import ForestAggregate
 from .smlss import make_forest_runner
+from .srs import prepare_curve_grid
 from .value_functions import DurabilityQuery
 
 
@@ -70,6 +71,49 @@ def gmlss_estimate_from_totals(landings: Sequence[float],
 def gmlss_point_estimate(aggregate: ForestAggregate, ratios: tuple) -> float:
     """The g-MLSS estimate from a forest aggregate."""
     return gmlss_estimate_from_totals(
+        aggregate.landings, aggregate.skips, aggregate.crossings,
+        aggregate.hits, aggregate.n_roots, ratios)
+
+
+def gmlss_prefix_estimates_from_totals(landings, skips, crossings,
+                                       hits: float, n_roots: float,
+                                       ratios: tuple) -> list:
+    """All boundary-crossing probabilities from one set of counters.
+
+    The g-MLSS product (Eq. 8) factorizes over boundaries, so its
+    *prefixes* are themselves unbiased estimates: the ``i``-th prefix
+    estimates ``Pr[cross beta_{i+1}]`` (reach a value-function score of
+    at least ``beta_{i+1}`` within the horizon), and the last entry —
+    the full product — is the target probability.  Returns a list of
+    length ``m = len(landings)``: ``[Pr[cross beta_1], ...,
+    Pr[cross beta_{m-1}], Pr[hit target]]``.  This is what lets one
+    splitting forest answer a whole threshold grid whose normalized
+    thresholds sit on the partition boundaries.
+    """
+    m = len(landings)
+    prefixes = [0.0] * m
+    if n_roots <= 0:
+        return prefixes
+    if m == 1:
+        prefixes[0] = hits / n_roots
+        return prefixes
+    estimate = (landings[1] + skips[1]) / n_roots
+    prefixes[0] = estimate
+    for i in range(1, m):
+        if estimate == 0.0:
+            break
+        denominator = landings[i] + skips[i]
+        if denominator == 0:
+            break
+        estimate *= (crossings[i] / ratios[i] + skips[i]) / denominator
+        prefixes[i] = estimate
+    return prefixes
+
+
+def gmlss_prefix_estimates(aggregate: ForestAggregate,
+                           ratios: tuple) -> list:
+    """Boundary-crossing probabilities from a forest aggregate."""
+    return gmlss_prefix_estimates_from_totals(
         aggregate.landings, aggregate.skips, aggregate.crossings,
         aggregate.hits, aggregate.n_roots, ratios)
 
@@ -230,4 +274,105 @@ class GMLSSSampler:
             steps=aggregate.steps, method=self.method_name,
             elapsed_seconds=time.perf_counter() - started,
             details=details,
+        )
+
+    def _level_hits(self, aggregate: ForestAggregate, index: int) -> int:
+        """Observations backing the ``index``-th curve level.
+
+        Interior boundaries count the paths observed crossing them
+        (landings plus skips); the last level counts target hits.
+        """
+        if index == aggregate.num_levels - 1:
+            return aggregate.hits
+        return (aggregate.landings[index + 1] + aggregate.skips[index + 1])
+
+    def run_curve(self, query: DurabilityQuery,
+                  thresholds: Optional[Sequence[float]] = None,
+                  quality: Optional[QualityTarget] = None,
+                  max_steps: Optional[int] = None,
+                  max_roots: Optional[int] = None,
+                  seed: Optional[int] = None) -> DurabilityCurve:
+        """Answer the partition's whole boundary grid from one forest.
+
+        The curve levels are the sampler's interior boundaries plus the
+        target: one splitting forest yields ``Pr[cross beta_i]`` for
+        every boundary simultaneously via the prefix products of the
+        g-MLSS decomposition (see :func:`gmlss_prefix_estimates`), with
+        per-level variances from a single shared bootstrap pass.  To
+        answer a grid of raw thresholds, build the partition from the
+        normalized grid and rebase the query onto the largest threshold
+        (the engine's ``durability_curve`` does exactly that).
+
+        ``quality`` must hold at every level before the run stops early;
+        budgets behave as in :meth:`run`.
+        """
+        levels, thresholds = prepare_curve_grid(
+            self.partition.boundaries + (1.0,), thresholds, quality,
+            max_steps, max_roots)
+        rng = random.Random(seed)
+        boot_seed = rng.randrange(2 ** 31)
+        runner = make_forest_runner(self.backend, query, self.partition,
+                                    self.ratios, seed, scalar_rng=rng)
+        aggregate = ForestAggregate(self.partition.num_levels)
+        bootstrap_evals = 0
+        next_check = self.first_check_roots
+        variances = None
+        variances_fresh = False
+        started = time.perf_counter()
+
+        def evaluate_bootstrap():
+            nonlocal bootstrap_evals
+            result = bootstrap_curve_variances(
+                aggregate, self.ratios, n_boot=self.bootstrap_rounds,
+                seed=boot_seed + bootstrap_evals)
+            bootstrap_evals += 1
+            return result
+
+        done = False
+        while not done:
+            roots_before = aggregate.n_roots
+            done = runner.accumulate(aggregate, self.batch_roots,
+                                     max_steps=max_steps,
+                                     max_roots=max_roots)
+            if aggregate.n_roots > roots_before:
+                variances_fresh = False
+            if aggregate.n_roots == 0 or done:
+                break
+            if quality is not None and aggregate.n_roots >= next_check:
+                prefixes = gmlss_prefix_estimates(aggregate, self.ratios)
+                variances = evaluate_bootstrap()
+                variances_fresh = True
+                if all(quality.is_met(prefixes[i], variances[i],
+                                      self._level_hits(aggregate, i),
+                                      aggregate.n_roots)
+                       for i in range(len(levels))):
+                    break
+                next_check = max(next_check + 1,
+                                 math.ceil(next_check * self.check_growth))
+
+        prefixes = gmlss_prefix_estimates(aggregate, self.ratios)
+        if not variances_fresh and aggregate.n_roots > 1:
+            variances = evaluate_bootstrap()
+        if variances is None:
+            variances = [0.0] * len(levels)
+        elapsed = time.perf_counter() - started
+        estimates = tuple(
+            DurabilityEstimate(
+                probability=prefixes[i], variance=float(variances[i]),
+                n_roots=aggregate.n_roots,
+                hits=self._level_hits(aggregate, i),
+                steps=aggregate.steps, method=self.method_name,
+                elapsed_seconds=elapsed, details={"shared_pass": True},
+            )
+            for i in range(len(levels)))
+        return DurabilityCurve(
+            thresholds=thresholds, levels=levels, estimates=estimates,
+            method=self.method_name, n_roots=aggregate.n_roots,
+            steps=aggregate.steps, elapsed_seconds=elapsed,
+            details={
+                "partition": self.partition,
+                "ratios": self.ratios[1:],
+                "level_reach": aggregate.level_reach_counts(),
+                "bootstrap_evals": bootstrap_evals,
+            },
         )

@@ -46,6 +46,8 @@ class GreedyResult:
     search_steps: int = 0
     pooled_estimate: float = 0.0
     pooled_roots: int = 0
+    #: True when the plan came from a PlanCache hit (no search was run).
+    from_cache: bool = False
 
     @property
     def num_rounds(self) -> int:
@@ -81,7 +83,8 @@ def adaptive_greedy_partition(query: DurabilityQuery, ratio=3,
                               candidates_per_round: int = 5,
                               max_rounds: int = 10,
                               seed: Optional[int] = None,
-                              backend: str = "scalar") -> GreedyResult:
+                              backend: str = "scalar",
+                              plan_cache=None) -> GreedyResult:
     """Algorithm 1: search for a (near-)optimal partition plan.
 
     Parameters
@@ -102,7 +105,21 @@ def adaptive_greedy_partition(query: DurabilityQuery, ratio=3,
         Simulation backend for the candidate trials — ``"scalar"``,
         ``"vectorized"``, or ``"auto"`` (see
         :func:`repro.processes.base.resolve_backend`).
+    plan_cache:
+        Optional :class:`repro.engine.PlanCache` (or anything with its
+        ``get``/``put`` interface).  On a hit the cached plan is
+        returned immediately with ``from_cache=True`` and zero search
+        steps; on a miss the search runs and its result is stored for
+        the next equivalent query.
     """
+    if plan_cache is not None:
+        entry = plan_cache.get(query, kind="greedy")
+        if entry is not None:
+            return GreedyResult(
+                partition=entry.partition, best_score=entry.score,
+                rounds=[], search_steps=0,
+                pooled_estimate=0.0, pooled_roots=0, from_cache=True,
+            )
     rng = random.Random(seed)
     initial_value = query.initial_value()
     plan = LevelPartition()
@@ -152,11 +169,14 @@ def adaptive_greedy_partition(query: DurabilityQuery, ratio=3,
 
     pooled, pooled_roots, _ = pool_trials(
         [t for rnd in rounds for t in rnd.trials])
-    return GreedyResult(
+    result = GreedyResult(
         partition=plan, best_score=best_score, rounds=rounds,
         search_steps=search_steps, pooled_estimate=pooled,
         pooled_roots=pooled_roots,
     )
+    if plan_cache is not None:
+        plan_cache.put(query, plan, kind="greedy", score=best_score)
+    return result
 
 
 def _obstacle_interval(plan: LevelPartition, trial: PlanTrial,

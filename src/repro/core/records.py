@@ -14,6 +14,12 @@ root tree:
 * ``crossings[i]`` — total number of *direct* offspring of level-``i``
   splits that crossed ``beta_{i+1}``; with the per-level ratio ``r_i``
   this yields ``sum_{h in H_i} mu(h) = crossings[i] / r_i``.
+* ``max_level`` — the highest level index any path of this tree ever
+  reached (``m`` = the target).  This per-level maximum is what lets a
+  single forest run answer a whole *grid* of thresholds at once: the
+  fraction of trees with ``max_level >= i`` is a direct diagnostic of
+  boundary-``i`` reachability, and the durability-curve machinery reads
+  its per-threshold answers off the same records.
 
 Keeping the counters per root (rather than only in aggregate) is what
 makes the s-MLSS variance estimator (Eq. 6) and the g-MLSS bootstrap
@@ -34,7 +40,8 @@ class RootRecord:
     start in ``L_0``; there are no landings into or skips over it).
     """
 
-    __slots__ = ("hits", "steps", "landings", "skips", "crossings")
+    __slots__ = ("hits", "steps", "landings", "skips", "crossings",
+                 "max_level")
 
     def __init__(self, num_levels: int):
         self.hits = 0
@@ -42,11 +49,12 @@ class RootRecord:
         self.landings = [0] * num_levels
         self.skips = [0] * num_levels
         self.crossings = [0] * num_levels
+        self.max_level = 0
 
     def __repr__(self) -> str:
         return (f"RootRecord(hits={self.hits}, steps={self.steps}, "
                 f"landings={self.landings}, skips={self.skips}, "
-                f"crossings={self.crossings})")
+                f"crossings={self.crossings}, max_level={self.max_level})")
 
 
 class ForestAggregate:
@@ -61,7 +69,7 @@ class ForestAggregate:
     __slots__ = ("num_levels", "n_roots", "hits", "hits_sq_sum", "steps",
                  "landings", "skips", "crossings",
                  "root_hits", "root_landings", "root_skips",
-                 "root_crossings")
+                 "root_crossings", "root_max_levels")
 
     def __init__(self, num_levels: int):
         if num_levels < 1:
@@ -79,6 +87,7 @@ class ForestAggregate:
         self.root_landings: List[list] = []
         self.root_skips: List[list] = []
         self.root_crossings: List[list] = []
+        self.root_max_levels: List[int] = []
 
     def add(self, record: RootRecord) -> None:
         """Fold one finished root tree into the aggregate."""
@@ -94,6 +103,7 @@ class ForestAggregate:
         self.root_landings.append(record.landings)
         self.root_skips.append(record.skips)
         self.root_crossings.append(record.crossings)
+        self.root_max_levels.append(record.max_level)
 
     def extend(self, records: Iterable[RootRecord]) -> None:
         for record in records:
@@ -118,6 +128,7 @@ class ForestAggregate:
         self.root_landings.extend(other.root_landings)
         self.root_skips.extend(other.root_skips)
         self.root_crossings.extend(other.root_crossings)
+        self.root_max_levels.extend(other.root_max_levels)
 
     # ------------------------------------------------------------------
     # Views
@@ -138,6 +149,23 @@ class ForestAggregate:
             return 0.0
         mean = self.hits / n
         return (self.hits_sq_sum - n * mean * mean) / (n - 1)
+
+    def level_reach_counts(self) -> list:
+        """``counts[i]`` = number of root trees whose paths ever reached
+        level ``i`` (index ``num_levels`` = the target).
+
+        Derived from the per-root ``max_level`` bookkeeping; the
+        fraction ``counts[i] / n_roots`` estimates the probability of
+        ever crossing boundary ``beta_i``, which is what the
+        durability-curve readers consume.
+        """
+        counts = [0] * (self.num_levels + 1)
+        for level in self.root_max_levels:
+            counts[level] += 1
+        # Suffix-sum: reaching level j implies reaching every i <= j.
+        for i in range(self.num_levels - 1, -1, -1):
+            counts[i] += counts[i + 1]
+        return counts
 
     def hit_counts(self) -> np.ndarray:
         """Per-root target-hit counts ``N_m^<k>`` as a numpy vector."""

@@ -23,16 +23,17 @@ from __future__ import annotations
 import math
 import random
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..processes.base import resolve_backend
-from .estimates import DurabilityEstimate, TracePoint
+from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
 from .forest import ForestRunner, VectorizedForestRunner
 from .levels import LevelPartition, normalize_ratios
 from .quality import QualityTarget
 from .records import ForestAggregate
+from .srs import prepare_curve_grid
 from .value_functions import DurabilityQuery
 
 
@@ -79,6 +80,54 @@ def smlss_variance(aggregate: ForestAggregate, ratios: tuple) -> float:
     sigma_sq = aggregate.hit_count_variance()
     denominator = ratio_product(ratios)
     return sigma_sq / (n0 * denominator * denominator)
+
+
+def smlss_prefix_estimates(aggregate: ForestAggregate,
+                           ratios: tuple) -> list:
+    """Boundary-crossing probabilities under the no-skipping assumption.
+
+    The s-MLSS analogue of Eq. 3 for every prefix: without level
+    skipping, the expected number of landings in ``L_i`` is
+    ``N_0 * prod_{k<i} r_k * Pr[cross beta_i]``, so one forest yields
+    ``Pr[cross beta_i] = landings[i] / (N_0 * prod_{k<i} r_k)`` for all
+    boundaries at once.  Returns ``[Pr[cross beta_1], ...,
+    Pr[cross beta_{m-1}], Pr[hit target]]`` (length ``m``); like the
+    point estimate, the prefixes are biased when the process does skip
+    levels.
+    """
+    m = aggregate.num_levels
+    n0 = aggregate.n_roots
+    prefixes = []
+    scale = float(n0)
+    for i in range(1, m):
+        prefixes.append(aggregate.landings[i] / scale if n0 else 0.0)
+        scale *= ratios[i]
+    prefixes.append(aggregate.hits / scale if n0 else 0.0)
+    return prefixes
+
+
+def smlss_prefix_variances(aggregate: ForestAggregate,
+                           ratios: tuple) -> list:
+    """Per-boundary variances for :func:`smlss_prefix_estimates`.
+
+    Each prefix is a mean of i.i.d. per-root counts scaled by a
+    constant, so the Eq. 5-6 argument applies level by level: the
+    sample variance of the per-root landing (or hit) counts, divided by
+    ``n_roots`` and the squared split factor.
+    """
+    m = aggregate.num_levels
+    n0 = aggregate.n_roots
+    if n0 < 2:
+        return [0.0] * m
+    landings, _, _, hits = aggregate.per_root_matrices()
+    variances = []
+    scale = 1.0
+    for i in range(1, m):
+        sigma_sq = float(landings[:, i].var(ddof=1))
+        variances.append(sigma_sq / (n0 * scale * scale))
+        scale *= ratios[i]
+    variances.append(float(hits.var(ddof=1)) / (n0 * scale * scale))
+    return variances
 
 
 class SMLSSSampler:
@@ -168,3 +217,78 @@ class SMLSSSampler:
             elapsed_seconds=time.perf_counter() - started,
             details=details,
         )
+
+    def run_curve(self, query: DurabilityQuery,
+                  thresholds: Optional[Sequence[float]] = None,
+                  quality: Optional[QualityTarget] = None,
+                  max_steps: Optional[int] = None,
+                  max_roots: Optional[int] = None,
+                  seed: Optional[int] = None) -> DurabilityCurve:
+        """Answer the partition's whole boundary grid from one forest.
+
+        The s-MLSS counterpart of :meth:`GMLSSSampler.run_curve`:
+        boundary-crossing probabilities are read off the landing
+        counters level by level (:func:`smlss_prefix_estimates`), valid
+        under the same no-level-skipping assumption as the point
+        estimate.  ``quality`` must hold at every level; it is
+        evaluated on a geometric root-count schedule (the per-level
+        variances read the whole per-root history, so checking every
+        batch would cost quadratic time).  Budgets behave as in
+        :meth:`run`.
+        """
+        levels, thresholds = prepare_curve_grid(
+            self.partition.boundaries + (1.0,), thresholds, quality,
+            max_steps, max_roots)
+        runner = make_forest_runner(self.backend, query, self.partition,
+                                    self.ratios, seed)
+        aggregate = ForestAggregate(self.partition.num_levels)
+        next_check = max(2 * self.batch_roots, 100)
+        started = time.perf_counter()
+
+        done = False
+        while not done:
+            done = runner.accumulate(aggregate, self.batch_roots,
+                                     max_steps=max_steps,
+                                     max_roots=max_roots)
+            if done or aggregate.n_roots == 0:
+                break
+            if quality is not None and aggregate.n_roots >= next_check:
+                prefixes = smlss_prefix_estimates(aggregate, self.ratios)
+                variances = smlss_prefix_variances(aggregate, self.ratios)
+                if all(quality.is_met(prefixes[i], variances[i],
+                                      self._level_hits(aggregate, i),
+                                      aggregate.n_roots)
+                       for i in range(len(levels))):
+                    break
+                next_check = max(next_check + 1,
+                                 math.ceil(next_check * 1.5))
+
+        prefixes = smlss_prefix_estimates(aggregate, self.ratios)
+        variances = smlss_prefix_variances(aggregate, self.ratios)
+        elapsed = time.perf_counter() - started
+        estimates = tuple(
+            DurabilityEstimate(
+                probability=prefixes[i], variance=variances[i],
+                n_roots=aggregate.n_roots,
+                hits=self._level_hits(aggregate, i),
+                steps=aggregate.steps, method=self.method_name,
+                elapsed_seconds=elapsed, details={"shared_pass": True},
+            )
+            for i in range(len(levels)))
+        return DurabilityCurve(
+            thresholds=thresholds, levels=levels, estimates=estimates,
+            method=self.method_name, n_roots=aggregate.n_roots,
+            steps=aggregate.steps, elapsed_seconds=elapsed,
+            details={
+                "partition": self.partition,
+                "ratios": self.ratios[1:],
+                "level_reach": aggregate.level_reach_counts(),
+                "skipping_detected": aggregate.total_skips > 0,
+            },
+        )
+
+    def _level_hits(self, aggregate: ForestAggregate, index: int) -> int:
+        """Observations backing the ``index``-th curve level."""
+        if index == aggregate.num_levels - 1:
+            return aggregate.hits
+        return aggregate.landings[index + 1]

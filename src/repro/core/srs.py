@@ -21,18 +21,25 @@ Two interchangeable backends run the simulation:
 Both count cost identically (one ``g`` invocation per live path per
 step) and sample the same distribution — batching merely reorders
 independent draws — so estimates from either backend are exchangeable.
+
+Besides the single-threshold :meth:`SRSSampler.run`, the sampler can
+answer a whole *grid* of thresholds from one pass:
+:meth:`SRSSampler.run_curve` records each path's running maximum score,
+so the hit indicator for every grid level is read off the same paths
+(see :class:`repro.core.estimates.DurabilityCurve`).
 """
 
 from __future__ import annotations
 
+import bisect
 import random
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..processes.base import as_vectorized, resolve_backend
-from .estimates import DurabilityEstimate, TracePoint
+from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
 from .quality import QualityTarget
 from .value_functions import TARGET_VALUE, DurabilityQuery, batch_values
 
@@ -42,6 +49,82 @@ def srs_variance(probability: float, n_paths: int) -> float:
     if n_paths <= 0:
         return 0.0
     return probability * (1.0 - probability) / n_paths
+
+
+def validate_curve_levels(levels: Sequence[float]) -> tuple:
+    """Validate a normalized curve grid: ascending, inside ``(0, 1]``."""
+    values = tuple(float(v) for v in levels)
+    if not values:
+        raise ValueError("empty curve grid")
+    for v in values:
+        if not 0.0 < v <= TARGET_VALUE:
+            raise ValueError(
+                f"curve level {v} must lie in (0, {TARGET_VALUE}]"
+            )
+    for lo, hi in zip(values, values[1:]):
+        if lo >= hi:
+            raise ValueError(
+                f"curve levels must be strictly ascending, got {lo} "
+                f"before {hi}"
+            )
+    return values
+
+
+def prepare_curve_grid(levels, thresholds,
+                       quality: Optional[QualityTarget],
+                       max_steps: Optional[int],
+                       max_roots: Optional[int]) -> tuple:
+    """Shared ``run_curve`` preamble for every sampler.
+
+    Enforces the stopping-rule contract, validates the normalized grid
+    and aligns the raw-threshold labels (defaulting to the levels
+    themselves).  Returns ``(levels, thresholds)`` as tuples.
+    """
+    if quality is None and max_steps is None and max_roots is None:
+        raise ValueError(
+            "provide a quality target, max_steps or max_roots; "
+            "otherwise the sampler would never stop"
+        )
+    levels = validate_curve_levels(levels)
+    if thresholds is None:
+        thresholds = levels
+    thresholds = tuple(float(b) for b in thresholds)
+    if len(thresholds) != len(levels):
+        raise ValueError(
+            f"{len(thresholds)} thresholds for {len(levels)} curve levels"
+        )
+    return levels, thresholds
+
+
+def curve_quality_met(quality: QualityTarget, counts, n_paths: int) -> bool:
+    """True when the stopping target holds at *every* grid level."""
+    if n_paths == 0:
+        return False
+    for hits in counts:
+        probability = hits / n_paths
+        if not quality.is_met(probability, srs_variance(probability, n_paths),
+                              hits, n_paths):
+            return False
+    return True
+
+
+def build_srs_curve(thresholds, levels, counts, n_paths: int, steps: int,
+                    elapsed: float) -> DurabilityCurve:
+    """Fold shared-pass maxima counts into a :class:`DurabilityCurve`."""
+    estimates = []
+    for hits in counts:
+        probability = hits / n_paths if n_paths else 0.0
+        estimates.append(DurabilityEstimate(
+            probability=probability,
+            variance=srs_variance(probability, n_paths),
+            n_roots=n_paths, hits=hits, steps=steps, method="srs",
+            elapsed_seconds=elapsed, details={"shared_pass": True},
+        ))
+    return DurabilityCurve(
+        thresholds=tuple(thresholds), levels=tuple(levels),
+        estimates=tuple(estimates), method="srs", n_roots=n_paths,
+        steps=steps, elapsed_seconds=elapsed,
+    )
 
 
 class SRSSampler:
@@ -146,6 +229,153 @@ class SRSSampler:
                 break
 
         return make_estimate()
+
+    def run_curve(self, query: DurabilityQuery, levels: Sequence[float],
+                  thresholds: Optional[Sequence[float]] = None,
+                  quality: Optional[QualityTarget] = None,
+                  max_steps: Optional[int] = None,
+                  max_roots: Optional[int] = None,
+                  seed: Optional[int] = None) -> DurabilityCurve:
+        """Answer a whole grid of value levels from one simulation pass.
+
+        Instead of one run per threshold, every path records its
+        *running maximum* value-function score; the estimate for level
+        ``v`` is then the fraction of paths whose maximum reached ``v``
+        — simultaneously, for every grid point, from the same paths.
+        A path stops early only once it reaches the *top* level, so the
+        pass costs about as much as a single run against the hardest
+        threshold, not ``K`` runs.
+
+        Parameters
+        ----------
+        query:
+            The durability query; its value function defines the scale
+            of ``levels`` (for a grid of raw thresholds, rebase the
+            query onto the largest one — see
+            :meth:`repro.core.value_functions.DurabilityQuery.with_threshold`).
+        levels:
+            Normalized grid, strictly ascending, each in ``(0, 1]``.
+        thresholds:
+            Optional raw-threshold labels for the result (defaults to
+            ``levels``).
+        quality:
+            Stopping target, required to hold at *every* grid level
+            (the rarest level is the binding one).
+        max_steps / max_roots / seed:
+            As in :meth:`run`; at least one stopping criterion must be
+            given.
+        """
+        levels, thresholds = prepare_curve_grid(
+            levels, thresholds, quality, max_steps, max_roots)
+        if resolve_backend(self.backend, query.process) == "vectorized":
+            counts, n_paths, steps, elapsed = self._curve_pass_vectorized(
+                query, levels, quality, max_steps, max_roots, seed)
+        else:
+            counts, n_paths, steps, elapsed = self._curve_pass_scalar(
+                query, levels, quality, max_steps, max_roots, seed)
+        return build_srs_curve(thresholds, levels, counts, n_paths, steps,
+                               elapsed)
+
+    def _curve_pass_scalar(self, query, levels, quality, max_steps,
+                           max_roots, seed):
+        """Per-path loop recording running maxima against the grid."""
+        rng = random.Random(seed)
+        process = query.process
+        step = process.step
+        value_fn = query.value_function
+        horizon = query.horizon
+        top = levels[-1]
+
+        counts = [0] * len(levels)
+        n_paths = 0
+        steps = 0
+        started = time.perf_counter()
+
+        done = False
+        while not done:
+            for _ in range(self.batch_roots):
+                if max_roots is not None and n_paths >= max_roots:
+                    done = True
+                    break
+                if max_steps is not None and steps >= max_steps:
+                    done = True
+                    break
+                state = process.initial_state()
+                best = 0.0
+                t = 0
+                while t < horizon:
+                    t += 1
+                    state = step(state, t, rng)
+                    steps += 1
+                    value = value_fn(state, t)
+                    if value > best:
+                        best = value
+                        if best >= top:
+                            break
+                # levels[j] <= best  <=>  the path hit threshold j.
+                for j in range(bisect.bisect_right(levels, best)):
+                    counts[j] += 1
+                n_paths += 1
+            if done or n_paths == 0:
+                break
+            if quality is not None and curve_quality_met(
+                    quality, counts, n_paths):
+                break
+        return counts, n_paths, steps, time.perf_counter() - started
+
+    def _curve_pass_vectorized(self, query, levels, quality, max_steps,
+                               max_roots, seed):
+        """Cohorts advance as NumPy batches, tracking per-path maxima."""
+        rng = np.random.default_rng(seed)
+        process = as_vectorized(query.process)
+        value_fn = query.value_function
+        horizon = query.horizon
+        grid = np.asarray(levels, dtype=np.float64)
+        top = levels[-1]
+
+        counts = np.zeros(len(levels), dtype=np.int64)
+        n_paths = 0
+        steps = 0
+        started = time.perf_counter()
+
+        while True:
+            cohort = self.batch_roots
+            if max_roots is not None:
+                cohort = min(cohort, max_roots - n_paths)
+            if max_steps is not None:
+                if steps >= max_steps:
+                    break
+                cohort = min(cohort, (max_steps - steps) // horizon + 1)
+            if cohort <= 0:
+                break
+
+            states = process.initial_states(cohort)
+            best = np.zeros(cohort, dtype=np.float64)
+            topped = 0
+            t = 0
+            while t < horizon and len(states):
+                t += 1
+                states = process.step_batch(states, t, rng)
+                steps += len(states)
+                best = np.maximum(best, batch_values(value_fn, states, t))
+                reached = best >= top
+                n_reached = int(np.count_nonzero(reached))
+                if n_reached:
+                    topped += n_reached
+                    keep = ~reached
+                    states, best = states[keep], best[keep]
+            # Paths that reached the top level hit every grid point;
+            # survivors hit exactly the levels below their maximum.
+            counts += topped
+            if len(best):
+                counts += (best[:, None] >= grid[None, :]).sum(axis=0)
+            n_paths += cohort
+
+            if quality is not None and curve_quality_met(
+                    quality, counts, n_paths):
+                break
+        return [int(c) for c in counts], n_paths, steps, \
+            time.perf_counter() - started
 
     def _run_vectorized(self, query: DurabilityQuery,
                         quality: Optional[QualityTarget],

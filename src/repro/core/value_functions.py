@@ -83,6 +83,15 @@ class ThresholdValueFunction:
         ratios = batch_z_values(self.z, states) / self.beta
         return np.clip(ratios, 0.0, TARGET_VALUE)
 
+    def with_beta(self, beta: float) -> "ThresholdValueFunction":
+        """The same state evaluation ``z`` against a different threshold.
+
+        Used by the durability-curve machinery, which rebases a whole
+        grid of thresholds onto the largest one so a single simulation
+        pass covers them all.
+        """
+        return ThresholdValueFunction(self.z, beta)
+
     def __repr__(self) -> str:
         z_name = getattr(self.z, "__qualname__", repr(self.z))
         return f"ThresholdValueFunction(z={z_name}, beta={self.beta})"
@@ -132,3 +141,43 @@ class DurabilityQuery:
     def initial_value(self) -> float:
         """Value of the initial state (used to validate level plans)."""
         return self.value_function(self.process.initial_state(), 0)
+
+    def with_threshold(self, beta: float) -> "DurabilityQuery":
+        """The same query asked against a different threshold ``beta``.
+
+        Only defined for threshold queries (the value function must be a
+        :class:`ThresholdValueFunction`); this is what lets the engine
+        treat a grid of thresholds as variations of one query.
+        """
+        if not isinstance(self.value_function, ThresholdValueFunction):
+            raise TypeError(
+                "with_threshold requires a ThresholdValueFunction; "
+                f"got {type(self.value_function).__name__}"
+            )
+        name = f"{self.name}@{beta:g}" if self.name else ""
+        return DurabilityQuery(
+            process=self.process,
+            value_function=self.value_function.with_beta(beta),
+            horizon=self.horizon, name=name)
+
+
+def threshold_grid(thresholds) -> tuple:
+    """Normalize a grid of raw thresholds for a one-pass curve.
+
+    Returns ``(betas, levels)``: the thresholds sorted ascending and the
+    same grid rescaled by the largest one, so ``levels[-1] == 1.0`` and
+    each ``levels[j]`` is the value-function score at which the query
+    ``z >= betas[j]`` is satisfied *under the rebased (largest)
+    threshold*.  Thresholds must be positive and distinct.
+    """
+    betas = sorted(float(b) for b in thresholds)
+    if not betas:
+        raise ValueError("empty threshold grid")
+    if betas[0] <= 0.0:
+        raise ValueError(f"thresholds must be positive, got {betas[0]}")
+    for lo, hi in zip(betas, betas[1:]):
+        if lo == hi:
+            raise ValueError(f"duplicate threshold {lo}")
+    beta_max = betas[-1]
+    levels = tuple(b / beta_max for b in betas)
+    return tuple(betas), levels

@@ -1,0 +1,30 @@
+"""Service-shaped query answering: engine, policies, plan caching.
+
+The :mod:`repro.core` layer answers one query at a time.  This
+subpackage wraps it in a stateful service API built for multi-query
+workloads:
+
+* :class:`DurabilityEngine` — ``answer`` / ``answer_batch`` /
+  ``durability_curve`` over a shared plan cache and the vectorized
+  simulation backend;
+* :class:`ExecutionPolicy` — an immutable, serializable "how to run
+  it" object (method, backend, ratio, budgets, quality target, seed
+  policy), reusable across thousands of queries;
+* :class:`PlanCache` — memoized level plans keyed by (process family,
+  horizon, initial value, threshold bucket), so repeated query shapes
+  skip the greedy plan search.
+
+``repro.answer_durability_query`` remains as a thin one-shot wrapper
+over a private engine instance.
+"""
+
+from .cache import CachedPlan, PlanCache, process_family
+from .policy import (ExecutionPolicy, quality_from_dict, quality_to_dict)
+from .service import DurabilityEngine, UnservableGridError, resolve_plan
+
+__all__ = [
+    "CachedPlan", "DurabilityEngine", "ExecutionPolicy", "PlanCache",
+    "UnservableGridError",
+    "process_family", "quality_from_dict", "quality_to_dict",
+    "resolve_plan",
+]

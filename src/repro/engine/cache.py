@@ -1,0 +1,239 @@
+"""Plan caching: amortize level-plan search across repeated queries.
+
+The greedy search (Algorithm 1) and the balanced-growth pilot both burn
+tens of thousands of simulation steps to pick a partition plan.  For the
+service workloads this package targets — ranking durable stocks,
+screening server fleets, sweeping threshold grids — the *same shape* of
+query arrives over and over: one process family, one horizon, thresholds
+in a narrow band.  A plan found once is a good plan for all of them, so
+:class:`PlanCache` memoizes plans under a deliberately coarse key:
+
+``(kind, process family, horizon, initial-value bucket, threshold
+bucket)``
+
+* **kind** separates greedy plans from balanced plans (which are
+  per-level-count);
+* **process family** is the process class plus its scalar constructor
+  parameters — two ``RandomWalkProcess(p_up=0.35)`` instances share
+  plans, while non-scalar components (matrices, nested models) fall
+  back to object identity;
+* **initial-value bucket** quantizes the initial state's value-function
+  score (default 0.05-wide buckets);
+* **threshold bucket** quantizes ``log2(beta)`` of a threshold query
+  (default quarter-octave buckets), so nearby thresholds — whose
+  *normalized* dynamics are nearly identical — share a plan.  The
+  ``z`` evaluation's identity is part of the bucket, so different state
+  scores never collide.
+
+Sharing a plan across a bucket is always *safe*: MLSS is unbiased under
+any plan (Proposition 2); a slightly-off plan costs only efficiency.
+Cached plans are re-pruned against each query's actual initial value
+before use.
+
+Eviction is LRU with a bounded entry count; ``hits``/``misses``
+counters make cache effectiveness observable
+(:meth:`PlanCache.stats`).
+"""
+
+from __future__ import annotations
+
+import math
+import types
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.levels import LevelPartition
+from ..core.value_functions import DurabilityQuery, ThresholdValueFunction
+
+_SCALAR_TYPES = (int, float, str, bool, type(None))
+
+
+def process_family(process) -> tuple:
+    """A hashable key identifying a process *family*, not an instance.
+
+    Built from the class path and the scalar constructor attributes, so
+    two instances configured identically share plans.  Attributes that
+    are not scalars (transition matrices, nested models, arrays) are
+    replaced by the component's ``id`` — distinct complex processes
+    never collide, at the price of cache sharing only through the same
+    object (the common service pattern anyway).
+    """
+    cls = type(process)
+    params = []
+    for name in sorted(vars(process)):
+        value = vars(process)[name]
+        if isinstance(value, _SCALAR_TYPES):
+            params.append((name, value))
+        elif isinstance(value, tuple) and all(
+                isinstance(v, _SCALAR_TYPES) for v in value):
+            params.append((name, value))
+        else:
+            params.append((name, f"@id:{id(value)}"))
+    return (cls.__module__, cls.__qualname__, tuple(params))
+
+
+def _callable_identity(fn) -> str:
+    """A key component for a state evaluation / value function.
+
+    Only *named* plain functions (including staticmethods like
+    ``RandomWalkProcess.position``) get a purely symbolic identity, so
+    equal-by-construction callables share plans.  Everything whose
+    symbol does not pin down behaviour — lambdas and closures (their
+    ``__qualname__`` collides across loop iterations), callable class
+    instances (per-instance parameters), bound methods (per-object
+    state) — includes an object ``id``, trading cache sharing for never
+    reusing a plan across genuinely different scores.  The ids stay
+    valid because cache entries pin their objects (see
+    :attr:`CachedPlan.pins`).
+    """
+    if isinstance(fn, types.MethodType):
+        owner = fn.__self__
+        return (f"{type(owner).__module__}.{type(owner).__qualname__}"
+                f".{fn.__name__}@self:{id(owner)}")
+    qualname = getattr(fn, "__qualname__", None)
+    if (isinstance(fn, (types.FunctionType, types.BuiltinFunctionType))
+            and qualname and "<" not in qualname):
+        return f"{getattr(fn, '__module__', '?')}.{qualname}"
+    name = qualname or f"{type(fn).__module__}.{type(fn).__qualname__}"
+    return f"{name}@id:{id(fn)}"
+
+
+@dataclass
+class CachedPlan:
+    """A memoized level plan plus the metadata that produced it."""
+
+    partition: LevelPartition
+    kind: object
+    score: float = math.inf
+    #: Strong references to the objects whose ``id`` appears in this
+    #: entry's key (process, value function).  Pinning them for the
+    #: entry's lifetime guarantees a reused address can never alias an
+    #: old key — id-based keys are identity-based, not address-based.
+    pins: tuple = field(default=(), repr=False)
+
+
+class PlanCache:
+    """LRU cache of level-partition plans keyed by query shape.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; the least-recently-used plan is evicted beyond it.
+    value_bucket:
+        Width of the initial-value quantization buckets.
+    threshold_buckets_per_octave:
+        Resolution of the ``log2(beta)`` threshold quantization; higher
+        means less sharing between nearby thresholds.
+    """
+
+    def __init__(self, max_entries: int = 256, value_bucket: float = 0.05,
+                 threshold_buckets_per_octave: int = 4):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if value_bucket <= 0:
+            raise ValueError(
+                f"value_bucket must be > 0, got {value_bucket}")
+        if threshold_buckets_per_octave < 1:
+            raise ValueError(
+                f"threshold_buckets_per_octave must be >= 1, got "
+                f"{threshold_buckets_per_octave}")
+        self.max_entries = max_entries
+        self.value_bucket = value_bucket
+        self.threshold_buckets_per_octave = threshold_buckets_per_octave
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    def key_for(self, query: DurabilityQuery, kind: object = "greedy",
+                initial_value: Optional[float] = None):
+        """The cache key a query maps to (exposed for inspection).
+
+        ``initial_value`` lets callers that already evaluated the
+        query's initial state (a model invocation) avoid a second one.
+        """
+        value_fn = query.value_function
+        if isinstance(value_fn, ThresholdValueFunction):
+            threshold_key = (
+                _callable_identity(value_fn.z),
+                round(math.log2(value_fn.beta)
+                      * self.threshold_buckets_per_octave),
+            )
+        else:
+            threshold_key = (_callable_identity(value_fn),)
+        if initial_value is None:
+            initial_value = query.initial_value()
+        initial_bucket = round(initial_value / self.value_bucket)
+        return (kind, process_family(query.process), query.horizon,
+                initial_bucket, threshold_key)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, query: DurabilityQuery,
+            kind: object = "greedy") -> Optional[CachedPlan]:
+        """Return the cached plan for this query shape, or None.
+
+        A hit refreshes the entry's LRU position and re-prunes the plan
+        against the query's actual initial value (bucket neighbours can
+        differ slightly).
+        """
+        initial_value = query.initial_value()
+        key = self.key_for(query, kind, initial_value)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        pruned = entry.partition.pruned_above(initial_value)
+        if pruned == entry.partition:
+            return entry
+        return CachedPlan(partition=pruned, kind=entry.kind,
+                          score=entry.score, pins=entry.pins)
+
+    def put(self, query: DurabilityQuery, partition: LevelPartition,
+            kind: object = "greedy", score: float = math.inf) -> None:
+        """Memoize a plan for this query shape (LRU-evicting)."""
+        key = self.key_for(query, kind)
+        self._entries[key] = CachedPlan(
+            partition=partition, kind=kind, score=score,
+            pins=(query.process, query.value_function))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Hit/miss counters and occupancy, for service observability."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (f"PlanCache(entries={len(self._entries)}, "
+                f"hits={self.hits}, misses={self.misses})")

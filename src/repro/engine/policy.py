@@ -1,0 +1,211 @@
+"""Execution policies: *how* to answer a query, separated from *what*.
+
+A :class:`repro.core.value_functions.DurabilityQuery` says what to ask —
+process, condition, horizon.  An :class:`ExecutionPolicy` says how to
+run it — estimation method, simulation backend, splitting ratio,
+stopping rule (quality target and/or budgets), plan-search knobs and
+seed policy.  Separating the two makes policies reusable (one policy
+drives thousands of screening queries), comparable (swap methods on the
+same queries) and serializable (ship a policy in a job spec or config
+file via :meth:`ExecutionPolicy.to_dict` /
+:meth:`ExecutionPolicy.from_dict`).
+
+Policies are immutable; derive variants with
+:meth:`ExecutionPolicy.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.quality import (ConfidenceIntervalTarget, NeverTarget,
+                            QualityTarget, RelativeErrorTarget)
+
+METHODS = ("srs", "smlss", "gmlss", "auto")
+BACKENDS = ("scalar", "vectorized", "auto")
+
+#: Stride between derived per-query seeds in batch runs (a prime, so
+#: derived streams never collide for realistic batch sizes).
+_SEED_STRIDE = 1_000_003
+_SEED_MOD = 2 ** 31
+
+
+def quality_to_dict(quality: Optional[QualityTarget]) -> Optional[dict]:
+    """Serialize a quality target to a plain-JSON dict (or None)."""
+    if quality is None:
+        return None
+    if isinstance(quality, ConfidenceIntervalTarget):
+        return {"kind": "ci", "half_width": quality.half_width,
+                "confidence": quality.confidence,
+                "relative": quality.relative,
+                "min_hits": quality.min_hits,
+                "min_roots": quality.min_roots}
+    if isinstance(quality, RelativeErrorTarget):
+        return {"kind": "re", "target": quality.target,
+                "min_hits": quality.min_hits,
+                "min_roots": quality.min_roots}
+    if isinstance(quality, NeverTarget):
+        return {"kind": "never"}
+    raise TypeError(
+        f"cannot serialize quality target {type(quality).__name__}; "
+        f"use one of the built-in targets or extend quality_to_dict"
+    )
+
+
+def quality_from_dict(data: Optional[dict]) -> Optional[QualityTarget]:
+    """Inverse of :func:`quality_to_dict`."""
+    if data is None:
+        return None
+    kind = data.get("kind")
+    fields = {k: v for k, v in data.items() if k != "kind"}
+    if kind == "ci":
+        return ConfidenceIntervalTarget(**fields)
+    if kind == "re":
+        return RelativeErrorTarget(**fields)
+    if kind == "never":
+        return NeverTarget()
+    raise ValueError(f"unknown quality target kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How the engine should answer queries.
+
+    Attributes
+    ----------
+    method:
+        ``"srs"``, ``"smlss"``, ``"gmlss"`` or ``"auto"`` (g-MLSS with
+        an automatically searched plan).
+    backend:
+        Simulation backend: ``"auto"``, ``"vectorized"`` or
+        ``"scalar"`` (see :func:`repro.processes.base.resolve_backend`).
+    ratio:
+        Splitting ratio ``r`` — an int, or a per-level sequence.
+    num_levels:
+        When set, MLSS plans come from the balanced-growth pilot with
+        this many levels instead of the greedy search.
+    trial_steps:
+        Per-trial budget of the greedy plan search.
+    quality / max_steps / max_roots:
+        The stopping rule; at least one must be set (enforced by
+        :meth:`validate` before any simulation runs).
+    seed:
+        Base seed.  Single queries use it directly; batch members get
+        deterministic derived seeds via :meth:`seed_for`.
+    record_trace:
+        Record convergence snapshots in estimate details.
+    use_plan_cache:
+        Consult/populate the engine's :class:`~repro.engine.cache.
+        PlanCache` for MLSS plans.
+    sampler_options:
+        Extra keyword arguments for the sampler constructor.
+    """
+
+    method: str = "auto"
+    backend: str = "auto"
+    ratio: object = 3
+    num_levels: Optional[int] = None
+    trial_steps: int = 20000
+    quality: Optional[QualityTarget] = None
+    max_steps: Optional[int] = None
+    max_roots: Optional[int] = None
+    seed: Optional[int] = None
+    record_trace: bool = False
+    use_plan_cache: bool = True
+    sampler_options: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Validation / derivation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> "ExecutionPolicy":
+        """Check the policy is runnable; returns self for chaining.
+
+        Raises a ``ValueError`` for unknown methods/backends and — the
+        documented stopping-rule contract — when ``quality``,
+        ``max_steps`` and ``max_roots`` are all ``None`` (the sampler
+        would never stop).  The engine validates *before* any plan
+        search, so a bad policy fails fast instead of after an
+        expensive search.
+        """
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; choose from {METHODS}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if (self.quality is None and self.max_steps is None
+                and self.max_roots is None):
+            raise ValueError(
+                "the policy has no stopping rule: provide a quality "
+                "target, max_steps or max_roots (at least one must be "
+                "given; otherwise the sampler would never stop)"
+            )
+        if self.trial_steps < 1:
+            raise ValueError(
+                f"trial_steps must be >= 1, got {self.trial_steps}")
+        if self.num_levels is not None and self.num_levels < 1:
+            raise ValueError(
+                f"num_levels must be >= 1, got {self.num_levels}")
+        return self
+
+    def replace(self, **overrides) -> "ExecutionPolicy":
+        """A copy of this policy with some fields overridden."""
+        return dataclasses.replace(self, **overrides)
+
+    def seed_for(self, index: int) -> Optional[int]:
+        """Deterministic per-member seed for batch position ``index``.
+
+        ``seed_for(0) == seed``, so a batch of one reproduces the
+        single-query run exactly; ``None`` stays ``None`` (fresh
+        entropy per member).
+        """
+        if self.seed is None:
+            return None
+        return (self.seed + index * _SEED_STRIDE) % _SEED_MOD
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A plain-JSON representation (inverse of :meth:`from_dict`)."""
+        ratio = self.ratio
+        if not isinstance(ratio, int):
+            ratio = list(ratio)
+        return {
+            "method": self.method,
+            "backend": self.backend,
+            "ratio": ratio,
+            "num_levels": self.num_levels,
+            "trial_steps": self.trial_steps,
+            "quality": quality_to_dict(self.quality),
+            "max_steps": self.max_steps,
+            "max_roots": self.max_roots,
+            "seed": self.seed,
+            "record_trace": self.record_trace,
+            "use_plan_cache": self.use_plan_cache,
+            "sampler_options": dict(self.sampler_options)
+            if self.sampler_options else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionPolicy":
+        """Rebuild a policy from :meth:`to_dict` output.
+
+        Unknown keys are rejected so config typos fail loudly.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ExecutionPolicy fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        fields = dict(data)
+        if "quality" in fields:
+            fields["quality"] = quality_from_dict(fields["quality"])
+        if isinstance(fields.get("ratio"), list):
+            fields["ratio"] = tuple(fields["ratio"])
+        return cls(**fields)

@@ -1,0 +1,377 @@
+"""The stateful query-answering service: :class:`DurabilityEngine`.
+
+``answer_durability_query`` answers one query from scratch: plan search,
+simulation, estimate.  The engine keeps the same pipeline but amortizes
+work across queries, which is what the paper's headline scenarios
+(ranking durable stocks, screening server fleets against SLA
+thresholds, charting ``Pr[hit <= horizon]`` against a threshold grid)
+actually need:
+
+* :meth:`DurabilityEngine.answer` — one query, with level plans
+  memoized in a :class:`~repro.engine.cache.PlanCache` so repeated
+  query shapes skip the greedy search entirely;
+* :meth:`DurabilityEngine.answer_batch` — many queries; compatible ones
+  (same process, horizon and state evaluation, different thresholds)
+  are grouped into *cohorts* that share a single simulation pass
+  through the vectorized backend, the rest run individually (with plan
+  caching);
+* :meth:`DurabilityEngine.durability_curve` — an entire threshold grid
+  from **one** pass: running path maxima under SRS, per-level root
+  records (prefix products of Eq. 8) under MLSS — a measured order of
+  magnitude cheaper than one run per threshold at the same
+  per-threshold accuracy (see ``benchmarks/bench_engine_api.py``).
+
+"What to ask" stays in :class:`~repro.core.value_functions.
+DurabilityQuery`; "how to run it" lives in an immutable, serializable
+:class:`~repro.engine.policy.ExecutionPolicy` that the engine holds as
+a default and accepts per call (plus keyword overrides)::
+
+    engine = DurabilityEngine(ExecutionPolicy(max_steps=500_000, seed=7))
+    estimate = engine.answer(query)                       # default policy
+    fast = engine.answer(query, max_steps=50_000)         # override
+    curve = engine.durability_curve(query, thresholds=range(10, 26))
+    answers = engine.answer_batch(queries)                # cohorts + cache
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..core.balanced import balanced_growth_partition
+from ..core.estimates import DurabilityCurve, DurabilityEstimate
+from ..core.gmlss import GMLSSSampler
+from ..core.greedy import adaptive_greedy_partition
+from ..core.levels import LevelPartition
+from ..core.smlss import SMLSSSampler
+from ..core.srs import SRSSampler
+from ..core.value_functions import (DurabilityQuery, ThresholdValueFunction,
+                                    threshold_grid)
+from ..processes.base import resolve_backend
+from .cache import PlanCache
+from .policy import ExecutionPolicy
+
+
+class UnservableGridError(ValueError):
+    """A threshold grid the MLSS curve pass cannot serve.
+
+    Raised when a normalized grid level does not exceed the initial
+    state's value (splitting boundaries must); distinct from other
+    ``ValueError``s so batch cohorting can fall back on exactly this
+    case without masking real configuration errors.
+    """
+
+
+def resolve_plan(query: DurabilityQuery,
+                 partition: Optional[LevelPartition],
+                 num_levels: Optional[int],
+                 ratio, trial_steps: int,
+                 seed: Optional[int],
+                 backend: str = "scalar",
+                 plan_cache: Optional[PlanCache] = None):
+    """Choose the level plan: explicit > cached > balanced pilot > greedy.
+
+    The single source of truth for plan precedence (also behind the
+    stateless ``repro.core.engine.resolve_partition``).  Returns
+    ``(partition, search_details_or_None, cache_status_or_None)``;
+    ``cache_status`` is ``"hit"``/``"miss"`` when a plan cache
+    participated.  Pilot simulations (balanced-growth pilots and greedy
+    candidate trials) run on the requested backend.
+    """
+    initial_value = query.initial_value()
+    if partition is not None:
+        return partition.pruned_above(initial_value), None, None
+    hits_before = plan_cache.hits if plan_cache is not None else 0
+    if num_levels is not None:
+        plan = balanced_growth_partition(
+            query, num_levels,
+            pilot_paths=max(trial_steps // query.horizon, 200),
+            seed=seed, backend=backend, plan_cache=plan_cache)
+        search_details = None
+    else:
+        result = adaptive_greedy_partition(
+            query, ratio=ratio, trial_steps=trial_steps, seed=seed,
+            backend=backend, plan_cache=plan_cache)
+        plan = result.partition
+        search_details = {
+            "search_steps": result.search_steps,
+            "search_rounds": result.num_rounds,
+            "pooled_estimate": result.pooled_estimate,
+            "pooled_roots": result.pooled_roots,
+            "partition": result.partition,
+            "from_cache": result.from_cache,
+        }
+    cache_status = None
+    if plan_cache is not None:
+        cache_status = "hit" if plan_cache.hits > hits_before else "miss"
+    return plan, search_details, cache_status
+
+
+class DurabilityEngine:
+    """A stateful durability-prediction query service.
+
+    Parameters
+    ----------
+    policy:
+        Default :class:`ExecutionPolicy` for all calls; every entry
+        point also takes a per-call policy and/or keyword overrides.
+    plan_cache:
+        The :class:`PlanCache` that memoizes level plans across calls;
+        a fresh bounded cache by default.  Pass a shared instance to
+        pool plans across engines.
+    """
+
+    def __init__(self, policy: Optional[ExecutionPolicy] = None,
+                 plan_cache: Optional[PlanCache] = None):
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+
+    # ------------------------------------------------------------------
+    # Policy plumbing
+    # ------------------------------------------------------------------
+
+    def _resolve_policy(self, policy: Optional[ExecutionPolicy],
+                        overrides: dict) -> ExecutionPolicy:
+        base = policy if policy is not None else self.policy
+        if overrides:
+            base = base.replace(**overrides)
+        return base.validate()
+
+    def cache_stats(self) -> dict:
+        """Plan-cache hit/miss counters (service observability)."""
+        return self.plan_cache.stats()
+
+    # ------------------------------------------------------------------
+    # Single query
+    # ------------------------------------------------------------------
+
+    def answer(self, query: DurabilityQuery,
+               policy: Optional[ExecutionPolicy] = None,
+               partition: Optional[LevelPartition] = None,
+               **overrides) -> DurabilityEstimate:
+        """Answer one durability query under the resolved policy.
+
+        ``partition`` short-circuits plan resolution with an explicit
+        plan (pruned against the initial state, as always); otherwise
+        MLSS plans come from the cache, the balanced pilot
+        (``policy.num_levels``) or the greedy search, in that order of
+        preference.
+        """
+        policy = self._resolve_policy(policy, overrides)
+        sampler, sampler_backend, extra = self._build_sampler(
+            query, policy, partition)
+        estimate = sampler.run(
+            query, quality=policy.quality, max_steps=policy.max_steps,
+            max_roots=policy.max_roots, seed=policy.seed)
+        estimate.details["backend"] = sampler_backend
+        estimate.details.update(extra)
+        return estimate
+
+    def _sampler_options(self, query: DurabilityQuery,
+                         policy: ExecutionPolicy):
+        """Resolve backend and sampler constructor options once.
+
+        Returns ``(options, backend, sampler_backend)``; the single
+        place `answer` and `durability_curve` share, so sampler
+        construction cannot drift between entry points.
+        """
+        backend = resolve_backend(policy.backend, query.process)
+        options = dict(policy.sampler_options or {})
+        options.setdefault("record_trace", policy.record_trace)
+        options.setdefault("backend", backend)
+        # A sampler_options override may pick a different backend than
+        # the policy; report what the sampler actually ran.
+        sampler_backend = resolve_backend(options["backend"], query.process)
+        return options, backend, sampler_backend
+
+    @staticmethod
+    def _mlss_class(method: str):
+        return SMLSSSampler if method == "smlss" else GMLSSSampler
+
+    def _build_sampler(self, query: DurabilityQuery,
+                       policy: ExecutionPolicy,
+                       partition: Optional[LevelPartition]):
+        """One construction path for every method and backend.
+
+        Returns ``(sampler, resolved_backend, extra_details)`` — builds
+        options, resolves the plan and picks the sampler class, so no
+        per-method branch repeats the boilerplate.
+        """
+        options, backend, sampler_backend = self._sampler_options(
+            query, policy)
+        if policy.method == "srs":
+            return SRSSampler(**options), sampler_backend, {}
+
+        plan, search_details, cache_status = self._resolve_plan(
+            query, partition, policy, backend)
+        extra = {}
+        if search_details is not None:
+            extra["plan_search"] = search_details
+        if cache_status is not None:
+            extra["plan_cache"] = cache_status
+        sampler = self._mlss_class(policy.method)(
+            plan, ratio=policy.ratio, **options)
+        return sampler, sampler_backend, extra
+
+    def _resolve_plan(self, query: DurabilityQuery,
+                      partition: Optional[LevelPartition],
+                      policy: ExecutionPolicy, backend: str):
+        """Plan precedence from :func:`resolve_plan`, plus the cache."""
+        cache = self.plan_cache if policy.use_plan_cache else None
+        return resolve_plan(
+            query, partition, policy.num_levels, policy.ratio,
+            policy.trial_steps, policy.seed, backend=backend,
+            plan_cache=cache)
+
+    # ------------------------------------------------------------------
+    # Threshold grids: one pass, many answers
+    # ------------------------------------------------------------------
+
+    def durability_curve(self, query: DurabilityQuery, thresholds,
+                         policy: Optional[ExecutionPolicy] = None,
+                         **overrides) -> DurabilityCurve:
+        """Answer ``Pr[z >= beta_j within the horizon]`` for a whole grid.
+
+        One simulation pass covers every threshold: under SRS each path
+        records its running maximum score, under MLSS the normalized
+        grid *is* the level partition and the answers are the prefix
+        products of the splitting decomposition.  The pass costs about
+        as much as a single run against the hardest threshold — not
+        ``K`` runs — at matched per-threshold accuracy (estimates share
+        paths, so they are correlated across thresholds but
+        individually unbiased).
+
+        ``query`` must be a threshold query (its ``value_function`` a
+        :class:`ThresholdValueFunction`); its own ``beta`` is ignored in
+        favour of the grid.  MLSS methods additionally need every
+        normalized threshold to exceed the initial state's score — use
+        ``method="srs"`` for grids that straddle the starting value.
+        Convergence traces (``record_trace``) are not recorded for
+        curve passes.
+        """
+        policy = self._resolve_policy(policy, overrides)
+        if not isinstance(query.value_function, ThresholdValueFunction):
+            raise TypeError(
+                "durability_curve needs a threshold query (value_function "
+                f"must be a ThresholdValueFunction, got "
+                f"{type(query.value_function).__name__})"
+            )
+        betas, levels = threshold_grid(thresholds)
+        base_query = query.with_threshold(betas[-1])
+        options, _, sampler_backend = self._sampler_options(query, policy)
+
+        if policy.method == "srs":
+            curve = SRSSampler(**options).run_curve(
+                base_query, levels, thresholds=betas,
+                quality=policy.quality, max_steps=policy.max_steps,
+                max_roots=policy.max_roots, seed=policy.seed)
+        else:
+            initial_value = base_query.initial_value()
+            blocked = [beta for beta, level in zip(betas, levels)
+                       if level <= initial_value and level < 1.0]
+            if blocked:
+                raise UnservableGridError(
+                    f"thresholds {blocked} normalize to at most the "
+                    f"initial state's value {initial_value:.4g}; MLSS "
+                    f"boundaries must exceed it — drop them or use "
+                    f"method='srs'"
+                )
+            partition = LevelPartition(levels[:-1])
+            sampler = self._mlss_class(policy.method)(
+                partition, ratio=policy.ratio, **options)
+            curve = sampler.run_curve(
+                base_query, thresholds=betas, quality=policy.quality,
+                max_steps=policy.max_steps, max_roots=policy.max_roots,
+                seed=policy.seed)
+        curve.details["backend"] = sampler_backend
+        return curve
+
+    # ------------------------------------------------------------------
+    # Batches: cohort grouping + shared passes
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _cohort_key(query: DurabilityQuery):
+        """Grouping key: queries differing only in threshold share it.
+
+        ``None`` means the query cannot join a cohort (non-threshold
+        value function).  Process and state-evaluation identity are by
+        object, which is how service callers naturally express "the
+        same model, many thresholds".
+        """
+        value_fn = query.value_function
+        if not isinstance(value_fn, ThresholdValueFunction):
+            return None
+        return (id(query.process), query.horizon, id(value_fn.z))
+
+    def answer_batch(self, queries: Sequence[DurabilityQuery],
+                     policy: Optional[ExecutionPolicy] = None,
+                     **overrides) -> list:
+        """Answer many queries, sharing work wherever possible.
+
+        Compatible queries — same process object, horizon and state
+        evaluation ``z``, different thresholds — form a *cohort* that is
+        answered by one :meth:`durability_curve` pass (one shared
+        simulation through the vectorized backend) instead of one run
+        each.  Remaining queries run individually, still sharing the
+        engine's plan cache.  Returns estimates in input order; cohort
+        members carry ``details["cohort_size"]`` and a
+        ``details["cohort_id"]`` identifying their shared pass.
+        Per-query seeds are derived deterministically from
+        ``policy.seed``.
+        """
+        policy = self._resolve_policy(policy, overrides)
+        queries = list(queries)
+        results: list = [None] * len(queries)
+
+        groups: dict = {}
+        for index, query in enumerate(queries):
+            key = self._cohort_key(query)
+            if key is None:
+                self._answer_single(queries, results, index, policy)
+                continue
+            groups.setdefault(key, []).append(index)
+
+        for cohort_id, members in enumerate(groups.values()):
+            if len(members) < 2:
+                for index in members:
+                    self._answer_single(queries, results, index, policy)
+                continue
+            self._answer_cohort(queries, results, members, policy,
+                                cohort_id)
+        return results
+
+    def _answer_single(self, queries, results, index, policy) -> None:
+        member_policy = policy.replace(seed=policy.seed_for(index))
+        results[index] = self.answer(queries[index], policy=member_policy)
+
+    def _answer_cohort(self, queries, results, members, policy,
+                       cohort_id) -> None:
+        """One shared curve pass for a group of same-shape queries."""
+        betas = {}
+        for index in members:
+            beta = queries[index].value_function.beta
+            betas.setdefault(beta, []).append(index)
+        cohort_policy = policy.replace(seed=policy.seed_for(members[0]))
+        try:
+            curve = self.durability_curve(
+                queries[members[0]], sorted(betas), policy=cohort_policy)
+        except UnservableGridError:
+            # MLSS grids that straddle the initial value fall back to
+            # individual answers (which surface each member's own
+            # error, if any); other errors propagate unmasked.
+            for index in members:
+                self._answer_single(queries, results, index, policy)
+            return
+        for beta, indices in betas.items():
+            shared = curve.estimate_at(beta)
+            for index in indices:
+                # Each member gets its own estimate object (and details
+                # dict), so callers can tag results independently; the
+                # details schema matches individually-answered queries.
+                estimate = dataclasses.replace(
+                    shared, details=dict(shared.details))
+                estimate.details["backend"] = curve.details["backend"]
+                estimate.details["cohort_size"] = len(members)
+                estimate.details["cohort_id"] = cohort_id
+                results[index] = estimate

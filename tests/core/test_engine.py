@@ -78,6 +78,26 @@ class TestAnswerDurabilityQuery:
             answer_durability_query(small_chain_query, method="magic",
                                     max_roots=10)
 
+    def test_missing_stopping_rule_rejected(self, small_chain_query):
+        """The documented contract: at least one of quality, max_steps,
+        max_roots must be given — enforced with a clear error before
+        any plan search runs."""
+        for method in ("srs", "gmlss", "auto"):
+            with pytest.raises(ValueError, match="stopping rule"):
+                answer_durability_query(small_chain_query, method=method)
+
+    def test_missing_stopping_rule_fails_before_plan_search(
+            self, small_chain_query):
+        import time
+
+        started = time.perf_counter()
+        with pytest.raises(ValueError):
+            # trial_steps this large would take minutes if the greedy
+            # search ran before the stopping rule was checked.
+            answer_durability_query(small_chain_query, method="auto",
+                                    trial_steps=10 ** 9)
+        assert time.perf_counter() - started < 5.0
+
     def test_sampler_options_forwarded(self, small_chain_query,
                                        small_chain_partition):
         estimate = answer_durability_query(

@@ -1,0 +1,149 @@
+"""Tests for PlanCache: keying, hit/miss accounting, LRU, pruning."""
+
+from repro.core.levels import LevelPartition
+from repro.core.value_functions import DurabilityQuery
+from repro.engine.cache import PlanCache, process_family
+from repro.processes.random_walk import RandomWalkProcess
+
+
+def walk_query(beta=20.0, horizon=100, p_up=0.3, process=None):
+    process = process or RandomWalkProcess(p_up=p_up, p_down=0.4)
+    return DurabilityQuery.threshold(
+        process, RandomWalkProcess.position, beta=beta, horizon=horizon)
+
+
+class TestProcessFamily:
+    def test_equal_parameters_share_a_family(self):
+        a = RandomWalkProcess(p_up=0.3, p_down=0.4)
+        b = RandomWalkProcess(p_up=0.3, p_down=0.4)
+        assert process_family(a) == process_family(b)
+
+    def test_different_parameters_differ(self):
+        a = RandomWalkProcess(p_up=0.3, p_down=0.4)
+        b = RandomWalkProcess(p_up=0.35, p_down=0.4)
+        assert process_family(a) != process_family(b)
+
+
+class TestValueFunctionIdentity:
+    def test_distinct_closures_do_not_collide(self):
+        """Lambdas built in a loop share a __qualname__; the key must
+        still tell them apart."""
+        process = RandomWalkProcess(p_up=0.3, p_down=0.4)
+        scores = [lambda s, scale=scale: s * scale for scale in (1.0, 2.0)]
+        queries = [DurabilityQuery.threshold(process, z, beta=20.0,
+                                             horizon=100) for z in scores]
+        cache = PlanCache()
+        assert cache.key_for(queries[0]) != cache.key_for(queries[1])
+        cache.put(queries[0], LevelPartition([0.5]))
+        assert cache.get(queries[1]) is None
+
+    def test_distinct_callable_instances_do_not_collide(self):
+        class Scaled:
+            def __init__(self, scale):
+                self.scale = scale
+
+            def __call__(self, state):
+                return state * self.scale
+
+        process = RandomWalkProcess(p_up=0.3, p_down=0.4)
+        queries = [DurabilityQuery.threshold(process, Scaled(k), beta=20.0,
+                                             horizon=100) for k in (1, 2)]
+        cache = PlanCache()
+        assert cache.key_for(queries[0]) != cache.key_for(queries[1])
+
+    def test_entries_pin_their_key_objects(self):
+        """id-based key components stay unambiguous because the entry
+        holds a strong reference to the process and value function."""
+        cache = PlanCache()
+        query = walk_query()
+        cache.put(query, LevelPartition([0.5]))
+        entry = cache.get(query)
+        assert query.process in entry.pins
+        assert query.value_function in entry.pins
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        query = walk_query()
+        plan = LevelPartition([0.5])
+        assert cache.get(query) is None
+        cache.put(query, plan)
+        entry = cache.get(query)
+        assert entry is not None
+        assert entry.partition == plan
+        assert cache.stats() == {
+            "entries": 1, "max_entries": 256, "hits": 1, "misses": 1,
+            "hit_rate": 0.5,
+        }
+
+    def test_identically_configured_processes_share_plans(self):
+        cache = PlanCache()
+        cache.put(walk_query(), LevelPartition([0.5]))
+        assert cache.get(walk_query()) is not None
+
+    def test_nearby_thresholds_share_a_bucket(self):
+        cache = PlanCache()
+        cache.put(walk_query(beta=20.0), LevelPartition([0.5]))
+        assert cache.get(walk_query(beta=20.5)) is not None
+
+    def test_distant_thresholds_do_not_collide(self):
+        cache = PlanCache()
+        cache.put(walk_query(beta=20.0), LevelPartition([0.5]))
+        assert cache.get(walk_query(beta=40.0)) is None
+
+    def test_horizon_is_part_of_the_key(self):
+        cache = PlanCache()
+        cache.put(walk_query(horizon=100), LevelPartition([0.5]))
+        assert cache.get(walk_query(horizon=200)) is None
+
+    def test_kind_separates_greedy_from_balanced(self):
+        cache = PlanCache()
+        query = walk_query()
+        cache.put(query, LevelPartition([0.5]), kind="greedy")
+        assert cache.get(query, kind=("balanced", 4)) is None
+        assert cache.get(query, kind="greedy") is not None
+
+
+class TestLRU:
+    def test_eviction_beyond_capacity(self):
+        cache = PlanCache(max_entries=2)
+        q1, q2, q3 = (walk_query(beta=b) for b in (10.0, 40.0, 160.0))
+        cache.put(q1, LevelPartition([0.1]))
+        cache.put(q2, LevelPartition([0.2]))
+        cache.put(q3, LevelPartition([0.3]))
+        assert cache.get(q1) is None  # oldest evicted
+        assert cache.get(q2) is not None
+        assert cache.get(q3) is not None
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(max_entries=2)
+        q1, q2, q3 = (walk_query(beta=b) for b in (10.0, 40.0, 160.0))
+        cache.put(q1, LevelPartition([0.1]))
+        cache.put(q2, LevelPartition([0.2]))
+        assert cache.get(q1) is not None  # refresh q1
+        cache.put(q3, LevelPartition([0.3]))
+        assert cache.get(q1) is not None
+        assert cache.get(q2) is None  # q2 was the LRU entry
+
+    def test_clear_resets_counters(self):
+        cache = PlanCache()
+        cache.put(walk_query(), LevelPartition([0.5]))
+        cache.get(walk_query())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+
+class TestPruning:
+    def test_hit_is_pruned_against_the_initial_value(self):
+        from repro.processes.markov_chain import birth_death_chain
+
+        chain = birth_death_chain(n=13, p_up=0.3, p_down=0.3, start=6)
+        query = DurabilityQuery.threshold(chain, chain.state_value,
+                                          beta=12.0, horizon=40)
+        cache = PlanCache()
+        cache.put(query, LevelPartition([0.25, 0.75]))
+        entry = cache.get(query)
+        # 0.25 <= initial value 6/12; only 0.75 survives.
+        assert entry.partition == LevelPartition([0.75])

@@ -1,0 +1,101 @@
+"""Tests for ExecutionPolicy: validation, overrides, serialization."""
+
+import pytest
+
+from repro.core.quality import (ConfidenceIntervalTarget, NeverTarget,
+                                RelativeErrorTarget)
+from repro.engine.policy import (ExecutionPolicy, quality_from_dict,
+                                 quality_to_dict)
+
+
+class TestValidate:
+    def test_default_policy_has_no_stopping_rule(self):
+        with pytest.raises(ValueError, match="stopping rule"):
+            ExecutionPolicy().validate()
+
+    def test_any_single_stopping_criterion_suffices(self):
+        ExecutionPolicy(max_steps=10).validate()
+        ExecutionPolicy(max_roots=10).validate()
+        ExecutionPolicy(quality=RelativeErrorTarget()).validate()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            ExecutionPolicy(method="magic", max_roots=1).validate()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionPolicy(backend="gpu", max_roots=1).validate()
+
+    def test_bad_trial_steps_rejected(self):
+        with pytest.raises(ValueError, match="trial_steps"):
+            ExecutionPolicy(max_roots=1, trial_steps=0).validate()
+
+    def test_validate_returns_self(self):
+        policy = ExecutionPolicy(max_roots=5)
+        assert policy.validate() is policy
+
+
+class TestReplaceAndSeeds:
+    def test_replace_overrides_fields(self):
+        policy = ExecutionPolicy(max_steps=100, seed=1)
+        derived = policy.replace(seed=2, method="srs")
+        assert derived.seed == 2
+        assert derived.method == "srs"
+        assert derived.max_steps == 100
+        assert policy.seed == 1  # immutable original
+
+    def test_seed_for_zero_is_base_seed(self):
+        policy = ExecutionPolicy(seed=42, max_roots=1)
+        assert policy.seed_for(0) == 42
+
+    def test_seed_for_is_deterministic_and_distinct(self):
+        policy = ExecutionPolicy(seed=42, max_roots=1)
+        seeds = [policy.seed_for(i) for i in range(100)]
+        assert seeds == [policy.seed_for(i) for i in range(100)]
+        assert len(set(seeds)) == 100
+
+    def test_seed_for_none_stays_none(self):
+        assert ExecutionPolicy(max_roots=1).seed_for(3) is None
+
+
+class TestSerialization:
+    def test_round_trip_defaults_plus_budget(self):
+        policy = ExecutionPolicy(max_steps=1000)
+        assert ExecutionPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_round_trip_all_quality_targets(self):
+        for quality in (ConfidenceIntervalTarget(half_width=0.02),
+                        RelativeErrorTarget(target=0.2, min_hits=5),
+                        NeverTarget(), None):
+            policy = ExecutionPolicy(quality=quality, max_roots=10)
+            assert ExecutionPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_round_trip_per_level_ratios(self):
+        policy = ExecutionPolicy(ratio=(2, 3, 4), max_roots=10)
+        restored = ExecutionPolicy.from_dict(policy.to_dict())
+        assert restored == policy
+        assert restored.ratio == (2, 3, 4)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        policy = ExecutionPolicy(
+            method="gmlss", quality=RelativeErrorTarget(), max_steps=5,
+            sampler_options={"batch_roots": 50})
+        text = json.dumps(policy.to_dict())
+        assert ExecutionPolicy.from_dict(json.loads(text)) == policy
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ExecutionPolicy.from_dict({"max_steps": 1, "budget": 2})
+
+    def test_quality_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            quality_from_dict({"kind": "entropy"})
+
+    def test_quality_to_dict_rejects_custom_targets(self):
+        class Custom(RelativeErrorTarget):
+            pass
+
+        # Subclasses serialize as their base (documented built-ins only).
+        assert quality_to_dict(Custom())["kind"] == "re"

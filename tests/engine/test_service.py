@@ -1,0 +1,258 @@
+"""Tests for DurabilityEngine: answer, plan caching, batches, curves."""
+
+import math
+
+import pytest
+
+from repro.core.analytic import random_walk_hitting_probability
+from repro.core.stats import critical_value
+from repro.core.value_functions import DurabilityQuery
+from repro.engine import DurabilityEngine, ExecutionPolicy, PlanCache
+from repro.processes.random_walk import RandomWalkProcess
+
+from ..helpers import assert_close_to
+
+#: Generous confidence for oracle-agreement checks (seeded runs are
+#: deterministic; the wide interval guards against unlucky seeds when
+#: budgets change).
+Z999 = critical_value(0.999)
+
+
+@pytest.fixture(scope="module")
+def walk():
+    return RandomWalkProcess(p_up=0.35, p_down=0.45)
+
+
+@pytest.fixture(scope="module")
+def walk_query(walk):
+    return DurabilityQuery.threshold(
+        walk, RandomWalkProcess.position, beta=10.0, horizon=40,
+        name="walk-10-40")
+
+
+def walk_exact(threshold, horizon=40):
+    return random_walk_hitting_probability(0.35, int(threshold), horizon,
+                                           p_down=0.45)
+
+
+class TestAnswer:
+    def test_matches_oracle(self, walk_query, small_chain_query,
+                            small_chain_exact):
+        engine = DurabilityEngine(ExecutionPolicy(max_roots=2000, seed=1))
+        estimate = engine.answer(small_chain_query)
+        assert_close_to(estimate.probability, small_chain_exact,
+                        estimate.std_error)
+
+    def test_stopping_rule_contract(self, walk_query):
+        engine = DurabilityEngine()
+        with pytest.raises(ValueError, match="stopping rule"):
+            engine.answer(walk_query)
+
+    def test_second_answer_hits_the_plan_cache(self, walk_query):
+        engine = DurabilityEngine(
+            ExecutionPolicy(max_steps=60_000, seed=2, trial_steps=5_000))
+        first = engine.answer(walk_query)
+        second = engine.answer(walk_query)
+        assert first.details["plan_cache"] == "miss"
+        assert first.details["plan_search"]["search_steps"] > 0
+        assert second.details["plan_cache"] == "hit"
+        assert second.details["plan_search"]["search_steps"] == 0
+        assert second.details["plan_search"]["from_cache"]
+        assert (second.details["plan_search"]["partition"]
+                == first.details["plan_search"]["partition"])
+        assert engine.cache_stats()["hits"] == 1
+
+    def test_plan_cache_can_be_disabled(self, walk_query):
+        engine = DurabilityEngine(
+            ExecutionPolicy(max_steps=60_000, seed=2, trial_steps=5_000,
+                            use_plan_cache=False))
+        engine.answer(walk_query)
+        second = engine.answer(walk_query)
+        assert "plan_cache" not in second.details
+        assert second.details["plan_search"]["search_steps"] > 0
+
+    def test_balanced_plans_are_cached_too(self, walk_query):
+        engine = DurabilityEngine(
+            ExecutionPolicy(max_steps=60_000, seed=3, num_levels=3))
+        first = engine.answer(walk_query)
+        second = engine.answer(walk_query)
+        assert first.details["plan_cache"] == "miss"
+        assert second.details["plan_cache"] == "hit"
+
+    def test_shared_cache_across_engines(self, walk_query):
+        cache = PlanCache()
+        policy = ExecutionPolicy(max_steps=60_000, seed=2, trial_steps=5_000)
+        DurabilityEngine(policy, plan_cache=cache).answer(walk_query)
+        estimate = DurabilityEngine(policy, plan_cache=cache).answer(
+            walk_query)
+        assert estimate.details["plan_cache"] == "hit"
+
+    def test_per_call_overrides(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(max_roots=500, seed=4))
+        estimate = engine.answer(walk_query, method="srs", max_roots=100)
+        assert estimate.method == "srs"
+        assert estimate.n_roots == 100
+
+
+class TestDurabilityCurve:
+    THRESHOLDS = (4.0, 6.0, 8.0, 10.0)
+
+    def _check_against_oracle(self, curve):
+        assert list(curve.thresholds) == sorted(self.THRESHOLDS)
+        for beta, estimate in curve:
+            assert_close_to(estimate.probability, walk_exact(beta),
+                            max(estimate.std_error, 2e-4))
+
+    def test_srs_curve_matches_oracle(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=20_000, seed=5))
+        curve = engine.durability_curve(walk_query, self.THRESHOLDS)
+        assert curve.method == "srs"
+        assert curve.n_roots == 20_000
+        self._check_against_oracle(curve)
+
+    def test_gmlss_curve_matches_oracle(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(method="gmlss",
+                                                  max_roots=4_000, seed=6))
+        curve = engine.durability_curve(walk_query, self.THRESHOLDS)
+        assert curve.method == "gmlss"
+        self._check_against_oracle(curve)
+
+    def test_curve_agrees_with_independent_answers(self, walk_query):
+        """The one-pass curve and per-threshold answer() calls agree
+        within joint CI half-widths (the satellite acceptance check)."""
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=20_000, seed=7))
+        curve = engine.durability_curve(walk_query, self.THRESHOLDS)
+        for beta, curve_estimate in curve:
+            independent = engine.answer(
+                walk_query.with_threshold(beta), seed=int(beta) * 11)
+            joint_half = Z999 * math.sqrt(curve_estimate.variance
+                                          + independent.variance)
+            assert abs(curve_estimate.probability
+                       - independent.probability) <= joint_half, beta
+
+    def test_curve_is_monotone_nonincreasing(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=5_000, seed=8))
+        curve = engine.durability_curve(walk_query, self.THRESHOLDS)
+        probabilities = curve.probabilities()
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_curve_shares_one_pass(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=2_000, seed=9))
+        curve = engine.durability_curve(walk_query, self.THRESHOLDS)
+        assert all(e.steps == curve.steps for e in curve.estimates)
+        assert all(e.details["shared_pass"] for e in curve.estimates)
+
+    def test_needs_threshold_query(self, walk):
+        engine = DurabilityEngine(ExecutionPolicy(max_roots=10))
+        query = DurabilityQuery(process=walk,
+                                value_function=lambda state, t: 0.0,
+                                horizon=10)
+        with pytest.raises(TypeError, match="ThresholdValueFunction"):
+            engine.durability_curve(query, [1.0, 2.0])
+
+    def test_rejects_duplicate_thresholds(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(max_roots=10))
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.durability_curve(walk_query, [4.0, 4.0, 8.0])
+
+    def test_mlss_rejects_thresholds_below_initial_value(self):
+        from repro.processes.markov_chain import birth_death_chain
+
+        chain = birth_death_chain(n=13, p_up=0.3, p_down=0.3, start=6)
+        query = DurabilityQuery.threshold(chain, chain.state_value,
+                                          beta=12.0, horizon=40)
+        engine = DurabilityEngine(ExecutionPolicy(method="gmlss",
+                                                  max_roots=100, seed=1))
+        with pytest.raises(ValueError, match="initial state"):
+            # 3/12 = 0.25 <= initial value 0.5.
+            engine.durability_curve(query, [3.0, 9.0, 12.0])
+
+    def test_estimate_at_unknown_threshold_raises(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=500, seed=10))
+        curve = engine.durability_curve(walk_query, self.THRESHOLDS)
+        with pytest.raises(KeyError):
+            curve.estimate_at(5.0)
+
+
+class TestAnswerBatch:
+    def test_compatible_queries_share_a_cohort(self, walk, walk_query):
+        queries = [walk_query.with_threshold(b) for b in (8.0, 4.0, 6.0)]
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=10_000, seed=11))
+        results = engine.answer_batch(queries)
+        assert len(results) == 3
+        for query, estimate in zip(queries, results):
+            assert estimate.details["cohort_size"] == 3
+            beta = query.value_function.beta
+            assert_close_to(estimate.probability, walk_exact(beta),
+                            estimate.std_error)
+        # Lower thresholds are easier: input order was preserved.
+        assert results[1].probability > results[2].probability \
+            > results[0].probability
+
+    def test_mixed_batch_keeps_input_order(self, walk, walk_query):
+        other = DurabilityQuery.threshold(
+            RandomWalkProcess(p_up=0.45, p_down=0.45),
+            RandomWalkProcess.position, beta=6.0, horizon=20)
+        queries = [walk_query.with_threshold(6.0), other,
+                   walk_query.with_threshold(8.0)]
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=4_000, seed=12))
+        results = engine.answer_batch(queries)
+        assert results[0].details.get("cohort_size") == 2
+        assert results[2].details.get("cohort_size") == 2
+        assert "cohort_size" not in results[1].details
+        assert_close_to(
+            results[1].probability,
+            random_walk_hitting_probability(0.45, 6, 20, p_down=0.45),
+            results[1].std_error)
+
+    def test_single_member_groups_run_individually(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=2_000, seed=13))
+        results = engine.answer_batch([walk_query])
+        assert len(results) == 1
+        assert "cohort_size" not in results[0].details
+
+    def test_mlss_cohort_with_degenerate_member_fails_clearly(self):
+        from repro.core.forest import LevelPlanError
+        from repro.processes.markov_chain import birth_death_chain
+
+        chain = birth_death_chain(n=13, p_up=0.3, p_down=0.3, start=6)
+        base = DurabilityQuery.threshold(chain, chain.state_value,
+                                         beta=12.0, horizon=40)
+        # beta=3 is at most the initial state's z-value 6, so that
+        # member is trivially satisfied: the cohort pass refuses the
+        # grid, and the individual fallback surfaces the member's own
+        # clear error instead of a biased cohort answer.
+        queries = [base.with_threshold(b) for b in (3.0, 12.0)]
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="gmlss", max_roots=400, seed=14, trial_steps=3_000))
+        with pytest.raises(LevelPlanError, match="trivially"):
+            engine.answer_batch(queries)
+
+    def test_cohort_members_get_independent_estimate_objects(
+            self, walk_query):
+        """Members (even with identical thresholds) own their estimate
+        and details, so callers can tag results per query."""
+        queries = [walk_query.with_threshold(b) for b in (6.0, 6.0, 8.0)]
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=1_000, seed=16))
+        results = engine.answer_batch(queries)
+        assert results[0].probability == results[1].probability
+        assert results[0] is not results[1]
+        results[0].details["label"] = "mine"
+        assert "label" not in results[1].details
+
+    def test_batch_seeds_are_deterministic(self, walk_query):
+        policy = ExecutionPolicy(method="srs", max_roots=1_000, seed=15)
+        queries = [walk_query.with_threshold(b) for b in (4.0, 8.0)]
+        first = DurabilityEngine(policy).answer_batch(queries)
+        second = DurabilityEngine(policy).answer_batch(queries)
+        assert [e.probability for e in first] == \
+            [e.probability for e in second]
