@@ -1,6 +1,8 @@
 """Core MLSS library: queries, samplers, estimators, plan optimization."""
 
-from .analytic import (hitting_probability, hitting_time_distribution,
+from .analytic import (hitting_probability, hitting_probability_grid,
+                       hitting_time_distribution,
+                       random_walk_hitting_curve,
                        random_walk_hitting_probability, srs_relative_error,
                        srs_required_paths)
 from .balanced import balanced_growth_partition, pilot_max_values
@@ -8,11 +10,13 @@ from .bootstrap import (BootstrapResult, bootstrap_curve_variances,
                         bootstrap_variance)
 from .engine import answer_durability_query, resolve_partition
 from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
+from .fleet import screen_fleet
 from .forest import (ForestRunner, LevelPlanError, VectorizedForestRunner,
                      validate_plan)
 from .gmlss import (GMLSSSampler, gmlss_estimate_from_totals,
-                    gmlss_pi_hats, gmlss_point_estimate,
-                    gmlss_prefix_estimates)
+                    gmlss_estimates_from_total_rows, gmlss_pi_hats,
+                    gmlss_point_estimate, gmlss_prefix_estimates,
+                    gmlss_prefix_estimates_from_total_rows)
 from .greedy import GreedyResult, adaptive_greedy_partition
 from .importance import ISSampler, cross_entropy_tilt
 from .levels import LevelPartition, normalize_ratios, uniform_partition
@@ -46,13 +50,17 @@ __all__ = [
     "balanced_growth_variance", "batch_values",
     "bootstrap_curve_variances",
     "bootstrap_variance", "cross_entropy_tilt", "evaluate_partition",
-    "gmlss_estimate_from_totals", "gmlss_pi_hats", "gmlss_point_estimate",
-    "gmlss_prefix_estimates",
-    "hitting_probability", "hitting_time_distribution",
+    "gmlss_estimate_from_totals", "gmlss_estimates_from_total_rows",
+    "gmlss_pi_hats", "gmlss_point_estimate",
+    "gmlss_prefix_estimates", "gmlss_prefix_estimates_from_total_rows",
+    "hitting_probability", "hitting_probability_grid",
+    "hitting_time_distribution",
     "make_forest_runner", "normalize_ratios",
     "optimal_num_levels", "pilot_max_values", "pool_trials",
     "prepare_curve_grid", "resolve_partition", "validate_plan",
+    "random_walk_hitting_curve",
     "random_walk_hitting_probability", "run_parallel_mlss",
+    "screen_fleet",
     "smlss_point_estimate", "smlss_prefix_estimates", "smlss_variance",
     "srs_relative_error",
     "srs_required_paths", "srs_variance", "srs_variance_formula",

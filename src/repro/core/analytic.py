@@ -75,16 +75,59 @@ def hitting_time_distribution(transition_matrix, start: int,
     return cdf
 
 
-def random_walk_hitting_probability(p_up: float, threshold: int,
-                                    horizon: int, start: int = 0,
-                                    p_down: float | None = None) -> float:
-    """Exact hitting probability for a lazy random walk.
+def hitting_probability_grid(transition_matrix, start: int,
+                             target_state_grids, horizon: int) -> np.ndarray:
+    """Exact ``Pr[T <= horizon]`` for many target sets at once.
 
-    The walk starts at ``start``; the query asks whether it reaches
-    ``threshold`` within ``horizon`` steps.  Since the walk moves at
-    most one unit per step, truncating the state space at
-    ``start - horizon`` is exact, and the chain is banded, so the DP is
-    linear in ``horizon * (threshold - start + horizon)``.
+    The batched oracle for chain durability curves: grid level ``g``
+    has its own absorbing target set ``target_state_grids[g]`` (e.g.
+    "value >= beta_g"), and the value-grid recurrence advances all
+    levels' survival vectors together — one matrix contraction per time
+    step over a ``(grid, states)`` array instead of one full DP per
+    level.  Returns one probability per grid level.
+    """
+    P = np.asarray(transition_matrix, dtype=np.float64)
+    n = P.shape[0]
+    if P.shape != (n, n):
+        raise ValueError(f"transition matrix must be square, got {P.shape}")
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    if not 0 <= start < n:
+        raise ValueError(f"start state {start} out of range [0, {n})")
+    grids = list(target_state_grids)
+    targets = np.zeros((len(grids), n), dtype=bool)
+    for g, states in enumerate(grids):
+        for s in states:
+            if not 0 <= s < n:
+                raise ValueError(f"target state {s} out of range [0, {n})")
+            targets[g, s] = True
+
+    # Q[g] is P with transitions into level g's targets removed; the
+    # survival recurrence survive <- Q @ survive runs for every level
+    # in one einsum contraction.
+    Q = np.where(targets[:, None, :], 0.0, P[None, :, :])
+    survive = np.ones((len(grids), n), dtype=np.float64)
+    for _ in range(horizon):
+        survive = np.einsum("gij,gj->gi", Q, survive)
+    return 1.0 - survive[:, start]
+
+
+def random_walk_hitting_curve(p_up: float, thresholds, horizon: int,
+                              start: int = 0,
+                              p_down: float | None = None) -> np.ndarray:
+    """Exact hitting probabilities for a whole grid of thresholds.
+
+    The batched oracle behind durability *curves*: one dynamic program
+    answers ``Pr[reach b within horizon]`` for every threshold ``b`` in
+    the grid simultaneously.  The value-grid recurrence runs over a 2-D
+    array — grid rows times walk positions — so the only Python loop is
+    the unavoidable one over time; per-threshold re-runs (the old
+    per-call pattern in acceptance tests and benchmarks) pay the whole
+    DP once per grid point instead.
+
+    Thresholds at or below ``start`` are hit immediately (probability
+    1), matching the scalar convention.  Returns one probability per
+    threshold, in input order.
     """
     if p_down is None:
         p_down = 1.0 - p_up
@@ -92,24 +135,51 @@ def random_walk_hitting_probability(p_up: float, threshold: int,
         raise ValueError(
             f"invalid move probabilities p_up={p_up}, p_down={p_down}"
         )
-    if threshold <= start:
-        return 1.0 if horizon >= 0 and threshold <= start else 0.0
-    floor = start - horizon  # unreachable below this in `horizon` steps
-    size = threshold - floor + 1
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    grid = np.asarray([int(b) for b in thresholds], dtype=np.int64)
+    if grid.size == 0:
+        return np.zeros(0, dtype=np.float64)
     p_stay = 1.0 - p_up - p_down
 
-    # survive[i] = Pr[avoid threshold for remaining steps | at floor+i].
-    survive = np.ones(size, dtype=np.float64)
-    survive[-1] = 0.0  # standing on the threshold means already hit
+    floor = start - horizon  # unreachable below this in `horizon` steps
+    top = max(int(grid.max()), start + 1)
+    size = top - floor + 1
+    positions = np.arange(floor, top + 1)
+    # absorbed[g, i]: standing at position floor+i already hits grid
+    # level g; those cells stay at survival probability 0 throughout.
+    absorbed = positions[None, :] >= grid[:, None]
+
+    # survive[g, i] = Pr[avoid threshold g for the remaining steps |
+    # currently at floor + i].
+    survive = np.ones((grid.size, size), dtype=np.float64)
+    survive[absorbed] = 0.0
     new = np.empty_like(survive)
     for _ in range(horizon):
-        # Interior update: up moves toward the threshold (absorbing).
-        new[1:-1] = (p_up * survive[2:] + p_stay * survive[1:-1]
-                     + p_down * survive[:-2])
-        new[0] = p_up * survive[1] + (p_stay + p_down) * survive[0]
-        new[-1] = 0.0
+        # Interior update: up moves toward the thresholds (absorbing).
+        new[:, 1:-1] = (p_up * survive[:, 2:] + p_stay * survive[:, 1:-1]
+                        + p_down * survive[:, :-2])
+        new[:, 0] = p_up * survive[:, 1] + (p_stay + p_down) * survive[:, 0]
+        new[:, -1] = p_stay * survive[:, -1] + p_down * survive[:, -2]
+        new[absorbed] = 0.0
         survive, new = new, survive
-    return float(1.0 - survive[start - floor])
+    return 1.0 - survive[:, start - floor]
+
+
+def random_walk_hitting_probability(p_up: float, threshold: int,
+                                    horizon: int, start: int = 0,
+                                    p_down: float | None = None) -> float:
+    """Exact hitting probability for a lazy random walk.
+
+    The walk starts at ``start``; the query asks whether it reaches
+    ``threshold`` within ``horizon`` steps.  A single-point grid of
+    :func:`random_walk_hitting_curve` — since the walk moves at most
+    one unit per step, truncating the state space at
+    ``start - horizon`` is exact, and the chain is banded, so the DP is
+    linear in ``horizon * (threshold - start + horizon)``.
+    """
+    return float(random_walk_hitting_curve(
+        p_up, [threshold], horizon, start=start, p_down=p_down)[0])
 
 
 def srs_required_paths(tau: float, relative_error: float) -> float:

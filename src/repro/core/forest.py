@@ -34,6 +34,11 @@ Two runners produce identical bookkeeping:
   — so the hot loop stays NumPy-level.  Per-root counters are collected
   into the same :class:`RootRecord` objects, so the estimators and the
   bootstrap cannot tell the backends apart.
+
+The vectorized runner keeps its live frontier in preallocated,
+geometrically-grown buffers (:class:`_Frontier`) and steps processes
+that support it in place (``step_batch(..., out=...)``), so huge
+cohorts churn almost no allocations per time step.
 """
 
 from __future__ import annotations
@@ -46,6 +51,95 @@ from ..processes.base import as_vectorized
 from .levels import LevelPartition, normalize_ratios
 from .records import RootRecord
 from .value_functions import TARGET_VALUE, DurabilityQuery, batch_values
+
+
+class _Frontier:
+    """Preallocated live-path arrays for the vectorized forest runner.
+
+    The frontier — every live path segment's state plus its root index,
+    birth level and parent split slot — changes size on every splitting
+    event.  Rebuilding it with ``numpy.concatenate`` allocates four
+    fresh arrays per event; this helper instead keeps *buffers* with
+    spare capacity (grown geometrically) and compacts survivors +
+    offspring into them in place.  Combined with the in-place
+    ``step_batch(..., out=...)`` fast path, the hot loop of a large
+    cohort allocates almost nothing per time step.
+
+    State buffering engages only for processes with ``supports_out``
+    over value-typed arrays (in-place stepping needs a stable buffer);
+    otherwise states stay exact-size arrays while the three int arrays
+    still reuse their buffers.
+    """
+
+    def __init__(self, process, n_roots: int):
+        self.process = process
+        self.states = process.initial_states(n_roots)
+        self.size = n_roots
+        self._buffered_states = (process.supports_out
+                                 and getattr(self.states, "dtype", None)
+                                 is not None
+                                 and self.states.dtype != object)
+        self.roots = np.arange(n_roots)
+        self.born = np.zeros(n_roots, dtype=np.int64)
+        self.parents = np.full(n_roots, -1, dtype=np.int64)
+
+    def live_states(self) -> np.ndarray:
+        if self._buffered_states:
+            return self.states[:self.size]
+        return self.states
+
+    def live_meta(self):
+        """Views of the live ``(roots, born, parents)`` rows."""
+        n = self.size
+        return self.roots[:n], self.born[:n], self.parents[:n]
+
+    def advance(self, t: int, rng) -> np.ndarray:
+        """Step every live path; returns the (possibly in-place) states."""
+        view = self.live_states()
+        if self._buffered_states:
+            return self.process.step_batch(view, t, rng, out=view)
+        self.states = self.process.step_batch(view, t, rng)
+        return self.states
+
+    @staticmethod
+    def _fold_into(buffer: np.ndarray, live: np.ndarray, survivors,
+                   appended, total: int) -> np.ndarray:
+        """Compact survivors + appended rows into ``buffer``, growing it
+        geometrically when capacity runs out; returns the buffer."""
+        n_appended = len(appended) if appended is not None else 0
+        n_survivors = total - n_appended
+        if total > len(buffer):
+            shape = (max(total, 2 * len(buffer)),) + buffer.shape[1:]
+            buffer = np.empty(shape, dtype=buffer.dtype)
+        # The fancy-indexed read allocates a temporary, so writing into
+        # the same buffer's prefix is safe.
+        buffer[:n_survivors] = live[survivors]
+        if n_appended:
+            buffer[n_survivors:total] = appended
+        return buffer
+
+    def rebuild(self, survivors, offspring, offspring_roots,
+                offspring_born, offspring_parents) -> None:
+        """Replace the frontier by its survivors plus spawned offspring."""
+        n_offspring = len(offspring) if offspring is not None else 0
+        live_states = self.live_states()
+        roots, born, parents = self.live_meta()
+        total = int(np.count_nonzero(survivors)) + n_offspring
+        if self._buffered_states:
+            self.states = self._fold_into(self.states, live_states,
+                                          survivors, offspring, total)
+        elif n_offspring:
+            self.states = np.concatenate(
+                [live_states[survivors], offspring])
+        else:
+            self.states = live_states[survivors]
+        self.roots = self._fold_into(self.roots, roots, survivors,
+                                     offspring_roots, total)
+        self.born = self._fold_into(self.born, born, survivors,
+                                    offspring_born, total)
+        self.parents = self._fold_into(self.parents, parents, survivors,
+                                       offspring_parents, total)
+        self.size = total
 
 
 class LevelPlanError(ValueError):
@@ -233,16 +327,14 @@ class VectorizedForestRunner:
         # Per-split crossing counters: splits[slot] = [root, level, crossed].
         splits = []
 
-        # Frontier arrays, one entry per live path segment.
-        states = process.initial_states(n_roots)
-        roots = np.arange(n_roots)
-        born = np.zeros(n_roots, dtype=np.int64)
-        parents = np.full(n_roots, -1, dtype=np.int64)
+        # Preallocated frontier buffers, one row per live path segment.
+        frontier = _Frontier(process, n_roots)
 
         for t in range(1, horizon + 1):
-            if not len(roots):
+            if not frontier.size:
                 break
-            states = process.step_batch(states, t, rng)
+            states = frontier.advance(t, rng)
+            roots, born, parents = frontier.live_meta()
             steps_per_root += np.bincount(roots, minlength=n_roots)
             values = batch_values(value_fn, states, t)
             hit = values >= TARGET_VALUE
@@ -289,19 +381,13 @@ class VectorizedForestRunner:
             if spawn_rows:
                 counts = np.asarray([ratios[lv] for lv in spawn_levels])
                 offspring = process.replicate(states, spawn_rows, counts)
-                states = np.concatenate([states[survivors], offspring])
-                roots = np.concatenate(
-                    [roots[survivors],
-                     np.repeat(roots[spawn_rows], counts)])
-                born = np.concatenate(
-                    [born[survivors], np.repeat(spawn_levels, counts)])
-                parents = np.concatenate(
-                    [parents[survivors], np.repeat(spawn_slots, counts)])
+                frontier.rebuild(
+                    survivors, offspring,
+                    np.repeat(roots[spawn_rows], counts),
+                    np.repeat(spawn_levels, counts),
+                    np.repeat(spawn_slots, counts))
             else:
-                states = states[survivors]
-                roots = roots[survivors]
-                born = born[survivors]
-                parents = parents[survivors]
+                frontier.rebuild(survivors, None, None, None, None)
 
         for root, level, crossed in splits:
             records[root].crossings[level] += crossed

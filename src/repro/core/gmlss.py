@@ -30,6 +30,8 @@ import random
 import time
 from typing import Optional, Sequence
 
+import numpy as np
+
 from .bootstrap import bootstrap_curve_variances, bootstrap_variance
 from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
 from .levels import LevelPartition, normalize_ratios
@@ -116,6 +118,77 @@ def gmlss_prefix_estimates(aggregate: ForestAggregate,
     return gmlss_prefix_estimates_from_totals(
         aggregate.landings, aggregate.skips, aggregate.crossings,
         aggregate.hits, aggregate.n_roots, ratios)
+
+
+def _row_factors(landings: np.ndarray, skips: np.ndarray,
+                 crossings: np.ndarray, ratios: tuple) -> np.ndarray:
+    """Per-level advancement factors for many counter rows at once.
+
+    ``landings``/``skips``/``crossings`` have shape ``(B, m)`` — one
+    row per bootstrap replicate.  Returns the ``(B, m - 1)`` factors of
+    the Eq. 9 product for levels ``1 .. m-1``; a zero denominator
+    yields a zero factor, which zeroes the running product exactly as
+    the scalar fold's early return does.
+    """
+    denominators = landings[:, 1:] + skips[:, 1:]
+    numerators = (crossings[:, 1:] / np.asarray(ratios[1:], dtype=np.float64)
+                  + skips[:, 1:])
+    return np.divide(numerators, denominators,
+                     out=np.zeros_like(numerators),
+                     where=denominators > 0)
+
+
+def gmlss_estimates_from_total_rows(landings, skips, crossings, hits,
+                                    n_roots: float, ratios: tuple
+                                    ) -> np.ndarray:
+    """Vectorized :func:`gmlss_estimate_from_totals` over counter rows.
+
+    Every argument carries a leading replicate axis (``(B, m)`` level
+    matrices, ``(B,)`` hits); the whole bootstrap evaluates as one
+    gather + fold instead of a Python loop per replicate.  Returns the
+    ``(B,)`` estimates — numerically equal to folding each row through
+    the scalar function up to floating-point association (the scalar
+    fold multiplies factors left-to-right; this one takes ``first *
+    prod(factors)``, which can differ in the last ulp).
+    """
+    landings = np.asarray(landings, dtype=np.float64)
+    hits = np.asarray(hits, dtype=np.float64)
+    if n_roots <= 0:
+        return np.zeros(len(landings), dtype=np.float64)
+    if landings.shape[1] == 1:
+        return hits / n_roots
+    skips = np.asarray(skips, dtype=np.float64)
+    first = (landings[:, 1] + skips[:, 1]) / n_roots
+    factors = _row_factors(landings, skips,
+                           np.asarray(crossings, dtype=np.float64), ratios)
+    return first * factors.prod(axis=1)
+
+
+def gmlss_prefix_estimates_from_total_rows(landings, skips, crossings,
+                                           hits, n_roots: float,
+                                           ratios: tuple) -> np.ndarray:
+    """Vectorized :func:`gmlss_prefix_estimates_from_totals` over rows.
+
+    Returns a ``(B, m)`` matrix of prefix products — all boundary-
+    crossing estimates for all replicates — from one cumulative
+    product.  Zero factors propagate forward exactly like the scalar
+    fold's early ``break``.
+    """
+    landings = np.asarray(landings, dtype=np.float64)
+    hits = np.asarray(hits, dtype=np.float64)
+    n_rows, m = landings.shape
+    if n_roots <= 0:
+        return np.zeros((n_rows, m), dtype=np.float64)
+    if m == 1:
+        return (hits / n_roots)[:, None]
+    skips = np.asarray(skips, dtype=np.float64)
+    first = (landings[:, 1] + skips[:, 1]) / n_roots
+    factors = _row_factors(landings, skips,
+                           np.asarray(crossings, dtype=np.float64), ratios)
+    prefixes = np.empty((n_rows, m), dtype=np.float64)
+    prefixes[:, 0] = first
+    prefixes[:, 1:] = first[:, None] * np.cumprod(factors, axis=1)
+    return prefixes
 
 
 def gmlss_pi_hats(aggregate: ForestAggregate, ratios: tuple) -> list:

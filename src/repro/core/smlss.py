@@ -44,8 +44,9 @@ def make_forest_runner(backend: str, query: DurabilityQuery,
     """Build the forest runner for a resolved backend.
 
     ``"vectorized"`` drives whole cohorts through
-    :class:`VectorizedForestRunner` (with a NumPy generator);
-    ``"scalar"`` keeps the original per-path runner, reusing
+    :class:`VectorizedForestRunner` (with a NumPy generator, buffered
+    frontiers, and in-place stepping for processes that support
+    ``out=``); ``"scalar"`` keeps the original per-path runner, reusing
     ``scalar_rng`` when the caller already owns a stream (so scalar
     results stay bit-identical to the pre-backend code).  Both runners
     expose the same ``accumulate`` interface, so samplers are

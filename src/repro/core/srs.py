@@ -21,6 +21,10 @@ Two interchangeable backends run the simulation:
 Both count cost identically (one ``g`` invocation per live path per
 step) and sample the same distribution — batching merely reorders
 independent draws — so estimates from either backend are exchangeable.
+The vectorized loops step through :func:`repro.processes.base.
+step_into`, so processes with the in-place ``step_batch(..., out=...)``
+fast path overwrite their cohort buffer instead of allocating a fresh
+state array every time step.
 
 Besides the single-threshold :meth:`SRSSampler.run`, the sampler can
 answer a whole *grid* of thresholds from one pass:
@@ -38,7 +42,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..processes.base import as_vectorized, resolve_backend
+from ..processes.base import as_vectorized, resolve_backend, step_into
 from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
 from .quality import QualityTarget
 from .value_functions import TARGET_VALUE, DurabilityQuery, batch_values
@@ -355,9 +359,10 @@ class SRSSampler:
             t = 0
             while t < horizon and len(states):
                 t += 1
-                states = process.step_batch(states, t, rng)
+                states = step_into(process, states, t, rng)
                 steps += len(states)
-                best = np.maximum(best, batch_values(value_fn, states, t))
+                np.maximum(best, batch_values(value_fn, states, t),
+                           out=best)
                 reached = best >= top
                 n_reached = int(np.count_nonzero(reached))
                 if n_reached:
@@ -427,7 +432,7 @@ class SRSSampler:
             t = 0
             while t < horizon and len(states):
                 t += 1
-                states = process.step_batch(states, t, rng)
+                states = step_into(process, states, t, rng)
                 steps += len(states)
                 values = batch_values(value_fn, states, t)
                 hit = values >= TARGET_VALUE

@@ -45,6 +45,7 @@ from typing import Optional
 
 from ..core.levels import LevelPartition
 from ..core.value_functions import DurabilityQuery, ThresholdValueFunction
+from ..processes.base import StochasticProcess
 
 _SCALAR_TYPES = (int, float, str, bool, type(None))
 
@@ -53,21 +54,32 @@ def process_family(process) -> tuple:
     """A hashable key identifying a process *family*, not an instance.
 
     Built from the class path and the scalar constructor attributes, so
-    two instances configured identically share plans.  Attributes that
-    are not scalars (transition matrices, nested models, arrays) are
-    replaced by the component's ``id`` — distinct complex processes
-    never collide, at the price of cache sharing only through the same
-    object (the common service pattern anyway).
+    two instances configured identically share plans.  Nested processes
+    (an :class:`~repro.processes.volatile.ImpulseProcess` base, say)
+    recurse structurally, so two identically-configured wrappers share
+    plans too.  Anything else non-scalar (transition matrices, nested
+    models, arrays) is replaced by the component's ``id`` — distinct
+    complex processes never collide, at the price of cache sharing only
+    through the same object (the common service pattern anyway).
+
+    Underscore-prefixed attributes are skipped: they hold values
+    *derived* from the public parameters (pre-computed constants,
+    lazily-built adapters), so they add no discrimination but can make
+    keys unstable (some are created or replaced after first use).
     """
     cls = type(process)
     params = []
     for name in sorted(vars(process)):
+        if name.startswith("_"):
+            continue
         value = vars(process)[name]
         if isinstance(value, _SCALAR_TYPES):
             params.append((name, value))
         elif isinstance(value, tuple) and all(
                 isinstance(v, _SCALAR_TYPES) for v in value):
             params.append((name, value))
+        elif isinstance(value, StochasticProcess):
+            params.append((name, process_family(value)))
         else:
             params.append((name, f"@id:{id(value)}"))
     return (cls.__module__, cls.__qualname__, tuple(params))

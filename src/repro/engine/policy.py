@@ -17,6 +17,7 @@ Policies are immutable; derive variants with
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -99,6 +100,12 @@ class ExecutionPolicy:
     use_plan_cache:
         Consult/populate the engine's :class:`~repro.engine.cache.
         PlanCache` for MLSS plans.
+    fuse:
+        Allow ``answer_batch`` to fuse same-family queries over
+        *different* process objects into one shared simulation frontier
+        (see :class:`repro.processes.base.FusedBatch`).  Disable to
+        force the per-process cohort behaviour (e.g. for A/B
+        measurement; estimates are exchangeable either way).
     sampler_options:
         Extra keyword arguments for the sampler constructor.
     """
@@ -114,6 +121,7 @@ class ExecutionPolicy:
     seed: Optional[int] = None
     record_trace: bool = False
     use_plan_cache: bool = True
+    fuse: bool = True
     sampler_options: Optional[dict] = None
 
     # ------------------------------------------------------------------
@@ -166,6 +174,24 @@ class ExecutionPolicy:
             return None
         return (self.seed + index * _SEED_STRIDE) % _SEED_MOD
 
+    def derive_seed(self, material) -> Optional[int]:
+        """Deterministic seed derived from *what* is being answered.
+
+        ``material`` is any ``repr``-stable description of the work —
+        the engine passes a structural digest of the query (process
+        family, horizon, state evaluation, threshold).  Deriving seeds
+        from content rather than batch position makes batch answers
+        independent of batch *composition*: the same query seeds the
+        same stream whether it runs alone, grouped, or reordered.
+        ``None`` stays ``None`` (fresh entropy).
+        """
+        if self.seed is None:
+            return None
+        digest = hashlib.blake2b(
+            repr((self.seed, material)).encode("utf-8"),
+            digest_size=8).digest()
+        return int.from_bytes(digest, "big") % _SEED_MOD
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -187,6 +213,7 @@ class ExecutionPolicy:
             "seed": self.seed,
             "record_trace": self.record_trace,
             "use_plan_cache": self.use_plan_cache,
+            "fuse": self.fuse,
             "sampler_options": dict(self.sampler_options)
             if self.sampler_options else None,
         }

@@ -11,10 +11,18 @@ actually need:
   memoized in a :class:`~repro.engine.cache.PlanCache` so repeated
   query shapes skip the greedy search entirely;
 * :meth:`DurabilityEngine.answer_batch` — many queries; compatible ones
-  (same process, horizon and state evaluation, different thresholds)
-  are grouped into *cohorts* that share a single simulation pass
-  through the vectorized backend, the rest run individually (with plan
-  caching);
+  (same horizon and state evaluation, different thresholds) are grouped
+  into *cohorts* that share a single simulation pass through the
+  vectorized backend.  Grouping is **structural**: queries over the
+  same process object share a curve pass, and queries over *different
+  processes of one fusible family* (a fleet with per-entity
+  parameters) share a fused SRS screening pass — the whole fleet
+  advances as one :class:`~repro.processes.base.FusedBatch` frontier,
+  one ``step_batch`` per time step (see
+  :func:`repro.core.fleet.screen_fleet`).  The rest run individually
+  (with plan caching).  Cost accounting is unchanged throughout: a
+  shared or fused pass still counts one invocation of ``g`` per live
+  path per time step, attributed to the entity that owns the path;
 * :meth:`DurabilityEngine.durability_curve` — an entire threshold grid
   from **one** pass: running path maxima under SRS, per-level root
   records (prefix products of Eq. 8) under MLSS — a measured order of
@@ -36,10 +44,12 @@ a default and accepts per call (plus keyword overrides)::
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from typing import Optional, Sequence
 
 from ..core.balanced import balanced_growth_partition
 from ..core.estimates import DurabilityCurve, DurabilityEstimate
+from ..core.fleet import screen_fleet
 from ..core.gmlss import GMLSSSampler
 from ..core.greedy import adaptive_greedy_partition
 from ..core.levels import LevelPartition
@@ -47,8 +57,8 @@ from ..core.smlss import SMLSSSampler
 from ..core.srs import SRSSampler
 from ..core.value_functions import (DurabilityQuery, ThresholdValueFunction,
                                     threshold_grid)
-from ..processes.base import resolve_backend
-from .cache import PlanCache
+from ..processes.base import FusedBatch, StochasticProcess, resolve_backend
+from .cache import PlanCache, _callable_identity
 from .policy import ExecutionPolicy
 
 
@@ -291,34 +301,122 @@ class DurabilityEngine:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _cohort_key(query: DurabilityQuery):
-        """Grouping key: queries differing only in threshold share it.
+    def _z_identity(z):
+        """A stable-ish identity for a state evaluation ``z``.
+
+        Delegates to :func:`repro.engine.cache._callable_identity` (the
+        single home of the named-function-vs-object-identity logic):
+        named plain functions — the staticmethod ``z`` evaluations
+        every substrate ships — are identified symbolically, so two
+        instances of one family share it; lambdas, closures and bound
+        methods fall back to object identity, trading sharing for
+        never conflating genuinely different scores.
+        """
+        return _callable_identity(z)
+
+    @classmethod
+    def _cohort_key(cls, query: DurabilityQuery):
+        """Grouping key: queries differing only in threshold — or only
+        in threshold *and* same-family process parameters — share it.
 
         ``None`` means the query cannot join a cohort (non-threshold
-        value function).  Process and state-evaluation identity are by
-        object, which is how service callers naturally express "the
-        same model, many thresholds".
+        value function).  The process component is **structural**: a
+        fusible process contributes its
+        :meth:`~repro.processes.base.StochasticProcess.fusion_key`, so
+        a fleet of per-entity GBM/AR/queue parameterisations lands in
+        one cohort; non-fusible processes fall back to object identity,
+        which still groups "the same model, many thresholds".
         """
         value_fn = query.value_function
         if not isinstance(value_fn, ThresholdValueFunction):
             return None
-        return (id(query.process), query.horizon, id(value_fn.z))
+        fusion = query.process.fusion_key()
+        process_key = (("family",) + fusion if fusion is not None
+                       else ("object", id(query.process)))
+        return (process_key, query.horizon, cls._z_identity(value_fn.z))
+
+    @staticmethod
+    def _process_digest(process):
+        """A repr-stable digest of a process *instance* for seeding.
+
+        Class path plus every scalar (and tuple-of-scalar) public
+        attribute, recursing into nested processes — so two same-family
+        entities with different parameters derive *different* seed
+        streams (identical streams across a fleet would correlate the
+        entities' hit indicators and silently inflate the variance of
+        fleet-level aggregates).  Complex attributes (matrices, nested
+        models) contribute their name only: their content has no
+        repr-stable form, and colliding streams across genuinely
+        different complex processes costs correlation, not bias.
+        """
+        params = []
+        for name in sorted(vars(process)):
+            if name.startswith("_"):
+                continue
+            value = vars(process)[name]
+            if isinstance(value, (int, float, str, bool, type(None))):
+                params.append((name, value))
+            elif isinstance(value, tuple) and all(
+                    isinstance(v, (int, float, str, bool, type(None)))
+                    for v in value):
+                params.append((name, value))
+            elif isinstance(value, StochasticProcess):
+                params.append(
+                    (name, DurabilityEngine._process_digest(value)))
+            else:
+                params.append((name, "@opaque"))
+        return (type(process).__module__, type(process).__qualname__,
+                tuple(params))
+
+    @classmethod
+    def _seed_material(cls, query: DurabilityQuery):
+        """Structural digest of a query for content-derived seeding.
+
+        Built from the process instance's parameter digest, horizon,
+        state evaluation and threshold — everything that identifies
+        *what* is asked, and nothing that identifies *where in a
+        batch* it was asked.  See :meth:`ExecutionPolicy.derive_seed`.
+        """
+        value_fn = query.value_function
+        if isinstance(value_fn, ThresholdValueFunction):
+            z_part = cls._z_identity(value_fn.z)
+            beta = value_fn.beta
+        else:
+            z_part = cls._z_identity(value_fn)
+            beta = None
+        return (cls._process_digest(query.process), query.horizon,
+                z_part, beta)
 
     def answer_batch(self, queries: Sequence[DurabilityQuery],
                      policy: Optional[ExecutionPolicy] = None,
                      **overrides) -> list:
         """Answer many queries, sharing work wherever possible.
 
-        Compatible queries — same process object, horizon and state
-        evaluation ``z``, different thresholds — form a *cohort* that is
-        answered by one :meth:`durability_curve` pass (one shared
-        simulation through the vectorized backend) instead of one run
-        each.  Remaining queries run individually, still sharing the
-        engine's plan cache.  Returns estimates in input order; cohort
-        members carry ``details["cohort_size"]`` and a
-        ``details["cohort_id"]`` identifying their shared pass.
+        Compatible queries — same horizon and state evaluation ``z``,
+        thresholds free to differ — form *cohorts*:
+
+        * members over the **same process object** are answered by one
+          :meth:`durability_curve` pass (one shared simulation through
+          the vectorized backend);
+        * members over **different processes of one fusible family**
+          (``policy.fuse``, SRS screening) are answered by one *fused*
+          pass — the whole fleet advances through a single
+          :class:`~repro.processes.base.FusedBatch` frontier, one
+          ``step_batch`` per time step, with per-entity parameters and
+          thresholds broadcast per row (see
+          :func:`repro.core.fleet.screen_fleet`).
+
+        Remaining queries run individually, still sharing the engine's
+        plan cache.  Returns estimates in input order; cohort members
+        carry ``details["cohort_size"]`` and a ``details["cohort_id"]``
+        identifying their shared pass (fused members additionally
+        ``details["fused"]``).
+
         Per-query seeds are derived deterministically from
-        ``policy.seed``.
+        ``policy.seed`` and the query's *structure* (process family,
+        horizon, evaluation, threshold) — never its batch position — so
+        a query's answer does not depend on what else happened to be in
+        the batch or in what order.
         """
         policy = self._resolve_policy(policy, overrides)
         queries = list(queries)
@@ -332,30 +430,80 @@ class DurabilityEngine:
                 continue
             groups.setdefault(key, []).append(index)
 
-        for cohort_id, members in enumerate(groups.values()):
+        # One id per actual shared pass (curve or fused frontier), so
+        # details["cohort_id"] uniquely attributes simulation work.
+        cohort_ids = itertools.count()
+        for members in groups.values():
             if len(members) < 2:
                 for index in members:
                     self._answer_single(queries, results, index, policy)
                 continue
-            self._answer_cohort(queries, results, members, policy,
-                                cohort_id)
+            distinct = {id(queries[index].process) for index in members}
+            if len(distinct) == 1:
+                self._answer_cohort(queries, results, members, policy,
+                                    next(cohort_ids))
+            elif self._can_fuse(queries, members, policy):
+                self._answer_fleet(queries, results, members, policy,
+                                   next(cohort_ids))
+            else:
+                # Same family but fusion unavailable for this policy:
+                # regroup per process object (the pre-fusion cohorts).
+                self._answer_by_process(queries, results, members, policy,
+                                        cohort_ids)
         return results
 
     def _answer_single(self, queries, results, index, policy) -> None:
-        member_policy = policy.replace(seed=policy.seed_for(index))
-        results[index] = self.answer(queries[index], policy=member_policy)
+        query = queries[index]
+        member_policy = policy.replace(
+            seed=policy.derive_seed(self._seed_material(query)))
+        results[index] = self.answer(query, policy=member_policy)
+
+    @staticmethod
+    def _can_fuse(queries, members, policy: ExecutionPolicy) -> bool:
+        """Fused screening applies to SRS passes on batched backends.
+
+        The fused frontier is an SRS pass (per-entity plans for MLSS
+        over *different* initial values are out of scope), and an
+        explicit ``backend="scalar"`` request is honoured by not
+        fusing.  The cohort key already guarantees the members share a
+        non-None fusion key.
+        """
+        return (policy.fuse and policy.method == "srs"
+                and policy.backend != "scalar")
+
+    def _answer_by_process(self, queries, results, members, policy,
+                           cohort_ids) -> None:
+        """Per-process-object sub-cohorts of one structural group.
+
+        Each sub-cohort is its own shared pass, so each draws its own
+        id from the batch-wide ``cohort_ids`` counter.
+        """
+        by_process: dict = {}
+        for index in members:
+            by_process.setdefault(id(queries[index].process),
+                                  []).append(index)
+        for sub_members in by_process.values():
+            if len(sub_members) < 2:
+                for index in sub_members:
+                    self._answer_single(queries, results, index, policy)
+            else:
+                self._answer_cohort(queries, results, sub_members, policy,
+                                    next(cohort_ids))
 
     def _answer_cohort(self, queries, results, members, policy,
                        cohort_id) -> None:
-        """One shared curve pass for a group of same-shape queries."""
+        """One shared curve pass for a group of same-process queries."""
         betas = {}
         for index in members:
             beta = queries[index].value_function.beta
             betas.setdefault(beta, []).append(index)
-        cohort_policy = policy.replace(seed=policy.seed_for(members[0]))
+        lead = queries[members[0]]
+        cohort_policy = policy.replace(seed=policy.derive_seed(
+            (self._seed_material(lead.with_threshold(max(betas))),
+             tuple(sorted(betas)))))
         try:
             curve = self.durability_curve(
-                queries[members[0]], sorted(betas), policy=cohort_policy)
+                lead, sorted(betas), policy=cohort_policy)
         except UnservableGridError:
             # MLSS grids that straddle the initial value fall back to
             # individual answers (which surface each member's own
@@ -375,3 +523,26 @@ class DurabilityEngine:
                 estimate.details["cohort_size"] = len(members)
                 estimate.details["cohort_id"] = cohort_id
                 results[index] = estimate
+
+    def _answer_fleet(self, queries, results, members, policy,
+                      cohort_id) -> None:
+        """One fused screening pass for same-family, multi-process
+        members (see :func:`repro.core.fleet.screen_fleet`)."""
+        fleet = [queries[index] for index in members]
+        fused = FusedBatch([query.process for query in fleet])
+        betas = [query.value_function.beta for query in fleet]
+        seed = policy.derive_seed(
+            (fused.key, fleet[0].horizon,
+             self._z_identity(fleet[0].value_function.z),
+             tuple(sorted(betas))))
+        options = dict(policy.sampler_options or {})
+        estimates = screen_fleet(
+            fused, fleet[0].value_function.z, betas, fleet[0].horizon,
+            quality=policy.quality, max_steps=policy.max_steps,
+            max_roots=policy.max_roots,
+            batch_roots=options.get("batch_roots", 500), seed=seed)
+        for index, estimate in zip(members, estimates):
+            estimate.details["backend"] = "vectorized"
+            estimate.details["cohort_size"] = len(members)
+            estimate.details["cohort_id"] = cohort_id
+            results[index] = estimate

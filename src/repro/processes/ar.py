@@ -22,6 +22,11 @@ from .base import ImmutableStateProcess, VectorizedProcess, register_batch_z
 class ARProcess(ImmutableStateProcess, VectorizedProcess):
     """AR(m) model with Gaussian innovations.
 
+    Batched simulation supports in-place stepping (``supports_out``)
+    and fusion: AR processes of the *same order* stack into one
+    :class:`~repro.processes.base.FusedBatch` with per-row coefficient
+    and noise parameters.
+
     Parameters
     ----------
     coefficients:
@@ -33,6 +38,8 @@ class ARProcess(ImmutableStateProcess, VectorizedProcess):
         Seed window ``[v_0, v_{-1}, ...]`` (most recent first).  Defaults
         to all zeros.
     """
+
+    supports_out = True
 
     def __init__(self, coefficients: Sequence[float], sigma: float = 1.0,
                  initial_values: Sequence[float] | None = None):
@@ -73,14 +80,43 @@ class ARProcess(ImmutableStateProcess, VectorizedProcess):
         return np.tile(np.asarray(self._initial, dtype=np.float64), (n, 1))
 
     def step_batch(self, states: np.ndarray, t: int,
-                   rng: np.random.Generator) -> np.ndarray:
+                   rng: np.random.Generator,
+                   out: np.ndarray | None = None) -> np.ndarray:
         values = states @ self._coeff_array
         values += rng.normal(0.0, self.sigma, len(states))
-        # Shift each window: newest value first.
-        return np.concatenate([values[:, None], states[:, :-1]], axis=1)
+        if out is None:
+            # Shift each window: newest value first.
+            return np.concatenate([values[:, None], states[:, :-1]], axis=1)
+        # NumPy buffers overlapping assignments, so out may be states.
+        out[:, 1:] = states[:, :-1]
+        out[:, 0] = values
+        return out
 
     def apply_impulse(self, state: tuple, magnitude: float) -> tuple:
         return (state[0] + magnitude,) + state[1:]
+
+    def apply_impulse_batch(self, states: np.ndarray, rows,
+                            magnitudes) -> None:
+        states[rows, 0] += magnitudes
+
+    # --- fusion hooks -------------------------------------------------
+
+    def fusion_key(self):
+        # Windows must be column-aligned, so the order is structural.
+        return ("ar", self.order)
+
+    def fusion_params(self) -> dict:
+        return {"coefficients": self.coefficients, "sigma": self.sigma}
+
+    @staticmethod
+    def fused_step_batch(row_params, states, t, rng, out=None):
+        values = np.einsum("ij,ij->i", states, row_params["coefficients"])
+        values += row_params["sigma"] * rng.standard_normal(len(states))
+        if out is None:
+            return np.concatenate([values[:, None], states[:, :-1]], axis=1)
+        out[:, 1:] = states[:, :-1]
+        out[:, 0] = values
+        return out
 
     # --- Gaussian-step protocol (used by importance sampling) ---------
 

@@ -42,6 +42,79 @@ uniformly; :func:`as_vectorized` picks the native implementation when
 one exists.  :func:`register_batch_z` / :func:`batch_z_values` vectorize
 the real-valued state evaluations ``z`` that value functions are built
 from (see :mod:`repro.core.value_functions`).
+
+In-place stepping
+-----------------
+
+Processes that can write the next state array into a caller-provided
+buffer advertise it with ``supports_out = True`` and accept an ``out``
+keyword on ``step_batch``; :func:`step_into` is the helper samplers use
+to take the fast path when available and fall back to the allocating
+contract otherwise.  Passing ``out=states`` (the common case) is
+explicitly allowed: implementations must read everything they need from
+a row before overwriting it.
+
+Cross-process batch fusion
+--------------------------
+
+A fleet-screening batch asks the same question of many *entities* —
+hundreds of processes of one family that differ only in parameters
+(per-server arrival rates, per-stock drift and volatility).  Stepping
+each entity's cohort separately repays the per-call dispatch overhead
+once per entity per time step.  :class:`FusedBatch` removes that
+multiplier: it stacks same-family processes into **one** vectorized
+process whose state array carries an *owner column* (the last column)
+mapping each row to its member, and whose step broadcasts per-member
+parameter arrays by owner — one ``step_batch`` call advances the whole
+fleet one time step.
+
+A process opts into fusion by implementing three hooks:
+
+* :meth:`StochasticProcess.fusion_key` — a structural family key; two
+  processes fuse iff their keys are equal and not ``None`` (the
+  default).  The key must capture everything *shape-like* (e.g. the AR
+  order) so that per-member parameters can be stacked into rectangular
+  arrays.
+* ``fusion_params()`` — the per-member parameters as a flat dict of
+  scalars/tuples; :class:`FusedBatch` stacks them into per-member
+  arrays.
+* ``fused_step_batch(row_params, states, t, rng, out=None)`` — the
+  family's batched step over *row-aligned* parameter arrays
+  (``row_params[name][i]`` parameterises row ``i``).  The generic
+  :meth:`FusedBatch.step_batch` gathers per-member parameters by owner
+  on every call; long-running passes gather once via
+  :meth:`FusedBatch.row_params` and filter the rows and parameters
+  together (see :mod:`repro.core.fleet`), keeping per-step work free
+  of repeated indexing.
+
+Because the owner column rides inside the state array, row selection,
+:func:`numpy.repeat` replication and in-place stepping all work
+unchanged, and registered batch-``z`` evaluations read their value from
+the leading columns (the owner column is always last).
+
+Backend coverage matrix
+-----------------------
+
+========================  ========  =====================  ======
+process                   scalar    vectorized             fused
+========================  ========  =====================  ======
+RandomWalkProcess         yes       native                 yes
+GaussianWalkProcess       yes       native                 yes
+GBMProcess                yes       native                 yes
+ARProcess                 yes       native                 yes (per order)
+MarkovChainProcess        yes       native                 no
+TandemQueueProcess        yes       native (Gillespie)     yes
+CompoundPoissonProcess    yes       native (Poisson sums)  yes
+ImpulseProcess            yes       native over any        yes (fusible
+                                    vectorized base        base family)
+StockRNNProcess           yes       native (packed LSTM    no
+                                    state, batched MDN)
+anything else             yes       ScalarFallback         no
+========================  ========  =====================  ======
+
+``backend="auto"`` resolves to ``"vectorized"`` exactly when the row
+above says *native* (a :class:`ScalarFallback` would add overhead, not
+remove it), so no listed substrate silently degrades to a scalar loop.
 """
 
 from __future__ import annotations
@@ -110,6 +183,20 @@ class StochasticProcess(abc.ABC):
             f"{type(self).__name__} does not support impulses"
         )
 
+    def fusion_key(self):
+        """Structural family key for cross-process batch fusion.
+
+        Two processes can be stacked into one :class:`FusedBatch` iff
+        their keys are equal and not ``None``.  The default — ``None`` —
+        opts out; fusible families return a tuple identifying the
+        family plus anything shape-like (e.g. the AR order) that the
+        stacked parameter arrays depend on.  Parameters themselves
+        (rates, drifts, volatilities) belong in ``fusion_params``, not
+        the key: differing parameters are exactly what fusion exists to
+        broadcast.
+        """
+        return None
+
 
 class ImmutableStateProcess(StochasticProcess):
     """Convenience base for processes whose states are immutable values.
@@ -173,7 +260,15 @@ class VectorizedProcess(abc.ABC):
     Row selection (``states[mask]``) and concatenation
     (``numpy.concatenate``) must produce valid state arrays; plain
     value-typed NumPy arrays satisfy this for free.
+
+    Implementations advertising ``supports_out = True`` additionally
+    accept an ``out`` keyword on ``step_batch`` (a buffer shaped like
+    the input, possibly the input itself) and write the result there —
+    the allocation-free fast path taken by :func:`step_into`.
     """
+
+    #: True when ``step_batch`` accepts ``out=`` (see :func:`step_into`).
+    supports_out = False
 
     @abc.abstractmethod
     def initial_states(self, n: int) -> np.ndarray:
@@ -193,6 +288,57 @@ class VectorizedProcess(abc.ABC):
         return np.repeat(states[np.asarray(indices)],
                          np.asarray(counts), axis=0)
 
+    def batch_native(self) -> bool:
+        """True when batching is genuinely array-level for this instance.
+
+        Wrappers whose batched speed depends on what they wrap (e.g.
+        :class:`repro.processes.volatile.ImpulseProcess`) override this;
+        ``backend="auto"`` consults it through :func:`supports_batch`.
+        """
+        return True
+
+    def apply_impulse_batch(self, states: np.ndarray, rows,
+                            magnitudes) -> None:
+        """Apply impulses to selected rows of a state array, in place.
+
+        The batched counterpart of
+        :meth:`StochasticProcess.apply_impulse`: ``states[rows[j]]``
+        receives an impulse of ``magnitudes[j]`` (``magnitudes`` may be
+        a scalar, broadcast over rows).  Mutates ``states`` — callers
+        own the array.  The default refuses, mirroring the scalar
+        contract.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support batched impulses"
+        )
+
+
+def step_into(process: "VectorizedProcess", states: np.ndarray, t: int,
+              rng: np.random.Generator) -> np.ndarray:
+    """Advance ``states`` one step, in place when the process allows it.
+
+    The single call sites in the hot loops go through here: processes
+    with ``supports_out`` overwrite the caller's buffer (no per-step
+    allocation); everything else falls back to the allocating
+    ``step_batch`` contract.  Either way the *returned* array is the
+    new state array — callers must use it and forget the input.
+    """
+    if process.supports_out:
+        return process.step_batch(states, t, rng, out=states)
+    return process.step_batch(states, t, rng)
+
+
+def scalar_state_column(states: np.ndarray) -> np.ndarray:
+    """The scalar value of each row, for 1-D *or* fused state arrays.
+
+    Scalar-state families (walks, GBM, CPP) keep 1-D native state
+    arrays but gain a trailing owner column under :class:`FusedBatch`;
+    their registered batch-``z`` evaluations read through this helper
+    so both layouts score identically.
+    """
+    arr = np.asarray(states, dtype=np.float64)
+    return arr if arr.ndim == 1 else arr[:, 0]
+
 
 class ScalarFallback(VectorizedProcess, StochasticProcess):
     """Adapt any scalar :class:`StochasticProcess` to the batched contract.
@@ -209,7 +355,7 @@ class ScalarFallback(VectorizedProcess, StochasticProcess):
     """
 
     def __init__(self, process: StochasticProcess):
-        if isinstance(process, VectorizedProcess):
+        if supports_batch(process):
             raise TypeError(
                 f"{type(process).__name__} is already vectorized; "
                 f"wrapping it in ScalarFallback would only slow it down"
@@ -265,18 +411,163 @@ class ScalarFallback(VectorizedProcess, StochasticProcess):
             clones.extend(copy_state(source) for _ in range(count))
         return self._object_array(clones)
 
+    def apply_impulse_batch(self, states: np.ndarray, rows,
+                            magnitudes) -> None:
+        magnitudes = np.broadcast_to(np.asarray(magnitudes, dtype=float),
+                                     (len(rows),))
+        apply = self.process.apply_impulse
+        for j, magnitude in zip(rows, magnitudes):
+            states[j] = apply(states[j], float(magnitude))
+
     def __repr__(self) -> str:
         return f"ScalarFallback({self.process!r})"
 
 
-def supports_batch(process: StochasticProcess) -> bool:
-    """True when the process natively implements the batched contract."""
-    return isinstance(process, VectorizedProcess)
+class FusedBatch(VectorizedProcess):
+    """Same-family processes with different parameters as one batch.
+
+    The cross-process fusion layer: ``FusedBatch([p_0, ..., p_{k-1}])``
+    stacks ``k`` processes whose :meth:`StochasticProcess.fusion_key`
+    agree into a single :class:`VectorizedProcess`.  Its state array is
+    always 2-D — the members' (column-aligned) core state plus a
+    trailing *owner column* holding the member index of each row — so
+    one ``step_batch`` call advances rows belonging to every member,
+    with per-member parameters (drift, volatility, rates, ...)
+    broadcast per row by indexing the stacked parameter arrays with the
+    owner column.
+
+    Cost accounting is unchanged: one fused ``step_batch`` over ``n``
+    rows still counts as ``n`` invocations of ``g`` — fusion removes
+    per-member dispatch overhead, not simulation work.  Rows are
+    independent paths exactly as before, so estimates built from fused
+    passes are exchangeable with per-member runs.
+
+    The owner column survives everything samplers do to state arrays —
+    boolean selection, :func:`numpy.repeat` replication, in-place
+    stepping — because it is data, not metadata.  Registered
+    batch-``z`` evaluations read the *leading* columns (see
+    :func:`scalar_state_column`), so shared value functions score fused
+    rows correctly.
+    """
+
+    supports_out = True
+
+    def __init__(self, members: Sequence[StochasticProcess]):
+        members = tuple(members)
+        if not members:
+            raise ValueError("FusedBatch needs at least one member")
+        keys = {member.fusion_key() for member in members}
+        if len(keys) != 1 or next(iter(keys)) is None:
+            raise ValueError(
+                f"members are not fusible into one batch: fusion keys "
+                f"{sorted(keys, key=repr)} (need one shared non-None key)"
+            )
+        self.members = members
+        self.key = keys.pop()
+        self._lead = members[0]
+        per_member = [member.fusion_params() for member in members]
+        self.params = {
+            name: np.asarray([params[name] for params in per_member])
+            for name in per_member[0]
+        }
+        rows = [np.asarray(member.initial_states(1),
+                           dtype=np.float64).reshape(1, -1)
+                for member in members]
+        width = rows[0].shape[1]
+        if any(row.shape[1] != width for row in rows):
+            raise ValueError("members disagree on state width")
+        self._initial_rows = np.concatenate(rows, axis=0)
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    @staticmethod
+    def owners_of(states: np.ndarray) -> np.ndarray:
+        """The owner column as integer member indices."""
+        return states[:, -1].astype(np.intp)
+
+    def initial_core_rows(self, owners) -> np.ndarray:
+        """Fresh core state rows (no owner column) for the given owners.
+
+        For callers that track row ownership themselves (the fleet
+        screening pass keeps owners in a side array so its hot loop
+        never re-derives them); most callers want
+        :meth:`initial_states_for` instead.
+        """
+        return self._initial_rows[np.asarray(owners, dtype=np.intp)]
+
+    def initial_states_for(self, counts) -> np.ndarray:
+        """A fused state array with ``counts[i]`` rows for member ``i``."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if len(counts) != self.n_members:
+            raise ValueError(
+                f"{len(counts)} counts for {self.n_members} members")
+        owners = np.repeat(np.arange(self.n_members), counts)
+        core = self.initial_core_rows(owners)
+        return np.concatenate(
+            [core, owners[:, None].astype(np.float64)], axis=1)
+
+    def initial_states(self, n: int) -> np.ndarray:
+        """``n`` fresh rows spread as evenly as possible over members."""
+        base, extra = divmod(n, self.n_members)
+        counts = np.full(self.n_members, base, dtype=np.int64)
+        counts[:extra] += 1
+        return self.initial_states_for(counts)
+
+    def row_params(self, owners) -> dict:
+        """Per-row parameter arrays for the given owner assignment."""
+        owners = np.asarray(owners, dtype=np.intp)
+        return {name: values[owners]
+                for name, values in self.params.items()}
+
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator,
+                   out: np.ndarray | None = None) -> np.ndarray:
+        row_params = self.row_params(self.owners_of(states))
+        core = states[:, :-1]
+        if out is not None:
+            self._lead.fused_step_batch(row_params, core, t, rng,
+                                        out=out[:, :-1])
+            if out is not states:
+                out[:, -1] = states[:, -1]
+            return out
+        new_core = self._lead.fused_step_batch(row_params, core, t, rng)
+        return np.concatenate([new_core, states[:, -1:]], axis=1)
+
+    def apply_impulse_batch(self, states: np.ndarray, rows,
+                            magnitudes) -> None:
+        self._lead.apply_impulse_batch(states[:, :-1], rows, magnitudes)
+
+    def __repr__(self) -> str:
+        return (f"FusedBatch({self.n_members} x "
+                f"{type(self._lead).__name__}, key={self.key!r})")
+
+
+def fuse_processes(processes: Sequence[StochasticProcess]) -> FusedBatch:
+    """Stack fusible same-family processes into one :class:`FusedBatch`."""
+    return FusedBatch(processes)
+
+
+def supports_batch(process) -> bool:
+    """True when the process natively implements the batched contract.
+
+    Wrapper processes (e.g. an :class:`~repro.processes.volatile.
+    ImpulseProcess` over a scalar base) may implement the interface yet
+    still loop path-by-path underneath; ``batch_native`` lets them say
+    so, and ``"auto"`` backend resolution treats them as scalar.
+    """
+    return isinstance(process, VectorizedProcess) and process.batch_native()
 
 
 def as_vectorized(process: StochasticProcess) -> VectorizedProcess:
     """The process itself if vectorized, else a :class:`ScalarFallback`."""
+    if supports_batch(process):
+        return process
     if isinstance(process, VectorizedProcess):
+        # A wrapper that is only as batched as its (scalar) base: its
+        # step_batch is correct, merely loop-speed; use it directly
+        # rather than double-wrapping.
         return process
     return ScalarFallback(process)
 

@@ -19,7 +19,8 @@ import random
 
 import numpy as np
 
-from .base import ImmutableStateProcess, VectorizedProcess, register_batch_z
+from .base import (ImmutableStateProcess, VectorizedProcess,
+                   register_batch_z, scalar_state_column)
 
 
 class GBMProcess(ImmutableStateProcess, VectorizedProcess):
@@ -29,6 +30,8 @@ class GBMProcess(ImmutableStateProcess, VectorizedProcess):
     ``Z_t ~ N(0, 1)``; ``mu`` and ``sigma`` are per-step (daily) drift
     and volatility.
     """
+
+    supports_out = True
 
     def __init__(self, start_price: float = 520.0, mu: float = 0.00082,
                  sigma: float = 0.015):
@@ -51,12 +54,35 @@ class GBMProcess(ImmutableStateProcess, VectorizedProcess):
         return np.full(n, float(self.start_price), dtype=np.float64)
 
     def step_batch(self, states: np.ndarray, t: int,
-                   rng: np.random.Generator) -> np.ndarray:
+                   rng: np.random.Generator,
+                   out: np.ndarray | None = None) -> np.ndarray:
         shocks = rng.standard_normal(len(states))
-        return states * np.exp(self._log_drift + self.sigma * shocks)
+        factors = np.exp(self._log_drift + self.sigma * shocks)
+        return np.multiply(states, factors, out=out)
 
     def apply_impulse(self, state: float, magnitude: float) -> float:
         return state + magnitude
+
+    def apply_impulse_batch(self, states: np.ndarray, rows,
+                            magnitudes) -> None:
+        column = states if states.ndim == 1 else states[:, 0]
+        column[rows] += magnitudes
+
+    # --- fusion hooks -------------------------------------------------
+
+    def fusion_key(self):
+        return ("gbm",)
+
+    def fusion_params(self) -> dict:
+        return {"log_drift": self._log_drift, "sigma": self.sigma}
+
+    @staticmethod
+    def fused_step_batch(row_params, states, t, rng, out=None):
+        shocks = rng.standard_normal(len(states))
+        shocks *= row_params["sigma"]
+        shocks += row_params["log_drift"]
+        factors = np.exp(shocks, out=shocks)
+        return np.multiply(states, factors[:, None], out=out)
 
     @staticmethod
     def price(state: float) -> float:
@@ -64,8 +90,7 @@ class GBMProcess(ImmutableStateProcess, VectorizedProcess):
         return float(state)
 
 
-register_batch_z(GBMProcess.price,
-                 lambda states: np.asarray(states, dtype=np.float64))
+register_batch_z(GBMProcess.price, scalar_state_column)
 
 
 def synthetic_stock_series(n_days: int = 1258, seed: int = 20150102,

@@ -32,6 +32,44 @@ from .base import ImmutableStateProcess, VectorizedProcess, register_batch_z
 QueueState = tuple  # (customers in queue 1, customers in queue 2)
 
 
+def _gillespie_unit_interval(n1: np.ndarray, n2: np.ndarray, lam, mu1, mu2,
+                             rng: np.random.Generator) -> None:
+    """Race every row's embedded CTMC to the unit boundary, in place.
+
+    ``n1``/``n2`` are mutated to the queue lengths at the end of the
+    unit interval.  ``lam``/``mu1``/``mu2`` may be scalars (one shared
+    parameterisation, the native batched path) or per-row arrays (the
+    fused path, where every row carries its own member's rates).
+    """
+    n = len(n1)
+    lam = np.broadcast_to(np.asarray(lam, dtype=np.float64), (n,))
+    mu1 = np.broadcast_to(np.asarray(mu1, dtype=np.float64), (n,))
+    mu2 = np.broadcast_to(np.asarray(mu2, dtype=np.float64), (n,))
+    clock = np.zeros(n)
+    active = np.arange(n)
+    while active.size:
+        la = lam[active]
+        r1 = np.where(n1[active] > 0, mu1[active], 0.0)
+        r2 = np.where(n2[active] > 0, mu2[active], 0.0)
+        total = la + r1 + r2
+        clock[active] += rng.exponential(1.0, active.size) / total
+        alive = clock[active] < 1.0
+        active = active[alive]
+        if not active.size:
+            break
+        u = rng.random(active.size) * total[alive]
+        la = la[alive]
+        r1 = r1[alive]
+        arrival = u < la
+        service1 = ~arrival & (u < la + r1)
+        service2 = ~arrival & ~service1
+        n1[active[arrival]] += 1
+        moved = active[service1]
+        n1[moved] -= 1
+        n2[moved] += 1
+        n2[active[service2]] -= 1
+
+
 class TandemQueueProcess(ImmutableStateProcess, VectorizedProcess):
     """Two exponential queues in tandem, observed at integer times.
 
@@ -43,6 +81,8 @@ class TandemQueueProcess(ImmutableStateProcess, VectorizedProcess):
         Mean service times of the two stations (paper: 2.0 each, i.e.
         service rate 0.5 — critical load).
     """
+
+    supports_out = True
 
     def __init__(self, arrival_rate: float = 0.5,
                  mean_service1: float = 2.0, mean_service2: float = 2.0):
@@ -88,7 +128,8 @@ class TandemQueueProcess(ImmutableStateProcess, VectorizedProcess):
         return np.zeros((n, 2), dtype=np.int64)
 
     def step_batch(self, states: np.ndarray, t: int,
-                   rng: np.random.Generator) -> np.ndarray:
+                   rng: np.random.Generator,
+                   out: np.ndarray | None = None) -> np.ndarray:
         """Advance every queue pair through one unit of Gillespie time.
 
         All rows race their embedded CTMCs in lock-step: each sweep
@@ -99,34 +140,46 @@ class TandemQueueProcess(ImmutableStateProcess, VectorizedProcess):
         """
         n1 = states[:, 0].astype(np.int64, copy=True)
         n2 = states[:, 1].astype(np.int64, copy=True)
-        lam, mu1, mu2 = self.arrival_rate, self._mu1, self._mu2
-        clock = np.zeros(len(states))
-        active = np.arange(len(states))
-        while active.size:
-            r1 = np.where(n1[active] > 0, mu1, 0.0)
-            r2 = np.where(n2[active] > 0, mu2, 0.0)
-            total = lam + r1 + r2
-            clock[active] += rng.exponential(1.0, active.size) / total
-            alive = clock[active] < 1.0
-            active = active[alive]
-            if not active.size:
-                break
-            u = rng.random(active.size) * total[alive]
-            r1 = r1[alive]
-            arrival = u < lam
-            service1 = ~arrival & (u < lam + r1)
-            service2 = ~arrival & ~service1
-            n1[active[arrival]] += 1
-            moved = active[service1]
-            n1[moved] -= 1
-            n2[moved] += 1
-            n2[active[service2]] -= 1
-        return np.stack([n1, n2], axis=1)
+        _gillespie_unit_interval(n1, n2, self.arrival_rate, self._mu1,
+                                 self._mu2, rng)
+        if out is None:
+            return np.stack([n1, n2], axis=1)
+        out[:, 0] = n1
+        out[:, 1] = n2
+        return out
 
     def apply_impulse(self, state: QueueState, magnitude: float) -> QueueState:
         """Inject ``magnitude`` extra customers directly into Queue 2."""
         n1, n2 = state
         return (n1, max(0, n2 + int(magnitude)))
+
+    def apply_impulse_batch(self, states: np.ndarray, rows,
+                            magnitudes) -> None:
+        extra = np.trunc(np.asarray(magnitudes, dtype=np.float64))
+        column = states[:, 1]
+        column[rows] = np.maximum(0, column[rows]
+                                  + extra.astype(column.dtype))
+
+    # --- fusion hooks -------------------------------------------------
+
+    def fusion_key(self):
+        return ("tandem_queue",)
+
+    def fusion_params(self) -> dict:
+        return {"arrival_rate": self.arrival_rate,
+                "mu1": self._mu1, "mu2": self._mu2}
+
+    @staticmethod
+    def fused_step_batch(row_params, states, t, rng, out=None):
+        n1 = states[:, 0].astype(np.int64)
+        n2 = states[:, 1].astype(np.int64)
+        _gillespie_unit_interval(n1, n2, row_params["arrival_rate"],
+                                 row_params["mu1"], row_params["mu2"], rng)
+        if out is None:
+            return np.stack([n1, n2], axis=1).astype(np.float64)
+        out[:, 0] = n1
+        out[:, 1] = n2
+        return out
 
     @staticmethod
     def queue2_length(state: QueueState) -> float:

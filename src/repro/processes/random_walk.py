@@ -13,7 +13,8 @@ import random
 
 import numpy as np
 
-from .base import ImmutableStateProcess, VectorizedProcess, register_batch_z
+from .base import (ImmutableStateProcess, VectorizedProcess,
+                   register_batch_z, scalar_state_column)
 
 
 class RandomWalkProcess(ImmutableStateProcess, VectorizedProcess):
@@ -23,6 +24,8 @@ class RandomWalkProcess(ImmutableStateProcess, VectorizedProcess):
     by 1 with probability ``p_down``, and stays put otherwise.  The state
     is the current position (an ``int``).
     """
+
+    supports_out = True
 
     def __init__(self, p_up: float = 0.5, p_down: float | None = None,
                  start: int = 0):
@@ -51,14 +54,38 @@ class RandomWalkProcess(ImmutableStateProcess, VectorizedProcess):
         return np.full(n, self.start, dtype=np.int64)
 
     def step_batch(self, states: np.ndarray, t: int,
-                   rng: np.random.Generator) -> np.ndarray:
+                   rng: np.random.Generator,
+                   out: np.ndarray | None = None) -> np.ndarray:
         u = rng.random(len(states))
         moves = np.where(u < self.p_up, 1,
                          np.where(u < self.p_up + self.p_down, -1, 0))
-        return states + moves
+        return np.add(states, moves, out=out)
 
     def apply_impulse(self, state: int, magnitude: float) -> int:
         return state + int(magnitude)
+
+    def apply_impulse_batch(self, states: np.ndarray, rows,
+                            magnitudes) -> None:
+        shift = np.trunc(np.asarray(magnitudes, dtype=np.float64))
+        column = states if states.ndim == 1 else states[:, 0]
+        column[rows] += shift.astype(column.dtype)
+
+    # --- fusion hooks -------------------------------------------------
+
+    def fusion_key(self):
+        return ("random_walk",)
+
+    def fusion_params(self) -> dict:
+        return {"p_up": self.p_up, "p_down": self.p_down}
+
+    @staticmethod
+    def fused_step_batch(row_params, states, t, rng, out=None):
+        u = rng.random(len(states))
+        p_up = row_params["p_up"]
+        moves = np.where(u < p_up, 1.0,
+                         np.where(u < p_up + row_params["p_down"],
+                                  -1.0, 0.0))
+        return np.add(states, moves[:, None], out=out)
 
     @staticmethod
     def position(state: int) -> float:
@@ -66,8 +93,7 @@ class RandomWalkProcess(ImmutableStateProcess, VectorizedProcess):
         return float(state)
 
 
-register_batch_z(RandomWalkProcess.position,
-                 lambda states: np.asarray(states, dtype=np.float64))
+register_batch_z(RandomWalkProcess.position, scalar_state_column)
 
 
 class GaussianWalkProcess(ImmutableStateProcess, VectorizedProcess):
@@ -79,6 +105,8 @@ class GaussianWalkProcess(ImmutableStateProcess, VectorizedProcess):
     the simplest member of the Gaussian-step family supported by the
     importance-sampling comparator (:mod:`repro.core.importance`).
     """
+
+    supports_out = True
 
     def __init__(self, drift: float = 0.0, sigma: float = 1.0,
                  start: float = 0.0):
@@ -98,8 +126,10 @@ class GaussianWalkProcess(ImmutableStateProcess, VectorizedProcess):
         return np.full(n, self.start, dtype=np.float64)
 
     def step_batch(self, states: np.ndarray, t: int,
-                   rng: np.random.Generator) -> np.ndarray:
-        return states + rng.normal(self.drift, self.sigma, len(states))
+                   rng: np.random.Generator,
+                   out: np.ndarray | None = None) -> np.ndarray:
+        return np.add(states, rng.normal(self.drift, self.sigma,
+                                         len(states)), out=out)
 
     # --- Gaussian-step protocol (used by importance sampling) ---------
 
@@ -113,10 +143,29 @@ class GaussianWalkProcess(ImmutableStateProcess, VectorizedProcess):
     def apply_impulse(self, state: float, magnitude: float) -> float:
         return state + magnitude
 
+    def apply_impulse_batch(self, states: np.ndarray, rows,
+                            magnitudes) -> None:
+        column = states if states.ndim == 1 else states[:, 0]
+        column[rows] += magnitudes
+
+    # --- fusion hooks -------------------------------------------------
+
+    def fusion_key(self):
+        return ("gaussian_walk",)
+
+    def fusion_params(self) -> dict:
+        return {"drift": self.drift, "sigma": self.sigma}
+
+    @staticmethod
+    def fused_step_batch(row_params, states, t, rng, out=None):
+        increments = (row_params["drift"]
+                      + row_params["sigma"]
+                      * rng.standard_normal(len(states)))
+        return np.add(states, increments[:, None], out=out)
+
     @staticmethod
     def position(state: float) -> float:
         return float(state)
 
 
-register_batch_z(GaussianWalkProcess.position,
-                 lambda states: np.asarray(states, dtype=np.float64))
+register_batch_z(GaussianWalkProcess.position, scalar_state_column)

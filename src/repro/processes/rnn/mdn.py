@@ -132,3 +132,22 @@ class MDNHead:
                 component = k
                 break
         return rng.gauss(float(mu[0, component]), float(sigma[0, component]))
+
+    def sample_batch(self, h: np.ndarray,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Draw one value per row from each row's own mixture.
+
+        The batched counterpart of :meth:`sample`: component selection
+        is the same inverse-CDF walk (the index of the first cumulative
+        weight exceeding the uniform, defaulting to the last component),
+        evaluated for all rows with one comparison against the row-wise
+        cumulative sums.  Returns shape ``(len(h),)``.
+        """
+        pi, mu, sigma, _ = self.mixture_parameters(h)
+        u = rng.random(len(h))
+        cumulative = np.cumsum(pi, axis=1)
+        components = np.minimum((cumulative <= u[:, None]).sum(axis=1),
+                                self.n_mixtures - 1)
+        rows = np.arange(len(h))
+        return (mu[rows, components]
+                + sigma[rows, components] * rng.standard_normal(len(h)))

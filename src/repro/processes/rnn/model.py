@@ -138,6 +138,28 @@ class LSTMMDNModel:
         """Sample the next value from the MDN given the top hidden row."""
         return self.head.sample(hidden_row, rng)
 
+    def advance_batch(self, xs: np.ndarray, state: list) -> tuple:
+        """Feed one scalar input per row through the whole stack.
+
+        The batched generation face: ``xs`` has shape ``(n,)`` and
+        ``state`` is a list of per-layer ``(h, c)`` pairs of shape
+        ``(n, hidden)``.  Returns ``(new_state, hidden)`` with
+        ``hidden`` the top layer's ``(n, hidden)`` output — every row
+        advances through one LSTM matmul per layer instead of ``n``.
+        """
+        current = xs.reshape(-1, 1)
+        new_state = []
+        for layer, (h, c) in zip(self.layers, state):
+            h, c, _ = layer.step(current, h, c)
+            new_state.append((h, c))
+            current = h
+        return new_state, current
+
+    def sample_next_batch(self, hidden: np.ndarray,
+                          rng: np.random.Generator) -> np.ndarray:
+        """Sample one next value per row from the MDN (batched)."""
+        return self.head.sample_batch(hidden, rng)
+
     def warm_up(self, values, state: tuple | None = None) -> tuple:
         """Run a sequence of scalars through the model (no sampling).
 

@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..base import StochasticProcess
+from ..base import StochasticProcess, VectorizedProcess, register_batch_z
 from ..gbm import log_returns, synthetic_stock_series
 from .model import LSTMMDNModel
 from .train import TrainingResult, train_model
@@ -35,7 +35,7 @@ from .train import TrainingResult, train_model
 _MAX_ABS_NORMALIZED_RETURN = 8.0
 
 
-class StockRNNProcess(StochasticProcess):
+class StockRNNProcess(StochasticProcess, VectorizedProcess):
     """Wrap a trained LSTM-MDN model as a price simulation process.
 
     Parameters
@@ -49,7 +49,17 @@ class StockRNNProcess(StochasticProcess):
         before simulation starts — the model's conditioning window.
     start_price:
         Price at time 0 (the last training price).
+
+    Batched simulation packs each path's full state into one float row
+    — ``[h_0, c_0, ..., h_{L-1}, c_{L-1}, last_return, price]`` — so a
+    state array is a plain ``(n, 2*L*hidden + 2)`` matrix.  A
+    ``step_batch`` then runs one LSTM matmul per layer over the whole
+    batch and one batched MDN sample (``MDNHead.sample_batch``) instead
+    of ``n`` scalar network evaluations; row selection and
+    ``numpy.repeat`` replication work for free on the packed rows.
     """
+
+    supports_out = True
 
     def __init__(self, model: LSTMMDNModel, return_mean: float,
                  return_std: float, context_returns: Sequence[float],
@@ -89,10 +99,66 @@ class StockRNNProcess(StochasticProcess):
         copied = tuple((h.copy(), c.copy()) for h, c in layers)
         return (copied, last_return, price)
 
+    # --- batched contract (packed rows) -------------------------------
+
+    @property
+    def state_width(self) -> int:
+        """Columns of a packed state row (see the class docstring)."""
+        return 2 * self.model.n_layers * self.model.hidden_size + 2
+
+    def initial_states(self, n: int) -> np.ndarray:
+        parts = []
+        for h, c in self._warm_state:
+            parts.append(h.ravel())
+            parts.append(c.ravel())
+        parts.append([self._last_context_return, self.start_price])
+        row = np.concatenate([np.asarray(p, dtype=np.float64)
+                              for p in parts])
+        return np.tile(row, (n, 1))
+
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator,
+                   out: np.ndarray | None = None) -> np.ndarray:
+        hidden = self.model.hidden_size
+        layer_state = []
+        for index in range(self.model.n_layers):
+            offset = 2 * hidden * index
+            layer_state.append((states[:, offset:offset + hidden],
+                                states[:, offset + hidden:
+                                       offset + 2 * hidden]))
+        new_state, top = self.model.advance_batch(states[:, -2],
+                                                  layer_state)
+        sampled = self.model.sample_next_batch(top, rng)
+        np.clip(sampled, -_MAX_ABS_NORMALIZED_RETURN,
+                _MAX_ABS_NORMALIZED_RETURN, out=sampled)
+        prices = states[:, -1] * np.exp(sampled * self.return_std
+                                        + self.return_mean)
+        # All reads are done (advance_batch allocates fresh h/c), so
+        # writing into out is safe even when out is states.
+        target = out if out is not None else np.empty_like(states)
+        for index, (h, c) in enumerate(new_state):
+            offset = 2 * hidden * index
+            target[:, offset:offset + hidden] = h
+            target[:, offset + hidden:offset + 2 * hidden] = c
+        target[:, -2] = sampled
+        target[:, -1] = prices
+        return target
+
     @staticmethod
     def price(state: tuple) -> float:
         """Real-valued evaluation ``z``: the simulated price (paper §6)."""
         return float(state[2])
+
+
+def _batch_prices(states: np.ndarray) -> np.ndarray:
+    # Packed float rows keep the price in the last column; object rows
+    # (ScalarFallback) hold the scalar (layers, return, price) tuples.
+    if states.dtype == object:
+        return np.asarray([s[2] for s in states], dtype=np.float64)
+    return states[:, -1].astype(np.float64)
+
+
+register_batch_z(StockRNNProcess.price, _batch_prices)
 
 
 def build_stock_process(prices: Sequence[float], hidden_size: int = 32,

@@ -11,16 +11,28 @@ scenario of Section 4.
 :class:`ImpulseProcess` wraps any base process that implements
 ``apply_impulse`` and adds this behaviour, so the same wrapper builds
 both "Volatile CPP" and "Volatile Queue".
+
+Batched simulation: the wrapper is itself a
+:class:`~repro.processes.base.VectorizedProcess` — it advances the
+whole batch through the base's ``step_batch`` and then applies impulses
+to a uniform-masked subset of rows via ``apply_impulse_batch``, so a
+vectorized base never degrades to a scalar loop just because it is
+volatile (``batch_native`` reports whether the base is natively
+batched, which is what ``backend="auto"`` consults).  Wrappers over
+fusible bases are fusible themselves: a fleet of volatile CPPs with
+per-member impulse parameters advances as one fused ``step_batch``.
 """
 
 from __future__ import annotations
 
 import random
 
-from .base import State, StochasticProcess
+import numpy as np
+
+from .base import State, StochasticProcess, VectorizedProcess, as_vectorized, supports_batch
 
 
-class ImpulseProcess(StochasticProcess):
+class ImpulseProcess(StochasticProcess, VectorizedProcess):
     """Wrap a process with late-horizon impulse jumps.
 
     Parameters
@@ -48,6 +60,10 @@ class ImpulseProcess(StochasticProcess):
         self.impulse = impulse
         self.probability = probability
         self.active_after = active_after
+        # The batched face delegates to the base (or a fallback adapter
+        # when the base is scalar-only, keeping step_batch universally
+        # correct; "auto" still resolves such wrappers to scalar).
+        self._batch_base = as_vectorized(base)
 
     def initial_state(self) -> State:
         return self.base.initial_state()
@@ -63,6 +79,71 @@ class ImpulseProcess(StochasticProcess):
 
     def apply_impulse(self, state: State, magnitude: float) -> State:
         return self.base.apply_impulse(state, magnitude)
+
+    # --- batched contract ---------------------------------------------
+
+    @property
+    def supports_out(self) -> bool:
+        return self._batch_base.supports_out
+
+    def batch_native(self) -> bool:
+        """Batched exactly as fast as the base: native iff the base is."""
+        return supports_batch(self.base)
+
+    def initial_states(self, n: int) -> np.ndarray:
+        return self._batch_base.initial_states(n)
+
+    def step_batch(self, states: np.ndarray, t: int,
+                   rng: np.random.Generator,
+                   out: np.ndarray | None = None) -> np.ndarray:
+        base = self._batch_base
+        if out is not None and base.supports_out:
+            new_states = base.step_batch(states, t, rng, out=out)
+        else:
+            new_states = base.step_batch(states, t, rng)
+        if t > self.active_after:
+            fired = rng.random(len(new_states)) < self.probability
+            rows = np.nonzero(fired)[0]
+            if rows.size:
+                base.apply_impulse_batch(new_states, rows, self.impulse)
+        return new_states
+
+    def replicate(self, states: np.ndarray, indices, counts) -> np.ndarray:
+        return self._batch_base.replicate(states, indices, counts)
+
+    def apply_impulse_batch(self, states: np.ndarray, rows,
+                            magnitudes) -> None:
+        self._batch_base.apply_impulse_batch(states, rows, magnitudes)
+
+    # --- fusion hooks -------------------------------------------------
+
+    def fusion_key(self):
+        base_key = self.base.fusion_key()
+        if base_key is None:
+            return None
+        return ("impulse",) + base_key
+
+    def fusion_params(self) -> dict:
+        params = dict(self.base.fusion_params())
+        params["impulse__magnitude"] = self.impulse
+        params["impulse__probability"] = self.probability
+        params["impulse__active_after"] = self.active_after
+        return params
+
+    def fused_step_batch(self, row_params, states, t, rng, out=None):
+        new_states = self.base.fused_step_batch(row_params, states, t, rng,
+                                                out=out)
+        active = t > row_params["impulse__active_after"]
+        if active.any():
+            fired = (active
+                     & (rng.random(len(new_states))
+                        < row_params["impulse__probability"]))
+            rows = np.nonzero(fired)[0]
+            if rows.size:
+                self.base.apply_impulse_batch(
+                    new_states, rows,
+                    row_params["impulse__magnitude"][rows])
+        return new_states
 
 
 def volatile_queue(base: StochasticProcess, horizon: int,

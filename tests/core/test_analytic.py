@@ -8,7 +8,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.analytic import (hitting_probability,
+                                 hitting_probability_grid,
                                  hitting_time_distribution,
+                                 random_walk_hitting_curve,
                                  random_walk_hitting_probability,
                                  srs_relative_error, srs_required_paths)
 from repro.processes.markov_chain import birth_death_chain
@@ -159,6 +161,60 @@ class TestRandomWalkOracle:
     def test_rejects_bad_probabilities(self):
         with pytest.raises(ValueError):
             random_walk_hitting_probability(0.7, 1, 5, p_down=0.5)
+
+
+class TestBatchedOracles:
+    """The value-grid DP oracles answer whole grids in one recurrence."""
+
+    def test_walk_curve_matches_per_threshold_dp(self):
+        thresholds = [3, 5, 8, 12, 20]
+        curve = random_walk_hitting_curve(0.35, thresholds, 60,
+                                          p_down=0.45)
+        singles = [random_walk_hitting_probability(0.35, b, 60,
+                                                   p_down=0.45)
+                   for b in thresholds]
+        assert curve == pytest.approx(singles, abs=1e-14)
+
+    def test_walk_curve_is_monotone_decreasing(self):
+        curve = random_walk_hitting_curve(0.4, [2, 4, 6, 8], 40,
+                                          p_down=0.4)
+        assert all(hi <= lo for lo, hi in zip(curve, curve[1:]))
+
+    def test_walk_curve_thresholds_at_or_below_start_hit_immediately(self):
+        curve = random_walk_hitting_curve(0.3, [-2, 0, 3], 10, start=0)
+        assert curve[0] == 1.0 and curve[1] == 1.0 and curve[2] < 1.0
+
+    def test_walk_curve_preserves_input_order(self):
+        shuffled = random_walk_hitting_curve(0.4, [8, 2, 5], 30)
+        ordered = random_walk_hitting_curve(0.4, [2, 5, 8], 30)
+        assert shuffled[0] == ordered[2]
+        assert shuffled[1] == ordered[0]
+        assert shuffled[2] == ordered[1]
+
+    def test_walk_curve_rejects_negative_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            random_walk_hitting_curve(0.4, [3], -1)
+
+    def test_walk_curve_empty_grid(self):
+        assert len(random_walk_hitting_curve(0.4, [], 10)) == 0
+
+    def test_chain_grid_matches_per_target_dp(self):
+        matrix = [[0.5, 0.5, 0.0, 0.0],
+                  [0.3, 0.4, 0.3, 0.0],
+                  [0.0, 0.3, 0.4, 0.3],
+                  [0.0, 0.0, 0.0, 1.0]]
+        grids = [[3], [2, 3], [1, 2, 3]]
+        batched = hitting_probability_grid(matrix, 0, grids, 25)
+        singles = [hitting_probability(matrix, 0, targets, 25)
+                   for targets in grids]
+        assert batched == pytest.approx(singles, abs=1e-14)
+
+    def test_chain_grid_validates_inputs(self):
+        matrix = [[1.0]]
+        with pytest.raises(ValueError, match="out of range"):
+            hitting_probability_grid(matrix, 0, [[1]], 5)
+        with pytest.raises(ValueError, match="horizon"):
+            hitting_probability_grid(matrix, 0, [[0]], -2)
 
 
 class TestSrsCostFormulas:

@@ -30,6 +30,75 @@ def chain_aggregate(query, partition, n_roots, seed):
     return aggregate, ratios
 
 
+class TestVectorizedReplicateFold:
+    """The one-shot gather + fold must reproduce the per-replicate
+    scalar fold (same resampling stream, same estimator values)."""
+
+    def synthetic_aggregate(self, n_roots=200, num_levels=4, seed=0):
+        rng = random.Random(seed)
+        aggregate = ForestAggregate(num_levels)
+        for _ in range(n_roots):
+            record = RootRecord(num_levels)
+            record.hits = rng.randrange(3)
+            for i in range(1, num_levels):
+                record.landings[i] = rng.randrange(4)
+                record.skips[i] = rng.randrange(2)
+                record.crossings[i] = rng.randrange(6)
+            aggregate.add(record)
+        return aggregate
+
+    def test_estimates_match_scalar_fold_per_replicate(self):
+        from repro.core.gmlss import gmlss_estimate_from_totals
+
+        aggregate = self.synthetic_aggregate()
+        ratios = normalize_ratios(3, aggregate.num_levels)
+        result = bootstrap_variance(aggregate, ratios, n_boot=60, seed=11)
+        landings, skips, crossings, hits = aggregate.per_root_matrices()
+        rng = np.random.default_rng(11)
+        for b in range(60):
+            idx = rng.integers(0, aggregate.n_roots,
+                               size=aggregate.n_roots)
+            expected = gmlss_estimate_from_totals(
+                landings[idx].sum(axis=0), skips[idx].sum(axis=0),
+                crossings[idx].sum(axis=0), float(hits[idx].sum()),
+                float(aggregate.n_roots), ratios)
+            assert result.estimates[b] == pytest.approx(expected,
+                                                        abs=1e-12)
+
+    def test_curve_variances_match_scalar_prefix_fold(self):
+        from repro.core.bootstrap import bootstrap_curve_variances
+        from repro.core.gmlss import gmlss_prefix_estimates_from_totals
+
+        aggregate = self.synthetic_aggregate(seed=3)
+        ratios = normalize_ratios(3, aggregate.num_levels)
+        variances = bootstrap_curve_variances(aggregate, ratios,
+                                              n_boot=40, seed=13)
+        landings, skips, crossings, hits = aggregate.per_root_matrices()
+        rng = np.random.default_rng(13)
+        replicates = np.empty((40, aggregate.num_levels))
+        for b in range(40):
+            idx = rng.integers(0, aggregate.n_roots,
+                               size=aggregate.n_roots)
+            replicates[b] = gmlss_prefix_estimates_from_totals(
+                landings[idx].sum(axis=0), skips[idx].sum(axis=0),
+                crossings[idx].sum(axis=0), float(hits[idx].sum()),
+                float(aggregate.n_roots), ratios)
+        assert variances == pytest.approx(replicates.var(axis=0),
+                                          abs=1e-12)
+
+    def test_row_fold_handles_dead_levels(self):
+        """Replicates that never reach a level fold to a zero estimate,
+        exactly like the scalar early return."""
+        from repro.core.gmlss import gmlss_estimates_from_total_rows
+
+        estimates = gmlss_estimates_from_total_rows(
+            landings=[[0, 2, 0], [0, 0, 1]],
+            skips=[[0, 0, 0], [0, 0, 0]],
+            crossings=[[0, 5, 0], [0, 0, 0]],
+            hits=[1.0, 1.0], n_roots=10.0, ratios=(1, 3, 3))
+        assert estimates.tolist() == [0.0, 0.0]
+
+
 class TestBootstrapBasics:
     def test_too_few_roots_gives_zero_variance(self):
         aggregate = srs_like_aggregate([1])

@@ -1,0 +1,118 @@
+"""Tests for the fused fleet-screening pass (repro.core.fleet)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analytic import random_walk_hitting_curve
+from repro.core.fleet import screen_fleet
+from repro.core.quality import RelativeErrorTarget
+from repro.core.srs import SRSSampler
+from repro.core.stats import critical_value
+from repro.core.value_functions import DurabilityQuery
+from repro.processes import GBMProcess, RandomWalkProcess, fuse_processes
+
+Z999 = critical_value(0.999)
+
+
+def walk_fleet():
+    """Random-walk entities with per-entity move probabilities."""
+    return [RandomWalkProcess(p_up=0.35, p_down=0.45),
+            RandomWalkProcess(p_up=0.45, p_down=0.45),
+            RandomWalkProcess(p_up=0.50, p_down=0.40)]
+
+
+class TestScreenFleet:
+    def test_matches_exact_oracle_per_member(self):
+        members = walk_fleet()
+        betas = [6.0, 8.0, 10.0]
+        estimates = screen_fleet(
+            fuse_processes(members), RandomWalkProcess.position, betas,
+            horizon=40, max_roots=20_000, seed=1)
+        for member, beta, estimate in zip(members, betas, estimates):
+            exact = float(random_walk_hitting_curve(
+                member.p_up, [beta], 40, p_down=member.p_down)[0])
+            assert abs(estimate.probability - exact) <= \
+                Z999 * estimate.std_error + 2e-4, (beta, exact)
+
+    def test_matches_independent_srs_within_joint_ci(self):
+        members = walk_fleet()
+        betas = [6.0, 7.0, 8.0]
+        fused = screen_fleet(
+            fuse_processes(members), RandomWalkProcess.position, betas,
+            horizon=40, max_roots=10_000, seed=2)
+        for member, beta, estimate in zip(members, betas, fused):
+            query = DurabilityQuery.threshold(
+                member, RandomWalkProcess.position, beta=beta, horizon=40)
+            independent = SRSSampler(backend="vectorized").run(
+                query, max_roots=10_000, seed=3)
+            joint = Z999 * math.sqrt(estimate.variance
+                                     + independent.variance)
+            assert abs(estimate.probability
+                       - independent.probability) <= joint + 1e-4
+
+    def test_budgets_are_per_member(self):
+        estimates = screen_fleet(
+            fuse_processes(walk_fleet()), RandomWalkProcess.position,
+            [6.0, 6.0, 6.0], horizon=20, max_roots=500, seed=4)
+        assert all(e.n_roots == 500 for e in estimates)
+        # A member's steps are bounded by its own paths running the
+        # full horizon; a fleet-wide budget would give ~3x that.
+        assert all(e.steps <= 500 * 20 for e in estimates)
+
+    def test_max_steps_respected_per_member(self):
+        estimates = screen_fleet(
+            fuse_processes(walk_fleet()), RandomWalkProcess.position,
+            [25.0, 25.0, 25.0], horizon=20, max_steps=4_000,
+            batch_roots=50, seed=5)
+        # Cohort-granular overshoot only: one extra cohort's worth.
+        assert all(e.steps < 4_000 + 51 * 20 for e in estimates)
+        assert all(e.steps >= 4_000 for e in estimates)
+
+    def test_quality_target_stops_easy_members_first(self):
+        members = [RandomWalkProcess(p_up=0.6, p_down=0.3),
+                   RandomWalkProcess(p_up=0.35, p_down=0.45)]
+        estimates = screen_fleet(
+            fuse_processes(members), RandomWalkProcess.position,
+            [5.0, 9.0], horizon=30,
+            quality=RelativeErrorTarget(target=0.2, min_hits=5),
+            max_roots=50_000, batch_roots=200, seed=6)
+        easy, hard = estimates
+        assert easy.n_roots < hard.n_roots
+        for estimate in estimates:
+            relative = estimate.std_error / max(estimate.probability, 1e-12)
+            assert relative <= 0.2
+
+    def test_details_mark_fused_pass(self):
+        estimates = screen_fleet(
+            fuse_processes(walk_fleet()), RandomWalkProcess.position,
+            [6.0, 6.0, 6.0], horizon=10, max_roots=100, seed=7)
+        for estimate in estimates:
+            assert estimate.details["fused"]
+            assert estimate.details["fleet_size"] == 3
+            assert estimate.method == "srs"
+
+    def test_needs_a_stopping_rule(self):
+        with pytest.raises(ValueError, match="stop"):
+            screen_fleet(fuse_processes(walk_fleet()),
+                         RandomWalkProcess.position, [6.0, 6.0, 6.0],
+                         horizon=10)
+
+    def test_threshold_count_must_match_members(self):
+        with pytest.raises(ValueError, match="thresholds"):
+            screen_fleet(fuse_processes(walk_fleet()),
+                         RandomWalkProcess.position, [6.0], horizon=10,
+                         max_roots=10)
+
+    def test_gbm_fleet_mean_hit_ordering(self):
+        """Easier thresholds screen higher probabilities (sanity on a
+        continuous-state family)."""
+        members = [GBMProcess(start_price=100.0, sigma=0.02)
+                   for _ in range(3)]
+        estimates = screen_fleet(
+            fuse_processes(members), GBMProcess.price,
+            [102.0, 106.0, 112.0], horizon=30, max_roots=4_000, seed=8)
+        probabilities = [e.probability for e in estimates]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert probabilities[0] > probabilities[2]

@@ -57,6 +57,25 @@ class TestReplaceAndSeeds:
     def test_seed_for_none_stays_none(self):
         assert ExecutionPolicy(max_roots=1).seed_for(3) is None
 
+    def test_derive_seed_depends_on_material_not_position(self):
+        policy = ExecutionPolicy(max_roots=1, seed=42)
+        material = ("gbm", 40, "price", 105.0)
+        assert policy.derive_seed(material) == policy.derive_seed(material)
+        assert policy.derive_seed(material) != \
+            policy.derive_seed(("gbm", 40, "price", 106.0))
+
+    def test_derive_seed_depends_on_base_seed(self):
+        material = ("walk", 10, "position", 5.0)
+        assert ExecutionPolicy(max_roots=1, seed=1).derive_seed(material) \
+            != ExecutionPolicy(max_roots=1, seed=2).derive_seed(material)
+
+    def test_derive_seed_none_stays_none(self):
+        assert ExecutionPolicy(max_roots=1).derive_seed(("x",)) is None
+
+    def test_derive_seed_in_valid_range(self):
+        seed = ExecutionPolicy(max_roots=1, seed=7).derive_seed(("m",))
+        assert 0 <= seed < 2 ** 31
+
 
 class TestSerialization:
     def test_round_trip_defaults_plus_budget(self):

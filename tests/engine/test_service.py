@@ -256,3 +256,137 @@ class TestAnswerBatch:
         second = DurabilityEngine(policy).answer_batch(queries)
         assert [e.probability for e in first] == \
             [e.probability for e in second]
+
+
+class TestBatchSeedComposition:
+    """Seeds derive from query *structure*, not batch position: a query
+    answered alone must give the same result regardless of what else is
+    in the batch or where it sits (the singleton-seeding regression)."""
+
+    def incompatible(self):
+        # A non-threshold value function never joins a cohort.
+        return DurabilityQuery(
+            process=RandomWalkProcess(p_up=0.4, p_down=0.4),
+            value_function=lambda state, t: min(max(state / 30.0, 0.0),
+                                                1.0),
+            horizon=15)
+
+    def test_singleton_result_independent_of_batch_composition(
+            self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=1_000,
+                                                  seed=21))
+        alone = engine.answer_batch([walk_query])[0]
+        behind = engine.answer_batch([self.incompatible(),
+                                      walk_query])[1]
+        in_front = engine.answer_batch([walk_query,
+                                        self.incompatible()])[0]
+        assert alone.probability == behind.probability
+        assert alone.probability == in_front.probability
+
+    def test_cohort_results_independent_of_member_order(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=1_000,
+                                                  seed=22))
+        forward = engine.answer_batch(
+            [walk_query.with_threshold(b) for b in (4.0, 6.0, 8.0)])
+        backward = engine.answer_batch(
+            [walk_query.with_threshold(b) for b in (8.0, 6.0, 4.0)])
+        assert [e.probability for e in forward] == \
+            [e.probability for e in reversed(backward)]
+
+
+class TestFusedBatch:
+    """Same-family, different-process queries share one fused pass."""
+
+    def fleet_queries(self, n=6, horizon=30):
+        return [DurabilityQuery.threshold(
+            RandomWalkProcess(p_up=0.35 + 0.02 * i, p_down=0.45),
+            RandomWalkProcess.position, beta=6.0 + (i % 3), horizon=horizon)
+            for i in range(n)]
+
+    def test_fleet_fuses_into_one_cohort(self):
+        queries = self.fleet_queries()
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=2_000,
+                                                  seed=17))
+        results = engine.answer_batch(queries)
+        for estimate in results:
+            assert estimate.details["fused"]
+            assert estimate.details["cohort_size"] == len(queries)
+            assert estimate.details["backend"] == "vectorized"
+            assert estimate.details["cohort_id"] == 0
+
+    def test_fused_answers_match_oracle(self):
+        queries = self.fleet_queries(n=4, horizon=40)
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=20_000,
+                                                  seed=18))
+        results = engine.answer_batch(queries)
+        for query, estimate in zip(queries, results):
+            process = query.process
+            exact = random_walk_hitting_probability(
+                process.p_up, int(query.value_function.beta),
+                query.horizon, p_down=process.p_down)
+            assert_close_to(estimate.probability, exact,
+                            max(Z999 * estimate.std_error / 3.3, 2e-4))
+
+    def test_fused_agrees_with_individual_answers(self):
+        queries = self.fleet_queries(n=4, horizon=40)
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=10_000,
+                                                  seed=19))
+        fused = engine.answer_batch(queries)
+        for query, estimate in zip(queries, fused):
+            independent = engine.answer(query, seed=1234)
+            joint = Z999 * math.sqrt(estimate.variance
+                                     + independent.variance)
+            assert abs(estimate.probability
+                       - independent.probability) <= joint + 1e-4
+
+    def test_fuse_flag_disables_fusion(self):
+        queries = self.fleet_queries()
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=500, seed=20,
+                                                  fuse=False))
+        results = engine.answer_batch(queries)
+        for estimate in results:
+            assert "fused" not in estimate.details
+
+    def test_mlss_fleet_falls_back_to_per_process(self):
+        # Fused screening is an SRS pass; MLSS policies regroup per
+        # process object (here: all singletons) instead of fusing.
+        queries = self.fleet_queries(n=3)
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="gmlss", max_roots=300, seed=21, trial_steps=2_000))
+        results = engine.answer_batch(queries)
+        for estimate in results:
+            assert estimate.method == "gmlss"
+            assert "fused" not in estimate.details
+
+    def test_scalar_backend_is_honoured(self):
+        queries = self.fleet_queries(n=3)
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="srs", backend="scalar", max_roots=300, seed=22))
+        results = engine.answer_batch(queries)
+        for estimate in results:
+            assert estimate.details["backend"] == "scalar"
+            assert "fused" not in estimate.details
+
+    def test_mixed_family_fleet_forms_one_cohort_per_family(self):
+        from repro.processes import GBMProcess
+
+        walk_queries = self.fleet_queries(n=2)
+        gbm_queries = [DurabilityQuery.threshold(
+            GBMProcess(start_price=100.0, sigma=0.01 + 0.01 * i),
+            GBMProcess.price, beta=104.0, horizon=30) for i in range(2)]
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=500, seed=23))
+        results = engine.answer_batch(walk_queries + gbm_queries)
+        assert results[0].details["cohort_id"] \
+            == results[1].details["cohort_id"]
+        assert results[2].details["cohort_id"] \
+            == results[3].details["cohort_id"]
+        assert results[0].details["cohort_id"] \
+            != results[2].details["cohort_id"]
+        assert all(e.details["cohort_size"] == 2 for e in results)

@@ -1,0 +1,225 @@
+"""Tests for cross-process batch fusion (FusedBatch and family hooks).
+
+The fusion contract: a fused batch advances rows of *different*
+member processes exactly as the members would advance them alone —
+same law, same state layout semantics (owner column last), same
+impulse behaviour.  Distributional agreement is checked per member
+against the member's own native ``step_batch``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.processes import (ARProcess, CompoundPoissonProcess, FusedBatch,
+                             GaussianWalkProcess, GBMProcess,
+                             MarkovChainProcess, RandomWalkProcess,
+                             TandemQueueProcess, batch_z_values,
+                             fuse_processes, volatile_cpp)
+from repro.processes.base import scalar_state_column
+
+
+def fused_member_terminals(members, n_per_member, horizon, seed,
+                           value_of_core):
+    """Terminal values per member from one fused pass."""
+    fused = fuse_processes(members)
+    states = fused.initial_states_for([n_per_member] * len(members))
+    rng = np.random.default_rng(seed)
+    for t in range(1, horizon + 1):
+        states = fused.step_batch(states, t, rng)
+    owners = fused.owners_of(states)
+    values = value_of_core(states[:, :-1])
+    return [values[owners == m] for m in range(len(members))]
+
+
+def native_terminals(process, n_paths, horizon, seed, value_of_rows):
+    rng = np.random.default_rng(seed)
+    states = process.initial_states(n_paths)
+    for t in range(1, horizon + 1):
+        states = process.step_batch(states, t, rng)
+    return value_of_rows(states)
+
+
+def assert_means_agree(sample_a, sample_b, z_bound=4.5):
+    se = math.sqrt(sample_a.var(ddof=1) / len(sample_a)
+                   + sample_b.var(ddof=1) / len(sample_b))
+    delta = abs(sample_a.mean() - sample_b.mean())
+    assert delta <= z_bound * se + 1e-9, (
+        f"means differ by {delta:.4g} > {z_bound} se ({se:.4g})"
+    )
+
+
+N = 3000
+
+
+class TestFusedBatchConstruction:
+    def test_requires_shared_family(self):
+        with pytest.raises(ValueError, match="fusible"):
+            fuse_processes([GBMProcess(), RandomWalkProcess()])
+
+    def test_requires_fusible_members(self):
+        chain = MarkovChainProcess([[1.0]])
+        assert chain.fusion_key() is None
+        with pytest.raises(ValueError, match="fusible"):
+            fuse_processes([chain, chain])
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError, match="at least one"):
+            fuse_processes([])
+
+    def test_ar_orders_are_structural(self):
+        with pytest.raises(ValueError, match="fusible"):
+            fuse_processes([ARProcess([0.5]), ARProcess([0.4, 0.2])])
+
+    def test_owner_column_is_last(self):
+        fused = fuse_processes([GBMProcess(start_price=10.0),
+                                GBMProcess(start_price=20.0)])
+        states = fused.initial_states_for([2, 3])
+        assert states.shape == (5, 2)
+        assert fused.owners_of(states).tolist() == [0, 0, 1, 1, 1]
+        assert states[:, 0].tolist() == [10.0, 10.0, 20.0, 20.0, 20.0]
+
+    def test_initial_states_spread_evenly(self):
+        fused = fuse_processes([GBMProcess(), GBMProcess(), GBMProcess()])
+        owners = fused.owners_of(fused.initial_states(8))
+        assert np.bincount(owners, minlength=3).tolist() == [3, 3, 2]
+
+    def test_owner_column_survives_selection_and_replication(self):
+        fused = fuse_processes([GBMProcess(start_price=10.0),
+                                GBMProcess(start_price=20.0)])
+        states = fused.initial_states_for([3, 3])
+        picked = states[np.array([0, 4, 5])]
+        assert fused.owners_of(picked).tolist() == [0, 1, 1]
+        clones = fused.replicate(states, [0, 4], [2, 3])
+        assert fused.owners_of(clones).tolist() == [0, 0, 1, 1, 1]
+
+
+class TestFusedDistributions:
+    def test_gbm_members_match_native(self):
+        members = [GBMProcess(start_price=100.0, mu=0.001, sigma=0.02),
+                   GBMProcess(start_price=50.0, mu=-0.002, sigma=0.05)]
+        per_member = fused_member_terminals(
+            members, N, 40, seed=1,
+            value_of_core=lambda core: np.log(core[:, 0]))
+        for m, member in enumerate(members):
+            native = np.log(native_terminals(member, N, 40, seed=2 + m,
+                                             value_of_rows=np.asarray))
+            assert_means_agree(per_member[m], native)
+
+    def test_random_walk_members_match_native(self):
+        members = [RandomWalkProcess(p_up=0.3, p_down=0.5, start=2),
+                   RandomWalkProcess(p_up=0.55, p_down=0.35, start=-1)]
+        per_member = fused_member_terminals(
+            members, N, 40, seed=3, value_of_core=lambda core: core[:, 0])
+        for m, member in enumerate(members):
+            native = native_terminals(
+                member, N, 40, seed=4 + m,
+                value_of_rows=lambda s: s.astype(float))
+            assert_means_agree(per_member[m], native)
+
+    def test_gaussian_walk_members_match_native(self):
+        members = [GaussianWalkProcess(drift=0.2, sigma=0.5),
+                   GaussianWalkProcess(drift=-0.1, sigma=2.0, start=5.0)]
+        per_member = fused_member_terminals(
+            members, N, 30, seed=5, value_of_core=lambda core: core[:, 0])
+        for m, member in enumerate(members):
+            native = native_terminals(member, N, 30, seed=6 + m,
+                                      value_of_rows=np.asarray)
+            assert_means_agree(per_member[m], native)
+
+    def test_ar_members_match_native(self):
+        members = [ARProcess([0.5, 0.3], sigma=1.0,
+                             initial_values=[1.0, -1.0]),
+                   ARProcess([0.8, -0.2], sigma=0.5)]
+        per_member = fused_member_terminals(
+            members, N, 40, seed=7, value_of_core=lambda core: core[:, 0])
+        for m, member in enumerate(members):
+            native = native_terminals(member, N, 40, seed=8 + m,
+                                      value_of_rows=lambda s: s[:, 0])
+            assert_means_agree(per_member[m], native)
+
+    def test_cpp_members_match_native(self):
+        members = [CompoundPoissonProcess(),
+                   CompoundPoissonProcess(initial_surplus=30.0,
+                                          premium_rate=6.0, jump_rate=1.2,
+                                          jump_low=2.0, jump_high=6.0)]
+        per_member = fused_member_terminals(
+            members, N, 30, seed=9, value_of_core=lambda core: core[:, 0])
+        for m, member in enumerate(members):
+            native = native_terminals(member, N, 30, seed=10 + m,
+                                      value_of_rows=np.asarray)
+            assert_means_agree(per_member[m], native)
+
+    def test_queue_members_match_native(self):
+        members = [TandemQueueProcess(),
+                   TandemQueueProcess(arrival_rate=0.8, mean_service1=1.5)]
+        per_member = fused_member_terminals(
+            members, 1200, 30, seed=11,
+            value_of_core=lambda core: core[:, 1])
+        for m, member in enumerate(members):
+            native = native_terminals(
+                member, 1200, 30, seed=12 + m,
+                value_of_rows=lambda s: s[:, 1].astype(float))
+            assert_means_agree(per_member[m], native)
+
+    def test_volatile_cpp_members_match_native(self):
+        members = [volatile_cpp(CompoundPoissonProcess(), horizon=40,
+                                impulse=30.0, probability=0.05),
+                   volatile_cpp(CompoundPoissonProcess(jump_rate=0.4),
+                                horizon=40, impulse=10.0,
+                                probability=0.2)]
+        per_member = fused_member_terminals(
+            members, N, 40, seed=13, value_of_core=lambda core: core[:, 0])
+        for m, member in enumerate(members):
+            native = native_terminals(member, N, 40, seed=14 + m,
+                                      value_of_rows=np.asarray)
+            assert_means_agree(per_member[m], native)
+
+
+class TestFusedMechanics:
+    def test_registered_z_reads_leading_column(self):
+        fused = fuse_processes([GBMProcess(start_price=12.0),
+                                GBMProcess(start_price=34.0)])
+        states = fused.initial_states_for([1, 1])
+        values = batch_z_values(GBMProcess.price, states)
+        assert values.tolist() == [12.0, 34.0]
+
+    def test_scalar_state_column_handles_both_layouts(self):
+        assert scalar_state_column(np.array([1.0, 2.0])).tolist() == [1, 2]
+        fused_rows = np.array([[3.0, 0.0], [4.0, 1.0]])
+        assert scalar_state_column(fused_rows).tolist() == [3.0, 4.0]
+
+    def test_in_place_step_keeps_owner_column(self):
+        fused = fuse_processes([GBMProcess(start_price=10.0),
+                                GBMProcess(start_price=20.0)])
+        states = fused.initial_states_for([2, 2])
+        rng = np.random.default_rng(0)
+        result = fused.step_batch(states, 1, rng, out=states)
+        assert result is states
+        assert fused.owners_of(states).tolist() == [0, 0, 1, 1]
+
+    def test_row_params_align_with_owners(self):
+        fused = fuse_processes([GBMProcess(sigma=0.01),
+                                GBMProcess(sigma=0.04)])
+        params = fused.row_params([0, 1, 1])
+        assert params["sigma"].tolist() == [0.01, 0.04, 0.04]
+
+    def test_fused_impulse_applies_per_member_magnitude(self):
+        # Impulses fire every step with certainty for member 0, never
+        # for member 1, so the surplus gap is deterministic in mean.
+        base = CompoundPoissonProcess(jump_rate=1e-9, premium_rate=0.0,
+                                      jump_low=0.0, jump_high=0.0)
+        always = volatile_cpp(base, horizon=10, impulse=5.0,
+                              probability=1.0)
+        never = volatile_cpp(base, horizon=10, impulse=5.0,
+                             probability=0.0)
+        fused = fuse_processes([always, never])
+        states = fused.initial_states_for([4, 4])
+        rng = np.random.default_rng(0)
+        for t in range(9, 11):  # active_after = 8
+            states = fused.step_batch(states, t, rng)
+        owners = fused.owners_of(states)
+        surplus = states[:, 0]
+        assert surplus[owners == 0] == pytest.approx(15.0 + 10.0)
+        assert surplus[owners == 1] == pytest.approx(15.0)

@@ -13,12 +13,14 @@ import random
 import numpy as np
 import pytest
 
-from repro.processes import (ARProcess, GaussianWalkProcess, GBMProcess,
-                             MarkovChainProcess, RandomWalkProcess,
-                             ScalarFallback, TandemQueueProcess,
-                             VectorizedProcess, as_vectorized,
-                             batch_z_values, birth_death_chain,
-                             resolve_backend, supports_batch)
+from repro.processes import (ARProcess, CompoundPoissonProcess,
+                             GaussianWalkProcess, GBMProcess,
+                             ImpulseProcess, MarkovChainProcess,
+                             RandomWalkProcess, ScalarFallback,
+                             TandemQueueProcess, VectorizedProcess,
+                             as_vectorized, batch_z_values,
+                             birth_death_chain, resolve_backend,
+                             supports_batch, volatile_cpp, volatile_queue)
 from repro.processes.base import StochasticProcess
 
 from ..helpers import ScriptedProcess
@@ -166,6 +168,169 @@ class TestTandemQueueBatch:
         before = states.copy()
         queue.step_batch(states, 1, rng)
         assert (states == before).all()
+
+
+class TestCompoundPoissonBatch:
+    def test_distribution_matches_scalar(self):
+        cpp = CompoundPoissonProcess()
+        scalar = scalar_terminals(cpp, float, N_PATHS, 30, seed=17)
+        batched = batch_terminals(cpp, np.asarray, N_PATHS, 30, seed=18)
+        assert_means_agree(scalar, batched)
+        # Terminal variance: 30 * lam * E[J^2].
+        mean_sq = (5.0 ** 2 + 5.0 * 10.0 + 10.0 ** 2) / 3.0
+        assert batched.var(ddof=1) == pytest.approx(30 * 0.8 * mean_sq,
+                                                    rel=0.2)
+
+    def test_auto_backend_is_vectorized(self):
+        assert supports_batch(CompoundPoissonProcess())
+        assert resolve_backend("auto",
+                               CompoundPoissonProcess()) == "vectorized"
+
+    def test_zero_claims_step_is_pure_premium(self):
+        cpp = CompoundPoissonProcess(jump_rate=1e-12)
+        states = cpp.initial_states(50)
+        stepped = cpp.step_batch(states, 1, np.random.default_rng(0))
+        assert stepped == pytest.approx(15.0 + 4.5)
+
+    def test_input_states_not_mutated(self):
+        cpp = CompoundPoissonProcess()
+        states = cpp.initial_states(100)
+        before = states.copy()
+        cpp.step_batch(states, 1, np.random.default_rng(1))
+        assert (states == before).all()
+
+    def test_in_place_step_writes_out(self):
+        cpp = CompoundPoissonProcess()
+        states = cpp.initial_states(100)
+        result = cpp.step_batch(states, 1, np.random.default_rng(2),
+                                out=states)
+        assert result is states
+
+
+class TestImpulseProcessBatch:
+    def test_volatile_cpp_matches_scalar(self):
+        process = volatile_cpp(CompoundPoissonProcess(), horizon=40,
+                               impulse=20.0, probability=0.1)
+        scalar = scalar_terminals(process, float, N_PATHS, 40, seed=19)
+        batched = batch_terminals(process, np.asarray, N_PATHS, 40,
+                                  seed=20)
+        assert_means_agree(scalar, batched)
+
+    def test_volatile_queue_matches_scalar(self):
+        process = volatile_queue(TandemQueueProcess(), horizon=30,
+                                 impulse=5.0, probability=0.1)
+        scalar = scalar_terminals(process, lambda s: float(s[1]), 1500, 30,
+                                  seed=21)
+        batched = batch_terminals(process,
+                                  lambda s: s[:, 1].astype(float), 1500,
+                                  30, seed=22)
+        assert_means_agree(scalar, batched)
+
+    def test_auto_backend_follows_base(self):
+        vectorized_base = volatile_cpp(CompoundPoissonProcess(),
+                                       horizon=10)
+        assert supports_batch(vectorized_base)
+        assert resolve_backend("auto", vectorized_base) == "vectorized"
+
+        class ScalarImpulsable(StochasticProcess):
+            def initial_state(self):
+                return 0.0
+
+            def step(self, state, t, rng):
+                return state + rng.random()
+
+            def apply_impulse(self, state, magnitude):
+                return state + magnitude
+
+        scalar_base = ImpulseProcess(ScalarImpulsable(), impulse=1.0,
+                                     probability=0.1, active_after=5)
+        assert not supports_batch(scalar_base)
+        assert resolve_backend("auto", scalar_base) == "scalar"
+        # The batched face still works (at loop speed) if forced.
+        states = scalar_base.initial_states(4)
+        stepped = scalar_base.step_batch(states, 6,
+                                         np.random.default_rng(0))
+        assert stepped.shape == (4,)
+
+    def test_impulses_only_fire_after_activation(self):
+        base = CompoundPoissonProcess(jump_rate=1e-12, premium_rate=0.0,
+                                      jump_low=0.0, jump_high=0.0)
+        process = ImpulseProcess(base, impulse=7.0, probability=1.0,
+                                 active_after=3)
+        states = process.initial_states(10)
+        rng = np.random.default_rng(3)
+        for t in range(1, 4):
+            states = process.step_batch(states, t, rng)
+        assert states == pytest.approx(15.0)
+        states = process.step_batch(states, 4, rng)
+        assert states == pytest.approx(22.0)
+
+    def test_replicate_delegates_to_base(self):
+        process = volatile_cpp(CompoundPoissonProcess(), horizon=10)
+        states = np.array([1.0, 2.0, 3.0])
+        clones = process.replicate(states, [1], [3])
+        assert clones.tolist() == [2.0, 2.0, 2.0]
+
+
+class TestStockRNNBatch:
+    @pytest.fixture(scope="class")
+    def stock(self):
+        from repro.processes.rnn.model import LSTMMDNModel
+        from repro.processes.rnn.stock_model import StockRNNProcess
+
+        model = LSTMMDNModel(hidden_size=8, n_layers=2, n_mixtures=3,
+                             seed=0)
+        return StockRNNProcess(model, 0.0005, 0.015,
+                               [0.001, -0.002, 0.003], 100.0)
+
+    def test_distribution_matches_scalar(self, stock):
+        scalar = scalar_terminals(stock, lambda s: math.log(s[2]), 1500,
+                                  25, seed=23)
+        batched = np.log(batch_terminals(
+            stock, lambda s: s[:, -1], 1500, 25, seed=24))
+        assert_means_agree(scalar, batched)
+
+    def test_auto_backend_is_vectorized(self, stock):
+        assert supports_batch(stock)
+        assert resolve_backend("auto", stock) == "vectorized"
+
+    def test_packed_rows_replicate_independently(self, stock):
+        states = stock.initial_states(3)
+        rng = np.random.default_rng(4)
+        states = stock.step_batch(states, 1, rng)
+        clones = stock.replicate(states, [1], [2])
+        clones[0, :] = -1.0
+        assert (clones[1] != -1.0).any()
+        assert (states[1] == stock.replicate(states, [1], [1])[0]).all()
+
+    def test_replicated_rows_diverge_under_simulation(self, stock):
+        states = stock.initial_states(1)
+        rng = np.random.default_rng(5)
+        clones = stock.replicate(states, [0], [64])
+        for t in range(1, 6):
+            clones = stock.step_batch(clones, t, rng)
+        assert len(np.unique(clones[:, -1])) > 1
+
+    def test_batch_z_reads_price_column(self, stock):
+        states = stock.initial_states(4)
+        from repro.processes.rnn.stock_model import StockRNNProcess
+
+        values = batch_z_values(StockRNNProcess.price, states)
+        assert values == pytest.approx(100.0)
+
+    def test_mdn_sample_batch_matches_scalar_distribution(self):
+        from repro.processes.rnn.mdn import MDNHead
+
+        head = MDNHead(hidden_size=4, n_mixtures=3,
+                       rng=np.random.default_rng(6))
+        h = np.tile(np.random.default_rng(7).normal(size=(1, 4)),
+                    (4000, 1))
+        batched = head.sample_batch(h, np.random.default_rng(8))
+        scalar_rng = random.Random(9)
+        scalar = np.asarray([head.sample(h[:1], scalar_rng)
+                             for _ in range(4000)])
+        assert_means_agree(scalar, batched)
+        assert batched.std() == pytest.approx(scalar.std(), rel=0.15)
 
 
 class TestScalarFallback:
