@@ -1,0 +1,296 @@
+"""Multicore x SIMD scaling: the persistent shared-memory worker pool.
+
+Measures steps/second against the worker count for three workloads,
+all running the full vectorized/fused substrate *inside every worker*:
+
+1. **SRS** — one GBM query, paths sharded into fixed-size tasks
+   (``SRSSampler(pool=...)``).
+2. **Fused fleet** — a per-entity GBM fleet screened through fused
+   frontiers, sharded into fixed member slices
+   (:func:`repro.core.fleet.screen_fleet`).  This is the acceptance
+   workload: target **>= 3x** steps/s at 4 workers over 1.
+3. **Fleet curves** — the same fleet, every member answering an
+   8-threshold grid through the running-maxima fused pass
+   (:func:`repro.core.fleet.screen_fleet_curves`).
+
+Besides throughput, two machine-independent contracts are *gated* (the
+benchmark fails if they break, whatever the host):
+
+* **determinism** — pooled results byte-identical across worker counts
+  (fixed task decomposition, task-index-derived seeds);
+* **agreement** — pooled estimates inside joint 99.9% CIs of
+  single-process (unpooled) runs.
+
+The speedup target is evaluated only when the host actually has >= 4
+CPUs (``cpu_count`` is recorded in the payload); on smaller hosts the
+scaling numbers are reported as informational, like every wall-clock
+figure on shared CI runners.
+
+Run directly (``python benchmarks/bench_parallel.py [--quick]``); CI
+uses ``--quick``.  Results land in ``BENCH_parallel.json`` and
+``benchmarks/results/parallel.txt``.
+"""
+
+import argparse
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_common import write_report
+from repro.core.fleet import screen_fleet, screen_fleet_curves
+from repro.core.pool import WorkerPool
+from repro.core.srs import SRSSampler
+from repro.core.stats import critical_value
+from repro.core.value_functions import DurabilityQuery
+from repro.processes import GBMProcess, fuse_processes
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_JSON = REPO_ROOT / "BENCH_parallel.json"
+
+WORKER_GRID = (1, 2, 4)
+SPEEDUP_TARGET = 3.0
+Z999 = critical_value(0.999)
+
+
+def build_fleet(n_entities, seed=0):
+    """Per-entity GBM parameterisations around the paper's regime."""
+    rng = np.random.default_rng(seed)
+    members, betas = [], []
+    for _ in range(n_entities):
+        members.append(GBMProcess(start_price=100.0,
+                                  mu=0.0002 + 0.0006 * rng.random(),
+                                  sigma=0.008 + 0.010 * rng.random()))
+        betas.append(104.0 + 6.0 * rng.random())
+    return members, betas
+
+
+def signature(estimates):
+    """Byte-comparable result fingerprint across worker counts."""
+    return tuple((e.probability, e.n_roots, e.hits, e.steps)
+                 for e in estimates)
+
+
+def curve_signature(curves):
+    return tuple(tuple(e.probability for e in c.estimates) + (c.steps,)
+                 for c in curves)
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def run_srs_workload(quick):
+    process = GBMProcess(start_price=100.0, mu=0.0004, sigma=0.012)
+    query = DurabilityQuery.threshold(
+        process, GBMProcess.price, beta=106.0,
+        horizon=64 if quick else 96, name="gbm-srs")
+    max_roots = 150_000 if quick else 400_000
+
+    sequential = SRSSampler(backend="vectorized").run(
+        query, max_roots=max_roots, seed=5)
+    rows, signatures = [], []
+    for n_workers in WORKER_GRID:
+        with WorkerPool(n_workers=n_workers) as pool:
+            # Large tasks (~30ms of simulation each) so per-task IPC
+            # stays negligible next to the work it ships.
+            estimate, seconds = timed(lambda: SRSSampler(
+                backend="vectorized", pool=pool,
+                roots_per_task=4096).run(
+                query, max_roots=max_roots, seed=5))
+        rows.append({"n_workers": n_workers,
+                     "seconds": round(seconds, 4),
+                     "steps": estimate.steps,
+                     "steps_per_second": round(estimate.steps / seconds, 1)})
+        signatures.append(signature([estimate]))
+        last = estimate
+    joint = Z999 * math.sqrt(last.variance + sequential.variance)
+    return {
+        "workload": "srs",
+        "query": query.name,
+        "max_roots": max_roots,
+        "by_workers": rows,
+        "speedup_at_4": round(rows[-1]["steps_per_second"]
+                              / rows[0]["steps_per_second"], 2),
+        "deterministic_across_workers":
+            all(s == signatures[0] for s in signatures),
+        "comparisons": 1,
+        "outside_joint_ci999_vs_sequential":
+            int(abs(last.probability - sequential.probability)
+                > joint + 1e-4),
+    }
+
+
+def run_fleet_workload(quick):
+    n_entities = 64 if quick else 192
+    horizon = 64 if quick else 96
+    max_roots = 2_500 if quick else 4_000
+    members, betas = build_fleet(n_entities)
+    fused = fuse_processes(members)
+
+    sequential = screen_fleet(fused, GBMProcess.price, betas, horizon,
+                              max_roots=max_roots, seed=7)
+    rows, signatures = [], []
+    for n_workers in WORKER_GRID:
+        with WorkerPool(n_workers=n_workers) as pool:
+            estimates, seconds = timed(lambda: screen_fleet(
+                fused, GBMProcess.price, betas, horizon,
+                max_roots=max_roots, seed=7, pool=pool,
+                members_per_task=8))
+        total_steps = sum(e.steps for e in estimates)
+        rows.append({"n_workers": n_workers,
+                     "seconds": round(seconds, 4),
+                     "steps": total_steps,
+                     "steps_per_second": round(total_steps / seconds, 1)})
+        signatures.append(signature(estimates))
+        pooled = estimates
+    disagreements = sum(
+        1 for p, s in zip(pooled, sequential)
+        if abs(p.probability - s.probability)
+        > max(Z999 * math.sqrt(p.variance + s.variance), 2e-3))
+    return {
+        "workload": "fused_fleet",
+        "entities": n_entities,
+        "horizon": horizon,
+        "max_roots_per_entity": max_roots,
+        "by_workers": rows,
+        "speedup_at_4": round(rows[-1]["steps_per_second"]
+                              / rows[0]["steps_per_second"], 2),
+        "deterministic_across_workers":
+            all(s == signatures[0] for s in signatures),
+        "comparisons": n_entities,
+        "outside_joint_ci999_vs_sequential": disagreements,
+    }
+
+
+def run_curve_workload(quick):
+    n_entities = 32 if quick else 96
+    horizon = 64 if quick else 96
+    max_roots = 1_500 if quick else 3_000
+    members, betas = build_fleet(n_entities, seed=1)
+    grids = [tuple(beta * scale
+                   for scale in (0.97, 0.98, 0.99, 1.0,
+                                 1.01, 1.02, 1.03, 1.04))
+             for beta in betas]
+    fused = fuse_processes(members)
+
+    sequential = screen_fleet_curves(fused, GBMProcess.price, grids,
+                                     horizon, max_roots=max_roots, seed=9)
+    rows, signatures = [], []
+    for n_workers in WORKER_GRID:
+        with WorkerPool(n_workers=n_workers) as pool:
+            curves, seconds = timed(lambda: screen_fleet_curves(
+                fused, GBMProcess.price, grids, horizon,
+                max_roots=max_roots, seed=9, pool=pool,
+                members_per_task=4))
+        total_steps = sum(c.steps for c in curves)
+        rows.append({"n_workers": n_workers,
+                     "seconds": round(seconds, 4),
+                     "steps": total_steps,
+                     "steps_per_second": round(total_steps / seconds, 1)})
+        signatures.append(curve_signature(curves))
+        pooled = curves
+    disagreements = 0
+    for pooled_curve, sequential_curve in zip(pooled, sequential):
+        for p, s in zip(pooled_curve.estimates,
+                        sequential_curve.estimates):
+            if abs(p.probability - s.probability) > max(
+                    Z999 * math.sqrt(p.variance + s.variance), 2e-3):
+                disagreements += 1
+    return {
+        "workload": "fleet_curves",
+        "entities": n_entities,
+        "grid_levels": 8,
+        "horizon": horizon,
+        "max_roots_per_entity": max_roots,
+        "by_workers": rows,
+        "speedup_at_4": round(rows[-1]["steps_per_second"]
+                              / rows[0]["steps_per_second"], 2),
+        "deterministic_across_workers":
+            all(s == signatures[0] for s in signatures),
+        "comparisons": n_entities * 8,
+        "outside_joint_ci999_vs_sequential": disagreements,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced budgets for CI runners")
+    args = parser.parse_args(argv)
+
+    cpu_count = os.cpu_count() or 1
+    workloads = [run_srs_workload(args.quick),
+                 run_fleet_workload(args.quick),
+                 run_curve_workload(args.quick)]
+
+    target_evaluable = cpu_count >= max(WORKER_GRID)
+    fleet = next(w for w in workloads if w["workload"] == "fused_fleet")
+    speedup_met = fleet["speedup_at_4"] >= SPEEDUP_TARGET
+    deterministic = all(w["deterministic_across_workers"]
+                        for w in workloads)
+    # A 99.9% joint interval over hundreds of comparisons is *expected*
+    # to miss occasionally; allow the binomial false-positive budget.
+    agreement = all(
+        w["outside_joint_ci999_vs_sequential"]
+        <= max(1, round(0.005 * w["comparisons"]))
+        for w in workloads)
+
+    payload = {
+        "benchmark": "parallel",
+        "unit": "simulation steps per second",
+        "quick": args.quick,
+        "cpu_count": cpu_count,
+        "worker_grid": list(WORKER_GRID),
+        "workloads": workloads,
+        "targets": {
+            "fused_fleet_speedup_at_4_min": SPEEDUP_TARGET,
+            "speedup_target_evaluable": target_evaluable,
+            "speedup_target_met": speedup_met,
+            "deterministic_across_workers": deterministic,
+            "agreement_with_sequential": agreement,
+        },
+    }
+    RESULT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    evaluable_note = ("evaluable" if target_evaluable else
+                      "NOT evaluable: fewer cores than the 4-worker "
+                      "grid point")
+    lines = [f"host cpus: {cpu_count} (speedup target {evaluable_note})"]
+    for workload in workloads:
+        lines.append(f"{workload['workload']}:")
+        for row in workload["by_workers"]:
+            lines.append(
+                f"  {row['n_workers']} worker(s) "
+                f"{row['steps_per_second']:>14,.0f} steps/s "
+                f"({row['seconds']:.3f}s)")
+        lines.append(
+            f"  speedup@4 {workload['speedup_at_4']:.2f}x   "
+            f"deterministic: {workload['deterministic_across_workers']}  "
+            f"outside joint CI999: "
+            f"{workload['outside_joint_ci999_vs_sequential']}")
+    lines.append("")
+    lines.append(
+        f"fused-fleet speedup target (>= {SPEEDUP_TARGET:.0f}x at 4 "
+        f"workers): "
+        + ("met" if speedup_met else
+           "missed" + ("" if target_evaluable
+                       else " (host has too few cores to evaluate)")))
+    write_report("parallel", "Multicore x SIMD worker-pool scaling",
+                 lines)
+
+    # Correctness contracts gate the exit code everywhere; the
+    # wall-clock target only gates on hosts that can express it.
+    ok = deterministic and agreement and (
+        speedup_met or not target_evaluable)
+    print(f"targets {'met' if ok else 'MISSED'}; results in {RESULT_JSON}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

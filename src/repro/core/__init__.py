@@ -10,7 +10,8 @@ from .bootstrap import (BootstrapResult, bootstrap_curve_variances,
                         bootstrap_variance)
 from .engine import answer_durability_query, resolve_partition
 from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
-from .fleet import screen_fleet
+from .fleet import (FleetThresholdValue, screen_fleet,
+                    screen_fleet_curves, screen_fleet_mlss)
 from .forest import (ForestRunner, LevelPlanError, VectorizedForestRunner,
                      validate_plan)
 from .gmlss import (GMLSSSampler, gmlss_estimate_from_totals,
@@ -22,6 +23,7 @@ from .importance import ISSampler, cross_entropy_tilt
 from .levels import LevelPartition, normalize_ratios, uniform_partition
 from .optimizer import PlanTrial, evaluate_partition, pool_trials
 from .parallel import run_parallel_mlss
+from .pool import PooledForestRunner, WorkerPool, derive_task_seed
 from .quality import (ConfidenceIntervalTarget, NeverTarget, QualityTarget,
                       RelativeErrorTarget)
 from .records import ForestAggregate, RootRecord
@@ -40,16 +42,20 @@ from .variance import (balanced_advancement_probability,
 __all__ = [
     "BootstrapResult", "ConfidenceIntervalTarget", "DurabilityCurve",
     "DurabilityEstimate",
-    "DurabilityQuery", "ForestAggregate", "ForestRunner", "GMLSSSampler",
+    "DurabilityQuery", "FleetThresholdValue", "ForestAggregate",
+    "ForestRunner", "GMLSSSampler",
     "GreedyResult", "ISSampler", "LevelPartition", "LevelPlanError",
-    "NeverTarget", "PlanTrial", "QualityTarget", "RelativeErrorTarget",
+    "NeverTarget", "PlanTrial", "PooledForestRunner", "QualityTarget",
+    "RelativeErrorTarget",
     "RootRecord", "SMLSSSampler", "SRSSampler", "TARGET_VALUE",
+    "WorkerPool",
     "ThresholdValueFunction", "TracePoint", "VectorizedForestRunner",
     "adaptive_greedy_partition", "answer_durability_query",
     "balanced_advancement_probability", "balanced_growth_partition",
     "balanced_growth_variance", "batch_values",
     "bootstrap_curve_variances",
-    "bootstrap_variance", "cross_entropy_tilt", "evaluate_partition",
+    "bootstrap_variance", "cross_entropy_tilt", "derive_task_seed",
+    "evaluate_partition",
     "gmlss_estimate_from_totals", "gmlss_estimates_from_total_rows",
     "gmlss_pi_hats", "gmlss_point_estimate",
     "gmlss_prefix_estimates", "gmlss_prefix_estimates_from_total_rows",
@@ -60,7 +66,7 @@ __all__ = [
     "prepare_curve_grid", "resolve_partition", "validate_plan",
     "random_walk_hitting_curve",
     "random_walk_hitting_probability", "run_parallel_mlss",
-    "screen_fleet",
+    "screen_fleet", "screen_fleet_curves", "screen_fleet_mlss",
     "smlss_point_estimate", "smlss_prefix_estimates", "smlss_variance",
     "srs_relative_error",
     "srs_required_paths", "srs_variance", "srs_variance_formula",

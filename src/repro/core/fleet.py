@@ -8,103 +8,173 @@ whose processes differ only in parameters.  The engine's cohort pass
 entity is its own process, so each pays the per-call dispatch overhead
 of its own simulation loop at every time step.
 
-This module screens the whole fleet through **one** frontier built on
-:class:`repro.processes.base.FusedBatch`: every live path of every
-entity advances in a single ``step_batch`` per time step, with
-per-entity parameters broadcast by the fused owner column and
-per-entity thresholds compared row-wise.  Per-entity estimates are
-plain SRS — each row is an ordinary independent sample path of its
-owner, so probabilities, variances and step counts per entity are
-identical in law to running the entities separately; only the
-interleaving of random draws differs.
+This module screens whole fleets through **one** frontier built on
+:class:`repro.processes.base.FusedBatch`, in three flavours:
+
+* :func:`screen_fleet` — one threshold per member, plain SRS: every
+  live path of every entity advances in a single ``step_batch`` per
+  time step, per-entity parameters broadcast by owner and per-entity
+  thresholds compared row-wise.
+* :func:`screen_fleet_curves` — one threshold *grid* per member: each
+  row additionally tracks its running-maximum score, so a single fused
+  pass answers every member's whole durability curve (a row retires
+  only once it clears its owner's top threshold).
+* :func:`screen_fleet_mlss` — rare-event fleets: all members' splitting
+  trees grow inside **one fused splitting forest** (a
+  :class:`~repro.core.forest.VectorizedForestRunner` whose process is
+  the fused batch and whose value function normalizes each row by its
+  owner's threshold) under a shared normalized level partition.  Roots
+  are allocated uniformly across members; per-member counters fold into
+  per-member g-MLSS estimates exactly as separate forests would.
+
+Per-entity estimates are plain SRS / g-MLSS — each row (or root tree)
+is an ordinary independent sample of its owner, so probabilities,
+variances and step counts per entity are identical in law to running
+the entities separately; only the interleaving of random draws differs.
 
 Cost accounting: one fused ``step_batch`` over ``n`` rows counts ``n``
-invocations of ``g``, attributed to each row's owner — the fused pass
+invocations of ``g``, attributed to each row's owner — a fused pass
 reports the same per-entity ``steps`` a separate run would, it just
 buys them with ~1/k of the dispatch overhead.
+
+Adaptive cohort sizing
+----------------------
+
+With a quality target, fixed per-round cohorts make hard members crawl
+to their target in many rounds while easy members stop immediately.
+When ``adaptive=True`` (the default) each member's next round is sized
+toward *its* remaining need: the target's
+:meth:`~repro.core.quality.QualityTarget.projected_roots` plug-in when
+available, doubling otherwise, always within
+``[batch_roots, max_round_roots]``.  Projections are advisory — the
+stopping decision is always ``is_met`` on real counters.
+
+Parallelism
+-----------
+
+All three passes accept a :class:`~repro.core.pool.WorkerPool`: the
+fleet shards into fixed member slices of ``members_per_task``, each
+slice screened to completion through its own fused frontier on a
+worker, with slice seeds derived from the slice index.  Fixed slicing
+makes pooled fleet results **byte-identical for any worker count**;
+pooled and unsharded runs differ only in stream layout (they agree in
+distribution, like any two seedings).
 """
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..processes.base import FusedBatch, batch_z_values
-from .estimates import DurabilityEstimate
+from .estimates import DurabilityCurve, DurabilityEstimate
+from .levels import LevelPartition, normalize_ratios
+from .pool import DEFAULT_MEMBERS_PER_TASK, FleetWork, derive_task_seed
 from .quality import QualityTarget
+from .records import ForestAggregate
 from .srs import srs_variance
+from .value_functions import TARGET_VALUE, batch_values
+
+DEFAULT_MAX_ROUND_ROOTS = 8192
 
 
-def screen_fleet(fused: FusedBatch, z, betas: Sequence[float], horizon: int,
-                 quality: Optional[QualityTarget] = None,
-                 max_steps: Optional[int] = None,
-                 max_roots: Optional[int] = None,
-                 batch_roots: int = 500,
-                 seed: Optional[int] = None) -> list:
-    """SRS-answer ``Pr[z >= beta_i within horizon]`` for every member.
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
 
-    Parameters
-    ----------
-    fused:
-        The stacked fleet (one member per entity).
-    z:
-        The shared state evaluation; scored row-wise via the batch-``z``
-        registry, so fused rows evaluate in one call.
-    betas:
-        One threshold per member (raw ``z`` scale; per-member).
-    horizon:
-        Shared query horizon ``s``.
-    quality / max_steps / max_roots:
-        The stopping rule, applied **per member** exactly as a separate
-        :class:`~repro.core.srs.SRSSampler` run would apply it (budgets
-        are per-entity, not fleet-wide); at least one must be given.
-        As in the vectorized SRS backend, budgets are enforced at
-        cohort granularity — every started path runs to its hit or the
-        horizon — so ``max_steps`` can overshoot by at most one cohort
-        per member.
-    batch_roots:
-        Paths *per member* between stopping-rule checks.
-    seed:
-        Seed of the single NumPy generator driving the fused frontier.
-
-    Returns one :class:`DurabilityEstimate` per member, in member
-    order, each tagged with ``details["fused"]`` and the fleet size.
-    """
+def _require_stopping_rule(quality, max_steps, max_roots) -> None:
     if quality is None and max_steps is None and max_roots is None:
         raise ValueError(
             "provide a quality target, max_steps or max_roots; "
             "otherwise the screening pass would never stop"
         )
-    if horizon < 1:
-        raise ValueError(f"horizon must be >= 1, got {horizon}")
+
+
+def _round_counts(done, round_roots, n_paths, steps, horizon,
+                  max_steps, max_roots):
+    """Per-member cohort sizes for the next round under the budgets."""
+    counts = np.where(done, 0, round_roots)
+    if max_roots is not None:
+        counts = np.minimum(counts, np.maximum(max_roots - n_paths, 0))
+    if max_steps is not None:
+        exhausted = steps >= max_steps
+        counts = np.where(exhausted, 0, np.minimum(
+            counts, (max_steps - steps) // horizon + 1))
+    return counts
+
+
+def _grow_round(adaptive: bool, round_roots, member: int, projected,
+                n_paths, batch_roots: int, max_round_roots: int) -> None:
+    """Resize a member's next round toward its remaining need."""
+    if not adaptive:
+        return
+    if projected is not None:
+        remaining = projected - int(n_paths[member])
+        round_roots[member] = min(max(remaining, batch_roots),
+                                  max_round_roots)
+    else:
+        round_roots[member] = min(round_roots[member] * 2,
+                                  max_round_roots)
+
+
+def _slice_tasks(n_members: int, members_per_task: int,
+                 seed: Optional[int]) -> list:
+    """Fixed member slices with slice-index-derived seeds.
+
+    The decomposition depends only on ``members_per_task`` — never on
+    the worker count — which is what makes pooled fleet results
+    invariant under ``n_workers``.
+    """
+    if members_per_task < 1:
+        raise ValueError(
+            f"members_per_task must be >= 1, got {members_per_task}")
+    return [(lo, min(lo + members_per_task, n_members),
+             derive_task_seed(seed, index, salt="fleet"))
+            for index, lo in enumerate(
+                range(0, n_members, members_per_task))]
+
+
+def _run_fleet_pooled(pool, work: FleetWork, tasks: list) -> list:
+    """Register, run and release one fleet work on the pool."""
+    handle = pool.register(work)
+    try:
+        return pool.run_tasks(handle, tasks)
+    finally:
+        pool.unregister(handle)
+
+
+# ----------------------------------------------------------------------
+# SRS screening (one threshold per member)
+# ----------------------------------------------------------------------
+
+def _screen_members(fused: FusedBatch, z, betas, horizon: int,
+                    quality, max_steps, max_roots, batch_roots: int,
+                    adaptive: bool, max_round_roots: int, rng):
+    """Screen one fused frontier to completion; per-member counters.
+
+    The core loop shared by the unsharded pass and every pooled member
+    slice.  Returns ``(n_paths, hits, steps, rounds)`` arrays/int.
+    """
     k = fused.n_members
     betas = np.asarray(betas, dtype=np.float64)
-    if len(betas) != k:
-        raise ValueError(f"{len(betas)} thresholds for {k} fleet members")
-
-    rng = np.random.default_rng(seed)
     n_paths = np.zeros(k, dtype=np.int64)
     hits = np.zeros(k, dtype=np.int64)
     steps = np.zeros(k, dtype=np.int64)
     done = np.zeros(k, dtype=bool)
+    round_roots = np.full(k, batch_roots, dtype=np.int64)
+    rounds = 0
     lead = fused.members[0]
-    started = time.perf_counter()
 
     while not done.all():
-        # Per-member cohort sizes under the remaining budgets; members
-        # whose budgets are exhausted stop contributing rows.
-        counts = np.where(done, 0, batch_roots)
-        if max_roots is not None:
-            counts = np.minimum(counts, np.maximum(max_roots - n_paths, 0))
-        if max_steps is not None:
-            exhausted = steps >= max_steps
-            counts = np.where(exhausted, 0, np.minimum(
-                counts, (max_steps - steps) // horizon + 1))
+        counts = _round_counts(done, round_roots, n_paths, steps,
+                               horizon, max_steps, max_roots)
         done |= counts == 0
         if done.all():
             break
+        rounds += 1
 
         # The frontier keeps owners, thresholds and member parameters
         # row-aligned *outside* the state array (unlike the generic
@@ -149,6 +219,94 @@ def screen_fleet(fused: FusedBatch, z, betas: Sequence[float], horizon: int,
                                                int(n_paths[member])),
                                   int(hits[member]), int(n_paths[member])):
                     done[member] = True
+                else:
+                    _grow_round(adaptive, round_roots, member,
+                                quality.projected_roots(
+                                    probability, int(hits[member]),
+                                    int(n_paths[member])),
+                                n_paths, batch_roots, max_round_roots)
+    return n_paths, hits, steps, rounds
+
+
+def screen_fleet(fused: FusedBatch, z, betas: Sequence[float], horizon: int,
+                 quality: Optional[QualityTarget] = None,
+                 max_steps: Optional[int] = None,
+                 max_roots: Optional[int] = None,
+                 batch_roots: int = 500,
+                 seed: Optional[int] = None,
+                 adaptive: bool = True,
+                 max_round_roots: int = DEFAULT_MAX_ROUND_ROOTS,
+                 pool=None,
+                 members_per_task: int = DEFAULT_MEMBERS_PER_TASK) -> list:
+    """SRS-answer ``Pr[z >= beta_i within horizon]`` for every member.
+
+    Parameters
+    ----------
+    fused:
+        The stacked fleet (one member per entity).
+    z:
+        The shared state evaluation; scored row-wise via the batch-``z``
+        registry, so fused rows evaluate in one call.
+    betas:
+        One threshold per member (raw ``z`` scale; per-member).
+    horizon:
+        Shared query horizon ``s``.
+    quality / max_steps / max_roots:
+        The stopping rule, applied **per member** exactly as a separate
+        :class:`~repro.core.srs.SRSSampler` run would apply it (budgets
+        are per-entity, not fleet-wide); at least one must be given.
+        As in the vectorized SRS backend, budgets are enforced at
+        cohort granularity — every started path runs to its hit or the
+        horizon — so ``max_steps`` can overshoot by at most one cohort
+        per member.
+    batch_roots:
+        Baseline paths *per member* between stopping-rule checks (and
+        the floor of adaptive rounds).
+    seed:
+        Seed of the NumPy generator driving the fused frontier (pooled
+        runs derive one per member slice).
+    adaptive / max_round_roots:
+        Grow each unmet member's next round toward its quality target
+        (see the module docstring) instead of crawling in fixed
+        batches; ``max_round_roots`` caps a single round.
+    pool / members_per_task:
+        Shard the fleet into fixed member slices over a
+        :class:`~repro.core.pool.WorkerPool`; results are invariant
+        under the pool's worker count.
+
+    Returns one :class:`DurabilityEstimate` per member, in member
+    order, each tagged with ``details["fused"]`` and the fleet size.
+    """
+    _require_stopping_rule(quality, max_steps, max_roots)
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    k = fused.n_members
+    betas = tuple(float(b) for b in betas)
+    if len(betas) != k:
+        raise ValueError(f"{len(betas)} thresholds for {k} fleet members")
+    started = time.perf_counter()
+
+    if pool is not None and k > 1:
+        tasks = _slice_tasks(k, members_per_task, seed)
+        work = FleetWork(
+            mode="screen", processes=fused.members, z=z, horizon=horizon,
+            betas=betas, quality=quality, max_steps=max_steps,
+            max_roots=max_roots, batch_roots=batch_roots,
+            adaptive=adaptive, max_round_roots=max_round_roots)
+        n_paths = np.zeros(k, dtype=np.int64)
+        hits = np.zeros(k, dtype=np.int64)
+        steps = np.zeros(k, dtype=np.int64)
+        rounds = 0
+        for (lo, hi, _), result in zip(
+                tasks, _run_fleet_pooled(pool, work, tasks)):
+            n_paths[lo:hi], hits[lo:hi], steps[lo:hi] = \
+                result[0], result[1], result[2]
+            rounds = max(rounds, result[3])
+    else:
+        n_paths, hits, steps, rounds = _screen_members(
+            fused, z, betas, horizon, quality, max_steps, max_roots,
+            batch_roots, adaptive, max_round_roots,
+            np.random.default_rng(seed))
 
     elapsed = time.perf_counter() - started
     estimates = []
@@ -161,6 +319,406 @@ def screen_fleet(fused: FusedBatch, z, betas: Sequence[float], horizon: int,
             n_roots=paths, hits=int(hits[member]),
             steps=int(steps[member]), method="srs",
             elapsed_seconds=elapsed,
-            details={"fused": True, "fleet_size": k},
+            details={"fused": True, "fleet_size": k, "rounds": rounds},
+        ))
+    return estimates
+
+
+# ----------------------------------------------------------------------
+# SRS curve screening (one threshold grid per member)
+# ----------------------------------------------------------------------
+
+def validate_grids(grids, k: int) -> list:
+    """Per-member raw threshold grids: non-empty, positive, ascending.
+
+    Shared input validation for every grid-shaped entry point
+    (:func:`screen_fleet_curves` and the engine's
+    ``durability_curves``); returns the grids as tuples of floats.
+    """
+    if len(grids) != k:
+        raise ValueError(f"{len(grids)} threshold grids for {k} members")
+    validated = []
+    for member, grid in enumerate(grids):
+        values = [float(b) for b in grid]
+        if not values:
+            raise ValueError(f"member {member} has an empty grid")
+        if values[0] <= 0.0:
+            raise ValueError(
+                f"member {member} thresholds must be positive, got "
+                f"{values[0]}")
+        for lo, hi in zip(values, values[1:]):
+            if lo >= hi:
+                raise ValueError(
+                    f"member {member} thresholds must be strictly "
+                    f"ascending, got {lo} before {hi}")
+        validated.append(tuple(values))
+    return validated
+
+
+def _fold_maxima(counts, owners, best, grids, k: int) -> None:
+    """Credit surviving rows' running maxima against their owners' grids."""
+    for member in range(k):
+        rows = owners == member
+        if not rows.any():
+            continue
+        member_best = best[rows]
+        grid = np.asarray(grids[member])
+        counts[member] += (member_best[:, None]
+                           >= grid[None, :]).sum(axis=0)
+
+
+def _curve_members(fused: FusedBatch, z, grids, horizon: int,
+                   quality, max_steps, max_roots, batch_roots: int,
+                   adaptive: bool, max_round_roots: int, rng):
+    """One fused pass answering every member's whole threshold grid.
+
+    Extends the screening frontier with *running maxima per owner row*:
+    a row stays live until it clears its owner's **top** threshold (or
+    the horizon), and its maximum then credits every grid level at or
+    below it.  Returns ``(level_counts, n_paths, steps, rounds)``.
+    """
+    k = fused.n_members
+    tops = np.asarray([grid[-1] for grid in grids], dtype=np.float64)
+    counts = [np.zeros(len(grid), dtype=np.int64) for grid in grids]
+    n_paths = np.zeros(k, dtype=np.int64)
+    steps = np.zeros(k, dtype=np.int64)
+    done = np.zeros(k, dtype=bool)
+    round_roots = np.full(k, batch_roots, dtype=np.int64)
+    rounds = 0
+    lead = fused.members[0]
+
+    while not done.all():
+        cohort = _round_counts(done, round_roots, n_paths, steps,
+                               horizon, max_steps, max_roots)
+        done |= cohort == 0
+        if done.all():
+            break
+        rounds += 1
+
+        owners = np.repeat(np.arange(k), cohort)
+        states = fused.initial_core_rows(owners)
+        row_params = fused.row_params(owners)
+        row_tops = tops[owners]
+        best = np.zeros(len(owners), dtype=np.float64)
+        live = cohort.copy()
+        for t in range(1, horizon + 1):
+            if not len(states):
+                break
+            states = lead.fused_step_batch(row_params, states, t, rng,
+                                           out=states)
+            steps += live
+            np.maximum(best, batch_z_values(z, states), out=best)
+            reached = best >= row_tops
+            n_reached = int(np.count_nonzero(reached))
+            if n_reached:
+                # Rows at their owner's top threshold hit every grid
+                # level at once and retire (nothing left to learn).
+                reached_counts = np.bincount(owners[reached], minlength=k)
+                live -= reached_counts
+                for member in np.nonzero(reached_counts)[0]:
+                    counts[member] += reached_counts[member]
+                keep = ~reached
+                states = states[keep]
+                owners = owners[keep]
+                row_tops = row_tops[keep]
+                best = best[keep]
+                row_params = {name: values[keep]
+                              for name, values in row_params.items()}
+        _fold_maxima(counts, owners, best, grids, k)
+        n_paths += cohort
+
+        if quality is not None:
+            alive = ~done & (n_paths > 0)
+            for member in np.nonzero(alive)[0]:
+                n = int(n_paths[member])
+                met = True
+                worst_projection = None
+                for level_hits in counts[member]:
+                    probability = level_hits / n
+                    if not quality.is_met(
+                            probability, srs_variance(probability, n),
+                            int(level_hits), n):
+                        met = False
+                        projected = quality.projected_roots(
+                            probability, int(level_hits), n)
+                        if projected is not None:
+                            worst_projection = max(
+                                worst_projection or 0, projected)
+                if met:
+                    done[member] = True
+                else:
+                    _grow_round(adaptive, round_roots, member,
+                                worst_projection, n_paths, batch_roots,
+                                max_round_roots)
+    return counts, n_paths, steps, rounds
+
+
+def screen_fleet_curves(fused: FusedBatch, z, grids, horizon: int,
+                        quality: Optional[QualityTarget] = None,
+                        max_steps: Optional[int] = None,
+                        max_roots: Optional[int] = None,
+                        batch_roots: int = 500,
+                        seed: Optional[int] = None,
+                        adaptive: bool = True,
+                        max_round_roots: int = DEFAULT_MAX_ROUND_ROOTS,
+                        pool=None,
+                        members_per_task: int = DEFAULT_MEMBERS_PER_TASK
+                        ) -> list:
+    """Answer every member's whole durability curve from one fused pass.
+
+    ``grids`` holds one ascending raw-threshold grid per member (grids
+    may differ in values *and* length).  Each member's answer is a
+    :class:`~repro.core.estimates.DurabilityCurve` whose estimates
+    share that member's sample paths — individually unbiased,
+    positively correlated across thresholds, exactly like
+    :meth:`~repro.core.srs.SRSSampler.run_curve` — while the whole
+    fleet shares one frontier.  A quality target must hold at **every**
+    grid level of a member before that member stops early.
+
+    Other parameters match :func:`screen_fleet`; with a pool the fleet
+    shards into fixed member slices (results invariant under the worker
+    count).
+    """
+    _require_stopping_rule(quality, max_steps, max_roots)
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    k = fused.n_members
+    grids = validate_grids(grids, k)
+    started = time.perf_counter()
+
+    if pool is not None and k > 1:
+        tasks = _slice_tasks(k, members_per_task, seed)
+        work = FleetWork(
+            mode="curves", processes=fused.members, z=z, horizon=horizon,
+            grids=tuple(grids), quality=quality, max_steps=max_steps,
+            max_roots=max_roots, batch_roots=batch_roots,
+            adaptive=adaptive, max_round_roots=max_round_roots)
+        counts = [None] * k
+        n_paths = np.zeros(k, dtype=np.int64)
+        steps = np.zeros(k, dtype=np.int64)
+        rounds = 0
+        for (lo, hi, _), result in zip(
+                tasks, _run_fleet_pooled(pool, work, tasks)):
+            slice_counts, slice_n, slice_steps, slice_rounds = result
+            for offset, member_counts in enumerate(slice_counts):
+                counts[lo + offset] = np.asarray(member_counts,
+                                                 dtype=np.int64)
+            n_paths[lo:hi] = slice_n
+            steps[lo:hi] = slice_steps
+            rounds = max(rounds, slice_rounds)
+    else:
+        counts, n_paths, steps, rounds = _curve_members(
+            fused, z, grids, horizon, quality, max_steps, max_roots,
+            batch_roots, adaptive, max_round_roots,
+            np.random.default_rng(seed))
+
+    elapsed = time.perf_counter() - started
+    curves = []
+    for member in range(k):
+        grid = grids[member]
+        top = grid[-1]
+        paths = int(n_paths[member])
+        member_steps = int(steps[member])
+        estimates = []
+        for level_hits in counts[member]:
+            probability = level_hits / paths if paths else 0.0
+            estimates.append(DurabilityEstimate(
+                probability=probability,
+                variance=srs_variance(probability, paths),
+                n_roots=paths, hits=int(level_hits), steps=member_steps,
+                method="srs", elapsed_seconds=elapsed,
+                details={"shared_pass": True, "fused": True},
+            ))
+        curves.append(DurabilityCurve(
+            thresholds=grid,
+            levels=tuple(b / top for b in grid),
+            estimates=tuple(estimates), method="srs", n_roots=paths,
+            steps=member_steps, elapsed_seconds=elapsed,
+            details={"fused": True, "fleet_size": k, "rounds": rounds},
+        ))
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Fused MLSS screening (rare-event fleets, one splitting forest)
+# ----------------------------------------------------------------------
+
+class FleetThresholdValue:
+    """Per-owner normalized threshold value over fused state rows.
+
+    The fused analogue of :class:`~repro.core.value_functions.
+    ThresholdValueFunction`: row ``i`` scores
+    ``clip(z(core_i) / beta_owner(i), 0, 1)``, so one fused splitting
+    forest runs every member against *its own* threshold under a shared
+    normalized level partition.
+    """
+
+    def __init__(self, z, betas):
+        self.z = z
+        self.betas = np.asarray(betas, dtype=np.float64)
+
+    def batch(self, states, t) -> np.ndarray:
+        states = np.asarray(states)
+        owners = states[:, -1].astype(np.intp)
+        raw = batch_z_values(self.z, states)
+        return np.clip(raw / self.betas[owners], 0.0, TARGET_VALUE)
+
+    def __call__(self, state, t) -> float:
+        row = np.asarray(state, dtype=np.float64).reshape(1, -1)
+        return float(self.batch(row, t)[0])
+
+
+class _FleetQuery:
+    """Duck-typed query over a fused batch for the forest runner.
+
+    ``initial_value`` is the *maximum* normalized initial score over
+    members: every member's boundaries must exceed its own start, and
+    the shared partition must therefore clear the worst one.
+    """
+
+    def __init__(self, fused: FusedBatch, value_function, horizon: int):
+        self.process = fused
+        self.value_function = value_function
+        self.horizon = horizon
+
+    def initial_value(self) -> float:
+        rows = self.process.initial_states(self.process.n_members)
+        return float(batch_values(self.value_function, rows, 0).max())
+
+
+def _mlss_members(fused: FusedBatch, z, betas, partition: LevelPartition,
+                  ratio, horizon: int, quality, max_steps, max_roots,
+                  batch_roots: int, bootstrap_rounds: int,
+                  seed: Optional[int]) -> list:
+    """Grow one fused splitting forest; per-member g-MLSS folds.
+
+    Root trees are allocated *uniformly* across members each round
+    (``batch_roots`` per member), so per-member aggregates stay
+    root-count aligned; members that meet their target early keep
+    riding the shared frontier until the whole slice stops (bounded by
+    the hardest member's demand).  Returns one
+    ``(probability, variance, n_roots, hits, steps)`` tuple per member.
+    """
+    from .bootstrap import bootstrap_variance
+    from .forest import VectorizedForestRunner
+    from .gmlss import gmlss_point_estimate
+
+    k = fused.n_members
+    ratios = normalize_ratios(ratio, partition.num_levels)
+    value_fn = FleetThresholdValue(z, betas)
+    query = _FleetQuery(fused, value_fn, horizon)
+    runner = VectorizedForestRunner(query, partition, ratios,
+                                    np.random.default_rng(seed))
+    aggregates = [ForestAggregate(partition.num_levels) for _ in range(k)]
+    boot_base = random.Random(seed).randrange(2 ** 31)
+    next_check = 200
+    evaluations = 0
+
+    while True:
+        per_member = batch_roots
+        if max_roots is not None:
+            per_member = min(per_member,
+                             max_roots - aggregates[0].n_roots)
+        if max_steps is not None and all(
+                aggregate.steps >= max_steps for aggregate in aggregates):
+            break
+        if per_member <= 0:
+            break
+        # FusedBatch.initial_states spreads a cohort of per_member * k
+        # roots as contiguous equal runs per member, so root j belongs
+        # to member j // per_member.
+        records = runner.run_cohort(per_member * k)
+        for member in range(k):
+            aggregates[member].extend(
+                records[member * per_member:(member + 1) * per_member])
+        if quality is not None and aggregates[0].n_roots >= next_check:
+            evaluations += 1
+            if all(quality.is_met(
+                    gmlss_point_estimate(aggregate, ratios),
+                    bootstrap_variance(
+                        aggregate, ratios, n_boot=bootstrap_rounds,
+                        seed=(boot_base + 7919 * member
+                              + evaluations) % (2 ** 31)).variance,
+                    aggregate.hits, aggregate.n_roots)
+                    for member, aggregate in enumerate(aggregates)):
+                break
+            next_check = max(next_check + 1, int(next_check * 1.5))
+
+    rows = []
+    for member, aggregate in enumerate(aggregates):
+        probability = gmlss_point_estimate(aggregate, ratios)
+        variance = bootstrap_variance(
+            aggregate, ratios, n_boot=bootstrap_rounds,
+            seed=(boot_base + 7919 * member) % (2 ** 31)).variance \
+            if aggregate.n_roots > 1 else 0.0
+        rows.append((float(probability), float(variance),
+                     aggregate.n_roots, aggregate.hits, aggregate.steps))
+    return rows
+
+
+def screen_fleet_mlss(fused: FusedBatch, z, betas: Sequence[float],
+                      partition: LevelPartition, horizon: int, ratio=3,
+                      quality: Optional[QualityTarget] = None,
+                      max_steps: Optional[int] = None,
+                      max_roots: Optional[int] = None,
+                      batch_roots: int = 100,
+                      bootstrap_rounds: int = 200,
+                      seed: Optional[int] = None,
+                      pool=None,
+                      members_per_task: int = DEFAULT_MEMBERS_PER_TASK
+                      ) -> list:
+    """g-MLSS-answer a rare-event fleet through one fused splitting forest.
+
+    ``partition`` is a *normalized* level plan shared by every member
+    (each member's raw boundaries are ``beta_member * level``); its
+    boundaries must exceed every member's normalized initial score —
+    prune with ``partition.pruned_above(...)`` against the worst
+    member, as the engine does.  ``max_roots`` counts root trees *per
+    member*; root allocation is uniform across members (the hardest
+    member's demand bounds the run).  Estimates are per-member g-MLSS
+    with bootstrap variances, exchangeable with per-entity forests.
+
+    With a pool the fleet shards into fixed member slices, each slice
+    growing its own fused forest on a worker (results invariant under
+    the worker count).
+    """
+    _require_stopping_rule(quality, max_steps, max_roots)
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    k = fused.n_members
+    betas = tuple(float(b) for b in betas)
+    if len(betas) != k:
+        raise ValueError(f"{len(betas)} thresholds for {k} fleet members")
+    # Fail fast on an unusable plan before any worker sees it.
+    from .forest import validate_plan
+    validate_plan(_FleetQuery(fused, FleetThresholdValue(z, betas),
+                              horizon), partition)
+    started = time.perf_counter()
+
+    if pool is not None and k > 1:
+        tasks = _slice_tasks(k, members_per_task, seed)
+        work = FleetWork(
+            mode="mlss", processes=fused.members, z=z, horizon=horizon,
+            betas=betas, partition=partition, ratio=ratio,
+            quality=quality, max_steps=max_steps, max_roots=max_roots,
+            batch_roots=batch_roots, bootstrap_rounds=bootstrap_rounds)
+        rows = [None] * k
+        for (lo, hi, _), result in zip(
+                tasks, _run_fleet_pooled(pool, work, tasks)):
+            rows[lo:hi] = result
+    else:
+        rows = _mlss_members(
+            fused, z, betas, partition, ratio, horizon, quality,
+            max_steps, max_roots, batch_roots, bootstrap_rounds, seed)
+
+    elapsed = time.perf_counter() - started
+    estimates = []
+    for probability, variance, n_roots, hits, steps in rows:
+        estimates.append(DurabilityEstimate(
+            probability=probability, variance=variance,
+            n_roots=n_roots, hits=hits, steps=steps, method="gmlss",
+            elapsed_seconds=elapsed,
+            details={"fused": True, "fleet_size": k,
+                     "partition": partition},
         ))
     return estimates

@@ -37,7 +37,7 @@ from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
 from .levels import LevelPartition, normalize_ratios
 from .quality import QualityTarget
 from .records import ForestAggregate
-from .smlss import make_forest_runner
+from .smlss import close_runner, make_forest_runner
 from .srs import prepare_curve_grid
 from .value_functions import DurabilityQuery
 
@@ -238,6 +238,10 @@ class GMLSSSampler:
     backend:
         ``"scalar"`` (default), ``"vectorized"``, or ``"auto"``
         (vectorized exactly when the process supports batching).
+    pool / roots_per_task / tasks_per_round:
+        With a :class:`~repro.core.pool.WorkerPool`, root trees shard
+        over its workers in fixed-size tasks (results are invariant
+        under the worker count; see :mod:`repro.core.pool`).
     """
 
     method_name = "gmlss"
@@ -245,7 +249,9 @@ class GMLSSSampler:
     def __init__(self, partition: LevelPartition, ratio=3,
                  batch_roots: int = 100, bootstrap_rounds: int = 200,
                  first_check_roots: int = 200, check_growth: float = 1.5,
-                 record_trace: bool = False, backend: str = "scalar"):
+                 record_trace: bool = False, backend: str = "scalar",
+                 pool=None, roots_per_task: Optional[int] = None,
+                 tasks_per_round: Optional[int] = None):
         if batch_roots < 1:
             raise ValueError(f"batch_roots must be >= 1, got {batch_roots}")
         if bootstrap_rounds < 2:
@@ -264,6 +270,17 @@ class GMLSSSampler:
         self.check_growth = check_growth
         self.record_trace = record_trace
         self.backend = backend
+        self.pool = pool
+        self.roots_per_task = roots_per_task
+        self.tasks_per_round = tasks_per_round
+
+    def _make_runner(self, query: DurabilityQuery, seed,
+                     scalar_rng=None):
+        return make_forest_runner(
+            self.backend, query, self.partition, self.ratios, seed,
+            scalar_rng=scalar_rng, pool=self.pool,
+            roots_per_task=self.roots_per_task,
+            tasks_per_round=self.tasks_per_round)
 
     def run(self, query: DurabilityQuery,
             quality: Optional[QualityTarget] = None,
@@ -277,8 +294,7 @@ class GMLSSSampler:
             )
         rng = random.Random(seed)
         boot_seed = rng.randrange(2 ** 31)
-        runner = make_forest_runner(self.backend, query, self.partition,
-                                    self.ratios, seed, scalar_rng=rng)
+        runner = self._make_runner(query, seed, scalar_rng=rng)
         aggregate = ForestAggregate(self.partition.num_levels)
         trace = []
         bootstrap_seconds = 0.0
@@ -298,34 +314,39 @@ class GMLSSSampler:
             bootstrap_evals += 1
             return result.variance
 
-        done = False
-        while not done:
-            roots_before = aggregate.n_roots
-            done = runner.accumulate(aggregate, self.batch_roots,
-                                     max_steps=max_steps,
-                                     max_roots=max_roots)
-            if aggregate.n_roots > roots_before:
-                variance_fresh = False
-            if aggregate.n_roots == 0:
-                break
-            if done:
-                break
-            if quality is not None and aggregate.n_roots >= next_check:
-                probability = gmlss_point_estimate(aggregate, self.ratios)
-                variance = evaluate_bootstrap()
-                variance_fresh = True
-                if self.record_trace:
-                    trace.append(TracePoint(
-                        steps=aggregate.steps,
-                        elapsed_seconds=time.perf_counter() - started,
-                        probability=probability, variance=variance,
-                        n_roots=aggregate.n_roots, hits=aggregate.hits,
-                    ))
-                if quality.is_met(probability, variance,
-                                  aggregate.hits, aggregate.n_roots):
+        try:
+            done = False
+            while not done:
+                roots_before = aggregate.n_roots
+                done = runner.accumulate(aggregate, self.batch_roots,
+                                         max_steps=max_steps,
+                                         max_roots=max_roots)
+                if aggregate.n_roots > roots_before:
+                    variance_fresh = False
+                if aggregate.n_roots == 0:
                     break
-                next_check = max(next_check + 1,
-                                 math.ceil(next_check * self.check_growth))
+                if done:
+                    break
+                if quality is not None and aggregate.n_roots >= next_check:
+                    probability = gmlss_point_estimate(aggregate,
+                                                       self.ratios)
+                    variance = evaluate_bootstrap()
+                    variance_fresh = True
+                    if self.record_trace:
+                        trace.append(TracePoint(
+                            steps=aggregate.steps,
+                            elapsed_seconds=time.perf_counter() - started,
+                            probability=probability, variance=variance,
+                            n_roots=aggregate.n_roots, hits=aggregate.hits,
+                        ))
+                    if quality.is_met(probability, variance,
+                                      aggregate.hits, aggregate.n_roots):
+                        break
+                    next_check = max(
+                        next_check + 1,
+                        math.ceil(next_check * self.check_growth))
+        finally:
+            close_runner(runner)
 
         probability = gmlss_point_estimate(aggregate, self.ratios)
         if not variance_fresh and aggregate.n_roots > 1:
@@ -384,8 +405,7 @@ class GMLSSSampler:
             max_steps, max_roots)
         rng = random.Random(seed)
         boot_seed = rng.randrange(2 ** 31)
-        runner = make_forest_runner(self.backend, query, self.partition,
-                                    self.ratios, seed, scalar_rng=rng)
+        runner = self._make_runner(query, seed, scalar_rng=rng)
         aggregate = ForestAggregate(self.partition.num_levels)
         bootstrap_evals = 0
         next_check = self.first_check_roots
@@ -401,27 +421,32 @@ class GMLSSSampler:
             bootstrap_evals += 1
             return result
 
-        done = False
-        while not done:
-            roots_before = aggregate.n_roots
-            done = runner.accumulate(aggregate, self.batch_roots,
-                                     max_steps=max_steps,
-                                     max_roots=max_roots)
-            if aggregate.n_roots > roots_before:
-                variances_fresh = False
-            if aggregate.n_roots == 0 or done:
-                break
-            if quality is not None and aggregate.n_roots >= next_check:
-                prefixes = gmlss_prefix_estimates(aggregate, self.ratios)
-                variances = evaluate_bootstrap()
-                variances_fresh = True
-                if all(quality.is_met(prefixes[i], variances[i],
-                                      self._level_hits(aggregate, i),
-                                      aggregate.n_roots)
-                       for i in range(len(levels))):
+        try:
+            done = False
+            while not done:
+                roots_before = aggregate.n_roots
+                done = runner.accumulate(aggregate, self.batch_roots,
+                                         max_steps=max_steps,
+                                         max_roots=max_roots)
+                if aggregate.n_roots > roots_before:
+                    variances_fresh = False
+                if aggregate.n_roots == 0 or done:
                     break
-                next_check = max(next_check + 1,
-                                 math.ceil(next_check * self.check_growth))
+                if quality is not None and aggregate.n_roots >= next_check:
+                    prefixes = gmlss_prefix_estimates(aggregate,
+                                                      self.ratios)
+                    variances = evaluate_bootstrap()
+                    variances_fresh = True
+                    if all(quality.is_met(prefixes[i], variances[i],
+                                          self._level_hits(aggregate, i),
+                                          aggregate.n_roots)
+                           for i in range(len(levels))):
+                        break
+                    next_check = max(
+                        next_check + 1,
+                        math.ceil(next_check * self.check_growth))
+        finally:
+            close_runner(runner)
 
         prefixes = gmlss_prefix_estimates(aggregate, self.ratios)
         if not variances_fresh and aggregate.n_roots > 1:

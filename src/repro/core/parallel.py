@@ -2,56 +2,82 @@
 
 Root paths (and their splitting trees) are independent, so MLSS
 parallelizes by sharding root trees over worker processes and merging
-the per-worker :class:`ForestAggregate` counters.  The merged aggregate
-feeds the ordinary estimators, so parallel results are *identical in
-distribution* to sequential ones — only the seed layout differs.
+the per-worker :class:`~repro.core.records.ForestAggregate` counters.
+The merged aggregate feeds the ordinary estimators, so parallel results
+are *identical in distribution* to sequential ones — only the seed
+layout differs.
+
+:func:`run_parallel_mlss` is now a thin wrapper over the persistent
+execution layer in :mod:`repro.core.pool`: a :class:`~repro.core.pool.
+WorkerPool` of long-lived workers, each advancing *vectorized* cohorts
+of root trees (the full SIMD backend of
+:class:`~repro.core.forest.VectorizedForestRunner`, per shard) and
+returning per-root counters through preallocated shared-memory blocks.
+Compared to the original throwaway ``multiprocessing.Pool`` of scalar
+shards this changes three things:
+
+* **cores x SIMD** — every worker runs the vectorized (or fused)
+  backend, so adding workers multiplies the single-core SIMD
+  throughput instead of replacing it with scalar loops;
+* **no per-round serialization** — the query and plan ship once per
+  worker; each round sends only ``(n_roots, seed)`` descriptors and
+  counters come back as shared bytes;
+* **structural seeding** — work decomposes into fixed-size tasks whose
+  seeds derive from the *task index* (never the worker count), so for
+  a fixed ``seed`` the estimate is **byte-identical for any
+  ``n_workers``** and any pool mode (``"fork"``/``"spawn"``/
+  ``"inline"``).  The historical behaviour — shard seeds depending on
+  ``n_workers`` — changed results when the worker count changed and is
+  regression-tested away.
 
 Everything shipped to workers (query, partition, ratios) must be
 picklable: use module-level ``z`` functions or small callable classes
 in value functions rather than lambdas.
+
+For richer entry points (quality-target stopping, curve passes, fused
+fleets, a pool persisted across queries) drive the samplers through a
+:class:`~repro.engine.service.DurabilityEngine` with an
+``ExecutionPolicy.parallel`` policy instead; this function remains the
+simple fixed-budget facade.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
 from typing import Optional
 
-from .bootstrap import bootstrap_variance
 from .estimates import DurabilityEstimate
-from .forest import ForestRunner
-from .gmlss import gmlss_point_estimate, gmlss_pi_hats
-from .levels import LevelPartition, normalize_ratios
-from .records import ForestAggregate
-from .smlss import smlss_point_estimate, smlss_variance
+from .gmlss import GMLSSSampler
+from .levels import LevelPartition
+from .pool import DEFAULT_ROOTS_PER_TASK, WorkerPool
+from .smlss import SMLSSSampler
 from .value_functions import DurabilityQuery
-
-
-def _simulate_shard(args) -> ForestAggregate:
-    """Worker entry point: simulate ``n_roots`` trees with its own seed."""
-    query, partition, ratios, n_roots, seed = args
-    import random
-
-    rng = random.Random(seed)
-    runner = ForestRunner(query, partition, ratios, rng)
-    aggregate = ForestAggregate(partition.num_levels)
-    for _ in range(n_roots):
-        aggregate.add(runner.run_root())
-    return aggregate
 
 
 def run_parallel_mlss(query: DurabilityQuery, partition: LevelPartition,
                       ratio=3, total_roots: int = 1000,
                       n_workers: int = 2, seed: Optional[int] = None,
                       estimator: str = "gmlss",
-                      bootstrap_rounds: int = 200) -> DurabilityEstimate:
-    """Run MLSS root trees across processes and merge the counters.
+                      bootstrap_rounds: int = 200,
+                      backend: str = "auto",
+                      roots_per_task: int = DEFAULT_ROOTS_PER_TASK,
+                      pool: str = "fork") -> DurabilityEstimate:
+    """Run MLSS root trees across a worker pool and merge the counters.
 
     Parameters
     ----------
     estimator:
         ``"gmlss"`` (bootstrap variance) or ``"smlss"`` (Eq. 5-6
         variance; only sound without level skipping).
+    backend:
+        Per-worker simulation backend (``"auto"`` resolves to the
+        vectorized backend whenever the process supports it).
+    roots_per_task:
+        Root trees per work descriptor.  Fixed task sizing is what
+        makes the result independent of ``n_workers``; tune it for
+        load balance, not correctness.
+    pool:
+        ``"fork"`` (default), ``"spawn"`` or ``"inline"`` (no
+        processes; also the automatic fallback when ``n_workers == 1``).
     """
     if estimator not in ("smlss", "gmlss"):
         raise ValueError(f"unknown estimator {estimator!r}")
@@ -59,50 +85,24 @@ def run_parallel_mlss(query: DurabilityQuery, partition: LevelPartition,
         raise ValueError(f"total_roots must be >= 1, got {total_roots}")
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    ratios = normalize_ratios(ratio, partition.num_levels)
-    base_seed = seed if seed is not None else 0
 
-    shard_size = total_roots // n_workers
-    shards = []
-    assigned = 0
-    for w in range(n_workers):
-        count = shard_size + (1 if w < total_roots % n_workers else 0)
-        if count:
-            shards.append((query, partition, ratios, count,
-                           base_seed + 7919 * (w + 1)))
-            assigned += count
-    assert assigned == total_roots
+    with WorkerPool(n_workers=n_workers, pool=pool) as worker_pool:
+        if estimator == "smlss":
+            sampler = SMLSSSampler(
+                partition, ratio=ratio, batch_roots=total_roots,
+                backend=backend, pool=worker_pool,
+                roots_per_task=roots_per_task)
+        else:
+            sampler = GMLSSSampler(
+                partition, ratio=ratio, batch_roots=total_roots,
+                bootstrap_rounds=bootstrap_rounds, backend=backend,
+                pool=worker_pool, roots_per_task=roots_per_task)
+        estimate = sampler.run(query, max_roots=total_roots, seed=seed)
 
-    started = time.perf_counter()
-    if n_workers == 1 or len(shards) == 1:
-        results = [_simulate_shard(shard) for shard in shards]
-    else:
-        with multiprocessing.Pool(processes=n_workers) as pool:
-            results = pool.map(_simulate_shard, shards)
-    merged = ForestAggregate(partition.num_levels)
-    for aggregate in results:
-        merged.merge(aggregate)
-
-    if estimator == "smlss":
-        probability = smlss_point_estimate(merged, ratios)
-        variance = smlss_variance(merged, ratios)
-        details = {"skipping_detected": merged.total_skips > 0}
-    else:
-        probability = gmlss_point_estimate(merged, ratios)
-        variance = bootstrap_variance(
-            merged, ratios, n_boot=bootstrap_rounds,
-            seed=base_seed).variance
-        details = {"pi_hats": gmlss_pi_hats(merged, ratios)}
-    details.update({
-        "partition": partition,
+    estimate.method = f"parallel-{estimator}"
+    estimate.details.update({
         "n_workers": n_workers,
-        "landings": list(merged.landings),
-        "skips": list(merged.skips),
+        "pool": worker_pool.mode,
+        "roots_per_task": roots_per_task,
     })
-    return DurabilityEstimate(
-        probability=probability, variance=variance,
-        n_roots=merged.n_roots, hits=merged.hits, steps=merged.steps,
-        method=f"parallel-{estimator}",
-        elapsed_seconds=time.perf_counter() - started,
-        details=details,
-    )
+    return estimate

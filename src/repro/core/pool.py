@@ -1,0 +1,718 @@
+"""Persistent shared-memory worker pool (Section 3.1, "Parallel
+Computations" — scaled to every backend).
+
+Root trees, SRS paths and fleet members are all independent, so every
+sampler in the library parallelizes by *sharding work over processes*.
+The original ``run_parallel_mlss`` did this with a throwaway
+``multiprocessing.Pool`` of scalar ``ForestRunner`` shards: every call
+paid process startup, every shard pickled its closure, and none of the
+vectorized / fused wins reached a second core.  This module replaces
+that with a persistent execution layer:
+
+* :class:`WorkerPool` — long-lived worker processes (``"fork"`` or
+  ``"spawn"`` start methods, or ``"inline"`` for a no-process fallback
+  that runs the identical code path in the caller).  A *work* — query,
+  partition, fleet, backend — is registered **once** (one pickle per
+  worker); subsequent rounds send only tiny *work descriptors* (task
+  index, root budget, derived seed).
+* :class:`CounterBlock` — preallocated ``multiprocessing.shared_memory``
+  blocks, one per (work, worker), through which forest workers return
+  their per-root :class:`~repro.core.records.RootRecord` counters.
+  Counter matrices cross the process boundary as shared bytes, never as
+  pickles, and the blocks are reused across rounds.
+* :class:`PooledForestRunner` — a drop-in implementation of the
+  ``accumulate`` contract shared by :class:`~repro.core.forest.
+  ForestRunner` and :class:`~repro.core.forest.VectorizedForestRunner`,
+  so the g-MLSS / s-MLSS samplers (point *and* curve passes) run pooled
+  without changing a line of their stopping logic.
+
+Determinism
+-----------
+
+Work decomposes into tasks of a fixed size (``roots_per_task`` roots,
+``members_per_task`` fleet members) whose seeds derive from the *task
+index* via :func:`derive_task_seed` — never from the worker count or
+which worker ran them.  Task results merge in task order.  Consequently
+pooled results are **byte-identical across ``n_workers`` and pool
+modes** for a fixed seed: ``n_workers`` changes how fast the answer
+arrives, not what it is.  (Pooled and single-pass sequential runs draw
+different stream layouts, so they agree in distribution, not bytes —
+exactly like the scalar-vs-vectorized backends.)
+
+Cost accounting is unchanged throughout: workers count one invocation
+of ``g`` per path per step and the parent sums their counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue as queue_module
+import threading
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .forest import validate_plan
+from .levels import normalize_ratios
+
+#: Pool execution modes: process start methods plus the in-caller
+#: fallback used when ``n_workers == 1`` (or on request, e.g. tests).
+POOL_MODES = ("fork", "spawn", "inline")
+
+_SEED_MOD = 2 ** 31
+
+#: How many tasks each stopping-rule round is cut into.  A *constant*
+#: (not derived from ``n_workers``), so the task decomposition — and
+#: with it every pooled result — is identical however many workers
+#: happen to drain the queue.
+DEFAULT_TASKS_PER_ROUND = 8
+DEFAULT_ROOTS_PER_TASK = 256
+DEFAULT_MEMBERS_PER_TASK = 32
+
+
+def derive_task_seed(seed: Optional[int], index: int,
+                     salt: str = "task") -> Optional[int]:
+    """Deterministic per-task seed from the run seed and task *index*.
+
+    Structural: depends only on what the task is (its position in the
+    work's task sequence), never on worker count or scheduling, which
+    is what makes pooled results invariant under ``n_workers``.
+    ``None`` stays ``None`` (fresh entropy per task).
+    """
+    if seed is None:
+        return None
+    digest = hashlib.blake2b(
+        repr((int(seed), salt, int(index))).encode("utf-8"),
+        digest_size=8).digest()
+    return int.from_bytes(digest, "big") % _SEED_MOD
+
+
+def cut_tasks(cohort: int, roots_per_task: int, seed: Optional[int],
+              task_index: int) -> tuple:
+    """Cut one round into fixed-size ``(n, seed)`` tasks.
+
+    The single home of the task decomposition every pooled pass uses
+    (forest rounds, SRS point rounds, SRS curve rounds): task sizes
+    depend only on ``roots_per_task`` and seeds only on the running
+    ``task_index``, which is what the byte-determinism guarantee rests
+    on.  Returns ``(tasks, next_task_index)``.
+    """
+    tasks = []
+    remaining = cohort
+    while remaining > 0:
+        n_roots = min(remaining, roots_per_task)
+        tasks.append((n_roots, derive_task_seed(seed, task_index)))
+        task_index += 1
+        remaining -= n_roots
+    return tasks, task_index
+
+
+# ----------------------------------------------------------------------
+# Work descriptors (registered once, pickled once per worker)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ForestWork:
+    """A splitting-forest work unit: tasks are ``(n_roots, seed)``.
+
+    Results come back through the shared :class:`CounterBlock` as
+    per-root counter rows; ``capacity`` bounds a single task's roots
+    (and sizes the block).
+    """
+
+    query: object
+    partition: object
+    ratios: tuple
+    backend: str
+    capacity: int
+
+
+@dataclass(frozen=True)
+class PathWork:
+    """An SRS point-estimate work unit: tasks are ``(n_paths, seed)``;
+    results are ``(n_paths, hits, steps)`` scalars."""
+
+    query: object
+    backend: str
+
+
+@dataclass(frozen=True)
+class CurveWork:
+    """An SRS running-maxima curve work unit: tasks are
+    ``(n_paths, seed)``; results are ``(level_counts, n_paths, steps)``."""
+
+    query: object
+    levels: tuple
+    backend: str
+
+
+@dataclass(frozen=True)
+class FleetWork:
+    """A fused-fleet work unit: tasks are member slices
+    ``(lo, hi, seed)``; each task screens its slice to completion
+    through one :class:`~repro.processes.base.FusedBatch` frontier.
+
+    ``mode`` selects the pass: ``"screen"`` (per-member thresholds,
+    SRS), ``"curves"`` (per-member threshold *grids*, running maxima
+    per owner row) or ``"mlss"`` (fused splitting forest with a shared
+    normalized partition).
+    """
+
+    mode: str
+    processes: tuple
+    z: object
+    horizon: int
+    betas: tuple = ()
+    grids: tuple = ()
+    partition: object = None
+    ratio: object = 3
+    quality: object = None
+    max_steps: Optional[int] = None
+    max_roots: Optional[int] = None
+    batch_roots: int = 500
+    adaptive: bool = True
+    max_round_roots: int = 8192
+    bootstrap_rounds: int = 200
+
+
+# ----------------------------------------------------------------------
+# Shared counter blocks
+# ----------------------------------------------------------------------
+
+class CounterBlock:
+    """Preallocated per-root counter arrays over a raw buffer.
+
+    Layout (all ``int64``): three ``(capacity, m)`` level matrices —
+    landings, skips, crossings — followed by three ``(capacity,)``
+    vectors — hits, max_levels, steps.  The buffer may be a
+    ``multiprocessing.shared_memory`` view (cross-process) or a plain
+    local array (inline mode); either way workers *write rows* and the
+    parent *reads rows*, so counters never pass through pickle.
+    """
+
+    __slots__ = ("capacity", "num_levels", "landings", "skips",
+                 "crossings", "hits", "max_levels", "steps")
+
+    def __init__(self, capacity: int, num_levels: int, buffer):
+        self.capacity = capacity
+        self.num_levels = num_levels
+        matrix = capacity * num_levels
+        offset = 0
+        for name in ("landings", "skips", "crossings"):
+            view = np.frombuffer(buffer, dtype=np.int64, count=matrix,
+                                 offset=offset)
+            setattr(self, name, view.reshape(capacity, num_levels))
+            offset += matrix * 8
+        for name in ("hits", "max_levels", "steps"):
+            setattr(self, name, np.frombuffer(
+                buffer, dtype=np.int64, count=capacity, offset=offset))
+            offset += capacity * 8
+
+    @staticmethod
+    def nbytes(capacity: int, num_levels: int) -> int:
+        return 8 * capacity * (3 * num_levels + 3)
+
+    @classmethod
+    def local(cls, capacity: int, num_levels: int) -> "CounterBlock":
+        """An in-process block (inline mode — same layout, no shm)."""
+        return cls(capacity, num_levels,
+                   np.zeros(cls.nbytes(capacity, num_levels),
+                            dtype=np.uint8))
+
+    def write_records(self, records: Sequence) -> int:
+        """Store one :class:`RootRecord` per row; returns the count."""
+        n = len(records)
+        if n > self.capacity:
+            raise ValueError(
+                f"{n} records exceed the block capacity {self.capacity}")
+        for i, record in enumerate(records):
+            self.landings[i] = record.landings
+            self.skips[i] = record.skips
+            self.crossings[i] = record.crossings
+            self.hits[i] = record.hits
+            self.max_levels[i] = record.max_level
+            self.steps[i] = record.steps
+        return n
+
+    def read(self, n: int) -> tuple:
+        """Copies of the first ``n`` rows (the block is reused next task)."""
+        return (self.landings[:n].copy(), self.skips[:n].copy(),
+                self.crossings[:n].copy(), self.hits[:n].copy(),
+                self.max_levels[:n].copy(), self.steps[:n].copy())
+
+    def release(self) -> None:
+        """Drop the buffer views (required before closing shared memory:
+        live NumPy views pin the mapping open)."""
+        for name in ("landings", "skips", "crossings", "hits",
+                     "max_levels", "steps"):
+            setattr(self, name, None)
+
+
+# ----------------------------------------------------------------------
+# Task execution (shared verbatim by workers and inline mode)
+# ----------------------------------------------------------------------
+
+def _execute(spec, payload, block: Optional[CounterBlock]):
+    """Run one task of ``spec``; the single code path for every mode."""
+    if isinstance(spec, ForestWork):
+        return _run_forest_task(spec, payload, block)
+    if isinstance(spec, PathWork):
+        return _run_path_task(spec, payload)
+    if isinstance(spec, CurveWork):
+        return _run_curve_task(spec, payload)
+    if isinstance(spec, FleetWork):
+        return _run_fleet_task(spec, payload)
+    raise TypeError(f"unknown work descriptor {type(spec).__name__}")
+
+
+def _run_forest_task(spec: ForestWork, payload, block: CounterBlock):
+    n_roots, seed = payload
+    from .smlss import make_forest_runner  # circular-import guard
+    runner = make_forest_runner(spec.backend, spec.query, spec.partition,
+                                spec.ratios, seed)
+    if hasattr(runner, "run_cohort"):
+        records = runner.run_cohort(n_roots)
+    else:
+        records = runner.run_roots(n_roots)
+    return block.write_records(records)
+
+
+def _run_path_task(spec: PathWork, payload):
+    n_paths, seed = payload
+    from .srs import SRSSampler  # circular-import guard
+    estimate = SRSSampler(batch_roots=n_paths, backend=spec.backend).run(
+        spec.query, max_roots=n_paths, seed=seed)
+    return (estimate.n_roots, estimate.hits, estimate.steps)
+
+
+def _run_curve_task(spec: CurveWork, payload):
+    n_paths, seed = payload
+    from .srs import SRSSampler  # circular-import guard
+    curve = SRSSampler(batch_roots=n_paths, backend=spec.backend).run_curve(
+        spec.query, spec.levels, max_roots=n_paths, seed=seed)
+    counts = tuple(estimate.hits for estimate in curve.estimates)
+    return (counts, curve.n_roots, curve.steps)
+
+
+def _run_fleet_task(spec: FleetWork, payload):
+    lo, hi, seed = payload
+    from ..processes.base import FusedBatch  # circular-import guard
+    from . import fleet  # circular-import guard
+    fused = FusedBatch(spec.processes[lo:hi])
+    if spec.mode == "screen":
+        n_paths, hits, steps, rounds = fleet._screen_members(
+            fused, spec.z, spec.betas[lo:hi], spec.horizon, spec.quality,
+            spec.max_steps, spec.max_roots, spec.batch_roots,
+            spec.adaptive, spec.max_round_roots,
+            np.random.default_rng(seed))
+        return (n_paths.tolist(), hits.tolist(), steps.tolist(), rounds)
+    if spec.mode == "curves":
+        counts, n_paths, steps, rounds = fleet._curve_members(
+            fused, spec.z, spec.grids[lo:hi], spec.horizon, spec.quality,
+            spec.max_steps, spec.max_roots, spec.batch_roots,
+            spec.adaptive, spec.max_round_roots,
+            np.random.default_rng(seed))
+        return ([c.tolist() for c in counts], n_paths.tolist(),
+                steps.tolist(), rounds)
+    if spec.mode == "mlss":
+        rows = fleet._mlss_members(
+            fused, spec.z, spec.betas[lo:hi], spec.partition, spec.ratio,
+            spec.horizon, spec.quality, spec.max_steps, spec.max_roots,
+            spec.batch_roots, spec.bootstrap_rounds, seed)
+        return rows
+    raise ValueError(f"unknown fleet mode {spec.mode!r}")
+
+
+def _block_shape(spec) -> Optional[tuple]:
+    """(capacity, num_levels) when the work returns counters via shm."""
+    if isinstance(spec, ForestWork):
+        return (spec.capacity, spec.partition.num_levels)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Worker process main loop
+# ----------------------------------------------------------------------
+
+def _attach_block(name: str):
+    """Attach to a parent-owned shared block without tracker side effects.
+
+    The resource tracker's cache is a name set shared by the whole
+    process tree; the parent registers a block once at creation and
+    unregisters it at ``unlink``.  A worker's attach would *re*-register
+    the same name, and because tracker messages from different
+    processes are unordered, that registration can land after the
+    parent's unregister — leaving a phantom entry that the tracker
+    "cleans up" (with a warning) at shutdown.  Workers therefore attach
+    with registration suppressed (the documented pre-3.13 equivalent of
+    ``SharedMemory(..., track=False)``).
+    """
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Long-lived worker: register works once, run tasks forever.
+
+    Messages: ``("register", handle, spec, block_name)``,
+    ``("run", handle, task_index, payload)``, ``("unregister", handle)``
+    and ``("stop",)``.  Results: ``(worker_id, task_index, "ok", meta)``
+    or ``(worker_id, task_index, "error", traceback_text)``.
+    """
+    specs: dict = {}
+    blocks: dict = {}
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "register":
+            _, handle, spec, block_name = message
+            specs[handle] = spec
+            if block_name is not None:
+                shm = _attach_block(block_name)
+                capacity, num_levels = _block_shape(spec)
+                blocks[handle] = (shm, CounterBlock(capacity, num_levels,
+                                                    shm.buf))
+        elif kind == "unregister":
+            _, handle = message
+            specs.pop(handle, None)
+            attached = blocks.pop(handle, None)
+            if attached is not None:
+                attached[1].release()
+                attached[0].close()
+        elif kind == "run":
+            _, handle, task_index, payload = message
+            try:
+                spec = specs[handle]
+                attached = blocks.get(handle)
+                block = attached[1] if attached is not None else None
+                meta = _execute(spec, payload, block)
+                result_queue.put((worker_id, task_index, "ok", meta))
+            except Exception:
+                result_queue.put((worker_id, task_index, "error",
+                                  traceback.format_exc()))
+    for shm, block in blocks.values():
+        block.release()
+        shm.close()
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+
+class WorkerPool:
+    """A persistent pool of simulation workers.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count; ``None`` means ``os.cpu_count()``.
+        ``n_workers == 1`` always runs inline (no processes) — the
+        documented fallback, byte-identical to the multi-process modes.
+    pool:
+        ``"fork"`` (default; cheap startup, Linux/macOS), ``"spawn"``
+        (portable, slower startup) or ``"inline"``.
+
+    The pool is content-addressed, not closure-addressed: callers
+    :meth:`register` a work descriptor once (one pickle per worker, one
+    shared counter block per worker for forest works), then
+    :meth:`run_tasks` ships only ``(handle, task_index, payload)``
+    triples per round.  Results always return in task order, whatever
+    order workers finish in, so merged counters are deterministic.
+
+    Use as a context manager, or call :meth:`close`; an unclosed pool
+    cleans up on garbage collection as a last resort.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None,
+                 pool: str = "fork"):
+        if pool not in POOL_MODES:
+            raise ValueError(
+                f"unknown pool mode {pool!r}; choose from {POOL_MODES}")
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.mode = "inline" if (pool == "inline" or n_workers == 1) \
+            else pool
+        self._specs: dict = {}
+        self._next_handle = 0
+        self._closed = False
+        # One pool may be shared by several threads (the engine keeps a
+        # persistent pool across calls, and engines are documented as
+        # multi-thread drivable).  Register/run/unregister all touch
+        # the worker queues and the single result queue, so calls are
+        # serialized: concurrent run_tasks would otherwise consume each
+        # other's results (result tuples carry no call identity).
+        self._lock = threading.RLock()
+        self._inline_blocks: dict = {}
+        self._blocks: dict = {}
+        self._task_queues: list = []
+        self._processes: list = []
+        self._result_queue = None
+        if self.mode != "inline":
+            context = get_context(self.mode)
+            self._result_queue = context.Queue()
+            for worker_id in range(self.n_workers):
+                task_queue = context.Queue()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(worker_id, task_queue, self._result_queue),
+                    daemon=True)
+                process.start()
+                self._task_queues.append(task_queue)
+                self._processes.append(process)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Stop the workers and release every shared block (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for task_queue in self._task_queues:
+                try:
+                    task_queue.put(("stop",))
+                except Exception:
+                    pass
+            for process in self._processes:
+                process.join(timeout=5)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5)
+            for shm, block in self._blocks.values():
+                try:
+                    block.release()
+                    shm.close()
+                    shm.unlink()
+                except Exception:
+                    pass
+            self._blocks.clear()
+            self._inline_blocks.clear()
+            self._specs.clear()
+            for task_queue in self._task_queues:
+                try:
+                    task_queue.close()
+                    task_queue.cancel_join_thread()
+                except Exception:
+                    pass
+            if self._result_queue is not None:
+                try:
+                    self._result_queue.close()
+                    self._result_queue.cancel_join_thread()
+                except Exception:
+                    pass
+
+    def _abort(self, reason: str):
+        """Tear the pool down after a worker failure and raise."""
+        self.close()
+        raise RuntimeError(f"worker task failed:\n{reason}")
+
+    # -- registration --------------------------------------------------
+
+    def register(self, spec) -> int:
+        """Register a work descriptor on every worker; returns a handle."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the pool is closed")
+            handle = self._next_handle
+            self._next_handle += 1
+            self._specs[handle] = spec
+            shape = _block_shape(spec)
+            if self.mode == "inline":
+                if shape is not None:
+                    self._inline_blocks[handle] = CounterBlock.local(*shape)
+                return handle
+            for worker_id, task_queue in enumerate(self._task_queues):
+                block_name = None
+                if shape is not None:
+                    shm = shared_memory.SharedMemory(
+                        create=True, size=CounterBlock.nbytes(*shape))
+                    self._blocks[(handle, worker_id)] = (
+                        shm, CounterBlock(shape[0], shape[1], shm.buf))
+                    block_name = shm.name
+                task_queue.put(("register", handle, spec, block_name))
+            return handle
+
+    def unregister(self, handle: int) -> None:
+        """Drop a registered work and free its shared blocks."""
+        with self._lock:
+            if self._closed or handle not in self._specs:
+                return
+            self._specs.pop(handle, None)
+            self._inline_blocks.pop(handle, None)
+            for worker_id, task_queue in enumerate(self._task_queues):
+                task_queue.put(("unregister", handle))
+                attached = self._blocks.pop((handle, worker_id), None)
+                if attached is not None:
+                    shm, block = attached
+                    block.release()
+                    shm.close()
+                    shm.unlink()
+
+    # -- execution -----------------------------------------------------
+
+    def run_tasks(self, handle: int, tasks: Sequence) -> list:
+        """Run every task of a registered work; results in task order.
+
+        Each worker holds at most one outstanding task, and the parent
+        drains a worker's counter block before handing it the next
+        task, so blocks are never overwritten while unread.  Calls are
+        serialized under the pool lock: result messages carry no call
+        identity, so two interleaved drains of the shared result queue
+        would swap results.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the pool is closed")
+            spec = self._specs[handle]
+            results: list = [None] * len(tasks)
+            if self.mode == "inline":
+                block = self._inline_blocks.get(handle)
+                for index, payload in enumerate(tasks):
+                    meta = _execute(spec, payload, block)
+                    results[index] = self._finalize(spec, block, meta)
+                return results
+            pending = deque(enumerate(tasks))
+            idle = deque(range(self.n_workers))
+            outstanding = 0
+            while pending or outstanding:
+                while pending and idle:
+                    worker_id = idle.popleft()
+                    index, payload = pending.popleft()
+                    self._task_queues[worker_id].put(
+                        ("run", handle, index, payload))
+                    outstanding += 1
+                worker_id, index, status, meta = self._receive()
+                if status != "ok":
+                    self._abort(meta)
+                attached = self._blocks.get((handle, worker_id))
+                block = attached[1] if attached is not None else None
+                results[index] = self._finalize(spec, block, meta)
+                outstanding -= 1
+                idle.append(worker_id)
+            return results
+
+    def _receive(self):
+        """Next result, guarding against silently-dead workers."""
+        while True:
+            try:
+                return self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                for process in self._processes:
+                    if not process.is_alive():
+                        self._abort(
+                            f"worker pid {process.pid} exited with code "
+                            f"{process.exitcode} while tasks were pending")
+
+    @staticmethod
+    def _finalize(spec, block: Optional[CounterBlock], meta):
+        """Turn a worker's reply into the caller-facing result."""
+        if isinstance(spec, ForestWork):
+            return block.read(meta)
+        return meta
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"WorkerPool(n_workers={self.n_workers}, "
+                f"mode={self.mode!r}, works={len(self._specs)}, {state})")
+
+
+# ----------------------------------------------------------------------
+# Pooled forest accumulation (drop-in for the samplers)
+# ----------------------------------------------------------------------
+
+class PooledForestRunner:
+    """Splitting-forest simulation sharded over a :class:`WorkerPool`.
+
+    Implements the same ``accumulate(aggregate, batch_roots, ...)``
+    contract as :class:`~repro.core.forest.ForestRunner` and
+    :class:`~repro.core.forest.VectorizedForestRunner`, so the MLSS
+    samplers' stopping rules, bootstrap schedules and curve folds run
+    unmodified on top of it.  Each round expands to at least
+    ``tasks_per_round`` tasks of ``roots_per_task`` root trees; task
+    seeds derive from the task index (:func:`derive_task_seed`) and
+    results merge in task order, making pooled aggregates invariant
+    under the worker count.
+
+    Budgets are enforced at round granularity (a superset of the
+    vectorized runner's cohort granularity): every started task runs to
+    completion, so ``max_steps`` can overshoot by up to one round.
+
+    Call :meth:`close` when done (the samplers do) to release the
+    work's shared counter blocks; the pool itself stays alive for the
+    next run.
+    """
+
+    def __init__(self, pool: WorkerPool, query, partition, ratios,
+                 backend: str, seed: Optional[int],
+                 roots_per_task: int = DEFAULT_ROOTS_PER_TASK,
+                 tasks_per_round: int = DEFAULT_TASKS_PER_ROUND):
+        if roots_per_task < 1:
+            raise ValueError(
+                f"roots_per_task must be >= 1, got {roots_per_task}")
+        if tasks_per_round < 1:
+            raise ValueError(
+                f"tasks_per_round must be >= 1, got {tasks_per_round}")
+        validate_plan(query, partition)
+        self.pool = pool
+        self.partition = partition
+        self.ratios = normalize_ratios(ratios, partition.num_levels)
+        self.seed = seed
+        self.roots_per_task = roots_per_task
+        self.tasks_per_round = tasks_per_round
+        self._task_index = 0
+        self._handle = pool.register(ForestWork(
+            query=query, partition=partition, ratios=self.ratios,
+            backend=backend, capacity=roots_per_task))
+
+    def accumulate(self, aggregate, batch_roots: int,
+                   max_steps=None, max_roots=None) -> bool:
+        """Fold one pooled round of root trees into ``aggregate``."""
+        cohort = max(batch_roots, self.roots_per_task * self.tasks_per_round)
+        if max_roots is not None:
+            cohort = min(cohort, max_roots - aggregate.n_roots)
+        if max_steps is not None and aggregate.steps >= max_steps:
+            return True
+        if cohort <= 0:
+            return True
+        tasks, self._task_index = cut_tasks(
+            cohort, self.roots_per_task, self.seed, self._task_index)
+        for arrays in self.pool.run_tasks(self._handle, tasks):
+            aggregate.extend_arrays(*arrays)
+        return ((max_roots is not None and aggregate.n_roots >= max_roots)
+                or (max_steps is not None
+                    and aggregate.steps >= max_steps))
+
+    def close(self) -> None:
+        """Release this work's registration and shared blocks."""
+        self.pool.unregister(self._handle)

@@ -39,6 +39,21 @@ class QualityTarget(abc.ABC):
     def describe(self) -> str:
         """Human-readable target description for reports."""
 
+    def projected_roots(self, probability: float, hits: int,
+                        n_roots: int):
+        """Roughly how many *total* roots this target needs, or ``None``.
+
+        A plug-in projection from the running estimate, used by
+        adaptive cohort sizing (:func:`repro.core.fleet.screen_fleet`)
+        to grow a member's next round toward its target instead of
+        crawling there in fixed batches.  Purely advisory: the stopping
+        decision is always :meth:`is_met` on the actual counters, so a
+        bad projection costs rounds, never correctness.  The default —
+        ``None`` — means "no projection" (callers fall back to
+        geometric growth).
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class ConfidenceIntervalTarget(QualityTarget):
@@ -77,6 +92,19 @@ class ConfidenceIntervalTarget(QualityTarget):
         return (f"{self.half_width:.2%} {kind} CI half-width at "
                 f"{self.confidence:.0%} confidence")
 
+    def projected_roots(self, probability: float, hits: int,
+                        n_roots: int):
+        """Binomial plug-in: ``n >= z^2 p (1-p) / allowed^2``."""
+        if probability <= 0.0 or probability >= 1.0:
+            return None
+        allowed = self.half_width * (probability if self.relative else 1.0)
+        z = critical_value(self.confidence)
+        needed = (z * z * probability * (1.0 - probability)
+                  / (allowed * allowed))
+        needed = max(needed, self.min_roots,
+                     self.min_hits / probability)
+        return int(math.ceil(needed))
+
 
 @dataclass(frozen=True)
 class RelativeErrorTarget(QualityTarget):
@@ -100,6 +128,17 @@ class RelativeErrorTarget(QualityTarget):
 
     def describe(self) -> str:
         return f"relative error <= {self.target:.0%}"
+
+    def projected_roots(self, probability: float, hits: int,
+                        n_roots: int):
+        """Binomial plug-in: ``n >= (1-p) / (p target^2)``."""
+        if probability <= 0.0 or probability >= 1.0:
+            return None
+        needed = (1.0 - probability) / (probability
+                                        * self.target * self.target)
+        needed = max(needed, self.min_roots,
+                     self.min_hits / probability)
+        return int(math.ceil(needed))
 
 
 @dataclass(frozen=True)

@@ -109,6 +109,46 @@ class ForestAggregate:
         for record in records:
             self.add(record)
 
+    def extend_arrays(self, landings, skips, crossings, hits,
+                      max_levels, steps) -> None:
+        """Fold per-root counter *arrays* in (the pooled-worker path).
+
+        The arrays mirror one :class:`RootRecord` per row — the three
+        ``(n, num_levels)`` level matrices plus the ``(n,)`` hit,
+        max-level and step vectors a :class:`~repro.core.pool.
+        CounterBlock` stores — and folding them is element-for-element
+        identical to calling :meth:`add` on the equivalent records.
+        """
+        landings = np.asarray(landings, dtype=np.int64)
+        skips = np.asarray(skips, dtype=np.int64)
+        crossings = np.asarray(crossings, dtype=np.int64)
+        hits = np.asarray(hits, dtype=np.int64)
+        n = len(hits)
+        if n == 0:
+            return
+        if landings.shape[1] != self.num_levels:
+            raise ValueError(
+                f"cannot fold rows with {landings.shape[1]} levels into "
+                f"an aggregate with {self.num_levels}"
+            )
+        self.n_roots += n
+        self.hits += int(hits.sum())
+        self.hits_sq_sum += int((hits * hits).sum())
+        self.steps += int(np.asarray(steps).sum())
+        landing_totals = landings.sum(axis=0)
+        skip_totals = skips.sum(axis=0)
+        crossing_totals = crossings.sum(axis=0)
+        for i in range(1, self.num_levels):
+            self.landings[i] += int(landing_totals[i])
+            self.skips[i] += int(skip_totals[i])
+            self.crossings[i] += int(crossing_totals[i])
+        self.root_hits.extend(hits.tolist())
+        self.root_landings.extend(landings.tolist())
+        self.root_skips.extend(skips.tolist())
+        self.root_crossings.extend(crossings.tolist())
+        self.root_max_levels.extend(
+            np.asarray(max_levels, dtype=np.int64).tolist())
+
     def merge(self, other: "ForestAggregate") -> None:
         """Fold another aggregate (e.g. from a worker process) in."""
         if other.num_levels != self.num_levels:

@@ -40,7 +40,10 @@ from .value_functions import DurabilityQuery
 def make_forest_runner(backend: str, query: DurabilityQuery,
                        partition: LevelPartition, ratios,
                        seed: Optional[int],
-                       scalar_rng: Optional[random.Random] = None):
+                       scalar_rng: Optional[random.Random] = None,
+                       pool=None,
+                       roots_per_task: Optional[int] = None,
+                       tasks_per_round: Optional[int] = None):
     """Build the forest runner for a resolved backend.
 
     ``"vectorized"`` drives whole cohorts through
@@ -48,17 +51,35 @@ def make_forest_runner(backend: str, query: DurabilityQuery,
     frontiers, and in-place stepping for processes that support
     ``out=``); ``"scalar"`` keeps the original per-path runner, reusing
     ``scalar_rng`` when the caller already owns a stream (so scalar
-    results stay bit-identical to the pre-backend code).  Both runners
-    expose the same ``accumulate`` interface, so samplers are
-    backend-agnostic past this point.
+    results stay bit-identical to the pre-backend code).  With a
+    :class:`~repro.core.pool.WorkerPool`, cohorts shard over the pool's
+    workers instead (:class:`~repro.core.pool.PooledForestRunner`, on
+    the same backend per worker).  All runners expose the same
+    ``accumulate`` interface, so samplers are backend- and
+    parallelism-agnostic past this point; pooled runners additionally
+    expose ``close()``, which samplers call when a run finishes.
     """
     backend = resolve_backend(backend, query.process)
+    if pool is not None:
+        from .pool import (DEFAULT_ROOTS_PER_TASK, DEFAULT_TASKS_PER_ROUND,
+                           PooledForestRunner)
+        return PooledForestRunner(
+            pool, query, partition, ratios, backend, seed,
+            roots_per_task=roots_per_task or DEFAULT_ROOTS_PER_TASK,
+            tasks_per_round=tasks_per_round or DEFAULT_TASKS_PER_ROUND)
     if backend == "vectorized":
         return VectorizedForestRunner(query, partition, ratios,
                                       np.random.default_rng(seed))
     return ForestRunner(query, partition, ratios,
                         scalar_rng if scalar_rng is not None
                         else random.Random(seed))
+
+
+def close_runner(runner) -> None:
+    """Release a runner's pooled resources, if it holds any."""
+    close = getattr(runner, "close", None)
+    if close is not None:
+        close()
 
 
 def ratio_product(ratios: tuple) -> int:
@@ -149,13 +170,19 @@ class SMLSSSampler:
     backend:
         ``"scalar"`` (default), ``"vectorized"``, or ``"auto"``
         (vectorized exactly when the process supports batching).
+    pool / roots_per_task / tasks_per_round:
+        With a :class:`~repro.core.pool.WorkerPool`, root trees shard
+        over its workers in fixed-size tasks (results are invariant
+        under the worker count; see :mod:`repro.core.pool`).
     """
 
     method_name = "smlss"
 
     def __init__(self, partition: LevelPartition, ratio=3,
                  batch_roots: int = 100, record_trace: bool = False,
-                 backend: str = "scalar"):
+                 backend: str = "scalar", pool=None,
+                 roots_per_task: Optional[int] = None,
+                 tasks_per_round: Optional[int] = None):
         if batch_roots < 1:
             raise ValueError(f"batch_roots must be >= 1, got {batch_roots}")
         self.partition = partition
@@ -163,6 +190,17 @@ class SMLSSSampler:
         self.batch_roots = batch_roots
         self.record_trace = record_trace
         self.backend = backend
+        self.pool = pool
+        self.roots_per_task = roots_per_task
+        self.tasks_per_round = tasks_per_round
+
+    def _make_runner(self, query: DurabilityQuery, seed: Optional[int],
+                     scalar_rng: Optional[random.Random] = None):
+        return make_forest_runner(
+            self.backend, query, self.partition, self.ratios, seed,
+            scalar_rng=scalar_rng, pool=self.pool,
+            roots_per_task=self.roots_per_task,
+            tasks_per_round=self.tasks_per_round)
 
     def run(self, query: DurabilityQuery,
             quality: Optional[QualityTarget] = None,
@@ -174,31 +212,34 @@ class SMLSSSampler:
                 "provide a quality target, max_steps or max_roots; "
                 "otherwise the sampler would never stop"
             )
-        runner = make_forest_runner(self.backend, query, self.partition,
-                                    self.ratios, seed)
+        runner = self._make_runner(query, seed)
         aggregate = ForestAggregate(self.partition.num_levels)
         trace = []
         started = time.perf_counter()
 
-        done = False
-        while not done:
-            done = runner.accumulate(aggregate, self.batch_roots,
-                                     max_steps=max_steps,
-                                     max_roots=max_roots)
-            if done or aggregate.n_roots == 0:
-                break
-            probability = smlss_point_estimate(aggregate, self.ratios)
-            variance = smlss_variance(aggregate, self.ratios)
-            if self.record_trace:
-                trace.append(TracePoint(
-                    steps=aggregate.steps,
-                    elapsed_seconds=time.perf_counter() - started,
-                    probability=probability, variance=variance,
-                    n_roots=aggregate.n_roots, hits=aggregate.hits,
-                ))
-            if quality is not None and quality.is_met(
-                    probability, variance, aggregate.hits, aggregate.n_roots):
-                break
+        try:
+            done = False
+            while not done:
+                done = runner.accumulate(aggregate, self.batch_roots,
+                                         max_steps=max_steps,
+                                         max_roots=max_roots)
+                if done or aggregate.n_roots == 0:
+                    break
+                probability = smlss_point_estimate(aggregate, self.ratios)
+                variance = smlss_variance(aggregate, self.ratios)
+                if self.record_trace:
+                    trace.append(TracePoint(
+                        steps=aggregate.steps,
+                        elapsed_seconds=time.perf_counter() - started,
+                        probability=probability, variance=variance,
+                        n_roots=aggregate.n_roots, hits=aggregate.hits,
+                    ))
+                if quality is not None and quality.is_met(
+                        probability, variance, aggregate.hits,
+                        aggregate.n_roots):
+                    break
+        finally:
+            close_runner(runner)
 
         probability = smlss_point_estimate(aggregate, self.ratios)
         details = {
@@ -240,29 +281,32 @@ class SMLSSSampler:
         levels, thresholds = prepare_curve_grid(
             self.partition.boundaries + (1.0,), thresholds, quality,
             max_steps, max_roots)
-        runner = make_forest_runner(self.backend, query, self.partition,
-                                    self.ratios, seed)
+        runner = self._make_runner(query, seed)
         aggregate = ForestAggregate(self.partition.num_levels)
         next_check = max(2 * self.batch_roots, 100)
         started = time.perf_counter()
 
-        done = False
-        while not done:
-            done = runner.accumulate(aggregate, self.batch_roots,
-                                     max_steps=max_steps,
-                                     max_roots=max_roots)
-            if done or aggregate.n_roots == 0:
-                break
-            if quality is not None and aggregate.n_roots >= next_check:
-                prefixes = smlss_prefix_estimates(aggregate, self.ratios)
-                variances = smlss_prefix_variances(aggregate, self.ratios)
-                if all(quality.is_met(prefixes[i], variances[i],
-                                      self._level_hits(aggregate, i),
-                                      aggregate.n_roots)
-                       for i in range(len(levels))):
+        try:
+            done = False
+            while not done:
+                done = runner.accumulate(aggregate, self.batch_roots,
+                                         max_steps=max_steps,
+                                         max_roots=max_roots)
+                if done or aggregate.n_roots == 0:
                     break
-                next_check = max(next_check + 1,
-                                 math.ceil(next_check * 1.5))
+                if quality is not None and aggregate.n_roots >= next_check:
+                    prefixes = smlss_prefix_estimates(aggregate, self.ratios)
+                    variances = smlss_prefix_variances(aggregate,
+                                                       self.ratios)
+                    if all(quality.is_met(prefixes[i], variances[i],
+                                          self._level_hits(aggregate, i),
+                                          aggregate.n_roots)
+                           for i in range(len(levels))):
+                        break
+                    next_check = max(next_check + 1,
+                                     math.ceil(next_check * 1.5))
+        finally:
+            close_runner(runner)
 
         prefixes = smlss_prefix_estimates(aggregate, self.ratios)
         variances = smlss_prefix_variances(aggregate, self.ratios)

@@ -44,6 +44,8 @@ import numpy as np
 
 from ..processes.base import as_vectorized, resolve_backend, step_into
 from .estimates import DurabilityCurve, DurabilityEstimate, TracePoint
+from .pool import (CurveWork, DEFAULT_ROOTS_PER_TASK,
+                   DEFAULT_TASKS_PER_ROUND, PathWork, cut_tasks)
 from .quality import QualityTarget
 from .value_functions import TARGET_VALUE, DurabilityQuery, batch_values
 
@@ -148,17 +150,29 @@ class SRSSampler:
         (vectorized exactly when the process natively supports
         batching).  The engine resolves ``"auto"`` before constructing
         samplers.
+    pool / roots_per_task / tasks_per_round:
+        With a :class:`~repro.core.pool.WorkerPool`, paths shard over
+        its workers in fixed-size tasks whose seeds derive from the
+        task index, so pooled estimates are invariant under the worker
+        count (see :mod:`repro.core.pool`).  Each stopping-rule round
+        covers at least ``tasks_per_round`` tasks of
+        ``roots_per_task`` paths.
     """
 
     method_name = "srs"
 
     def __init__(self, batch_roots: int = 500, record_trace: bool = False,
-                 backend: str = "scalar"):
+                 backend: str = "scalar", pool=None,
+                 roots_per_task: Optional[int] = None,
+                 tasks_per_round: Optional[int] = None):
         if batch_roots < 1:
             raise ValueError(f"batch_roots must be >= 1, got {batch_roots}")
         self.batch_roots = batch_roots
         self.record_trace = record_trace
         self.backend = backend
+        self.pool = pool
+        self.roots_per_task = roots_per_task or DEFAULT_ROOTS_PER_TASK
+        self.tasks_per_round = tasks_per_round or DEFAULT_TASKS_PER_ROUND
 
     def run(self, query: DurabilityQuery,
             quality: Optional[QualityTarget] = None,
@@ -171,6 +185,10 @@ class SRSSampler:
                 "provide a quality target, max_steps or max_roots; "
                 "otherwise the sampler would never stop"
             )
+        if self.pool is not None:
+            return self._run_pooled(query, quality=quality,
+                                    max_steps=max_steps,
+                                    max_roots=max_roots, seed=seed)
         if resolve_backend(self.backend, query.process) == "vectorized":
             return self._run_vectorized(query, quality=quality,
                                         max_steps=max_steps,
@@ -271,7 +289,10 @@ class SRSSampler:
         """
         levels, thresholds = prepare_curve_grid(
             levels, thresholds, quality, max_steps, max_roots)
-        if resolve_backend(self.backend, query.process) == "vectorized":
+        if self.pool is not None:
+            counts, n_paths, steps, elapsed = self._curve_pass_pooled(
+                query, levels, quality, max_steps, max_roots, seed)
+        elif resolve_backend(self.backend, query.process) == "vectorized":
             counts, n_paths, steps, elapsed = self._curve_pass_vectorized(
                 query, levels, quality, max_steps, max_roots, seed)
         else:
@@ -379,6 +400,125 @@ class SRSSampler:
             if quality is not None and curve_quality_met(
                     quality, counts, n_paths):
                 break
+        return [int(c) for c in counts], n_paths, steps, \
+            time.perf_counter() - started
+
+    def _round_cohort(self, n_paths: int, steps: int, horizon: int,
+                      max_steps: Optional[int],
+                      max_roots: Optional[int]) -> int:
+        """Next pooled round's path budget under the stopping budgets.
+
+        Shared by the point and curve pooled passes so their budget
+        semantics (round granularity, ``max_steps`` horizon clamp)
+        cannot drift apart.  Non-positive means "stop".
+        """
+        cohort = max(self.batch_roots,
+                     self.roots_per_task * self.tasks_per_round)
+        if max_roots is not None:
+            cohort = min(cohort, max_roots - n_paths)
+        if max_steps is not None:
+            if steps >= max_steps:
+                return 0
+            cohort = min(cohort, (max_steps - steps) // horizon + 1)
+        return cohort
+
+    def _run_pooled(self, query: DurabilityQuery,
+                    quality: Optional[QualityTarget],
+                    max_steps: Optional[int],
+                    max_roots: Optional[int],
+                    seed: Optional[int]) -> DurabilityEstimate:
+        """Paths shard over the worker pool in fixed-size tasks.
+
+        Rounds mirror the vectorized cohort semantics (budgets at round
+        granularity, quality checked between rounds).  Task seeds come
+        from :func:`~repro.core.pool.derive_task_seed` and results merge
+        in task order, so the estimate is byte-identical for any
+        ``n_workers``.
+        """
+        pool = self.pool
+        backend = resolve_backend(self.backend, query.process)
+        handle = pool.register(PathWork(query=query, backend=backend))
+        horizon = query.horizon
+        n_paths = 0
+        hits = 0
+        steps = 0
+        task_index = 0
+        trace = []
+        started = time.perf_counter()
+        try:
+            while True:
+                cohort = self._round_cohort(n_paths, steps, horizon,
+                                            max_steps, max_roots)
+                if cohort <= 0:
+                    break
+                tasks, task_index = cut_tasks(cohort, self.roots_per_task,
+                                              seed, task_index)
+                for task_n, task_hits, task_steps in pool.run_tasks(
+                        handle, tasks):
+                    n_paths += task_n
+                    hits += task_hits
+                    steps += task_steps
+                probability = hits / n_paths if n_paths else 0.0
+                variance = srs_variance(probability, n_paths)
+                if self.record_trace:
+                    trace.append(TracePoint(
+                        steps=steps,
+                        elapsed_seconds=time.perf_counter() - started,
+                        probability=probability, variance=variance,
+                        n_roots=n_paths, hits=hits,
+                    ))
+                if quality is not None and quality.is_met(
+                        probability, variance, hits, n_paths):
+                    break
+        finally:
+            pool.unregister(handle)
+
+        probability = hits / n_paths if n_paths else 0.0
+        details = {"parallel": {"n_workers": pool.n_workers,
+                                "mode": pool.mode,
+                                "tasks": task_index}}
+        if self.record_trace:
+            details["trace"] = trace
+        return DurabilityEstimate(
+            probability=probability,
+            variance=srs_variance(probability, n_paths),
+            n_roots=n_paths, hits=hits, steps=steps,
+            method=self.method_name,
+            elapsed_seconds=time.perf_counter() - started,
+            details=details,
+        )
+
+    def _curve_pass_pooled(self, query, levels, quality, max_steps,
+                           max_roots, seed):
+        """Pooled running-maxima pass: per-level counts merge per task."""
+        pool = self.pool
+        backend = resolve_backend(self.backend, query.process)
+        handle = pool.register(CurveWork(
+            query=query, levels=tuple(levels), backend=backend))
+        horizon = query.horizon
+        counts = np.zeros(len(levels), dtype=np.int64)
+        n_paths = 0
+        steps = 0
+        task_index = 0
+        started = time.perf_counter()
+        try:
+            while True:
+                cohort = self._round_cohort(n_paths, steps, horizon,
+                                            max_steps, max_roots)
+                if cohort <= 0:
+                    break
+                tasks, task_index = cut_tasks(cohort, self.roots_per_task,
+                                              seed, task_index)
+                for task_counts, task_n, task_steps in pool.run_tasks(
+                        handle, tasks):
+                    counts += np.asarray(task_counts, dtype=np.int64)
+                    n_paths += task_n
+                    steps += task_steps
+                if quality is not None and curve_quality_met(
+                        quality, [int(c) for c in counts], n_paths):
+                    break
+        finally:
+            pool.unregister(handle)
         return [int(c) for c in counts], n_paths, steps, \
             time.perf_counter() - started
 

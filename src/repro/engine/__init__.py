@@ -19,11 +19,13 @@ over a private engine instance.
 """
 
 from .cache import CachedPlan, PlanCache, process_family
-from .policy import (ExecutionPolicy, quality_from_dict, quality_to_dict)
+from .policy import (ExecutionPolicy, ParallelPolicy, quality_from_dict,
+                     quality_to_dict)
 from .service import DurabilityEngine, UnservableGridError, resolve_plan
 
 __all__ = [
-    "CachedPlan", "DurabilityEngine", "ExecutionPolicy", "PlanCache",
+    "CachedPlan", "DurabilityEngine", "ExecutionPolicy", "ParallelPolicy",
+    "PlanCache",
     "UnservableGridError",
     "process_family", "quality_from_dict", "quality_to_dict",
     "resolve_plan",

@@ -38,6 +38,7 @@ counters make cache effectiveness observable
 from __future__ import annotations
 
 import math
+import threading
 import types
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -156,6 +157,14 @@ class PlanCache:
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # One engine (and its plan cache) may be driven from several
+        # threads at once — batch dispatch, services, or worker-pool
+        # orchestration.  All LRU mutation (lookup reordering, insert,
+        # eviction) and counter updates happen under this lock;
+        # OrderedDict.move_to_end + eviction are not atomic on their
+        # own.  (Worker *processes* each hold their own cache — plans
+        # are process-local by design.)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Keys
@@ -197,12 +206,13 @@ class PlanCache:
         """
         initial_value = query.initial_value()
         key = self.key_for(query, kind, initial_value)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
         pruned = entry.partition.pruned_above(initial_value)
         if pruned == entry.partition:
             return entry
@@ -213,38 +223,43 @@ class PlanCache:
             kind: object = "greedy", score: float = math.inf) -> None:
         """Memoize a plan for this query shape (LRU-evicting)."""
         key = self.key_for(query, kind)
-        self._entries[key] = CachedPlan(
-            partition=partition, kind=kind, score=score,
-            pins=(query.process, query.value_function))
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = CachedPlan(
+                partition=partition, kind=kind, score=score,
+                pins=(query.process, query.value_function))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict:
         """Hit/miss counters and occupancy, for service observability."""
-        total = self.hits + self.misses
-        return {
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / total if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
 
     def __repr__(self) -> str:
         return (f"PlanCache(entries={len(self._entries)}, "

@@ -26,6 +26,7 @@ from ..core.quality import (ConfidenceIntervalTarget, NeverTarget,
 
 METHODS = ("srs", "smlss", "gmlss", "auto")
 BACKENDS = ("scalar", "vectorized", "auto")
+POOL_MODES = ("fork", "spawn", "inline")
 
 #: Stride between derived per-query seeds in batch runs (a prime, so
 #: derived streams never collide for realistic batch sizes).
@@ -71,6 +72,81 @@ def quality_from_dict(data: Optional[dict]) -> Optional[QualityTarget]:
 
 
 @dataclass(frozen=True)
+class ParallelPolicy:
+    """How to spread simulation over a persistent worker pool.
+
+    Attaching one of these to :attr:`ExecutionPolicy.parallel` makes
+    the engine run samplers and fleet screens over a
+    :class:`~repro.core.pool.WorkerPool` (owned by the engine, reused
+    across calls).  Results are **invariant under** ``n_workers`` and
+    ``pool``: work decomposes into fixed-size tasks whose seeds derive
+    from the task index, so parallelism changes latency, not answers.
+
+    Attributes
+    ----------
+    n_workers:
+        Worker process count; ``None`` means ``os.cpu_count()``.
+        ``1`` falls back to the inline (no-process) mode.
+    roots_per_task:
+        Root trees / SRS paths per work descriptor.
+    tasks_per_round:
+        Minimum tasks per stopping-rule round — a constant (never
+        derived from ``n_workers``), sized so a round can keep several
+        workers busy.
+    members_per_task:
+        Fleet members per slice in fused fleet passes.
+    pool:
+        ``"fork"`` (default), ``"spawn"`` or ``"inline"``.
+    """
+
+    n_workers: Optional[int] = None
+    roots_per_task: int = 256
+    tasks_per_round: int = 8
+    members_per_task: int = 32
+    pool: str = "fork"
+
+    def validate(self) -> "ParallelPolicy":
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ValueError(
+                f"n_workers must be >= 1, got {self.n_workers}")
+        if self.roots_per_task < 1:
+            raise ValueError(
+                f"roots_per_task must be >= 1, got {self.roots_per_task}")
+        if self.tasks_per_round < 1:
+            raise ValueError(
+                f"tasks_per_round must be >= 1, got "
+                f"{self.tasks_per_round}")
+        if self.members_per_task < 1:
+            raise ValueError(
+                f"members_per_task must be >= 1, got "
+                f"{self.members_per_task}")
+        if self.pool not in POOL_MODES:
+            raise ValueError(
+                f"unknown pool mode {self.pool!r}; choose from "
+                f"{POOL_MODES}")
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "n_workers": self.n_workers,
+            "roots_per_task": self.roots_per_task,
+            "tasks_per_round": self.tasks_per_round,
+            "members_per_task": self.members_per_task,
+            "pool": self.pool,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParallelPolicy":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ParallelPolicy fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ExecutionPolicy:
     """How the engine should answer queries.
 
@@ -106,6 +182,11 @@ class ExecutionPolicy:
         (see :class:`repro.processes.base.FusedBatch`).  Disable to
         force the per-process cohort behaviour (e.g. for A/B
         measurement; estimates are exchangeable either way).
+    parallel:
+        A :class:`ParallelPolicy` spreading simulation over the
+        engine's persistent worker pool, or ``None`` (default) for
+        single-process execution.  Parallel results are invariant
+        under the worker count.
     sampler_options:
         Extra keyword arguments for the sampler constructor.
     """
@@ -122,6 +203,7 @@ class ExecutionPolicy:
     record_trace: bool = False
     use_plan_cache: bool = True
     fuse: bool = True
+    parallel: Optional[ParallelPolicy] = None
     sampler_options: Optional[dict] = None
 
     # ------------------------------------------------------------------
@@ -157,6 +239,8 @@ class ExecutionPolicy:
         if self.num_levels is not None and self.num_levels < 1:
             raise ValueError(
                 f"num_levels must be >= 1, got {self.num_levels}")
+        if self.parallel is not None:
+            self.parallel.validate()
         return self
 
     def replace(self, **overrides) -> "ExecutionPolicy":
@@ -214,6 +298,8 @@ class ExecutionPolicy:
             "record_trace": self.record_trace,
             "use_plan_cache": self.use_plan_cache,
             "fuse": self.fuse,
+            "parallel": self.parallel.to_dict()
+            if self.parallel is not None else None,
             "sampler_options": dict(self.sampler_options)
             if self.sampler_options else None,
         }
@@ -233,6 +319,9 @@ class ExecutionPolicy:
         fields = dict(data)
         if "quality" in fields:
             fields["quality"] = quality_from_dict(fields["quality"])
+        if isinstance(fields.get("parallel"), dict):
+            fields["parallel"] = ParallelPolicy.from_dict(
+                fields["parallel"])
         if isinstance(fields.get("ratio"), list):
             fields["ratio"] = tuple(fields["ratio"])
         return cls(**fields)

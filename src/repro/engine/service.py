@@ -45,14 +45,19 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import threading
 from typing import Optional, Sequence
 
 from ..core.balanced import balanced_growth_partition
 from ..core.estimates import DurabilityCurve, DurabilityEstimate
-from ..core.fleet import screen_fleet
+from ..core.fleet import (FleetThresholdValue, validate_grids,
+                          screen_fleet, screen_fleet_curves,
+                          screen_fleet_mlss)
+from ..core.forest import LevelPlanError
 from ..core.gmlss import GMLSSSampler
 from ..core.greedy import adaptive_greedy_partition
-from ..core.levels import LevelPartition
+from ..core.levels import LevelPartition, uniform_partition
+from ..core.pool import WorkerPool
 from ..core.smlss import SMLSSSampler
 from ..core.srs import SRSSampler
 from ..core.value_functions import (DurabilityQuery, ThresholdValueFunction,
@@ -135,6 +140,12 @@ class DurabilityEngine:
                  plan_cache: Optional[PlanCache] = None):
         self.policy = policy if policy is not None else ExecutionPolicy()
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._pool: Optional[WorkerPool] = None
+        self._pool_config = None
+        # Engines may be driven from several threads (the same reason
+        # PlanCache locks its LRU); pool creation/teardown must not
+        # race or two pools could be built and one leak its workers.
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Policy plumbing
@@ -150,6 +161,52 @@ class DurabilityEngine:
     def cache_stats(self) -> dict:
         """Plan-cache hit/miss counters (service observability)."""
         return self.plan_cache.stats()
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _get_pool(self, policy: ExecutionPolicy) -> Optional[WorkerPool]:
+        """The engine-owned persistent pool for this policy, if any.
+
+        Created on first parallel call and reused across queries —
+        that persistence (workers, registered substrates, shared
+        counter blocks) is the whole point of the pool.  A policy
+        asking for a different worker count or pool mode replaces it.
+        """
+        parallel = policy.parallel
+        if parallel is None:
+            return None
+        config = (parallel.n_workers, parallel.pool)
+        with self._pool_lock:
+            if self._pool is not None and (self._pool.closed
+                                           or self._pool_config != config):
+                self._pool.close()
+                self._pool = None
+                self._pool_config = None
+            if self._pool is None:
+                self._pool = WorkerPool(n_workers=parallel.n_workers,
+                                        pool=parallel.pool)
+                self._pool_config = config
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the engine's worker pool (idempotent).
+
+        The engine remains usable afterwards — the next parallel call
+        simply starts a fresh pool.
+        """
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+                self._pool_config = None
+
+    def __enter__(self) -> "DurabilityEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Single query
@@ -189,6 +246,12 @@ class DurabilityEngine:
         options = dict(policy.sampler_options or {})
         options.setdefault("record_trace", policy.record_trace)
         options.setdefault("backend", backend)
+        parallel = policy.parallel
+        if parallel is not None:
+            options.setdefault("pool", self._get_pool(policy))
+            options.setdefault("roots_per_task", parallel.roots_per_task)
+            options.setdefault("tasks_per_round",
+                               parallel.tasks_per_round)
         # A sampler_options override may pick a different backend than
         # the policy; report what the sampler actually ran.
         sampler_backend = resolve_backend(options["backend"], query.process)
@@ -445,6 +508,9 @@ class DurabilityEngine:
             elif self._can_fuse(queries, members, policy):
                 self._answer_fleet(queries, results, members, policy,
                                    next(cohort_ids))
+            elif self._can_fuse_mlss(policy):
+                self._answer_fleet_mlss(queries, results, members, policy,
+                                        cohort_ids)
             else:
                 # Same family but fusion unavailable for this policy:
                 # regroup per process object (the pre-fusion cohorts).
@@ -470,6 +536,20 @@ class DurabilityEngine:
         """
         return (policy.fuse and policy.method == "srs"
                 and policy.backend != "scalar")
+
+    @staticmethod
+    def _can_fuse_mlss(policy: ExecutionPolicy) -> bool:
+        """Fused *splitting-forest* screening for rare-event fleets.
+
+        Needs an explicit shared plan shape (``policy.num_levels`` —
+        the fleet shares one normalized partition; per-entity plan
+        search over a fused forest is out of scope) and the g-MLSS
+        estimator (its per-member folds need no per-member no-skipping
+        guarantees).
+        """
+        return (policy.fuse and policy.method == "gmlss"
+                and policy.backend != "scalar"
+                and policy.num_levels is not None)
 
     def _answer_by_process(self, queries, results, members, policy,
                            cohort_ids) -> None:
@@ -524,6 +604,14 @@ class DurabilityEngine:
                 estimate.details["cohort_id"] = cohort_id
                 results[index] = estimate
 
+    def _fleet_pool_options(self, policy: ExecutionPolicy) -> dict:
+        """Pool keywords shared by every fused fleet entry point."""
+        parallel = policy.parallel
+        if parallel is None:
+            return {}
+        return {"pool": self._get_pool(policy),
+                "members_per_task": parallel.members_per_task}
+
     def _answer_fleet(self, queries, results, members, policy,
                       cohort_id) -> None:
         """One fused screening pass for same-family, multi-process
@@ -540,9 +628,156 @@ class DurabilityEngine:
             fused, fleet[0].value_function.z, betas, fleet[0].horizon,
             quality=policy.quality, max_steps=policy.max_steps,
             max_roots=policy.max_roots,
-            batch_roots=options.get("batch_roots", 500), seed=seed)
+            batch_roots=options.get("batch_roots", 500), seed=seed,
+            **self._fleet_pool_options(policy))
         for index, estimate in zip(members, estimates):
             estimate.details["backend"] = "vectorized"
             estimate.details["cohort_size"] = len(members)
             estimate.details["cohort_id"] = cohort_id
             results[index] = estimate
+
+    def _answer_fleet_mlss(self, queries, results, members, policy,
+                           cohort_ids) -> None:
+        """One fused *splitting-forest* pass for a rare-event fleet.
+
+        The fleet shares a normalized uniform plan with
+        ``policy.num_levels`` levels, pruned against the worst member's
+        initial score (plans only change efficiency, never bias —
+        Proposition 2 — so one shared plan is always sound).  Fleets
+        whose plan degenerates (a member already at/above a boundary's
+        reach) fall back to per-process answers.
+        """
+        fleet = [queries[index] for index in members]
+        fused = FusedBatch([query.process for query in fleet])
+        betas = [query.value_function.beta for query in fleet]
+        z = fleet[0].value_function.z
+        rows = fused.initial_states(fused.n_members)
+        initial = float(FleetThresholdValue(z, betas)
+                        .batch(rows, 0).max())
+        partition = uniform_partition(policy.num_levels) \
+            .pruned_above(initial)
+        seed = policy.derive_seed(
+            (fused.key, fleet[0].horizon, self._z_identity(z),
+             tuple(sorted(betas)), "mlss"))
+        options = dict(policy.sampler_options or {})
+        try:
+            estimates = screen_fleet_mlss(
+                fused, z, betas, partition, fleet[0].horizon,
+                ratio=policy.ratio, quality=policy.quality,
+                max_steps=policy.max_steps, max_roots=policy.max_roots,
+                batch_roots=options.get("batch_roots", 100),
+                bootstrap_rounds=options.get("bootstrap_rounds", 200),
+                seed=seed, **self._fleet_pool_options(policy))
+        except LevelPlanError:
+            self._answer_by_process(queries, results, members, policy,
+                                    cohort_ids)
+            return
+        cohort_id = next(cohort_ids)
+        for index, estimate in zip(members, estimates):
+            estimate.details["backend"] = "vectorized"
+            estimate.details["cohort_size"] = len(members)
+            estimate.details["cohort_id"] = cohort_id
+            results[index] = estimate
+
+    # ------------------------------------------------------------------
+    # Fleet curves: every member's whole grid, one fused pass
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_curve_grids(queries, thresholds) -> list:
+        """Per-query raw grids from a shared grid or per-query grids."""
+        thresholds = list(thresholds)
+        if thresholds and all(hasattr(grid, "__iter__")
+                              and not isinstance(grid, str)
+                              for grid in thresholds):
+            if len(thresholds) != len(queries):
+                raise ValueError(
+                    f"{len(thresholds)} threshold grids for "
+                    f"{len(queries)} queries")
+            grids = thresholds
+        else:
+            grids = [thresholds] * len(queries)
+        return validate_grids(grids, len(queries))
+
+    def durability_curves(self, queries: Sequence[DurabilityQuery],
+                          thresholds,
+                          policy: Optional[ExecutionPolicy] = None,
+                          **overrides) -> list:
+        """Whole durability curves for many queries, fused when possible.
+
+        ``thresholds`` is either one ascending raw grid shared by every
+        query or a sequence of per-query grids (one per query; lengths
+        may differ).  Queries over *different processes of one fusible
+        family* (SRS method, batched backend, ``policy.fuse``) are
+        answered by a single fused running-maxima pass —
+        :func:`repro.core.fleet.screen_fleet_curves` — in which every
+        member's whole grid rides the shared frontier; everything else
+        falls back to per-query :meth:`durability_curve` passes.
+        Returns one :class:`DurabilityCurve` per query, in input order;
+        fused members carry ``details["cohort_id"]`` /
+        ``details["cohort_size"]``.
+
+        Seeds derive from query structure plus grid, so answers are
+        independent of batch composition and order.
+        """
+        policy = self._resolve_policy(policy, overrides)
+        queries = list(queries)
+        for query in queries:
+            if not isinstance(query.value_function,
+                              ThresholdValueFunction):
+                raise TypeError(
+                    "durability_curves needs threshold queries "
+                    "(value_function must be a ThresholdValueFunction, "
+                    f"got {type(query.value_function).__name__})"
+                )
+        grids = self._normalize_curve_grids(queries, thresholds)
+        results: list = [None] * len(queries)
+
+        groups: dict = {}
+        for index, query in enumerate(queries):
+            groups.setdefault(self._cohort_key(query), []).append(index)
+
+        cohort_ids = itertools.count()
+        for members in groups.values():
+            distinct = {id(queries[index].process) for index in members}
+            if (len(members) >= 2 and len(distinct) == len(members)
+                    and self._can_fuse(queries, members, policy)):
+                self._curves_fleet(queries, grids, results, members,
+                                   policy, next(cohort_ids))
+            else:
+                for index in members:
+                    self._curve_single(queries, grids, results, index,
+                                       policy)
+        return results
+
+    def _curve_single(self, queries, grids, results, index,
+                      policy) -> None:
+        query = queries[index]
+        member_policy = policy.replace(seed=policy.derive_seed(
+            (self._seed_material(query.with_threshold(grids[index][-1])),
+             grids[index])))
+        results[index] = self.durability_curve(query, grids[index],
+                                               policy=member_policy)
+
+    def _curves_fleet(self, queries, grids, results, members, policy,
+                      cohort_id) -> None:
+        """One fused running-maxima pass answering every member's grid."""
+        fleet = [queries[index] for index in members]
+        fused = FusedBatch([query.process for query in fleet])
+        member_grids = [grids[index] for index in members]
+        z = fleet[0].value_function.z
+        seed = policy.derive_seed(
+            (fused.key, fleet[0].horizon, self._z_identity(z),
+             tuple(member_grids), "curves"))
+        options = dict(policy.sampler_options or {})
+        curves = screen_fleet_curves(
+            fused, z, member_grids, fleet[0].horizon,
+            quality=policy.quality, max_steps=policy.max_steps,
+            max_roots=policy.max_roots,
+            batch_roots=options.get("batch_roots", 500), seed=seed,
+            **self._fleet_pool_options(policy))
+        for index, curve in zip(members, curves):
+            curve.details["backend"] = "vectorized"
+            curve.details["cohort_size"] = len(members)
+            curve.details["cohort_id"] = cohort_id
+            results[index] = curve

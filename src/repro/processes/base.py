@@ -102,7 +102,8 @@ RandomWalkProcess         yes       native                 yes
 GaussianWalkProcess       yes       native                 yes
 GBMProcess                yes       native                 yes
 ARProcess                 yes       native                 yes (per order)
-MarkovChainProcess        yes       native                 no
+MarkovChainProcess        yes       native                 yes (per state-
+                                                           space size)
 TandemQueueProcess        yes       native (Gillespie)     yes
 CompoundPoissonProcess    yes       native (Poisson sums)  yes
 ImpulseProcess            yes       native over any        yes (fusible

@@ -15,7 +15,8 @@ from typing import Sequence
 
 import numpy as np
 
-from .base import ImmutableStateProcess, VectorizedProcess, register_batch_z
+from .base import (ImmutableStateProcess, VectorizedProcess,
+                   register_batch_z, scalar_state_column)
 
 
 class MarkovChainProcess(ImmutableStateProcess, VectorizedProcess):
@@ -99,10 +100,59 @@ class MarkovChainProcess(ImmutableStateProcess, VectorizedProcess):
         """Real-valued evaluation ``z`` of a state."""
         return self.values[state]
 
+    # --- fusion hooks -------------------------------------------------
+
+    def fusion_key(self):
+        """Chains over equally-sized state spaces fuse.
+
+        The state-space size is the only *shape* the stacked parameter
+        tensor depends on; the transition probabilities themselves are
+        per-member data (``fusion_params``).  Per-state ``values`` stay
+        member-local: a fused fleet scores rows through a shared ``z``
+        (e.g. :meth:`state_index`), not per-member value tables.
+        """
+        return ("markov_chain", self.num_states)
+
+    def fusion_params(self) -> dict:
+        # One (n, n) cumulative-row matrix per member; FusedBatch
+        # stacks them into a (k, n, n) tensor and gathers (rows, n, n)
+        # slices by owner.
+        return {"cumulative": self._cumulative_array}
+
+    @staticmethod
+    def fused_step_batch(row_params, states, t, rng, out=None):
+        indices = states[:, 0].astype(np.intp)
+        # row_params["cumulative"][i] is row i's member's full matrix;
+        # select each row's *current-state* cumulative row, then
+        # bisect exactly as the unfused batched step.
+        cumulative = row_params["cumulative"][
+            np.arange(len(indices)), indices]
+        u = rng.random(len(indices))
+        successors = (cumulative <= u[:, None]).sum(axis=1)
+        if out is None:
+            out = states.copy()
+        out[:, 0] = successors
+        return out
+
+    @staticmethod
+    def state_index(state) -> float:
+        """Shared ``z`` for fused chain fleets: the state index itself.
+
+        Unlike the per-instance :meth:`state_value` (a bound method
+        carrying a member-local value table), this is one plain
+        function every member shares, so fused fleet passes and the
+        engine's structural cohort grouping can use it.  Equals
+        ``state_value`` whenever ``values`` is the default identity
+        mapping.
+        """
+        return float(state)
+
 
 register_batch_z(
     MarkovChainProcess.state_value,
-    lambda self, states: self._value_array[np.asarray(states, dtype=np.intp)])
+    lambda self, states: self._value_array[
+        scalar_state_column(states).astype(np.intp)])
+register_batch_z(MarkovChainProcess.state_index, scalar_state_column)
 
 
 def birth_death_chain(n: int, p_up: float, p_down: float,

@@ -55,6 +55,48 @@ class TestRunParallelMlss:
         assert runs[0].probability == runs[1].probability
         assert runs[0].steps == runs[1].steps
 
+    def test_results_invariant_under_worker_count(self, small_chain_query,
+                                                  small_chain_partition):
+        """Regression: shard seeds used to derive from ``n_workers``, so
+        changing the worker count changed the answer.  Task seeds now
+        derive from the task index alone — the worker count must change
+        nothing but latency."""
+        runs = [run_parallel_mlss(small_chain_query, small_chain_partition,
+                                  ratio=3, total_roots=600, n_workers=n,
+                                  seed=17) for n in (1, 2, 4)]
+        reference = (runs[0].probability, runs[0].variance, runs[0].steps,
+                     runs[0].hits)
+        for run in runs[1:]:
+            assert (run.probability, run.variance, run.steps,
+                    run.hits) == reference
+
+    def test_results_invariant_under_pool_mode(self, small_chain_query,
+                                               small_chain_partition):
+        by_mode = [run_parallel_mlss(
+                       small_chain_query, small_chain_partition, ratio=3,
+                       total_roots=300, n_workers=2, seed=23, pool=mode)
+                   for mode in ("inline", "fork")]
+        assert by_mode[0].probability == by_mode[1].probability
+        assert by_mode[0].steps == by_mode[1].steps
+
+    def test_smlss_invariant_under_worker_count(self, small_chain_query,
+                                                small_chain_partition):
+        runs = [run_parallel_mlss(small_chain_query, small_chain_partition,
+                                  ratio=3, total_roots=500, n_workers=n,
+                                  seed=29, estimator="smlss")
+                for n in (1, 3)]
+        assert runs[0].probability == runs[1].probability
+        assert runs[0].variance == runs[1].variance
+
+    def test_details_report_pool_configuration(self, small_chain_query,
+                                               small_chain_partition):
+        estimate = run_parallel_mlss(
+            small_chain_query, small_chain_partition, ratio=3,
+            total_roots=100, n_workers=2, seed=1, roots_per_task=50)
+        assert estimate.details["n_workers"] == 2
+        assert estimate.details["pool"] == "fork"
+        assert estimate.details["roots_per_task"] == 50
+
     @pytest.mark.parametrize("kwargs", [
         {"estimator": "bogus"}, {"total_roots": 0}, {"n_workers": 0},
     ])

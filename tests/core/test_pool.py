@@ -1,0 +1,300 @@
+"""Tests for the persistent shared-memory worker pool (repro.core.pool).
+
+Three contracts matter:
+
+* **lifecycle** — pools persist across runs, close idempotently, fall
+  back to inline execution at ``n_workers == 1``, and surface worker
+  failures instead of hanging;
+* **determinism** — pooled results are byte-identical across worker
+  counts and pool modes for a fixed seed (fixed task decomposition,
+  task-index-derived seeds, task-order merging);
+* **agreement** — pooled estimates agree with single-process runs
+  within joint confidence intervals, for every estimator and backend
+  (pooling reorders independent streams; it must not change the law).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gmlss import GMLSSSampler
+from repro.core.pool import (CounterBlock, PathWork, WorkerPool,
+                             derive_task_seed)
+from repro.core.records import ForestAggregate, RootRecord
+from repro.core.smlss import SMLSSSampler
+from repro.core.srs import SRSSampler
+from repro.core.stats import critical_value
+
+from ..helpers import assert_close_to
+
+Z999 = critical_value(0.999)
+
+
+def run_sampler(sampler_cls, query, partition, pool, seed, backend="auto",
+                **run_kwargs):
+    if sampler_cls is SRSSampler:
+        sampler = SRSSampler(backend=backend, pool=pool)
+    else:
+        sampler = sampler_cls(partition, ratio=3, backend=backend,
+                              pool=pool)
+    return sampler.run(query, seed=seed, **run_kwargs)
+
+
+class TestDeriveTaskSeed:
+    def test_depends_on_index_not_worker_count(self):
+        assert derive_task_seed(7, 0) == derive_task_seed(7, 0)
+        assert derive_task_seed(7, 0) != derive_task_seed(7, 1)
+        assert derive_task_seed(7, 0) != derive_task_seed(8, 0)
+
+    def test_salt_separates_streams(self):
+        assert derive_task_seed(7, 0) != derive_task_seed(7, 0, salt="x")
+
+    def test_none_stays_none(self):
+        assert derive_task_seed(None, 3) is None
+
+
+class TestCounterBlock:
+    def test_round_trips_records(self):
+        block = CounterBlock.local(capacity=4, num_levels=3)
+        records = []
+        for i in range(3):
+            record = RootRecord(3)
+            record.hits = i
+            record.steps = 10 * i
+            record.landings[1] = i + 1
+            record.skips[2] = i
+            record.crossings[1] = 2 * i
+            record.max_level = i
+            records.append(record)
+        n = block.write_records(records)
+        aggregate = ForestAggregate(3)
+        aggregate.extend_arrays(*block.read(n))
+
+        reference = ForestAggregate(3)
+        reference.extend(records)
+        assert aggregate.n_roots == reference.n_roots
+        assert aggregate.hits == reference.hits
+        assert aggregate.hits_sq_sum == reference.hits_sq_sum
+        assert aggregate.steps == reference.steps
+        assert aggregate.landings == reference.landings
+        assert aggregate.skips == reference.skips
+        assert aggregate.crossings == reference.crossings
+        assert aggregate.root_hits == reference.root_hits
+        assert aggregate.root_landings == reference.root_landings
+        assert aggregate.root_max_levels == reference.root_max_levels
+
+    def test_rejects_overflow(self):
+        block = CounterBlock.local(capacity=1, num_levels=2)
+        with pytest.raises(ValueError, match="capacity"):
+            block.write_records([RootRecord(2), RootRecord(2)])
+
+
+class TestLifecycle:
+    def test_single_worker_falls_back_inline(self):
+        pool = WorkerPool(n_workers=1, pool="fork")
+        assert pool.mode == "inline"
+        pool.close()
+
+    def test_explicit_inline_mode(self):
+        with WorkerPool(n_workers=4, pool="inline") as pool:
+            assert pool.mode == "inline"
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(n_workers=2)
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+    def test_closed_pool_rejects_work(self, small_chain_query):
+        pool = WorkerPool(n_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.register(PathWork(query=small_chain_query,
+                                   backend="vectorized"))
+
+    def test_pool_is_reused_across_runs(self, small_chain_query):
+        with WorkerPool(n_workers=2) as pool:
+            first = SRSSampler(backend="auto", pool=pool).run(
+                small_chain_query, max_roots=500, seed=1)
+            second = SRSSampler(backend="auto", pool=pool).run(
+                small_chain_query, max_roots=500, seed=2)
+        assert first.n_roots == second.n_roots == 500
+        # Same long-lived workers served both runs.
+        assert first.details["parallel"]["n_workers"] == 2
+        assert second.details["parallel"]["n_workers"] == 2
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="pool mode"):
+            WorkerPool(n_workers=2, pool="threads")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            WorkerPool(n_workers=0)
+
+    def test_worker_errors_propagate(self, small_chain_query):
+        # An unservable task (negative root count) must raise in the
+        # parent, not hang the pool.
+        from repro.core.pool import ForestWork
+        from repro.core.levels import LevelPartition
+        partition = LevelPartition([4.0 / 12.0, 8.0 / 12.0])
+        with WorkerPool(n_workers=2) as pool:
+            handle = pool.register(ForestWork(
+                query=small_chain_query, partition=partition,
+                ratios=(1, 3, 3), backend="vectorized", capacity=16))
+            with pytest.raises(RuntimeError, match="worker task failed"):
+                pool.run_tasks(handle, [(-5, 1)])
+
+
+class TestDeterminism:
+    """Byte-identical results across worker counts and pool modes."""
+
+    @pytest.mark.parametrize("sampler_cls",
+                             [SRSSampler, SMLSSSampler, GMLSSSampler])
+    def test_invariant_under_worker_count(self, sampler_cls,
+                                          small_chain_query,
+                                          small_chain_partition):
+        outcomes = []
+        for n_workers in (1, 2, 3):
+            with WorkerPool(n_workers=n_workers) as pool:
+                estimate = run_sampler(
+                    sampler_cls, small_chain_query, small_chain_partition,
+                    pool, seed=5, max_roots=700)
+            outcomes.append((estimate.probability, estimate.variance,
+                             estimate.n_roots, estimate.hits,
+                             estimate.steps))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_invariant_under_pool_mode(self, small_chain_query,
+                                       small_chain_partition):
+        results = []
+        for mode in ("inline", "fork"):
+            with WorkerPool(n_workers=2, pool=mode) as pool:
+                estimate = run_sampler(
+                    GMLSSSampler, small_chain_query,
+                    small_chain_partition, pool, seed=9, max_roots=600)
+            results.append((estimate.probability, estimate.steps))
+        assert results[0] == results[1]
+
+    def test_curve_invariant_under_worker_count(self, small_chain_query):
+        levels = (0.25, 0.5, 0.75, 1.0)
+        outcomes = []
+        for n_workers in (1, 3):
+            with WorkerPool(n_workers=n_workers) as pool:
+                curve = SRSSampler(backend="auto", pool=pool).run_curve(
+                    small_chain_query, levels, max_roots=900, seed=3)
+            outcomes.append(tuple(e.probability for e in curve.estimates)
+                            + (curve.steps,))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestPooledAgreement:
+    """Pooled estimates agree with sequential runs (and the oracle)."""
+
+    @pytest.mark.parametrize("backend", ["vectorized", "scalar"])
+    def test_pooled_srs_matches_exact(self, backend, small_chain_query,
+                                      small_chain_exact):
+        with WorkerPool(n_workers=2) as pool:
+            pooled = SRSSampler(backend=backend, pool=pool).run(
+                small_chain_query, max_roots=12_000, seed=21)
+        assert pooled.n_roots == 12_000
+        assert_close_to(pooled.probability, small_chain_exact,
+                        pooled.std_error)
+
+    @pytest.mark.parametrize("sampler_cls", [SMLSSSampler, GMLSSSampler])
+    @pytest.mark.parametrize("backend", ["vectorized", "scalar"])
+    def test_pooled_mlss_matches_exact(self, sampler_cls, backend,
+                                       small_chain_query,
+                                       small_chain_partition,
+                                       small_chain_exact):
+        with WorkerPool(n_workers=2) as pool:
+            pooled = run_sampler(
+                sampler_cls, small_chain_query, small_chain_partition,
+                pool, seed=22, backend=backend, max_roots=2_000)
+        assert pooled.n_roots == 2_000
+        assert_close_to(pooled.probability, small_chain_exact,
+                        pooled.std_error)
+
+    @pytest.mark.parametrize("sampler_cls",
+                             [SRSSampler, SMLSSSampler, GMLSSSampler])
+    def test_pooled_within_joint_ci_of_sequential(self, sampler_cls,
+                                                  small_chain_query,
+                                                  small_chain_partition):
+        budget = 8_000 if sampler_cls is SRSSampler else 1_500
+        with WorkerPool(n_workers=2) as pool:
+            pooled = run_sampler(
+                sampler_cls, small_chain_query, small_chain_partition,
+                pool, seed=31, max_roots=budget)
+        sequential = run_sampler(
+            sampler_cls, small_chain_query, small_chain_partition,
+            None, seed=32, max_roots=budget)
+        joint = Z999 * math.sqrt(pooled.variance + sequential.variance)
+        assert abs(pooled.probability - sequential.probability) \
+            <= joint + 1e-4
+
+    def test_pooled_quality_target_stops(self, small_chain_query):
+        from repro.core.quality import RelativeErrorTarget
+        with WorkerPool(n_workers=2) as pool:
+            estimate = SRSSampler(backend="auto", pool=pool).run(
+                small_chain_query,
+                quality=RelativeErrorTarget(target=0.3, min_hits=5),
+                max_roots=200_000, seed=41)
+        assert estimate.n_roots < 200_000
+        assert estimate.relative_error() <= 0.3
+
+
+class TestSpawnMode:
+    """One end-to-end spawn check (slower start; exercised sparingly)."""
+
+    def test_spawn_matches_fork(self, small_chain_query,
+                                small_chain_partition):
+        outcomes = []
+        for mode in ("fork", "spawn"):
+            with WorkerPool(n_workers=2, pool=mode) as pool:
+                estimate = run_sampler(
+                    GMLSSSampler, small_chain_query,
+                    small_chain_partition, pool, seed=13, max_roots=400)
+            outcomes.append((estimate.probability, estimate.steps))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestThreadSafety:
+    def test_concurrent_run_tasks_from_threads(self, small_chain_query):
+        """Two threads sharing one pool (the engine's persistent-pool
+        shape) must not swap each other's results: run_tasks calls are
+        serialized under the pool lock."""
+        import threading
+
+        results = {}
+        errors = []
+
+        with WorkerPool(n_workers=2) as pool:
+            def drive(name, seed):
+                try:
+                    results[name] = SRSSampler(
+                        backend="auto", pool=pool).run(
+                        small_chain_query, max_roots=2_000, seed=seed)
+                except Exception as exc:  # pragma: no cover - failure
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=drive, args=(f"t{i}", i))
+                       for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert not errors
+        assert len(results) == 4
+        for estimate in results.values():
+            assert estimate.n_roots == 2_000
+        # Threads with the same seed would get identical results; with
+        # distinct seeds every thread sees its own run's counters.
+        singles = []
+        for i in range(4):
+            single = SRSSampler(
+                backend="auto", pool=WorkerPool(1)).run(
+                small_chain_query, max_roots=2_000, seed=i)
+            singles.append(single)
+            assert results[f"t{i}"].probability == single.probability
+            assert results[f"t{i}"].steps == single.steps

@@ -147,3 +147,54 @@ class TestPruning:
         entry = cache.get(query)
         # 0.25 <= initial value 6/12; only 0.75 survives.
         assert entry.partition == LevelPartition([0.75])
+
+
+class TestConcurrency:
+    def test_concurrent_get_put_is_safe(self):
+        """Hammer one cache from many threads: no lost updates, no
+        corruption, occupancy within the LRU bound, counters add up."""
+        import threading
+
+        from repro.core.levels import LevelPartition
+        from repro.core.value_functions import DurabilityQuery
+        from repro.processes import RandomWalkProcess
+
+        cache = PlanCache(max_entries=16)
+        horizons = list(range(10, 42))
+        process = RandomWalkProcess(p_up=0.4, p_down=0.45)
+        queries = [DurabilityQuery.threshold(
+            process, RandomWalkProcess.position, beta=8.0,
+            horizon=horizon) for horizon in horizons]
+        partition = LevelPartition([0.5])
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(offset):
+            try:
+                barrier.wait()
+                for round_index in range(30):
+                    query = queries[(offset + round_index) % len(queries)]
+                    entry = cache.get(query)
+                    if entry is None:
+                        cache.put(query, partition)
+                    cache.stats()
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(cache) <= 16
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 30
+        # Every surviving entry is intact and retrievable.
+        for query in queries:
+            entry = cache.get(query)
+            if entry is not None:
+                assert entry.partition.boundaries == (0.5,)

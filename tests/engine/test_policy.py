@@ -4,8 +4,8 @@ import pytest
 
 from repro.core.quality import (ConfidenceIntervalTarget, NeverTarget,
                                 RelativeErrorTarget)
-from repro.engine.policy import (ExecutionPolicy, quality_from_dict,
-                                 quality_to_dict)
+from repro.engine.policy import (ExecutionPolicy, ParallelPolicy,
+                                 quality_from_dict, quality_to_dict)
 
 
 class TestValidate:
@@ -118,3 +118,55 @@ class TestSerialization:
 
         # Subclasses serialize as their base (documented built-ins only).
         assert quality_to_dict(Custom())["kind"] == "re"
+
+
+class TestParallelPolicy:
+    def test_round_trip(self):
+        policy = ExecutionPolicy(
+            max_steps=1000,
+            parallel=ParallelPolicy(n_workers=4, roots_per_task=128,
+                                    tasks_per_round=4,
+                                    members_per_task=16, pool="spawn"))
+        restored = ExecutionPolicy.from_dict(policy.to_dict())
+        assert restored == policy
+        assert restored.parallel.pool == "spawn"
+
+    def test_none_parallel_round_trips(self):
+        policy = ExecutionPolicy(max_steps=10)
+        data = policy.to_dict()
+        assert data["parallel"] is None
+        assert ExecutionPolicy.from_dict(data) == policy
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        policy = ExecutionPolicy(max_roots=5,
+                                 parallel=ParallelPolicy(n_workers=2))
+        text = json.dumps(policy.to_dict())
+        assert ExecutionPolicy.from_dict(json.loads(text)) == policy
+
+    def test_validation_rejects_bad_fields(self):
+        for bad in (ParallelPolicy(n_workers=0),
+                    ParallelPolicy(roots_per_task=0),
+                    ParallelPolicy(tasks_per_round=0),
+                    ParallelPolicy(members_per_task=0),
+                    ParallelPolicy(pool="threads")):
+            with pytest.raises(ValueError):
+                ExecutionPolicy(max_steps=1, parallel=bad).validate()
+
+    def test_default_n_workers_is_machine_sized(self):
+        # None defers to os.cpu_count() at pool construction; results
+        # are invariant under the resolved count, so this is safe.
+        policy = ParallelPolicy()
+        assert policy.n_workers is None
+        policy.validate()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ParallelPolicy"):
+            ParallelPolicy.from_dict({"n_workers": 2, "cores": 8})
+
+    def test_replace_carries_parallel(self):
+        policy = ExecutionPolicy(max_steps=10,
+                                 parallel=ParallelPolicy(n_workers=2))
+        derived = policy.replace(seed=3)
+        assert derived.parallel == policy.parallel

@@ -390,3 +390,220 @@ class TestFusedBatch:
         assert results[0].details["cohort_id"] \
             != results[2].details["cohort_id"]
         assert all(e.details["cohort_size"] == 2 for e in results)
+
+
+class TestParallelExecution:
+    """ExecutionPolicy.parallel drives the engine's persistent pool."""
+
+    @staticmethod
+    def parallel_engine(n_workers, **policy_kwargs):
+        from repro.engine import ParallelPolicy
+        return DurabilityEngine(ExecutionPolicy(
+            parallel=ParallelPolicy(n_workers=n_workers),
+            **policy_kwargs))
+
+    def test_answer_invariant_under_worker_count(self, walk_query):
+        outcomes = []
+        for n_workers in (1, 2, 4):
+            with self.parallel_engine(n_workers, method="srs",
+                                      max_roots=3_000, seed=11) as engine:
+                estimate = engine.answer(walk_query)
+            outcomes.append((estimate.probability, estimate.variance,
+                             estimate.steps))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_pooled_answer_matches_oracle(self, small_chain_query,
+                                          small_chain_exact):
+        with self.parallel_engine(2, method="srs", max_roots=10_000,
+                                  seed=12) as engine:
+            estimate = engine.answer(small_chain_query)
+        assert estimate.details["parallel"]["n_workers"] == 2
+        assert_close_to(estimate.probability, small_chain_exact,
+                        estimate.std_error)
+
+    def test_pooled_mlss_answer_matches_oracle(self, small_chain_query,
+                                               small_chain_partition,
+                                               small_chain_exact):
+        with self.parallel_engine(2, method="gmlss", max_roots=1_500,
+                                  seed=13) as engine:
+            estimate = engine.answer(small_chain_query,
+                                     partition=small_chain_partition)
+        assert estimate.n_roots == 1_500
+        assert_close_to(estimate.probability, small_chain_exact,
+                        estimate.std_error)
+
+    def test_pooled_curve_invariant_under_worker_count(self, walk_query):
+        outcomes = []
+        for n_workers in (1, 3):
+            with self.parallel_engine(n_workers, method="srs",
+                                      max_roots=2_000, seed=14) as engine:
+                curve = engine.durability_curve(walk_query,
+                                                [4.0, 7.0, 10.0])
+            outcomes.append(tuple(e.probability for e in curve.estimates))
+        assert outcomes[0] == outcomes[1]
+
+    def test_pooled_fused_batch_invariant_under_worker_count(self):
+        queries = [DurabilityQuery.threshold(
+            RandomWalkProcess(p_up=0.35 + 0.02 * i, p_down=0.45),
+            RandomWalkProcess.position, beta=6.0 + i, horizon=30)
+            for i in range(4)]
+        outcomes = []
+        for n_workers in (1, 2):
+            with self.parallel_engine(n_workers, method="srs",
+                                      max_roots=1_500, seed=15) as engine:
+                answers = engine.answer_batch(queries)
+            assert all(a.details.get("fused") for a in answers)
+            outcomes.append(tuple(a.probability for a in answers))
+        assert outcomes[0] == outcomes[1]
+
+    def test_pool_persists_across_calls_and_close_recycles(self,
+                                                           walk_query):
+        engine = self.parallel_engine(2, method="srs", max_roots=500,
+                                      seed=16)
+        engine.answer(walk_query)
+        pool = engine._pool
+        assert pool is not None and not pool.closed
+        engine.answer(walk_query)
+        assert engine._pool is pool  # same persistent pool
+        engine.close()
+        assert engine._pool is None
+        # The engine stays usable: a fresh pool is built on demand.
+        estimate = engine.answer(walk_query)
+        assert estimate.n_roots == 500
+        engine.close()
+
+    def test_sequential_engine_has_no_pool(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(method="srs",
+                                                  max_roots=200, seed=1))
+        engine.answer(walk_query)
+        assert engine._pool is None
+
+
+class TestDurabilityCurves:
+    """Batched curves: fused fleet grids through one shared pass."""
+
+    @staticmethod
+    def fleet_queries(n=4, horizon=30):
+        return [DurabilityQuery.threshold(
+            RandomWalkProcess(p_up=0.33 + 0.03 * i, p_down=0.45),
+            RandomWalkProcess.position, beta=8.0, horizon=horizon)
+            for i in range(n)]
+
+    def test_fused_curves_match_oracle(self):
+        from repro.core.analytic import random_walk_hitting_curve
+        queries = self.fleet_queries()
+        grid = [4.0, 6.0, 8.0]
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="srs", max_roots=15_000, seed=31))
+        curves = engine.durability_curves(queries, grid)
+        assert all(c.details.get("fused") for c in curves)
+        assert len({c.details["cohort_id"] for c in curves}) == 1
+        for query, curve in zip(queries, curves):
+            process = query.process
+            exact = random_walk_hitting_curve(
+                process.p_up, grid, query.horizon,
+                p_down=process.p_down)
+            for estimate, truth in zip(curve.estimates, exact):
+                assert abs(estimate.probability - float(truth)) <= \
+                    Z999 * estimate.std_error + 3e-3
+
+    def test_per_query_grids(self):
+        queries = self.fleet_queries(n=2)
+        curves = DurabilityEngine(ExecutionPolicy(
+            method="srs", max_roots=500, seed=32)).durability_curves(
+            queries, [[3.0, 6.0], [2.0, 4.0, 8.0]])
+        assert [len(c.estimates) for c in curves] == [2, 3]
+        assert curves[0].thresholds == (3.0, 6.0)
+
+    def test_non_fusible_queries_fall_back_to_single_passes(self, walk):
+        from repro.core.analytic import random_walk_hitting_curve
+        queries = [DurabilityQuery.threshold(
+            walk, RandomWalkProcess.position, beta=8.0, horizon=40)]
+        curves = DurabilityEngine(ExecutionPolicy(
+            method="srs", max_roots=8_000, seed=33)).durability_curves(
+            queries, [4.0, 8.0])
+        assert len(curves) == 1
+        assert "fused" not in curves[0].details
+        exact = random_walk_hitting_curve(walk.p_up, [4.0, 8.0], 40,
+                                          p_down=walk.p_down)
+        for estimate, truth in zip(curves[0].estimates, exact):
+            assert abs(estimate.probability - float(truth)) <= \
+                Z999 * estimate.std_error + 3e-3
+
+    def test_results_are_repeatable_under_a_seed(self):
+        queries = self.fleet_queries(n=3)
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="srs", max_roots=1_000, seed=34))
+        first = engine.durability_curves(queries, [4.0, 8.0])
+        second = engine.durability_curves(queries, [4.0, 8.0])
+        for a, b in zip(first, second):
+            assert [e.probability for e in a.estimates] == \
+                [e.probability for e in b.estimates]
+        # A solo "batch" of one is answered alone both times, with a
+        # structurally derived seed.
+        alone = engine.durability_curves([queries[0]], [4.0, 8.0])[0]
+        solo_again = engine.durability_curves([queries[0]], [4.0, 8.0])[0]
+        assert [e.probability for e in alone.estimates] == \
+            [e.probability for e in solo_again.estimates]
+
+    def test_needs_threshold_queries(self, walk):
+        query = DurabilityQuery(process=walk,
+                                value_function=lambda s, t: float(s),
+                                horizon=5)
+        with pytest.raises(TypeError, match="Threshold"):
+            DurabilityEngine(ExecutionPolicy(max_roots=5)) \
+                .durability_curves([query], [1.0, 2.0])
+
+    def test_grid_count_must_match_queries(self):
+        queries = self.fleet_queries(n=2)
+        with pytest.raises(ValueError, match="grids"):
+            DurabilityEngine(ExecutionPolicy(max_roots=5)) \
+                .durability_curves(queries, [[1.0], [2.0], [3.0]])
+
+
+class TestFusedMlssFleet:
+    """answer_batch: rare-event fleets through one fused splitting forest."""
+
+    @staticmethod
+    def rare_fleet(n=3, horizon=60):
+        return [DurabilityQuery.threshold(
+            RandomWalkProcess(p_up=0.30 + 0.02 * i, p_down=0.48),
+            RandomWalkProcess.position, beta=12.0, horizon=horizon)
+            for i in range(n)]
+
+    def test_fleet_fuses_under_gmlss_with_num_levels(self):
+        from repro.core.analytic import random_walk_hitting_curve
+        queries = self.rare_fleet()
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="gmlss", num_levels=3, max_roots=4_000, seed=41))
+        answers = engine.answer_batch(queries)
+        assert all(a.details.get("fused") for a in answers)
+        assert all(a.method == "gmlss" for a in answers)
+        assert len({a.details["cohort_id"] for a in answers}) == 1
+        for query, answer in zip(queries, answers):
+            process = query.process
+            exact = float(random_walk_hitting_curve(
+                process.p_up, [12.0], query.horizon,
+                p_down=process.p_down)[0])
+            assert abs(answer.probability - exact) <= \
+                Z999 * answer.std_error + 5e-4
+
+    def test_without_num_levels_falls_back_per_process(self):
+        queries = self.rare_fleet()
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="gmlss", max_roots=300, seed=42, trial_steps=2_000))
+        answers = engine.answer_batch(queries)
+        assert all("fused" not in a.details for a in answers)
+
+    def test_degenerate_plan_falls_back_per_process(self):
+        # Members starting above every pruned boundary: the shared plan
+        # degenerates and the engine answers per process instead.
+        queries = [DurabilityQuery.threshold(
+            RandomWalkProcess(p_up=0.4, p_down=0.45, start=11),
+            RandomWalkProcess.position, beta=12.0, horizon=10)
+            for _ in range(2)]
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="gmlss", num_levels=4, max_roots=200, seed=43,
+            trial_steps=1_000))
+        answers = engine.answer_batch(queries)
+        assert all(a.method == "gmlss" for a in answers)

@@ -59,10 +59,22 @@ class TestFusedBatchConstruction:
             fuse_processes([GBMProcess(), RandomWalkProcess()])
 
     def test_requires_fusible_members(self):
-        chain = MarkovChainProcess([[1.0]])
-        assert chain.fusion_key() is None
+        class Opaque(RandomWalkProcess):
+            def fusion_key(self):
+                return None
+
+        process = Opaque()
         with pytest.raises(ValueError, match="fusible"):
-            fuse_processes([chain, chain])
+            fuse_processes([process, process])
+
+    def test_chain_state_space_size_is_structural(self):
+        two = MarkovChainProcess([[0.5, 0.5], [0.0, 1.0]])
+        three = MarkovChainProcess([[0.5, 0.5, 0.0],
+                                    [0.0, 0.5, 0.5],
+                                    [0.0, 0.0, 1.0]])
+        assert two.fusion_key() != three.fusion_key()
+        with pytest.raises(ValueError, match="fusible"):
+            fuse_processes([two, three])
 
     def test_requires_members(self):
         with pytest.raises(ValueError, match="at least one"):
