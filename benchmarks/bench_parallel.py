@@ -12,19 +12,30 @@ all running the full vectorized/fused substrate *inside every worker*:
 3. **Fleet curves** — the same fleet, every member answering an
    8-threshold grid through the running-maxima fused pass
    (:func:`repro.core.fleet.screen_fleet_curves`).
+4. **Plan search** — a cold greedy search plus a balanced-growth
+   pilot, trials and pilot chunks sharded over the pool
+   (``adaptive_greedy_partition(pool=...)``).
 
-Besides throughput, two machine-independent contracts are *gated* (the
+Every pooled point runs under **both process (fork) and thread
+backends**; the per-workload speedup is the best 4-worker rate over
+the 1-worker (inline) rate, and both modes feed the determinism check.
+
+Besides throughput, the machine-independent contracts are *gated* (the
 benchmark fails if they break, whatever the host):
 
 * **determinism** — pooled results byte-identical across worker counts
-  (fixed task decomposition, task-index-derived seeds);
+  *and* pool modes (fixed task decomposition, task-index-derived
+  seeds);
 * **agreement** — pooled estimates inside joint 99.9% CIs of
-  single-process (unpooled) runs.
+  single-process (unpooled) runs;
+* **plan identity** — pool-sharded plan search returns exactly the
+  sequential search's partition and step accounting.
 
-The speedup target is evaluated only when the host actually has >= 4
-CPUs (``cpu_count`` is recorded in the payload); on smaller hosts the
-scaling numbers are reported as informational, like every wall-clock
-figure on shared CI runners.
+The speedup targets (>= 3x fused-fleet steps/s at 4 workers, pooled
+plan search faster than the parent) are evaluated only when the host
+actually has >= 4 CPUs (``cpu_count`` is recorded in the payload); on
+smaller hosts the scaling numbers are reported as informational, like
+every wall-clock figure on shared CI runners.
 
 Run directly (``python benchmarks/bench_parallel.py [--quick]``); CI
 uses ``--quick``.  Results land in ``BENCH_parallel.json`` and
@@ -41,7 +52,9 @@ from pathlib import Path
 import numpy as np
 
 from bench_common import write_report
+from repro.core.balanced import balanced_growth_partition
 from repro.core.fleet import screen_fleet, screen_fleet_curves
+from repro.core.greedy import adaptive_greedy_partition
 from repro.core.pool import WorkerPool
 from repro.core.srs import SRSSampler
 from repro.core.stats import critical_value
@@ -52,8 +65,27 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_JSON = REPO_ROOT / "BENCH_parallel.json"
 
 WORKER_GRID = (1, 2, 4)
+#: (mode, n_workers) measurement points: the inline baseline plus the
+#: worker grid under both the process and thread backends.
+POOL_GRID = (("inline", 1), ("fork", 2), ("fork", 4),
+             ("thread", 2), ("thread", 4))
 SPEEDUP_TARGET = 3.0
 Z999 = critical_value(0.999)
+
+
+def best_speedup(rows):
+    """Best 4-worker steps/s (any mode) over the 1-worker baseline."""
+    base = next(r for r in rows if r["n_workers"] == 1)
+    peak = max(r["steps_per_second"] for r in rows
+               if r["n_workers"] == max(WORKER_GRID))
+    return round(peak / base["steps_per_second"], 2)
+
+
+def speedup_by_mode(rows):
+    base = next(r for r in rows if r["n_workers"] == 1)
+    return {r["mode"]: round(r["steps_per_second"]
+                             / base["steps_per_second"], 2)
+            for r in rows if r["n_workers"] == max(WORKER_GRID)}
 
 
 def build_fleet(n_entities, seed=0):
@@ -95,15 +127,15 @@ def run_srs_workload(quick):
     sequential = SRSSampler(backend="vectorized").run(
         query, max_roots=max_roots, seed=5)
     rows, signatures = [], []
-    for n_workers in WORKER_GRID:
-        with WorkerPool(n_workers=n_workers) as pool:
+    for mode, n_workers in POOL_GRID:
+        with WorkerPool(n_workers=n_workers, pool=mode) as pool:
             # Large tasks (~30ms of simulation each) so per-task IPC
             # stays negligible next to the work it ships.
             estimate, seconds = timed(lambda: SRSSampler(
                 backend="vectorized", pool=pool,
                 roots_per_task=4096).run(
                 query, max_roots=max_roots, seed=5))
-        rows.append({"n_workers": n_workers,
+        rows.append({"mode": mode, "n_workers": n_workers,
                      "seconds": round(seconds, 4),
                      "steps": estimate.steps,
                      "steps_per_second": round(estimate.steps / seconds, 1)})
@@ -115,8 +147,8 @@ def run_srs_workload(quick):
         "query": query.name,
         "max_roots": max_roots,
         "by_workers": rows,
-        "speedup_at_4": round(rows[-1]["steps_per_second"]
-                              / rows[0]["steps_per_second"], 2),
+        "speedup_at_4": best_speedup(rows),
+        "speedup_at_4_by_mode": speedup_by_mode(rows),
         "deterministic_across_workers":
             all(s == signatures[0] for s in signatures),
         "comparisons": 1,
@@ -136,14 +168,14 @@ def run_fleet_workload(quick):
     sequential = screen_fleet(fused, GBMProcess.price, betas, horizon,
                               max_roots=max_roots, seed=7)
     rows, signatures = [], []
-    for n_workers in WORKER_GRID:
-        with WorkerPool(n_workers=n_workers) as pool:
+    for mode, n_workers in POOL_GRID:
+        with WorkerPool(n_workers=n_workers, pool=mode) as pool:
             estimates, seconds = timed(lambda: screen_fleet(
                 fused, GBMProcess.price, betas, horizon,
                 max_roots=max_roots, seed=7, pool=pool,
                 members_per_task=8))
         total_steps = sum(e.steps for e in estimates)
-        rows.append({"n_workers": n_workers,
+        rows.append({"mode": mode, "n_workers": n_workers,
                      "seconds": round(seconds, 4),
                      "steps": total_steps,
                      "steps_per_second": round(total_steps / seconds, 1)})
@@ -159,8 +191,8 @@ def run_fleet_workload(quick):
         "horizon": horizon,
         "max_roots_per_entity": max_roots,
         "by_workers": rows,
-        "speedup_at_4": round(rows[-1]["steps_per_second"]
-                              / rows[0]["steps_per_second"], 2),
+        "speedup_at_4": best_speedup(rows),
+        "speedup_at_4_by_mode": speedup_by_mode(rows),
         "deterministic_across_workers":
             all(s == signatures[0] for s in signatures),
         "comparisons": n_entities,
@@ -182,14 +214,14 @@ def run_curve_workload(quick):
     sequential = screen_fleet_curves(fused, GBMProcess.price, grids,
                                      horizon, max_roots=max_roots, seed=9)
     rows, signatures = [], []
-    for n_workers in WORKER_GRID:
-        with WorkerPool(n_workers=n_workers) as pool:
+    for mode, n_workers in POOL_GRID:
+        with WorkerPool(n_workers=n_workers, pool=mode) as pool:
             curves, seconds = timed(lambda: screen_fleet_curves(
                 fused, GBMProcess.price, grids, horizon,
                 max_roots=max_roots, seed=9, pool=pool,
                 members_per_task=4))
         total_steps = sum(c.steps for c in curves)
-        rows.append({"n_workers": n_workers,
+        rows.append({"mode": mode, "n_workers": n_workers,
                      "seconds": round(seconds, 4),
                      "steps": total_steps,
                      "steps_per_second": round(total_steps / seconds, 1)})
@@ -209,12 +241,77 @@ def run_curve_workload(quick):
         "horizon": horizon,
         "max_roots_per_entity": max_roots,
         "by_workers": rows,
-        "speedup_at_4": round(rows[-1]["steps_per_second"]
-                              / rows[0]["steps_per_second"], 2),
+        "speedup_at_4": best_speedup(rows),
+        "speedup_at_4_by_mode": speedup_by_mode(rows),
         "deterministic_across_workers":
             all(s == signatures[0] for s in signatures),
         "comparisons": n_entities * 8,
         "outside_joint_ci999_vs_sequential": disagreements,
+    }
+
+
+def run_plan_search_workload(quick):
+    """Cold-query plan search: parent vs pool-sharded, identical plans.
+
+    The latency that parallel plan search attacks is the *cold* path —
+    the first query of a family pays a greedy search (dozens of
+    sequential trials) before any estimate.  Trials within a round are
+    independent, so sharding them is pure win once trials dominate the
+    per-task overhead.
+    """
+    # A genuinely rare threshold (~2.6 sigma of 64-step max drift):
+    # common events plateau the pilot's tail at 1.0 (nothing to fit)
+    # and give the greedy search nothing to split.
+    process = GBMProcess(start_price=100.0, mu=0.0004, sigma=0.012)
+    query = DurabilityQuery.threshold(
+        process, GBMProcess.price, beta=125.0,
+        horizon=64 if quick else 96, name="gbm-plan")
+    trial_steps = 25_000 if quick else 80_000
+    pilot_paths = 2_000 if quick else 6_000
+
+    parent, parent_seconds = timed(lambda: adaptive_greedy_partition(
+        query, ratio=3, trial_steps=trial_steps, seed=17,
+        backend="vectorized"))
+    parent_pilot, parent_pilot_seconds = timed(
+        lambda: balanced_growth_partition(
+            query, 4, pilot_paths=pilot_paths, seed=19,
+            backend="vectorized"))
+
+    rows = [{"mode": "parent", "n_workers": 1,
+             "seconds": round(parent_seconds, 4),
+             "pilot_seconds": round(parent_pilot_seconds, 4),
+             "search_steps": parent.search_steps}]
+    identical = True
+    for mode in ("fork", "thread"):
+        with WorkerPool(n_workers=max(WORKER_GRID), pool=mode) as pool:
+            pooled, seconds = timed(lambda: adaptive_greedy_partition(
+                query, ratio=3, trial_steps=trial_steps, seed=17,
+                backend="vectorized", pool=pool))
+            pooled_pilot, pilot_seconds = timed(
+                lambda: balanced_growth_partition(
+                    query, 4, pilot_paths=pilot_paths, seed=19,
+                    backend="vectorized", pool=pool))
+        rows.append({"mode": mode, "n_workers": max(WORKER_GRID),
+                     "seconds": round(seconds, 4),
+                     "pilot_seconds": round(pilot_seconds, 4),
+                     "search_steps": pooled.search_steps})
+        identical = (identical
+                     and pooled.partition == parent.partition
+                     and pooled.search_steps == parent.search_steps
+                     and pooled_pilot == parent_pilot)
+    best_pooled = min(r["seconds"] + r["pilot_seconds"]
+                      for r in rows[1:])
+    parent_total = parent_seconds + parent_pilot_seconds
+    return {
+        "workload": "plan_search",
+        "query": query.name,
+        "trial_steps": trial_steps,
+        "pilot_paths": pilot_paths,
+        "greedy_partition": list(parent.partition.boundaries),
+        "by_workers": rows,
+        "speedup_at_4": round(parent_total / best_pooled, 2),
+        "plan_identical_to_parent": identical,
+        "pooled_faster_than_parent": best_pooled < parent_total,
     }
 
 
@@ -225,21 +322,25 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     cpu_count = os.cpu_count() or 1
-    workloads = [run_srs_workload(args.quick),
-                 run_fleet_workload(args.quick),
-                 run_curve_workload(args.quick)]
+    sampling = [run_srs_workload(args.quick),
+                run_fleet_workload(args.quick),
+                run_curve_workload(args.quick)]
+    plan_search = run_plan_search_workload(args.quick)
+    workloads = sampling + [plan_search]
 
     target_evaluable = cpu_count >= max(WORKER_GRID)
-    fleet = next(w for w in workloads if w["workload"] == "fused_fleet")
+    fleet = next(w for w in sampling if w["workload"] == "fused_fleet")
     speedup_met = fleet["speedup_at_4"] >= SPEEDUP_TARGET
+    plan_speedup_met = plan_search["pooled_faster_than_parent"]
     deterministic = all(w["deterministic_across_workers"]
-                        for w in workloads)
+                        for w in sampling)
+    plan_identical = plan_search["plan_identical_to_parent"]
     # A 99.9% joint interval over hundreds of comparisons is *expected*
     # to miss occasionally; allow the binomial false-positive budget.
     agreement = all(
         w["outside_joint_ci999_vs_sequential"]
         <= max(1, round(0.005 * w["comparisons"]))
-        for w in workloads)
+        for w in sampling)
 
     payload = {
         "benchmark": "parallel",
@@ -247,12 +348,15 @@ def main(argv=None):
         "quick": args.quick,
         "cpu_count": cpu_count,
         "worker_grid": list(WORKER_GRID),
+        "pool_grid": [list(point) for point in POOL_GRID],
         "workloads": workloads,
         "targets": {
             "fused_fleet_speedup_at_4_min": SPEEDUP_TARGET,
             "speedup_target_evaluable": target_evaluable,
             "speedup_target_met": speedup_met,
+            "plan_search_pooled_faster": plan_speedup_met,
             "deterministic_across_workers": deterministic,
+            "plan_identical_to_parent": plan_identical,
             "agreement_with_sequential": agreement,
         },
     }
@@ -261,19 +365,29 @@ def main(argv=None):
     evaluable_note = ("evaluable" if target_evaluable else
                       "NOT evaluable: fewer cores than the 4-worker "
                       "grid point")
-    lines = [f"host cpus: {cpu_count} (speedup target {evaluable_note})"]
-    for workload in workloads:
+    lines = [f"host cpus: {cpu_count} (speedup targets {evaluable_note})"]
+    for workload in sampling:
         lines.append(f"{workload['workload']}:")
         for row in workload["by_workers"]:
             lines.append(
-                f"  {row['n_workers']} worker(s) "
+                f"  {row['mode']:>7}/{row['n_workers']} worker(s) "
                 f"{row['steps_per_second']:>14,.0f} steps/s "
                 f"({row['seconds']:.3f}s)")
         lines.append(
-            f"  speedup@4 {workload['speedup_at_4']:.2f}x   "
+            f"  speedup@4 {workload['speedup_at_4']:.2f}x "
+            f"{workload['speedup_at_4_by_mode']}   "
             f"deterministic: {workload['deterministic_across_workers']}  "
             f"outside joint CI999: "
             f"{workload['outside_joint_ci999_vs_sequential']}")
+    lines.append("plan_search:")
+    for row in plan_search["by_workers"]:
+        lines.append(
+            f"  {row['mode']:>7}/{row['n_workers']} worker(s) "
+            f"greedy {row['seconds']:.3f}s + pilot "
+            f"{row['pilot_seconds']:.3f}s")
+    lines.append(
+        f"  speedup@4 {plan_search['speedup_at_4']:.2f}x   "
+        f"plan identical to parent: {plan_identical}")
     lines.append("")
     lines.append(
         f"fused-fleet speedup target (>= {SPEEDUP_TARGET:.0f}x at 4 "
@@ -281,13 +395,18 @@ def main(argv=None):
         + ("met" if speedup_met else
            "missed" + ("" if target_evaluable
                        else " (host has too few cores to evaluate)")))
+    lines.append(
+        "plan-search pooled-faster-than-parent target: "
+        + ("met" if plan_speedup_met else
+           "missed" + ("" if target_evaluable
+                       else " (host has too few cores to evaluate)")))
     write_report("parallel", "Multicore x SIMD worker-pool scaling",
                  lines)
 
     # Correctness contracts gate the exit code everywhere; the
-    # wall-clock target only gates on hosts that can express it.
-    ok = deterministic and agreement and (
-        speedup_met or not target_evaluable)
+    # wall-clock targets only gate on hosts that can express them.
+    ok = deterministic and agreement and plan_identical and (
+        (speedup_met and plan_speedup_met) or not target_evaluable)
     print(f"targets {'met' if ok else 'MISSED'}; results in {RESULT_JSON}")
     return 0 if ok else 1
 

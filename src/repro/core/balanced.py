@@ -26,18 +26,67 @@ import numpy as np
 
 from ..processes.base import as_vectorized, resolve_backend
 from .levels import LevelPartition
+from .pool import PlanSearchWork, derive_task_seed
 from .value_functions import TARGET_VALUE, DurabilityQuery, batch_values
 from .variance import balanced_boundaries_from_survival
+
+#: Pilot paths per chunk.  The pilot is *always* cut into chunks of
+#: this size with chunk-index-derived seeds — sequentially in the
+#: parent or sharded over a worker pool — so pooled and parent-only
+#: pilots draw identical randomness and build identical plans.
+DEFAULT_PILOT_PATHS_PER_TASK = 512
 
 
 def pilot_max_values(query: DurabilityQuery, n_paths: int = 2000,
                      seed: Optional[int] = None,
-                     backend: str = "scalar") -> list:
+                     backend: str = "scalar", pool=None,
+                     paths_per_task: Optional[int] = None) -> list:
     """Max value-function score per SRS pilot path (sorted ascending).
 
     Paths stop early once they hit the target (their max is 1).  The
-    vectorized backend runs the whole pilot as one path cohort.
+    pilot runs as fixed-size chunks whose seeds derive from the chunk
+    index (:func:`~repro.core.pool.derive_task_seed`); with a
+    :class:`~repro.core.pool.WorkerPool` the chunks run concurrently
+    via :class:`~repro.core.pool.PlanSearchWork`, and because the
+    decomposition never depends on the worker count, pooled pilots
+    return exactly what the sequential pilot would.
     """
+    if n_paths < 1:
+        raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    paths_per_task = paths_per_task or DEFAULT_PILOT_PATHS_PER_TASK
+    if paths_per_task < 1:
+        raise ValueError(
+            f"paths_per_task must be >= 1, got {paths_per_task}")
+    chunks = []
+    remaining = n_paths
+    index = 0
+    while remaining > 0:
+        count = min(remaining, paths_per_task)
+        chunks.append((count, derive_task_seed(seed, index, salt="pilot")))
+        index += 1
+        remaining -= count
+    if pool is not None and len(chunks) > 1:
+        handle = pool.register(PlanSearchWork(query=query, backend=backend))
+        try:
+            results = pool.run_tasks(
+                handle, [("pilot", count, chunk_seed)
+                         for count, chunk_seed in chunks])
+        finally:
+            pool.unregister(handle)
+    else:
+        results = [pilot_chunk_max_values(query, count, seed=chunk_seed,
+                                          backend=backend)
+                   for count, chunk_seed in chunks]
+    maxima = [value for chunk in results for value in chunk]
+    maxima.sort()
+    return maxima
+
+
+def pilot_chunk_max_values(query: DurabilityQuery, n_paths: int,
+                           seed: Optional[int] = None,
+                           backend: str = "scalar") -> list:
+    """One pilot chunk's per-path maxima (unsorted; the pooled task
+    primitive behind :func:`pilot_max_values`)."""
     if n_paths < 1:
         raise ValueError(f"n_paths must be >= 1, got {n_paths}")
     if resolve_backend(backend, query.process) == "vectorized":
@@ -60,13 +109,12 @@ def pilot_max_values(query: DurabilityQuery, n_paths: int = 2000,
                 if best >= TARGET_VALUE:
                     break
         maxima.append(min(best, TARGET_VALUE))
-    maxima.sort()
     return maxima
 
 
 def _pilot_max_values_vectorized(query: DurabilityQuery, n_paths: int,
                                  seed: Optional[int]) -> list:
-    """Batched pilot: track the running max score of every live path."""
+    """Batched pilot chunk: running max score of every live path."""
     rng = np.random.default_rng(seed)
     process = as_vectorized(query.process)
     value_fn = query.value_function
@@ -91,7 +139,6 @@ def _pilot_max_values_vectorized(query: DurabilityQuery, n_paths: int,
             states, best = states[keep], best[keep]
     maxima.extend(best.tolist())
     maxima.extend([TARGET_VALUE] * n_hit)
-    maxima.sort()
     return maxima
 
 
@@ -172,7 +219,8 @@ def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
                               pilot_paths: int = 2000,
                               seed: Optional[int] = None,
                               backend: str = "scalar",
-                              plan_cache=None) -> LevelPartition:
+                              plan_cache=None,
+                              pool=None) -> LevelPartition:
     """Build an (approximately) balanced-growth plan with ``m`` levels.
 
     This is the automated stand-in for the paper's manually tuned
@@ -183,6 +231,11 @@ def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
     ``plan_cache`` (a :class:`repro.engine.PlanCache` or compatible) is
     consulted before the pilot runs — a hit skips the pilot entirely —
     and updated afterwards, keyed separately per ``num_levels``.
+
+    ``pool`` shards the pilot's chunks over a
+    :class:`~repro.core.pool.WorkerPool`; the chunk decomposition is
+    fixed, so the pooled pilot builds exactly the plan the sequential
+    pilot would (see :func:`pilot_max_values`).
     """
     if num_levels < 1:
         raise ValueError(f"num_levels must be >= 1, got {num_levels}")
@@ -194,7 +247,7 @@ def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
         if entry is not None:
             return entry.partition
     maxima = pilot_max_values(query, n_paths=pilot_paths, seed=seed,
-                              backend=backend)
+                              backend=backend, pool=pool)
     survival = hybrid_survival(maxima)
     tau = survival(TARGET_VALUE)
     if tau >= 1.0:

@@ -51,17 +51,21 @@ def resolve_partition(query: DurabilityQuery,
                       num_levels: Optional[int],
                       ratio, trial_steps: int,
                       seed: Optional[int],
-                      backend: str = "scalar"):
+                      backend: str = "scalar",
+                      pool=None):
     """Choose the level plan: explicit > balanced pilot > greedy search.
 
     Returns ``(partition, search_details_or_None)``.  The cache-less
     view of :func:`repro.engine.service.resolve_plan` (the single
     source of truth for plan precedence); the engine service adds plan
     caching on top (:meth:`repro.engine.DurabilityEngine.answer`).
+    ``pool`` shards the search's trials and pilots over a
+    :class:`~repro.core.pool.WorkerPool` without changing the chosen
+    plan.
     """
     plan, search_details, _ = resolve_plan(
         query, partition, num_levels, ratio, trial_steps, seed,
-        backend=backend, plan_cache=None)
+        backend=backend, plan_cache=None, pool=pool)
     return plan, search_details
 
 

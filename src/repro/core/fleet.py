@@ -137,11 +137,25 @@ def _slice_tasks(n_members: int, members_per_task: int,
                 range(0, n_members, members_per_task))]
 
 
-def _run_fleet_pooled(pool, work: FleetWork, tasks: list) -> list:
-    """Register, run and release one fleet work on the pool."""
+def _run_fleet_pooled(pool, work: FleetWork, tasks: list):
+    """Register, stream and release one fleet work on the pool.
+
+    A generator yielding results in task order: every slice is
+    submitted up front and each result is yielded as soon as it (and
+    its predecessors) finish, so callers fold early slices into their
+    per-member arrays while straggler slices are still running instead
+    of waiting at a full-fleet barrier.  Callers must ``close()`` the
+    generator (or exhaust it) so the work is unregistered promptly.
+    """
     handle = pool.register(work)
     try:
-        return pool.run_tasks(handle, tasks)
+        stream = pool.stream(handle)
+        try:
+            seqs = [stream.submit(payload) for payload in tasks]
+            for seq in seqs:
+                yield stream.collect(seq)
+        finally:
+            stream.close()
     finally:
         pool.unregister(handle)
 
@@ -297,11 +311,14 @@ def screen_fleet(fused: FusedBatch, z, betas: Sequence[float], horizon: int,
         hits = np.zeros(k, dtype=np.int64)
         steps = np.zeros(k, dtype=np.int64)
         rounds = 0
-        for (lo, hi, _), result in zip(
-                tasks, _run_fleet_pooled(pool, work, tasks)):
-            n_paths[lo:hi], hits[lo:hi], steps[lo:hi] = \
-                result[0], result[1], result[2]
-            rounds = max(rounds, result[3])
+        results = _run_fleet_pooled(pool, work, tasks)
+        try:
+            for (lo, hi, _), result in zip(tasks, results):
+                n_paths[lo:hi], hits[lo:hi], steps[lo:hi] = \
+                    result[0], result[1], result[2]
+                rounds = max(rounds, result[3])
+        finally:
+            results.close()
     else:
         n_paths, hits, steps, rounds = _screen_members(
             fused, z, betas, horizon, quality, max_steps, max_roots,
@@ -497,15 +514,18 @@ def screen_fleet_curves(fused: FusedBatch, z, grids, horizon: int,
         n_paths = np.zeros(k, dtype=np.int64)
         steps = np.zeros(k, dtype=np.int64)
         rounds = 0
-        for (lo, hi, _), result in zip(
-                tasks, _run_fleet_pooled(pool, work, tasks)):
-            slice_counts, slice_n, slice_steps, slice_rounds = result
-            for offset, member_counts in enumerate(slice_counts):
-                counts[lo + offset] = np.asarray(member_counts,
-                                                 dtype=np.int64)
-            n_paths[lo:hi] = slice_n
-            steps[lo:hi] = slice_steps
-            rounds = max(rounds, slice_rounds)
+        results = _run_fleet_pooled(pool, work, tasks)
+        try:
+            for (lo, hi, _), result in zip(tasks, results):
+                slice_counts, slice_n, slice_steps, slice_rounds = result
+                for offset, member_counts in enumerate(slice_counts):
+                    counts[lo + offset] = np.asarray(member_counts,
+                                                     dtype=np.int64)
+                n_paths[lo:hi] = slice_n
+                steps[lo:hi] = slice_steps
+                rounds = max(rounds, slice_rounds)
+        finally:
+            results.close()
     else:
         counts, n_paths, steps, rounds = _curve_members(
             fused, z, grids, horizon, quality, max_steps, max_roots,
@@ -703,9 +723,12 @@ def screen_fleet_mlss(fused: FusedBatch, z, betas: Sequence[float],
             quality=quality, max_steps=max_steps, max_roots=max_roots,
             batch_roots=batch_roots, bootstrap_rounds=bootstrap_rounds)
         rows = [None] * k
-        for (lo, hi, _), result in zip(
-                tasks, _run_fleet_pooled(pool, work, tasks)):
-            rows[lo:hi] = result
+        results = _run_fleet_pooled(pool, work, tasks)
+        try:
+            for (lo, hi, _), result in zip(tasks, results):
+                rows[lo:hi] = result
+        finally:
+            results.close()
     else:
         rows = _mlss_members(
             fused, z, betas, partition, ratio, horizon, quality,

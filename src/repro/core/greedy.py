@@ -16,12 +16,12 @@ score (more levels would only add splitting overhead) or when
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 from typing import Optional
 
 from .levels import LevelPartition
 from .optimizer import PlanTrial, evaluate_partition, pool_trials
+from .pool import PlanSearchWork, derive_task_seed
 from .value_functions import DurabilityQuery
 
 
@@ -84,7 +84,8 @@ def adaptive_greedy_partition(query: DurabilityQuery, ratio=3,
                               max_rounds: int = 10,
                               seed: Optional[int] = None,
                               backend: str = "scalar",
-                              plan_cache=None) -> GreedyResult:
+                              plan_cache=None,
+                              pool=None) -> GreedyResult:
     """Algorithm 1: search for a (near-)optimal partition plan.
 
     Parameters
@@ -111,6 +112,15 @@ def adaptive_greedy_partition(query: DurabilityQuery, ratio=3,
         returned immediately with ``from_cache=True`` and zero search
         steps; on a miss the search runs and its result is stored for
         the next equivalent query.
+    pool:
+        Optional :class:`~repro.core.pool.WorkerPool`: each round's
+        candidate trials — independent fixed-budget simulations, the
+        entire cost of the search — run concurrently on its workers
+        via :class:`~repro.core.pool.PlanSearchWork`.  Trial seeds are
+        *structural* (derived from the running trial index with
+        :func:`~repro.core.pool.derive_task_seed`) in both the pooled
+        and parent-only paths, so for a fixed ``seed`` the pooled
+        search returns exactly the plan the parent-only search would.
     """
     if plan_cache is not None:
         entry = plan_cache.get(query, kind="greedy")
@@ -120,52 +130,75 @@ def adaptive_greedy_partition(query: DurabilityQuery, ratio=3,
                 rounds=[], search_steps=0,
                 pooled_estimate=0.0, pooled_roots=0, from_cache=True,
             )
-    rng = random.Random(seed)
     initial_value = query.initial_value()
     plan = LevelPartition()
     best_score = float("inf")
     v_lo, v_hi = 0.0, 1.0
     rounds = []
     search_steps = 0
-
-    for _ in range(max_rounds):
-        candidates = candidate_boundaries(
-            v_lo, v_hi, candidates_per_round, plan.boundaries,
-            minimum=initial_value)
-        if not candidates:
-            break
-        trials = []
-        for value in candidates:
-            trial = evaluate_partition(
-                query, plan.with_boundary(value), ratio=ratio,
-                trial_steps=trial_steps, rng=rng, backend=backend)
-            trials.append(trial)
-            search_steps += trial.steps
-        scored = sorted(zip(trials, candidates),
-                        key=lambda pair: (pair[0].eval_score,
-                                          -pair[0].hits,
-                                          -pair[0].top_flow))
-        best_trial, best_value = scored[0]
-        improved = best_trial.eval_score < best_score
-        # With no target hits anywhere yet, every eval is infinite and
-        # carries no information; keep adding boundaries toward the
-        # level with the most upward flow instead of giving up —
-        # for rare targets, more levels are certainly needed.
-        exploring = (not improved and math.isinf(best_score)
-                     and best_trial.top_flow > 0)
-        accept = improved or exploring
-        rounds.append(GreedyRound(
-            focus=(v_lo, v_hi), candidates=candidates, trials=trials,
-            chosen=best_value if accept else None,
-            best_score=best_trial.eval_score,
-        ))
-        if not accept:
-            break
-        plan = plan.with_boundary(best_value)
-        if improved:
-            best_score = best_trial.eval_score
-        # Refocus on the level with the smallest advancement probability.
-        v_lo, v_hi = _obstacle_interval(plan, best_trial, initial_value)
+    trial_index = 0
+    handle = None
+    if pool is not None:
+        handle = pool.register(PlanSearchWork(
+            query=query, ratio=ratio, trial_steps=trial_steps,
+            backend=backend))
+    try:
+        for _ in range(max_rounds):
+            candidates = candidate_boundaries(
+                v_lo, v_hi, candidates_per_round, plan.boundaries,
+                minimum=initial_value)
+            if not candidates:
+                break
+            # Trial seeds derive from the trial's position in the
+            # search, so the pooled and parent-only paths score every
+            # candidate with identical randomness and choose identical
+            # plans.
+            plans = [plan.with_boundary(value) for value in candidates]
+            seeds = [derive_task_seed(seed, trial_index + i, salt="plan")
+                     for i in range(len(plans))]
+            trial_index += len(plans)
+            if handle is not None:
+                trials = pool.run_tasks(handle, [
+                    ("trial", candidate.boundaries, trial_seed)
+                    for candidate, trial_seed in zip(plans, seeds)])
+            else:
+                trials = [evaluate_partition(
+                    query, candidate, ratio=ratio,
+                    trial_steps=trial_steps, seed=trial_seed,
+                    backend=backend)
+                    for candidate, trial_seed in zip(plans, seeds)]
+            for trial in trials:
+                search_steps += trial.steps
+            scored = sorted(zip(trials, candidates),
+                            key=lambda pair: (pair[0].eval_score,
+                                              -pair[0].hits,
+                                              -pair[0].top_flow))
+            best_trial, best_value = scored[0]
+            improved = best_trial.eval_score < best_score
+            # With no target hits anywhere yet, every eval is infinite
+            # and carries no information; keep adding boundaries toward
+            # the level with the most upward flow instead of giving up —
+            # for rare targets, more levels are certainly needed.
+            exploring = (not improved and math.isinf(best_score)
+                         and best_trial.top_flow > 0)
+            accept = improved or exploring
+            rounds.append(GreedyRound(
+                focus=(v_lo, v_hi), candidates=candidates, trials=trials,
+                chosen=best_value if accept else None,
+                best_score=best_trial.eval_score,
+            ))
+            if not accept:
+                break
+            plan = plan.with_boundary(best_value)
+            if improved:
+                best_score = best_trial.eval_score
+            # Refocus on the level with the smallest advancement
+            # probability.
+            v_lo, v_hi = _obstacle_interval(plan, best_trial,
+                                            initial_value)
+    finally:
+        if handle is not None:
+            pool.unregister(handle)
 
     pooled, pooled_roots, _ = pool_trials(
         [t for rnd in rounds for t in rnd.trials])

@@ -26,9 +26,19 @@ shards this changes three things:
   seeds derive from the *task index* (never the worker count), so for
   a fixed ``seed`` the estimate is **byte-identical for any
   ``n_workers``** and any pool mode (``"fork"``/``"spawn"``/
-  ``"inline"``).  The historical behaviour — shard seeds depending on
-  ``n_workers`` — changed results when the worker count changed and is
-  regression-tested away.
+  ``"thread"``/``"inline"``).  The historical behaviour — shard seeds
+  depending on ``n_workers`` — changed results when the worker count
+  changed and is regression-tested away.
+
+On top of the process modes, ``pool="thread"`` runs the workers as
+*threads* in the parent address space — no process startup, no
+pickling, no shared-memory segments — which scales because the NumPy
+simulation kernels release the GIL; it is also the automatic fallback
+where fork is unavailable.  Pooled rounds are additionally *streamed*
+by default (:class:`~repro.core.pool.RoundPipeline`): the next round's
+tasks are speculatively in flight while the current round's stragglers
+drain, with results still merged in task order — so streaming changes
+wall-clock time, never results.
 
 Everything shipped to workers (query, partition, ratios) must be
 picklable: use module-level ``z`` functions or small callable classes
@@ -76,8 +86,10 @@ def run_parallel_mlss(query: DurabilityQuery, partition: LevelPartition,
         makes the result independent of ``n_workers``; tune it for
         load balance, not correctness.
     pool:
-        ``"fork"`` (default), ``"spawn"`` or ``"inline"`` (no
-        processes; also the automatic fallback when ``n_workers == 1``).
+        ``"fork"`` (default), ``"spawn"``, ``"thread"`` (worker
+        threads, no process startup or pickling; the fallback where
+        fork is unavailable) or ``"inline"`` (no workers; also the
+        automatic fallback when ``n_workers == 1``).
     """
     if estimator not in ("smlss", "gmlss"):
         raise ValueError(f"unknown estimator {estimator!r}")

@@ -1,25 +1,45 @@
-"""Persistent shared-memory worker pool (Section 3.1, "Parallel
-Computations" — scaled to every backend).
+"""Persistent worker pool (Section 3.1, "Parallel Computations" —
+scaled to every backend).
 
-Root trees, SRS paths and fleet members are all independent, so every
-sampler in the library parallelizes by *sharding work over processes*.
-The original ``run_parallel_mlss`` did this with a throwaway
-``multiprocessing.Pool`` of scalar ``ForestRunner`` shards: every call
-paid process startup, every shard pickled its closure, and none of the
-vectorized / fused wins reached a second core.  This module replaces
-that with a persistent execution layer:
+Root trees, SRS paths, fleet members and plan-search trials are all
+independent, so every sampler in the library parallelizes by *sharding
+work over workers*.  The original ``run_parallel_mlss`` did this with a
+throwaway ``multiprocessing.Pool`` of scalar ``ForestRunner`` shards:
+every call paid process startup, every shard pickled its closure, and
+none of the vectorized / fused wins reached a second core.  This module
+replaces that with a persistent execution layer:
 
-* :class:`WorkerPool` — long-lived worker processes (``"fork"`` or
-  ``"spawn"`` start methods, or ``"inline"`` for a no-process fallback
-  that runs the identical code path in the caller).  A *work* — query,
-  partition, fleet, backend — is registered **once** (one pickle per
-  worker); subsequent rounds send only tiny *work descriptors* (task
-  index, root budget, derived seed).
-* :class:`CounterBlock` — preallocated ``multiprocessing.shared_memory``
-  blocks, one per (work, worker), through which forest workers return
-  their per-root :class:`~repro.core.records.RootRecord` counters.
-  Counter matrices cross the process boundary as shared bytes, never as
-  pickles, and the blocks are reused across rounds.
+* :class:`WorkerPool` — long-lived workers.  ``"fork"`` / ``"spawn"``
+  start worker *processes*; ``"thread"`` starts worker *threads* that
+  share the parent address space (no process startup, no pickling, no
+  shared-memory segments — the NumPy hot kernels release the GIL, so
+  threads scale on real simulation work and are the automatic fallback
+  where fork is unavailable); ``"inline"`` runs the identical code path
+  in the caller.  A *work* — query, partition, fleet, backend — is
+  registered **once** (one pickle per process worker, a shared
+  reference per thread worker); subsequent rounds send only tiny *work
+  descriptors* (task id, root budget, derived seed).
+* :class:`CounterBlock` — preallocated per-(work, worker) counter
+  arrays through which forest workers return their per-root
+  :class:`~repro.core.records.RootRecord` counters.  Process modes back
+  them with ``multiprocessing.shared_memory`` (counter matrices cross
+  the process boundary as shared bytes, never as pickles); thread and
+  inline modes use plain local buffers with the identical layout.
+* :class:`_TaskStream` / :meth:`WorkerPool.stream` — the pipelined
+  submission path.  ``submit`` is non-blocking and ``collect`` returns
+  results in submission order, so callers can keep a bounded window of
+  tasks in flight: workers that finish a round's tasks early pick up
+  the next round's tasks while the parent still waits on stragglers,
+  instead of idling at a per-round barrier.  :meth:`WorkerPool.
+  run_tasks` (submit everything, collect everything) is a thin wrapper
+  over a stream.
+* :class:`RoundPipeline` — one-round-lookahead speculation on top of a
+  stream for round-structured callers (the pooled samplers): while
+  round *k*'s stragglers drain, round *k+1*'s *predicted* tasks are
+  already queued; if the stopping rule ends the run first, the
+  speculative results are discarded unread.  Because tasks are pure
+  and results merge in task order, speculation changes wall-clock
+  only, never results.
 * :class:`PooledForestRunner` — a drop-in implementation of the
   ``accumulate`` contract shared by :class:`~repro.core.forest.
   ForestRunner` and :class:`~repro.core.forest.VectorizedForestRunner`,
@@ -33,11 +53,23 @@ Work decomposes into tasks of a fixed size (``roots_per_task`` roots,
 ``members_per_task`` fleet members) whose seeds derive from the *task
 index* via :func:`derive_task_seed` — never from the worker count or
 which worker ran them.  Task results merge in task order.  Consequently
-pooled results are **byte-identical across ``n_workers`` and pool
-modes** for a fixed seed: ``n_workers`` changes how fast the answer
-arrives, not what it is.  (Pooled and single-pass sequential runs draw
-different stream layouts, so they agree in distribution, not bytes —
-exactly like the scalar-vs-vectorized backends.)
+pooled results are **byte-identical across ``n_workers``, pool modes
+and the streamed/barrier scheduling paths** for a fixed seed:
+``n_workers`` changes how fast the answer arrives, not what it is.
+(Pooled and single-pass sequential runs draw different stream layouts,
+so they agree in distribution, not bytes — exactly like the
+scalar-vs-vectorized backends.)
+
+Budgets
+-------
+
+``max_roots`` is exact.  ``max_steps`` is *strict*: the final round's
+tasks are trimmed against the remaining budget and each task carries a
+per-task step cap that its worker enforces by never starting a root
+tree whose worst-case cost no longer fits (see
+:func:`_worst_case_root_cost`).  Strictness costs pipelining — a
+round's caps depend on the previous round's measured spend, so
+speculation is disabled under ``max_steps``.
 
 Cost accounting is unchanged throughout: workers count one invocation
 of ``g`` per path per step and the parent sums their counters.
@@ -52,7 +84,7 @@ import threading
 import traceback
 from collections import deque
 from dataclasses import dataclass
-from multiprocessing import get_context, shared_memory
+from multiprocessing import get_all_start_methods, get_context, shared_memory
 from typing import Optional, Sequence
 
 import numpy as np
@@ -60,9 +92,10 @@ import numpy as np
 from .forest import validate_plan
 from .levels import normalize_ratios
 
-#: Pool execution modes: process start methods plus the in-caller
-#: fallback used when ``n_workers == 1`` (or on request, e.g. tests).
-POOL_MODES = ("fork", "spawn", "inline")
+#: Pool execution modes: process start methods (``"fork"``/``"spawn"``),
+#: the shared-address-space thread backend (``"thread"``) and the
+#: in-caller fallback used when ``n_workers == 1`` (or on request).
+POOL_MODES = ("fork", "spawn", "thread", "inline")
 
 _SEED_MOD = 2 ** 31
 
@@ -93,20 +126,29 @@ def derive_task_seed(seed: Optional[int], index: int,
 
 
 def cut_tasks(cohort: int, roots_per_task: int, seed: Optional[int],
-              task_index: int) -> tuple:
-    """Cut one round into fixed-size ``(n, seed)`` tasks.
+              task_index: int, step_budget: Optional[int] = None) -> tuple:
+    """Cut one round into fixed-size ``(n, seed[, cap])`` tasks.
 
     The single home of the task decomposition every pooled pass uses
     (forest rounds, SRS point rounds, SRS curve rounds): task sizes
     depend only on ``roots_per_task`` and seeds only on the running
     ``task_index``, which is what the byte-determinism guarantee rests
-    on.  Returns ``(tasks, next_task_index)``.
+    on.  With ``step_budget``, each task additionally carries its share
+    of the remaining step budget (proportional to its root count) as a
+    hard per-task cap — the worker stops launching roots once the cap
+    cannot cover another worst-case tree, so the round can never
+    overshoot ``step_budget``.  Returns ``(tasks, next_task_index)``.
     """
     tasks = []
     remaining = cohort
     while remaining > 0:
         n_roots = min(remaining, roots_per_task)
-        tasks.append((n_roots, derive_task_seed(seed, task_index)))
+        task_seed = derive_task_seed(seed, task_index)
+        if step_budget is None:
+            tasks.append((n_roots, task_seed))
+        else:
+            tasks.append((n_roots, task_seed,
+                          step_budget * n_roots // cohort))
         task_index += 1
         remaining -= n_roots
     return tasks, task_index
@@ -118,11 +160,14 @@ def cut_tasks(cohort: int, roots_per_task: int, seed: Optional[int],
 
 @dataclass(frozen=True)
 class ForestWork:
-    """A splitting-forest work unit: tasks are ``(n_roots, seed)``.
+    """A splitting-forest work unit: tasks are ``(n_roots, seed)`` or
+    ``(n_roots, seed, step_cap)``.
 
     Results come back through the shared :class:`CounterBlock` as
     per-root counter rows; ``capacity`` bounds a single task's roots
-    (and sizes the block).
+    (and sizes the block).  A ``step_cap`` makes the task stop
+    launching roots once the cap cannot cover another worst-case tree,
+    so capped tasks never exceed their budget share.
     """
 
     query: object
@@ -180,6 +225,27 @@ class FleetWork:
     bootstrap_rounds: int = 200
 
 
+@dataclass(frozen=True)
+class PlanSearchWork:
+    """A plan-search work unit (greedy trials and balanced pilots).
+
+    Tasks are ``("trial", boundaries, seed)`` — run one fixed-budget
+    :func:`~repro.core.optimizer.evaluate_partition` trial of the plan
+    with those interior boundaries and return the
+    :class:`~repro.core.optimizer.PlanTrial` — or
+    ``("pilot", n_paths, seed)`` — run one chunk of the balanced-growth
+    SRS pilot and return its (unsorted) per-path maxima.  Trial and
+    pilot seeds are structural (derived from the trial/chunk index), so
+    pool-sharded plan search returns byte-identical plans to the
+    parent-only search.
+    """
+
+    query: object
+    ratio: object = 3
+    trial_steps: int = 20000
+    backend: str = "scalar"
+
+
 # ----------------------------------------------------------------------
 # Shared counter blocks
 # ----------------------------------------------------------------------
@@ -191,8 +257,9 @@ class CounterBlock:
     landings, skips, crossings — followed by three ``(capacity,)``
     vectors — hits, max_levels, steps.  The buffer may be a
     ``multiprocessing.shared_memory`` view (cross-process) or a plain
-    local array (inline mode); either way workers *write rows* and the
-    parent *reads rows*, so counters never pass through pickle.
+    local array (thread and inline modes); either way workers *write
+    rows* and the parent *reads rows*, so counters never pass through
+    pickle.
     """
 
     __slots__ = ("capacity", "num_levels", "landings", "skips",
@@ -219,7 +286,7 @@ class CounterBlock:
 
     @classmethod
     def local(cls, capacity: int, num_levels: int) -> "CounterBlock":
-        """An in-process block (inline mode — same layout, no shm)."""
+        """An in-process block (thread/inline modes — same layout, no shm)."""
         return cls(capacity, num_levels,
                    np.zeros(cls.nbytes(capacity, num_levels),
                             dtype=np.uint8))
@@ -267,18 +334,54 @@ def _execute(spec, payload, block: Optional[CounterBlock]):
         return _run_curve_task(spec, payload)
     if isinstance(spec, FleetWork):
         return _run_fleet_task(spec, payload)
+    if isinstance(spec, PlanSearchWork):
+        return _run_plan_task(spec, payload)
     raise TypeError(f"unknown work descriptor {type(spec).__name__}")
 
 
+def _worst_case_root_cost(spec: ForestWork) -> int:
+    """An upper bound on one root tree's step cost under ``spec``.
+
+    A tree has at most ``prod_{k<=i} r_k`` path segments at level ``i``
+    and every segment runs at most ``horizon`` steps, so the tree costs
+    at most ``horizon * sum_i prod_{k<=i} r_k``.  Deliberately
+    conservative: it is the guarantee behind the strict ``max_steps``
+    contract (a capped task never *starts* a root it might not afford).
+    """
+    total = 0
+    product = 1
+    for ratio in spec.ratios:
+        product *= ratio
+        total += product
+    return spec.query.horizon * total
+
+
 def _run_forest_task(spec: ForestWork, payload, block: CounterBlock):
-    n_roots, seed = payload
+    if len(payload) == 2:
+        (n_roots, seed), step_cap = payload, None
+    else:
+        n_roots, seed, step_cap = payload
     from .smlss import make_forest_runner  # circular-import guard
     runner = make_forest_runner(spec.backend, spec.query, spec.partition,
                                 spec.ratios, seed)
-    if hasattr(runner, "run_cohort"):
-        records = runner.run_cohort(n_roots)
+    run_batch = getattr(runner, "run_cohort", None) or runner.run_roots
+    if step_cap is None:
+        records = run_batch(n_roots)
     else:
-        records = runner.run_roots(n_roots)
+        # Strict budget: only start roots whose worst-case tree cost
+        # still fits under the cap.  The chunk sequence depends only on
+        # the payload (and the per-chunk simulation itself), so capped
+        # tasks stay byte-identical across workers and pool modes.
+        worst = _worst_case_root_cost(spec)
+        records = []
+        used = 0
+        remaining = n_roots
+        while remaining > 0 and used + worst <= step_cap:
+            affordable = max(int((step_cap - used) // worst), 1)
+            chunk = run_batch(min(remaining, affordable))
+            records.extend(chunk)
+            used += sum(record.steps for record in chunk)
+            remaining -= len(chunk)
     return block.write_records(records)
 
 
@@ -328,15 +431,32 @@ def _run_fleet_task(spec: FleetWork, payload):
     raise ValueError(f"unknown fleet mode {spec.mode!r}")
 
 
+def _run_plan_task(spec: PlanSearchWork, payload):
+    kind = payload[0]
+    if kind == "trial":
+        _, boundaries, seed = payload
+        from .levels import LevelPartition  # local: keep import cheap
+        from .optimizer import evaluate_partition  # circular-import guard
+        return evaluate_partition(
+            spec.query, LevelPartition(boundaries), ratio=spec.ratio,
+            trial_steps=spec.trial_steps, seed=seed, backend=spec.backend)
+    if kind == "pilot":
+        _, n_paths, seed = payload
+        from .balanced import pilot_chunk_max_values  # circular-import guard
+        return pilot_chunk_max_values(spec.query, n_paths, seed=seed,
+                                      backend=spec.backend)
+    raise ValueError(f"unknown plan-search task kind {kind!r}")
+
+
 def _block_shape(spec) -> Optional[tuple]:
-    """(capacity, num_levels) when the work returns counters via shm."""
+    """(capacity, num_levels) when the work returns counters via a block."""
     if isinstance(spec, ForestWork):
         return (spec.capacity, spec.partition.num_levels)
     return None
 
 
 # ----------------------------------------------------------------------
-# Worker process main loop
+# Worker main loop (processes and threads alike)
 # ----------------------------------------------------------------------
 
 def _attach_block(name: str):
@@ -364,10 +484,13 @@ def _attach_block(name: str):
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     """Long-lived worker: register works once, run tasks forever.
 
-    Messages: ``("register", handle, spec, block_name)``,
-    ``("run", handle, task_index, payload)``, ``("unregister", handle)``
-    and ``("stop",)``.  Results: ``(worker_id, task_index, "ok", meta)``
-    or ``(worker_id, task_index, "error", traceback_text)``.
+    The same loop serves process workers and thread workers.  Messages:
+    ``("register", handle, spec, block_ref)`` — ``block_ref`` is a
+    shared-memory *name* for process workers, the :class:`CounterBlock`
+    itself for thread workers (shared address space), or ``None`` —
+    ``("run", handle, task_id, payload)``, ``("unregister", handle)``
+    and ``("stop",)``.  Results: ``(worker_id, task_id, "ok", meta)``
+    or ``(worker_id, task_id, "error", traceback_text)``.
     """
     specs: dict = {}
     blocks: dict = {}
@@ -377,10 +500,12 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
         if kind == "stop":
             break
         if kind == "register":
-            _, handle, spec, block_name = message
+            _, handle, spec, block_ref = message
             specs[handle] = spec
-            if block_name is not None:
-                shm = _attach_block(block_name)
+            if isinstance(block_ref, CounterBlock):
+                blocks[handle] = (None, block_ref)
+            elif block_ref is not None:
+                shm = _attach_block(block_ref)
                 capacity, num_levels = _block_shape(spec)
                 blocks[handle] = (shm, CounterBlock(capacity, num_levels,
                                                     shm.buf))
@@ -388,23 +513,179 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
             _, handle = message
             specs.pop(handle, None)
             attached = blocks.pop(handle, None)
-            if attached is not None:
+            if attached is not None and attached[0] is not None:
                 attached[1].release()
                 attached[0].close()
         elif kind == "run":
-            _, handle, task_index, payload = message
+            _, handle, task_id, payload = message
             try:
                 spec = specs[handle]
                 attached = blocks.get(handle)
                 block = attached[1] if attached is not None else None
                 meta = _execute(spec, payload, block)
-                result_queue.put((worker_id, task_index, "ok", meta))
+                result_queue.put((worker_id, task_id, "ok", meta))
             except Exception:
-                result_queue.put((worker_id, task_index, "error",
+                result_queue.put((worker_id, task_id, "error",
                                   traceback.format_exc()))
     for shm, block in blocks.values():
-        block.release()
-        shm.close()
+        if shm is not None:
+            block.release()
+            shm.close()
+
+
+# ----------------------------------------------------------------------
+# Streams: the pipelined submission path
+# ----------------------------------------------------------------------
+
+class _TaskStream:
+    """Ordered, pipelined task submission for one registered work.
+
+    ``submit`` enqueues a payload without blocking and returns its
+    sequence number; ``collect`` blocks until that task's (finalized)
+    result is available, draining and routing the pool's shared result
+    queue as needed.  Several streams may be open on one pool at once —
+    every in-flight task carries a pool-unique id, so results are
+    routed to their owning stream whatever order workers finish in
+    (this is also what makes concurrent ``run_tasks`` calls from
+    several threads safe).  ``discard`` drops a submitted task's result
+    (cancelling it outright if it has not been dispatched yet) — the
+    primitive behind speculative round submission.
+
+    On the inline pool, submitted tasks execute lazily inside
+    ``collect``, so discarded speculative tasks cost nothing.
+
+    The in-flight window is bounded by the caller: each worker holds at
+    most one outstanding task, and the pooled samplers submit at most
+    one round ahead, so at most ``2 * tasks_per_round`` tasks are ever
+    pending or running per stream.
+    """
+
+    __slots__ = ("pool", "handle", "_next_seq", "_pending", "_live",
+                 "_results", "_discarded", "_closed")
+
+    def __init__(self, pool: "WorkerPool", handle: int):
+        self.pool = pool
+        self.handle = handle
+        self._next_seq = 0
+        self._pending: dict = {}    # seq -> payload, not yet dispatched
+        self._live: set = set()     # seqs running on a worker
+        self._results: dict = {}    # seq -> finalized result
+        self._discarded: set = set()  # live seqs to drop on arrival
+        self._closed = False
+
+    def submit(self, payload) -> int:
+        """Queue one task; returns its sequence number (never blocks)."""
+        pool = self.pool
+        with pool._lock:
+            if self._closed:
+                raise RuntimeError("the stream is closed")
+            if pool._closed:
+                raise RuntimeError("the pool is closed")
+            seq = self._next_seq
+            self._next_seq += 1
+            self._pending[seq] = payload
+            if pool.mode != "inline":
+                pool._dispatch.append((self, seq))
+                pool._pump()
+            return seq
+
+    def collect(self, seq: int):
+        """Block until task ``seq``'s result is ready and return it."""
+        pool = self.pool
+        with pool._lock:
+            while True:
+                if seq in self._results:
+                    return self._results.pop(seq)
+                if self._closed:
+                    raise RuntimeError("the stream is closed")
+                if pool._closed:
+                    raise RuntimeError("the pool is closed")
+                if seq not in self._pending and seq not in self._live:
+                    raise KeyError(
+                        f"task {seq} was never submitted or was discarded")
+                if pool.mode == "inline":
+                    payload = self._pending.pop(seq)
+                    spec = pool._specs[self.handle]
+                    block = pool._inline_blocks.get(self.handle)
+                    meta = _execute(spec, payload, block)
+                    return pool._finalize(spec, block, meta)
+                pool._pump()
+                pool._route_one()
+
+    def discard(self, seq: int) -> None:
+        """Drop task ``seq``'s result (cancel it if not yet dispatched)."""
+        pool = self.pool
+        with pool._lock:
+            self._results.pop(seq, None)
+            if seq in self._pending:
+                # Never dispatched: the dispatch queue skips it lazily.
+                del self._pending[seq]
+            elif seq in self._live:
+                self._discarded.add(seq)
+
+    def close(self) -> None:
+        """Cancel pending tasks and drop any in-flight results."""
+        pool = self.pool
+        with pool._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._pending.clear()
+            self._results.clear()
+            self._discarded.update(self._live)
+
+
+class RoundPipeline:
+    """One-round-lookahead speculation over a :class:`_TaskStream`.
+
+    Round-structured callers (the pooled samplers) call
+    :meth:`run_round` with the round's tasks plus an optional
+    *prediction* of the next round's tasks.  Predicted tasks are
+    submitted before the current round's results are collected, so
+    workers that finish early start on the next round while the parent
+    still waits on stragglers.  When the next round's actual tasks
+    match the prediction (the common case — predictions are exact
+    whenever the round schedule doesn't depend on unmeasured results),
+    their results are simply collected; on any mismatch — or when the
+    caller stops — the speculative results are discarded unread, so
+    speculation can change wall-clock time but never results.
+    """
+
+    def __init__(self, pool: "WorkerPool", handle: int):
+        self._stream = pool.stream(handle)
+        self._speculated: deque = deque()  # (seq, payload) in task order
+
+    def run_round(self, tasks: Sequence, predicted: Optional[Sequence] = None
+                  ) -> list:
+        """Run one round's tasks; results in task order.
+
+        ``predicted`` — the next round's expected tasks, submitted
+        speculatively before this round's results are collected.
+        """
+        stream = self._stream
+        seqs = []
+        for payload in tasks:
+            if self._speculated and self._speculated[0][1] == payload:
+                seqs.append(self._speculated.popleft()[0])
+            else:
+                self.flush()
+                seqs.append(stream.submit(payload))
+        # Anything speculated beyond this round's actual tasks was a
+        # misprediction; drop it before speculating afresh.
+        self.flush()
+        for payload in (predicted or ()):
+            self._speculated.append((stream.submit(payload), payload))
+        return [stream.collect(seq) for seq in seqs]
+
+    def flush(self) -> None:
+        """Discard every outstanding speculative task."""
+        while self._speculated:
+            seq, _ = self._speculated.popleft()
+            self._stream.discard(seq)
+
+    def close(self) -> None:
+        self.flush()
+        self._stream.close()
 
 
 # ----------------------------------------------------------------------
@@ -417,22 +698,31 @@ class WorkerPool:
     Parameters
     ----------
     n_workers:
-        Worker process count; ``None`` means ``os.cpu_count()``.
-        ``n_workers == 1`` always runs inline (no processes) — the
-        documented fallback, byte-identical to the multi-process modes.
+        Worker count; ``None`` means ``os.cpu_count()``.
+        ``n_workers == 1`` always runs inline (no workers) — the
+        documented fallback, byte-identical to the parallel modes.
     pool:
         ``"fork"`` (default; cheap startup, Linux/macOS), ``"spawn"``
-        (portable, slower startup) or ``"inline"``.
+        (portable, slower startup), ``"thread"`` (shared address
+        space: no startup or pickle costs, scales because the NumPy
+        simulation kernels release the GIL; also the automatic
+        fallback when fork is unavailable) or ``"inline"``.
 
     The pool is content-addressed, not closure-addressed: callers
-    :meth:`register` a work descriptor once (one pickle per worker, one
-    shared counter block per worker for forest works), then
-    :meth:`run_tasks` ships only ``(handle, task_index, payload)``
-    triples per round.  Results always return in task order, whatever
-    order workers finish in, so merged counters are deterministic.
+    :meth:`register` a work descriptor once (one pickle per process
+    worker, one counter block per worker for forest works), then run
+    tasks through :meth:`run_tasks` (submit all, collect all) or a
+    pipelined :meth:`stream`.  Results always return in task order,
+    whatever order workers finish in, so merged counters are
+    deterministic.  In-flight tasks carry pool-unique ids, so several
+    streams — including concurrent ``run_tasks`` calls from different
+    threads — share the workers without swapping results.
 
     Use as a context manager, or call :meth:`close`; an unclosed pool
-    cleans up on garbage collection as a last resort.
+    cleans up on garbage collection as a last resort.  ``close`` (and
+    the abort path after a worker failure) unlinks every shared counter
+    block even when workers died mid-round, so abnormal teardown leaks
+    no shared-memory segments.
     """
 
     def __init__(self, n_workers: Optional[int] = None,
@@ -445,35 +735,60 @@ class WorkerPool:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
-        self.mode = "inline" if (pool == "inline" or n_workers == 1) \
-            else pool
+        mode = "inline" if (pool == "inline" or n_workers == 1) else pool
+        if mode == "fork" and "fork" not in get_all_start_methods():
+            # Platforms without fork (Windows, some macOS setups) get
+            # the fast shared-address-space default instead of paying
+            # spawn startup per pool.
+            mode = "thread"
+        self.mode = mode
         self._specs: dict = {}
         self._next_handle = 0
         self._closed = False
         # One pool may be shared by several threads (the engine keeps a
         # persistent pool across calls, and engines are documented as
-        # multi-thread drivable).  Register/run/unregister all touch
-        # the worker queues and the single result queue, so calls are
-        # serialized: concurrent run_tasks would otherwise consume each
-        # other's results (result tuples carry no call identity).
+        # multi-thread drivable).  All scheduler state — the dispatch
+        # queue, the idle-worker list, the in-flight routing table and
+        # every stream's bookkeeping — is guarded by this lock; results
+        # are routed to their submitting stream by task id, so
+        # concurrent streams never swap results.
         self._lock = threading.RLock()
         self._inline_blocks: dict = {}
         self._blocks: dict = {}
         self._task_queues: list = []
-        self._processes: list = []
+        self._workers: list = []
         self._result_queue = None
-        if self.mode != "inline":
+        # Scheduler state: which workers are free, which submitted
+        # tasks await a worker, and which task id runs where.
+        self._idle: deque = deque()
+        self._dispatch: deque = deque()   # (stream, seq) awaiting dispatch
+        self._inflight: dict = {}         # task id -> (stream, seq)
+        self._next_task_id = 0
+        if self.mode == "thread":
+            self._result_queue = queue_module.Queue()
+            for worker_id in range(self.n_workers):
+                task_queue = queue_module.Queue()
+                worker = threading.Thread(
+                    target=_worker_main,
+                    args=(worker_id, task_queue, self._result_queue),
+                    name=f"repro-pool-worker-{worker_id}", daemon=True)
+                worker.start()
+                self._task_queues.append(task_queue)
+                self._workers.append(worker)
+            self._idle.extend(range(self.n_workers))
+        elif self.mode != "inline":
             context = get_context(self.mode)
             self._result_queue = context.Queue()
             for worker_id in range(self.n_workers):
                 task_queue = context.Queue()
-                process = context.Process(
+                worker = context.Process(
                     target=_worker_main,
                     args=(worker_id, task_queue, self._result_queue),
                     daemon=True)
-                process.start()
+                worker.start()
                 self._task_queues.append(task_queue)
-                self._processes.append(process)
+                self._workers.append(worker)
+            self._idle.extend(range(self.n_workers))
 
     # -- lifecycle -----------------------------------------------------
 
@@ -494,7 +809,14 @@ class WorkerPool:
             pass
 
     def close(self) -> None:
-        """Stop the workers and release every shared block (idempotent)."""
+        """Stop the workers and release every shared block (idempotent).
+
+        Every cleanup step is individually guarded: a worker that died
+        mid-round (or a failing queue) must not keep the remaining
+        blocks from being released and **unlinked** — leaked segments
+        are exactly what the resource tracker would warn about at
+        interpreter shutdown.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -504,31 +826,46 @@ class WorkerPool:
                     task_queue.put(("stop",))
                 except Exception:
                     pass
-            for process in self._processes:
-                process.join(timeout=5)
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=5)
+            for worker in self._workers:
+                try:
+                    worker.join(timeout=5)
+                    if worker.is_alive() and hasattr(worker, "terminate"):
+                        worker.terminate()
+                        worker.join(timeout=5)
+                except Exception:
+                    pass
             for shm, block in self._blocks.values():
                 try:
                     block.release()
-                    shm.close()
-                    shm.unlink()
                 except Exception:
                     pass
+                if shm is not None:
+                    try:
+                        shm.close()
+                    except Exception:
+                        pass
+                    try:
+                        shm.unlink()
+                    except Exception:
+                        pass
             self._blocks.clear()
             self._inline_blocks.clear()
             self._specs.clear()
+            self._dispatch.clear()
+            self._inflight.clear()
+            self._idle.clear()
             for task_queue in self._task_queues:
                 try:
-                    task_queue.close()
-                    task_queue.cancel_join_thread()
+                    if hasattr(task_queue, "close"):
+                        task_queue.close()
+                        task_queue.cancel_join_thread()
                 except Exception:
                     pass
             if self._result_queue is not None:
                 try:
-                    self._result_queue.close()
-                    self._result_queue.cancel_join_thread()
+                    if hasattr(self._result_queue, "close"):
+                        self._result_queue.close()
+                        self._result_queue.cancel_join_thread()
                 except Exception:
                     pass
 
@@ -546,81 +883,147 @@ class WorkerPool:
                 raise RuntimeError("the pool is closed")
             handle = self._next_handle
             self._next_handle += 1
-            self._specs[handle] = spec
             shape = _block_shape(spec)
             if self.mode == "inline":
+                self._specs[handle] = spec
                 if shape is not None:
                     self._inline_blocks[handle] = CounterBlock.local(*shape)
                 return handle
-            for worker_id, task_queue in enumerate(self._task_queues):
-                block_name = None
-                if shape is not None:
-                    shm = shared_memory.SharedMemory(
-                        create=True, size=CounterBlock.nbytes(*shape))
-                    self._blocks[(handle, worker_id)] = (
-                        shm, CounterBlock(shape[0], shape[1], shm.buf))
-                    block_name = shm.name
-                task_queue.put(("register", handle, spec, block_name))
+            try:
+                for worker_id, task_queue in enumerate(self._task_queues):
+                    block_ref = None
+                    if shape is not None:
+                        if self.mode == "thread":
+                            block = CounterBlock.local(*shape)
+                            self._blocks[(handle, worker_id)] = (None, block)
+                            block_ref = block
+                        else:
+                            shm = shared_memory.SharedMemory(
+                                create=True,
+                                size=CounterBlock.nbytes(*shape))
+                            self._blocks[(handle, worker_id)] = (
+                                shm, CounterBlock(shape[0], shape[1],
+                                                  shm.buf))
+                            block_ref = shm.name
+                    task_queue.put(("register", handle, spec, block_ref))
+            except Exception:
+                # Partial registration must not leak segments: release
+                # whatever this handle already allocated.
+                self._release_handle_blocks(handle)
+                raise
+            self._specs[handle] = spec
             return handle
 
+    def _release_handle_blocks(self, handle: int) -> None:
+        """Release and unlink every block created for ``handle``."""
+        for worker_id in range(self.n_workers):
+            attached = self._blocks.pop((handle, worker_id), None)
+            if attached is None:
+                continue
+            shm, block = attached
+            if shm is None:
+                continue
+            try:
+                block.release()
+            except Exception:
+                pass
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+
     def unregister(self, handle: int) -> None:
-        """Drop a registered work and free its shared blocks."""
+        """Drop a registered work and free its shared blocks.
+
+        Thread-mode blocks are shared objects the worker may still be
+        writing (a discarded in-flight task): the parent only drops its
+        references and lets the worker release on its own unregister
+        message; process-mode segments are unlinked immediately (the
+        worker's mapping stays valid until it closes it).
+        """
         with self._lock:
             if self._closed or handle not in self._specs:
                 return
             self._specs.pop(handle, None)
             self._inline_blocks.pop(handle, None)
-            for worker_id, task_queue in enumerate(self._task_queues):
+            for task_queue in self._task_queues:
                 task_queue.put(("unregister", handle))
-                attached = self._blocks.pop((handle, worker_id), None)
-                if attached is not None:
-                    shm, block = attached
-                    block.release()
-                    shm.close()
-                    shm.unlink()
+            self._release_handle_blocks(handle)
+            for worker_id in range(self.n_workers):
+                self._blocks.pop((handle, worker_id), None)
 
     # -- execution -----------------------------------------------------
+
+    def stream(self, handle: int) -> _TaskStream:
+        """Open a pipelined submission stream for a registered work."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the pool is closed")
+            if handle not in self._specs:
+                raise KeyError(f"unknown work handle {handle}")
+            return _TaskStream(self, handle)
 
     def run_tasks(self, handle: int, tasks: Sequence) -> list:
         """Run every task of a registered work; results in task order.
 
-        Each worker holds at most one outstanding task, and the parent
-        drains a worker's counter block before handing it the next
-        task, so blocks are never overwritten while unread.  Calls are
-        serialized under the pool lock: result messages carry no call
-        identity, so two interleaved drains of the shared result queue
-        would swap results.
+        A thin wrapper over :meth:`stream`: every task is submitted up
+        front and results are collected in submission order, so workers
+        never idle at intermediate barriers.  Each worker holds at most
+        one outstanding task, and the parent drains a worker's counter
+        block before handing it the next task, so blocks are never
+        overwritten while unread.
         """
-        with self._lock:
-            if self._closed:
-                raise RuntimeError("the pool is closed")
-            spec = self._specs[handle]
-            results: list = [None] * len(tasks)
-            if self.mode == "inline":
-                block = self._inline_blocks.get(handle)
-                for index, payload in enumerate(tasks):
-                    meta = _execute(spec, payload, block)
-                    results[index] = self._finalize(spec, block, meta)
-                return results
-            pending = deque(enumerate(tasks))
-            idle = deque(range(self.n_workers))
-            outstanding = 0
-            while pending or outstanding:
-                while pending and idle:
-                    worker_id = idle.popleft()
-                    index, payload = pending.popleft()
-                    self._task_queues[worker_id].put(
-                        ("run", handle, index, payload))
-                    outstanding += 1
-                worker_id, index, status, meta = self._receive()
-                if status != "ok":
-                    self._abort(meta)
-                attached = self._blocks.get((handle, worker_id))
-                block = attached[1] if attached is not None else None
-                results[index] = self._finalize(spec, block, meta)
-                outstanding -= 1
-                idle.append(worker_id)
-            return results
+        stream = self.stream(handle)
+        try:
+            seqs = [stream.submit(payload) for payload in tasks]
+            return [stream.collect(seq) for seq in seqs]
+        finally:
+            stream.close()
+
+    def _pump(self) -> None:
+        """Hand queued tasks to idle workers (call under the lock)."""
+        while self._idle and self._dispatch:
+            stream, seq = self._dispatch[0]
+            if stream._closed or seq not in stream._pending:
+                self._dispatch.popleft()  # cancelled before dispatch
+                continue
+            self._dispatch.popleft()
+            worker_id = self._idle.popleft()
+            payload = stream._pending.pop(seq)
+            stream._live.add(seq)
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._inflight[task_id] = (stream, seq)
+            self._task_queues[worker_id].put(
+                ("run", stream.handle, task_id, payload))
+
+    def _route_one(self) -> None:
+        """Receive one worker result and route it to its stream.
+
+        The worker's counter block is read (finalized) *before* the
+        worker is marked idle, so a block is never overwritten while
+        unread; results for discarded or closed streams are dropped
+        without touching the block (it may already be unregistered).
+        """
+        worker_id, task_id, status, meta = self._receive()
+        if status != "ok":
+            self._abort(meta)
+        stream, seq = self._inflight.pop(task_id)
+        stream._live.discard(seq)
+        spec = self._specs.get(stream.handle)
+        dropped = (stream._closed or seq in stream._discarded
+                   or spec is None)
+        stream._discarded.discard(seq)
+        if not dropped:
+            attached = self._blocks.get((stream.handle, worker_id))
+            block = attached[1] if attached is not None else None
+            stream._results[seq] = self._finalize(spec, block, meta)
+        self._idle.append(worker_id)
+        self._pump()
 
     def _receive(self):
         """Next result, guarding against silently-dead workers."""
@@ -628,11 +1031,13 @@ class WorkerPool:
             try:
                 return self._result_queue.get(timeout=1.0)
             except queue_module.Empty:
-                for process in self._processes:
-                    if not process.is_alive():
+                for worker in self._workers:
+                    if not worker.is_alive():
+                        ident = getattr(worker, "pid", None) or worker.name
+                        code = getattr(worker, "exitcode", None)
                         self._abort(
-                            f"worker pid {process.pid} exited with code "
-                            f"{process.exitcode} while tasks were pending")
+                            f"worker {ident} exited with code "
+                            f"{code} while tasks were pending")
 
     @staticmethod
     def _finalize(spec, block: Optional[CounterBlock], meta):
@@ -664,9 +1069,19 @@ class PooledForestRunner:
     results merge in task order, making pooled aggregates invariant
     under the worker count.
 
-    Budgets are enforced at round granularity (a superset of the
-    vectorized runner's cohort granularity): every started task runs to
-    completion, so ``max_steps`` can overshoot by up to one round.
+    With ``streamed`` (the default), rounds run through a
+    :class:`RoundPipeline`: the next round's predicted tasks are
+    submitted while the current round's stragglers drain, and
+    mispredicted or post-stop results are discarded unread — so the
+    streamed and barrier paths return byte-identical aggregates.
+    Prediction needs the round schedule to be computable ahead of the
+    current round's results, which holds for quality-target and
+    ``max_roots`` stopping but not under a ``max_steps`` budget.
+
+    ``max_steps`` is *strict*: the final round is trimmed against the
+    remaining budget (from the measured cost per root) and every task
+    carries its share of the budget as a hard cap its worker enforces
+    per root tree, so pooled step counts never exceed the budget.
 
     Call :meth:`close` when done (the samplers do) to release the
     work's shared counter blocks; the pool itself stays alive for the
@@ -676,7 +1091,8 @@ class PooledForestRunner:
     def __init__(self, pool: WorkerPool, query, partition, ratios,
                  backend: str, seed: Optional[int],
                  roots_per_task: int = DEFAULT_ROOTS_PER_TASK,
-                 tasks_per_round: int = DEFAULT_TASKS_PER_ROUND):
+                 tasks_per_round: int = DEFAULT_TASKS_PER_ROUND,
+                 streamed: bool = True):
         if roots_per_task < 1:
             raise ValueError(
                 f"roots_per_task must be >= 1, got {roots_per_task}")
@@ -685,34 +1101,76 @@ class PooledForestRunner:
                 f"tasks_per_round must be >= 1, got {tasks_per_round}")
         validate_plan(query, partition)
         self.pool = pool
+        self.query = query
         self.partition = partition
         self.ratios = normalize_ratios(ratios, partition.num_levels)
         self.seed = seed
         self.roots_per_task = roots_per_task
         self.tasks_per_round = tasks_per_round
+        self.streamed = streamed
         self._task_index = 0
+        self._rounds: Optional[RoundPipeline] = None
         self._handle = pool.register(ForestWork(
             query=query, partition=partition, ratios=self.ratios,
             backend=backend, capacity=roots_per_task))
 
+    def _base_cohort(self, batch_roots: int) -> int:
+        return max(batch_roots, self.roots_per_task * self.tasks_per_round)
+
     def accumulate(self, aggregate, batch_roots: int,
                    max_steps=None, max_roots=None) -> bool:
         """Fold one pooled round of root trees into ``aggregate``."""
-        cohort = max(batch_roots, self.roots_per_task * self.tasks_per_round)
+        cohort = self._base_cohort(batch_roots)
         if max_roots is not None:
             cohort = min(cohort, max_roots - aggregate.n_roots)
-        if max_steps is not None and aggregate.steps >= max_steps:
-            return True
+        step_budget = None
+        if max_steps is not None:
+            if aggregate.steps >= max_steps:
+                return True
+            step_budget = max_steps - aggregate.steps
+            # Trim the round toward the remaining budget using the
+            # measured cost per root (a fresh run assumes a root tree
+            # costs about two horizons); the per-task caps below make
+            # the budget strict regardless of the estimate.
+            if aggregate.n_roots:
+                cost = aggregate.steps / aggregate.n_roots
+            else:
+                cost = 2.0 * self.query.horizon
+            cohort = min(cohort, max(int(step_budget / cost), 1))
         if cohort <= 0:
             return True
         tasks, self._task_index = cut_tasks(
-            cohort, self.roots_per_task, self.seed, self._task_index)
-        for arrays in self.pool.run_tasks(self._handle, tasks):
+            cohort, self.roots_per_task, self.seed, self._task_index,
+            step_budget)
+        predicted = None
+        if self.streamed and step_budget is None:
+            ahead = self._base_cohort(batch_roots)
+            if max_roots is not None:
+                ahead = min(ahead,
+                            max_roots - (aggregate.n_roots + cohort))
+            if ahead > 0:
+                predicted, _ = cut_tasks(ahead, self.roots_per_task,
+                                         self.seed, self._task_index)
+        roots_before = aggregate.n_roots
+        if self.streamed:
+            if self._rounds is None:
+                self._rounds = RoundPipeline(self.pool, self._handle)
+            results = self._rounds.run_round(tasks, predicted)
+        else:
+            results = self.pool.run_tasks(self._handle, tasks)
+        for arrays in results:
             aggregate.extend_arrays(*arrays)
+        if step_budget is not None and aggregate.n_roots == roots_before:
+            # The remaining budget cannot afford a single worst-case
+            # root tree anywhere: the budget is exhausted.
+            return True
         return ((max_roots is not None and aggregate.n_roots >= max_roots)
                 or (max_steps is not None
                     and aggregate.steps >= max_steps))
 
     def close(self) -> None:
         """Release this work's registration and shared blocks."""
+        if self._rounds is not None:
+            self._rounds.close()
+            self._rounds = None
         self.pool.unregister(self._handle)

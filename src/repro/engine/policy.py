@@ -26,7 +26,7 @@ from ..core.quality import (ConfidenceIntervalTarget, NeverTarget,
 
 METHODS = ("srs", "smlss", "gmlss", "auto")
 BACKENDS = ("scalar", "vectorized", "auto")
-POOL_MODES = ("fork", "spawn", "inline")
+POOL_MODES = ("fork", "spawn", "thread", "inline")
 
 #: Stride between derived per-query seeds in batch runs (a prime, so
 #: derived streams never collide for realistic batch sizes).
@@ -96,7 +96,16 @@ class ParallelPolicy:
     members_per_task:
         Fleet members per slice in fused fleet passes.
     pool:
-        ``"fork"`` (default), ``"spawn"`` or ``"inline"``.
+        ``"fork"`` (default), ``"spawn"``, ``"thread"`` (worker
+        threads sharing the parent address space — no startup or
+        pickling cost; the NumPy kernels release the GIL) or
+        ``"inline"``.  Where fork is unavailable, ``"fork"`` falls
+        back to ``"thread"``.
+    streamed:
+        Pipeline pooled rounds (speculative next-round submission;
+        see :class:`~repro.core.pool.RoundPipeline`).  Results are
+        byte-identical either way; ``False`` restores the per-round
+        barrier.
     """
 
     n_workers: Optional[int] = None
@@ -104,6 +113,7 @@ class ParallelPolicy:
     tasks_per_round: int = 8
     members_per_task: int = 32
     pool: str = "fork"
+    streamed: bool = True
 
     def validate(self) -> "ParallelPolicy":
         if self.n_workers is not None and self.n_workers < 1:
@@ -133,6 +143,7 @@ class ParallelPolicy:
             "tasks_per_round": self.tasks_per_round,
             "members_per_task": self.members_per_task,
             "pool": self.pool,
+            "streamed": self.streamed,
         }
 
     @classmethod

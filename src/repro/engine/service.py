@@ -83,7 +83,8 @@ def resolve_plan(query: DurabilityQuery,
                  ratio, trial_steps: int,
                  seed: Optional[int],
                  backend: str = "scalar",
-                 plan_cache: Optional[PlanCache] = None):
+                 plan_cache: Optional[PlanCache] = None,
+                 pool=None):
     """Choose the level plan: explicit > cached > balanced pilot > greedy.
 
     The single source of truth for plan precedence (also behind the
@@ -91,7 +92,10 @@ def resolve_plan(query: DurabilityQuery,
     ``(partition, search_details_or_None, cache_status_or_None)``;
     ``cache_status`` is ``"hit"``/``"miss"`` when a plan cache
     participated.  Pilot simulations (balanced-growth pilots and greedy
-    candidate trials) run on the requested backend.
+    candidate trials) run on the requested backend; with ``pool`` (a
+    :class:`~repro.core.pool.WorkerPool`) they shard over its workers
+    and — because trial and pilot seeds are structural — return exactly
+    the plan the parent-only search would.
     """
     initial_value = query.initial_value()
     if partition is not None:
@@ -101,12 +105,13 @@ def resolve_plan(query: DurabilityQuery,
         plan = balanced_growth_partition(
             query, num_levels,
             pilot_paths=max(trial_steps // query.horizon, 200),
-            seed=seed, backend=backend, plan_cache=plan_cache)
+            seed=seed, backend=backend, plan_cache=plan_cache,
+            pool=pool)
         search_details = None
     else:
         result = adaptive_greedy_partition(
             query, ratio=ratio, trial_steps=trial_steps, seed=seed,
-            backend=backend, plan_cache=plan_cache)
+            backend=backend, plan_cache=plan_cache, pool=pool)
         plan = result.partition
         search_details = {
             "search_steps": result.search_steps,
@@ -252,6 +257,7 @@ class DurabilityEngine:
             options.setdefault("roots_per_task", parallel.roots_per_task)
             options.setdefault("tasks_per_round",
                                parallel.tasks_per_round)
+            options.setdefault("streamed", parallel.streamed)
         # A sampler_options override may pick a different backend than
         # the policy; report what the sampler actually ran.
         sampler_backend = resolve_backend(options["backend"], query.process)
@@ -289,12 +295,18 @@ class DurabilityEngine:
     def _resolve_plan(self, query: DurabilityQuery,
                       partition: Optional[LevelPartition],
                       policy: ExecutionPolicy, backend: str):
-        """Plan precedence from :func:`resolve_plan`, plus the cache."""
+        """Plan precedence from :func:`resolve_plan`, plus the cache.
+
+        With :attr:`ExecutionPolicy.parallel` set, plan search (greedy
+        candidate trials, balanced pilots) shards over the engine's
+        persistent pool — the cold-query path parallelizes along with
+        the sampling it feeds.
+        """
         cache = self.plan_cache if policy.use_plan_cache else None
         return resolve_plan(
             query, partition, policy.num_levels, policy.ratio,
             policy.trial_steps, policy.seed, backend=backend,
-            plan_cache=cache)
+            plan_cache=cache, pool=self._get_pool(policy))
 
     # ------------------------------------------------------------------
     # Threshold grids: one pass, many answers

@@ -258,6 +258,231 @@ class TestSpawnMode:
         assert outcomes[0] == outcomes[1]
 
 
+class TestThreadMode:
+    """Worker threads sharing the parent address space (no processes,
+    no pickling, no shared-memory segments)."""
+
+    def test_thread_mode_spins_up_named_threads(self):
+        import threading
+        with WorkerPool(n_workers=2, pool="thread") as pool:
+            assert pool.mode == "thread"
+            alive = [t.name for t in threading.enumerate()]
+            assert sum(name.startswith("repro-pool-worker")
+                       for name in alive) == 2
+        alive = [t.name for t in threading.enumerate()]
+        assert not any(name.startswith("repro-pool-worker")
+                       for name in alive)
+
+    def test_thread_mode_uses_no_shared_memory(self, small_chain_query,
+                                               small_chain_partition):
+        from repro.core.pool import ForestWork
+        with WorkerPool(n_workers=2, pool="thread") as pool:
+            handle = pool.register(ForestWork(
+                query=small_chain_query, partition=small_chain_partition,
+                ratios=(1, 3, 3), backend="vectorized", capacity=16))
+            try:
+                # Every registered block is a plain in-process
+                # CounterBlock — the shm slot stays empty.
+                assert pool._blocks
+                assert all(shm is None
+                           for (shm, _) in pool._blocks.values())
+            finally:
+                pool.unregister(handle)
+
+    @pytest.mark.parametrize("sampler_cls",
+                             [SRSSampler, SMLSSSampler, GMLSSSampler])
+    def test_thread_matches_inline_and_fork(self, sampler_cls,
+                                            small_chain_query,
+                                            small_chain_partition):
+        """Byte-identical estimates across thread/inline/fork modes and
+        thread-mode worker counts (the mode-invariance contract
+        extended to the threaded backend)."""
+        outcomes = []
+        for mode, n_workers in (("inline", 2), ("thread", 2),
+                                ("thread", 3), ("fork", 2)):
+            with WorkerPool(n_workers=n_workers, pool=mode) as pool:
+                estimate = run_sampler(
+                    sampler_cls, small_chain_query, small_chain_partition,
+                    pool, seed=5, max_roots=700)
+            outcomes.append((estimate.probability, estimate.variance,
+                             estimate.n_roots, estimate.hits,
+                             estimate.steps))
+        assert all(outcome == outcomes[0] for outcome in outcomes)
+
+    def test_thread_curve_matches_fork(self, small_chain_query):
+        levels = (0.25, 0.5, 0.75, 1.0)
+        outcomes = []
+        for mode in ("thread", "fork"):
+            with WorkerPool(n_workers=2, pool=mode) as pool:
+                curve = SRSSampler(backend="auto", pool=pool).run_curve(
+                    small_chain_query, levels, max_roots=900, seed=3)
+            outcomes.append(tuple(e.probability for e in curve.estimates)
+                            + (curve.steps,))
+        assert outcomes[0] == outcomes[1]
+
+    def test_fork_falls_back_to_thread_without_fork(self, monkeypatch):
+        import repro.core.pool as pool_mod
+        monkeypatch.setattr(pool_mod, "get_all_start_methods",
+                            lambda: ["spawn"])
+        with WorkerPool(n_workers=2, pool="fork") as pool:
+            assert pool.mode == "thread"
+
+
+class TestStreamedScheduling:
+    """Pipelined rounds return exactly what the barrier path returns."""
+
+    @pytest.mark.parametrize("sampler_cls",
+                             [SRSSampler, SMLSSSampler, GMLSSSampler])
+    def test_streamed_matches_barrier(self, sampler_cls, small_chain_query,
+                                      small_chain_partition):
+        """Small tasks + small rounds force many rounds, so speculation
+        actually overlaps; results must still be byte-identical."""
+        outcomes = []
+        for streamed in (False, True):
+            with WorkerPool(n_workers=2) as pool:
+                if sampler_cls is SRSSampler:
+                    sampler = SRSSampler(
+                        backend="auto", pool=pool, roots_per_task=64,
+                        tasks_per_round=4, streamed=streamed)
+                else:
+                    sampler = sampler_cls(
+                        small_chain_partition, ratio=3, backend="auto",
+                        pool=pool, roots_per_task=64, tasks_per_round=4,
+                        streamed=streamed)
+                estimate = sampler.run(small_chain_query, seed=5,
+                                       max_roots=3_000)
+            outcomes.append((estimate.probability, estimate.variance,
+                             estimate.n_roots, estimate.hits,
+                             estimate.steps))
+        assert outcomes[0] == outcomes[1]
+
+    def test_streamed_flag_reported_in_details(self, small_chain_query):
+        for streamed in (False, True):
+            with WorkerPool(n_workers=2) as pool:
+                estimate = SRSSampler(
+                    backend="auto", pool=pool, streamed=streamed).run(
+                    small_chain_query, max_roots=500, seed=1)
+            assert estimate.details["parallel"]["streamed"] is streamed
+
+    def test_streamed_curve_matches_barrier(self, small_chain_query):
+        levels = (0.25, 0.5, 0.75, 1.0)
+        outcomes = []
+        for streamed in (False, True):
+            with WorkerPool(n_workers=2) as pool:
+                curve = SRSSampler(
+                    backend="auto", pool=pool, roots_per_task=64,
+                    tasks_per_round=4, streamed=streamed).run_curve(
+                    small_chain_query, levels, max_roots=2_000, seed=3)
+            outcomes.append(tuple(e.probability for e in curve.estimates)
+                            + (curve.steps, curve.n_roots))
+        assert outcomes[0] == outcomes[1]
+
+    def test_streamed_quality_target_discards_speculation(
+            self, small_chain_query):
+        """A quality-target stop leaves a speculative round in flight;
+        its results must be discarded without contaminating the
+        estimate (identical to the barrier run) or wedging the pool."""
+        from repro.core.quality import RelativeErrorTarget
+        outcomes = []
+        for streamed in (False, True):
+            with WorkerPool(n_workers=2) as pool:
+                estimate = SRSSampler(
+                    backend="auto", pool=pool, roots_per_task=64,
+                    tasks_per_round=4, streamed=streamed).run(
+                    small_chain_query,
+                    quality=RelativeErrorTarget(target=0.3, min_hits=5),
+                    max_roots=200_000, seed=41)
+                # The pool must still be serviceable after a discard.
+                follow_up = SRSSampler(backend="auto", pool=pool).run(
+                    small_chain_query, max_roots=500, seed=2)
+            assert follow_up.n_roots == 500
+            outcomes.append((estimate.probability, estimate.n_roots,
+                             estimate.steps))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestStrictStepBudget:
+    """Pooled runs must respect max_steps exactly, not per-round."""
+
+    @pytest.mark.parametrize("sampler_cls",
+                             [SRSSampler, SMLSSSampler, GMLSSSampler])
+    def test_pooled_never_exceeds_max_steps(self, sampler_cls,
+                                            small_chain_query,
+                                            small_chain_partition):
+        budget = 30_000
+        for n_workers in (1, 2):
+            with WorkerPool(n_workers=n_workers) as pool:
+                if sampler_cls is SRSSampler:
+                    sampler = SRSSampler(backend="auto", pool=pool,
+                                         roots_per_task=64,
+                                         tasks_per_round=4)
+                else:
+                    sampler = sampler_cls(
+                        small_chain_partition, ratio=3, backend="auto",
+                        pool=pool, roots_per_task=64, tasks_per_round=4)
+                estimate = sampler.run(small_chain_query, seed=7,
+                                       max_steps=budget)
+            assert estimate.steps <= budget, (
+                f"{sampler_cls.__name__} with {n_workers} workers spent "
+                f"{estimate.steps} > max_steps={budget}")
+            assert estimate.n_roots > 0
+
+    @pytest.mark.parametrize("sampler_cls",
+                             [SRSSampler, GMLSSSampler])
+    def test_budget_invariant_under_worker_count(self, sampler_cls,
+                                                 small_chain_query,
+                                                 small_chain_partition):
+        """Per-task caps are structural (derived from the task cut, not
+        the workers), so budgeted runs stay worker-count invariant."""
+        outcomes = []
+        for n_workers in (1, 2, 3):
+            with WorkerPool(n_workers=n_workers) as pool:
+                estimate = run_sampler(
+                    sampler_cls, small_chain_query, small_chain_partition,
+                    pool, seed=11, max_steps=25_000)
+            outcomes.append((estimate.probability, estimate.n_roots,
+                             estimate.hits, estimate.steps))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestAbnormalTeardown:
+    """Worker death must abort loudly and leave no shm segments."""
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="fork start method unavailable")
+    def test_killed_worker_aborts_and_unlinks_blocks(self,
+                                                     small_chain_query):
+        import os
+        import signal
+        from multiprocessing import shared_memory
+
+        from repro.core.levels import LevelPartition
+        from repro.core.pool import ForestWork
+
+        partition = LevelPartition([4.0 / 12.0, 8.0 / 12.0])
+        pool = WorkerPool(n_workers=2, pool="fork")
+        try:
+            handle = pool.register(ForestWork(
+                query=small_chain_query, partition=partition,
+                ratios=(1, 3, 3), backend="vectorized", capacity=16))
+            shm_names = [shm.name
+                         for (shm, _) in pool._blocks.values()
+                         if shm is not None]
+            assert shm_names
+            os.kill(pool._workers[0].pid, signal.SIGKILL)
+            with pytest.raises(RuntimeError, match="exited"):
+                pool.run_tasks(handle, [(16, seed) for seed in range(8)])
+            # The abort path tears the whole pool down...
+            assert pool.closed
+            # ...and unlinks every segment despite the dead worker.
+            for name in shm_names:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
+        finally:
+            pool.close()
+
+
 class TestThreadSafety:
     def test_concurrent_run_tasks_from_threads(self, small_chain_query):
         """Two threads sharing one pool (the engine's persistent-pool

@@ -131,6 +131,21 @@ class TestParallelPolicy:
         assert restored == policy
         assert restored.parallel.pool == "spawn"
 
+    def test_thread_mode_and_streaming_round_trip(self):
+        policy = ExecutionPolicy(
+            max_steps=1000,
+            parallel=ParallelPolicy(n_workers=2, pool="thread",
+                                    streamed=False))
+        data = policy.to_dict()
+        assert data["parallel"]["pool"] == "thread"
+        assert data["parallel"]["streamed"] is False
+        restored = ExecutionPolicy.from_dict(data)
+        assert restored == policy
+        restored.validate()
+
+    def test_streamed_by_default(self):
+        assert ParallelPolicy().streamed is True
+
     def test_none_parallel_round_trips(self):
         policy = ExecutionPolicy(max_steps=10)
         data = policy.to_dict()
