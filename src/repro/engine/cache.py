@@ -30,9 +30,9 @@ any plan (Proposition 2); a slightly-off plan costs only efficiency.
 Cached plans are re-pruned against each query's actual initial value
 before use.
 
-Eviction is LRU with a bounded entry count; ``hits``/``misses``
-counters make cache effectiveness observable
-(:meth:`PlanCache.stats`).
+Eviction is LRU with a bounded entry count; ``hits``/``misses``/
+``evictions`` counters make cache effectiveness (and capacity
+pressure) observable (:meth:`PlanCache.stats`).
 """
 
 from __future__ import annotations
@@ -157,6 +157,7 @@ class PlanCache:
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         # One engine (and its plan cache) may be driven from several
         # threads at once — batch dispatch, services, or worker-pool
         # orchestration.  All LRU mutation (lookup reordering, insert,
@@ -230,6 +231,7 @@ class PlanCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -248,6 +250,7 @@ class PlanCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict:
         """Hit/miss counters and occupancy, for service observability."""
@@ -258,6 +261,7 @@ class PlanCache:
                 "max_entries": self.max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "hit_rate": self.hits / total if total else 0.0,
             }
 

@@ -24,6 +24,9 @@ from typing import Optional
 from ..core.quality import (ConfidenceIntervalTarget, NeverTarget,
                             QualityTarget, RelativeErrorTarget)
 
+#: Schema version stamped into :meth:`ExecutionPolicy.to_dict` ("v").
+POLICY_SCHEMA_VERSION = 1
+
 METHODS = ("srs", "smlss", "gmlss", "auto")
 BACKENDS = ("scalar", "vectorized", "auto")
 POOL_MODES = ("fork", "spawn", "thread", "inline")
@@ -292,11 +295,17 @@ class ExecutionPolicy:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """A plain-JSON representation (inverse of :meth:`from_dict`)."""
+        """A plain-JSON representation (inverse of :meth:`from_dict`).
+
+        The document carries a schema version stamp ``"v"`` so wire
+        clients and stored configs fail loudly (rather than silently
+        misread) when the policy schema evolves.
+        """
         ratio = self.ratio
         if not isinstance(ratio, int):
             ratio = list(ratio)
         return {
+            "v": POLICY_SCHEMA_VERSION,
             "method": self.method,
             "backend": self.backend,
             "ratio": ratio,
@@ -319,8 +328,17 @@ class ExecutionPolicy:
     def from_dict(cls, data: dict) -> "ExecutionPolicy":
         """Rebuild a policy from :meth:`to_dict` output.
 
-        Unknown keys are rejected so config typos fail loudly.
+        Accepts partial documents (missing fields keep their defaults).
+        Unknown keys are rejected so config typos fail loudly, and the
+        optional ``"v"`` version stamp is validated: a document from a
+        newer schema raises instead of being silently misread.
         """
+        data = dict(data)
+        version = data.pop("v", POLICY_SCHEMA_VERSION)
+        if version != POLICY_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported ExecutionPolicy schema version {version!r};"
+                f" this build reads v{POLICY_SCHEMA_VERSION}")
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:

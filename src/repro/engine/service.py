@@ -130,6 +130,17 @@ def resolve_plan(query: DurabilityQuery,
 class DurabilityEngine:
     """A stateful durability-prediction query service.
 
+    **Concurrency:** one engine may be driven by many threads at once
+    (the serving tier runs every request on an executor thread).  The
+    shared mutable state is the :class:`PlanCache` (internally locked),
+    and the lazily created :class:`WorkerPool` (thread-safe task
+    streams; creation/teardown single-flighted under ``_pool_lock``,
+    so concurrent first calls build exactly one pool and
+    :meth:`close` is idempotent and safe against in-progress
+    ``_get_pool`` calls).  Estimates themselves are per-call values —
+    nothing is shared between two in-flight ``answer`` calls beyond
+    those two structures.
+
     Parameters
     ----------
     policy:

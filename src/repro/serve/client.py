@@ -1,0 +1,259 @@
+"""A small asyncio client for the durability serving tier.
+
+:class:`ServeClient` speaks the wire protocol over one persistent
+HTTP/1.1 connection (keep-alive, requests serialized per connection —
+open several clients for concurrency, as the bench does).  It exists so
+demos, benchmarks and tests can drive the server from asyncio without
+pulling in any HTTP dependency; it parses both fixed-length and
+chunked (streaming-curve) responses.
+
+    async with ServeClient("127.0.0.1", port) as client:
+        reply = await client.answer(query_doc)
+        async for event in client.curve_stream(query_doc, grid):
+            ...  # {"event": "start"|"point"|"end", ...}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Optional
+
+
+class ServeError(Exception):
+    """A non-2xx reply from the server."""
+
+    def __init__(self, status: int, payload):
+        error = (payload or {}).get("error", {}) \
+            if isinstance(payload, dict) else {}
+        message = error.get("message") or f"HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.kind = error.get("kind", "http_error")
+        self.retry_after = error.get("retry_after")
+
+
+class Reply:
+    """One parsed response: status, headers, decoded JSON body."""
+
+    __slots__ = ("status", "headers", "body", "raw")
+
+    def __init__(self, status: int, headers: dict, raw: bytes):
+        self.status = status
+        self.headers = headers
+        self.raw = raw
+        try:
+            self.body = json.loads(raw) if raw else {}
+        except ValueError:
+            self.body = {}
+
+    @property
+    def elapsed_ms(self) -> Optional[float]:
+        value = self.headers.get("x-elapsed-ms")
+        return float(value) if value is not None else None
+
+    def raise_for_status(self) -> "Reply":
+        if self.status >= 400:
+            raise ServeError(self.status, self.body)
+        return self
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`DurabilityServer`."""
+
+    def __init__(self, host: str, port: int, tenant: Optional[str] = None,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def _connected(self):
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+        return self._reader, self._writer
+
+    # -- raw request plumbing ------------------------------------------
+
+    def _head(self, method: str, path: str, body: bytes,
+              streaming: bool) -> bytes:
+        lines = [f"{method} {path} HTTP/1.1",
+                 f"Host: {self.host}:{self.port}",
+                 f"Content-Length: {len(body)}",
+                 "Content-Type: application/json"]
+        if self.tenant:
+            lines.append(f"X-Tenant: {self.tenant}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _read_head(self, reader) -> tuple:
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: dict = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def _read_chunk(self, reader) -> bytes:
+        size_line = await reader.readline()
+        size = int(size_line.strip().split(b";")[0], 16)
+        if size == 0:
+            await reader.readline()  # trailing CRLF after last chunk
+            return b""
+        chunk = await reader.readexactly(size)
+        await reader.readexactly(2)  # CRLF chunk terminator
+        return chunk
+
+    async def request(self, method: str, path: str,
+                      payload: Optional[dict] = None) -> Reply:
+        """One unary request; raises :class:`ServeError` on >= 400."""
+        body = json.dumps(payload).encode("utf-8") \
+            if payload is not None else b""
+        async with self._lock:
+            return await asyncio.wait_for(
+                self._request_locked(method, path, body), self.timeout)
+
+    async def _request_locked(self, method, path, body) -> Reply:
+        reader, writer = await self._connected()
+        writer.write(self._head(method, path, body, streaming=False)
+                     + body)
+        await writer.drain()
+        status, headers = await self._read_head(reader)
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            pieces = []
+            while True:
+                chunk = await self._read_chunk(reader)
+                if not chunk:
+                    break
+                pieces.append(chunk)
+            raw = b"".join(pieces)
+        else:
+            length = int(headers.get("content-length", "0"))
+            raw = await reader.readexactly(length) if length else b""
+        return Reply(status, headers, raw).raise_for_status()
+
+    # -- protocol verbs ------------------------------------------------
+
+    async def healthz(self) -> dict:
+        return (await self.request("GET", "/healthz")).body
+
+    async def metrics(self) -> dict:
+        return (await self.request("GET", "/metrics")).body
+
+    async def stats(self) -> dict:
+        return (await self.request("GET", "/stats")).body
+
+    async def apply_config(self, overrides: dict) -> dict:
+        return (await self.request("POST", "/config", overrides)).body
+
+    async def open_session(self, policy: Optional[dict] = None,
+                           labels: Optional[dict] = None) -> dict:
+        payload: dict = {}
+        if policy is not None:
+            payload["policy"] = policy
+        if labels is not None:
+            payload["labels"] = labels
+        return (await self.request("POST", "/session", payload)).body
+
+    async def close_session(self, session_id: str) -> dict:
+        return (await self.request(
+            "DELETE", f"/session/{session_id}")).body
+
+    async def answer(self, query: dict, policy: Optional[dict] = None,
+                     session: Optional[str] = None,
+                     partition=None) -> Reply:
+        payload: dict = {"query": query}
+        if policy is not None:
+            payload["policy"] = policy
+        if session is not None:
+            payload["session"] = session
+        if partition is not None:
+            payload["partition"] = partition
+        return await self.request("POST", "/answer", payload)
+
+    async def answer_batch(self, queries: list,
+                           policy: Optional[dict] = None,
+                           session: Optional[str] = None) -> Reply:
+        payload: dict = {"queries": queries}
+        if policy is not None:
+            payload["policy"] = policy
+        if session is not None:
+            payload["session"] = session
+        return await self.request("POST", "/answer_batch", payload)
+
+    async def curve(self, query: dict, thresholds: list,
+                    policy: Optional[dict] = None,
+                    session: Optional[str] = None) -> Reply:
+        payload: dict = {"query": query, "thresholds": thresholds,
+                         "stream": False}
+        if policy is not None:
+            payload["policy"] = policy
+        if session is not None:
+            payload["session"] = session
+        return await self.request("POST", "/curve", payload)
+
+    async def curve_stream(self, query: dict, thresholds: list,
+                           policy: Optional[dict] = None,
+                           session: Optional[str] = None
+                           ) -> AsyncIterator[dict]:
+        """Stream a curve: yields decoded events (one per chunk) in
+        arrival order — ``start``, each ``point``, then ``end``."""
+        payload: dict = {"query": query, "thresholds": thresholds,
+                         "stream": True}
+        if policy is not None:
+            payload["policy"] = policy
+        if session is not None:
+            payload["session"] = session
+        body = json.dumps(payload).encode("utf-8")
+        async with self._lock:
+            reader, writer = await self._connected()
+            writer.write(self._head("POST", "/curve", body,
+                                    streaming=True) + body)
+            await writer.drain()
+            status, headers = await asyncio.wait_for(
+                self._read_head(reader), self.timeout)
+            if headers.get("transfer-encoding", "").lower() != "chunked":
+                length = int(headers.get("content-length", "0"))
+                raw = await reader.readexactly(length) if length else b""
+                Reply(status, headers, raw).raise_for_status()
+                raise ServeError(status, json.loads(raw or b"{}"))
+            buffered = b""
+            while True:
+                chunk = await asyncio.wait_for(self._read_chunk(reader),
+                                               self.timeout)
+                if not chunk:
+                    break
+                buffered += chunk
+                while b"\n" in buffered:
+                    line, buffered = buffered.split(b"\n", 1)
+                    if line.strip():
+                        event = json.loads(line)
+                        if status >= 400:
+                            raise ServeError(status, event)
+                        yield event

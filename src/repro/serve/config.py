@@ -1,0 +1,265 @@
+"""Serving configuration: one immutable document, hot-reloadable.
+
+:class:`ServeConfig` is the serving tier's counterpart of
+:class:`~repro.engine.policy.ExecutionPolicy`: an immutable, versioned
+("``v``"-stamped), JSON-round-trippable dataclass holding every knob
+the server exposes — listener address, engine executor width, admission
+queue depth and timeouts, per-tenant rate limits, session lifetime, and
+the watchdog cadence.
+
+:class:`HotConfig` makes it *live*: it holds the current config behind
+a lock, applies validated replacements atomically
+(:meth:`HotConfig.apply`), notifies registered listeners (the admission
+controller resizes its queue, the watchdog re-times itself, the session
+store re-bounds), and can watch a JSON file for changes
+(:meth:`HotConfig.reload_if_changed`) so an operator edit lands without
+a restart.  Invalid replacement documents are rejected whole — the
+running config never ends up half-updated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Config document version; bumped on incompatible field changes.
+CONFIG_VERSION = 1
+
+#: Default admission cost units per request class (see
+#: :mod:`repro.serve.admission`).
+DEFAULT_COST_UNITS = {"cache_hit": 1, "cold_search": 4, "curve": 2,
+                      "fleet": 4}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every serving-tier knob, in one serializable document.
+
+    Attributes
+    ----------
+    host / port:
+        Listener address; port 0 binds an ephemeral port (the bound
+        port is reported by the server after startup).
+    engine_workers:
+        Threads in the engine executor — the number of engine calls
+        that may run simulation concurrently.
+    max_inflight_units:
+        Admission capacity in *cost units* (see ``cost_units``); one
+        unit approximates one cache-friendly point query.
+    max_queue:
+        Bounded admission queue depth (requests waiting for units).
+        Beyond it, requests are shed with HTTP 503.
+    expensive_queue_fraction:
+        Fraction of ``max_queue`` beyond which *expensive* classes
+        (``cold_search``, ``fleet``) are shed early — cheap traffic
+        keeps flowing while plan searches queue.
+    queue_timeout_seconds:
+        Longest a request may wait for admission before being shed.
+    cost_units:
+        Cost units per request class (``cache_hit`` / ``cold_search``
+        / ``curve`` / ``fleet``).
+    rate_default_rps / rate_default_burst:
+        Token-bucket refill rate and capacity applied to every tenant
+        without an explicit entry; ``0`` rps disables limiting.
+    rate_tenants:
+        Per-tenant overrides: ``{tenant: {"rps": .., "burst": ..}}``.
+    session_ttl_seconds / max_sessions:
+        Idle session lifetime and session-store capacity (LRU beyond).
+    session_seed_salt:
+        Salt for deterministic per-session seed derivation.
+    watchdog_interval_seconds / stall_after_intervals:
+        Watchdog sampling cadence and the number of consecutive
+        no-progress samples (with work in flight) that flags a stall.
+    request_max_bytes:
+        Largest accepted request body.
+    drain_timeout_seconds:
+        Graceful-shutdown budget for in-flight requests.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    engine_workers: int = 4
+    max_inflight_units: int = 8
+    max_queue: int = 64
+    expensive_queue_fraction: float = 0.5
+    queue_timeout_seconds: float = 10.0
+    cost_units: dict = field(
+        default_factory=lambda: dict(DEFAULT_COST_UNITS))
+    rate_default_rps: float = 0.0
+    rate_default_burst: float = 10.0
+    rate_tenants: dict = field(default_factory=dict)
+    session_ttl_seconds: float = 3600.0
+    max_sessions: int = 10_000
+    session_seed_salt: int = 0
+    watchdog_interval_seconds: float = 1.0
+    stall_after_intervals: int = 5
+    request_max_bytes: int = 8 * 1024 * 1024
+    drain_timeout_seconds: float = 30.0
+
+    def validate(self) -> "ServeConfig":
+        if self.engine_workers < 1:
+            raise ValueError(f"engine_workers must be >= 1, got "
+                             f"{self.engine_workers}")
+        if self.max_inflight_units < 1:
+            raise ValueError(f"max_inflight_units must be >= 1, got "
+                             f"{self.max_inflight_units}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got "
+                             f"{self.max_queue}")
+        if not 0.0 <= self.expensive_queue_fraction <= 1.0:
+            raise ValueError(
+                f"expensive_queue_fraction must be in [0, 1], got "
+                f"{self.expensive_queue_fraction}")
+        if self.queue_timeout_seconds <= 0:
+            raise ValueError(f"queue_timeout_seconds must be > 0, got "
+                             f"{self.queue_timeout_seconds}")
+        for cls, units in self.cost_units.items():
+            if not isinstance(units, (int, float)) or units < 1:
+                raise ValueError(
+                    f"cost_units[{cls!r}] must be >= 1, got {units!r}")
+        if self.rate_default_rps < 0:
+            raise ValueError(f"rate_default_rps must be >= 0, got "
+                             f"{self.rate_default_rps}")
+        for tenant, spec in self.rate_tenants.items():
+            if not isinstance(spec, dict) or "rps" not in spec:
+                raise ValueError(
+                    f"rate_tenants[{tenant!r}] must be a dict with at "
+                    f"least an 'rps' key, got {spec!r}")
+        if self.session_ttl_seconds <= 0:
+            raise ValueError(f"session_ttl_seconds must be > 0, got "
+                             f"{self.session_ttl_seconds}")
+        if self.max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got "
+                             f"{self.max_sessions}")
+        if self.watchdog_interval_seconds <= 0:
+            raise ValueError(
+                f"watchdog_interval_seconds must be > 0, got "
+                f"{self.watchdog_interval_seconds}")
+        if self.stall_after_intervals < 1:
+            raise ValueError(f"stall_after_intervals must be >= 1, got "
+                             f"{self.stall_after_intervals}")
+        if self.request_max_bytes < 1024:
+            raise ValueError(f"request_max_bytes must be >= 1024, got "
+                             f"{self.request_max_bytes}")
+        return self
+
+    def replace(self, **overrides) -> "ServeConfig":
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        data = {"v": CONFIG_VERSION}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = dict(value) if isinstance(value, dict) \
+                else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeConfig":
+        """Rebuild a config; unknown versions and fields fail loudly."""
+        data = dict(data)
+        version = data.pop("v", CONFIG_VERSION)
+        if version != CONFIG_VERSION:
+            raise ValueError(
+                f"unsupported serving-config version {version!r}; this "
+                f"build speaks v{CONFIG_VERSION}")
+        known = {spec.name for spec in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ServeConfig fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        return cls(**data).validate()
+
+
+class HotConfig:
+    """The live serving config: atomic replacement plus change fanout.
+
+    Listeners are callables ``listener(config)`` invoked (outside the
+    lock) after every successful :meth:`apply`; components register one
+    and re-derive their internal limits from the new document.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 path: Optional[str] = None):
+        self._config = (config if config is not None
+                        else ServeConfig()).validate()
+        self._path = path
+        self._mtime: Optional[float] = None
+        self._lock = threading.Lock()
+        self._listeners: list = []
+        self.version = 0
+        if path is not None and os.path.exists(path):
+            self.reload_if_changed()
+
+    @property
+    def current(self) -> ServeConfig:
+        with self._lock:
+            return self._config
+
+    def subscribe(self, listener: Callable[[ServeConfig], None],
+                  replay: bool = True) -> None:
+        """Register a change listener (optionally replaying current)."""
+        with self._lock:
+            self._listeners.append(listener)
+            config = self._config
+        if replay:
+            listener(config)
+
+    def apply(self, update) -> ServeConfig:
+        """Atomically replace the config from a document or instance.
+
+        ``update`` is a full/partial ``to_dict`` document (partial
+        documents are overrides on the *current* config) or a
+        :class:`ServeConfig`.  Validation failures leave the running
+        config untouched.
+        """
+        with self._lock:
+            if isinstance(update, ServeConfig):
+                config = update.validate()
+            else:
+                update = dict(update)
+                version = update.pop("v", CONFIG_VERSION)
+                if version != CONFIG_VERSION:
+                    raise ValueError(
+                        f"unsupported serving-config version "
+                        f"{version!r}; this build speaks "
+                        f"v{CONFIG_VERSION}")
+                known = {spec.name
+                         for spec in dataclasses.fields(ServeConfig)}
+                unknown = set(update) - known
+                if unknown:
+                    raise ValueError(
+                        f"unknown ServeConfig fields {sorted(unknown)}")
+                config = self._config.replace(**update).validate()
+            self._config = config
+            self.version += 1
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(config)
+        return config
+
+    def reload_if_changed(self) -> bool:
+        """Re-read the watched JSON file if its mtime moved.
+
+        Returns True when a new config was applied.  Unreadable or
+        invalid files are reported by raising — the previous config
+        stays live either way.
+        """
+        if self._path is None:
+            return False
+        try:
+            mtime = os.stat(self._path).st_mtime
+        except OSError:
+            return False
+        if mtime == self._mtime:
+            return False
+        with open(self._path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        self.apply(data)
+        self._mtime = mtime
+        return True

@@ -1,0 +1,234 @@
+"""Serving observability: streaming histograms, rates, one registry.
+
+Latency percentiles come from :class:`StreamingHistogram` — a fixed
+set of geometrically spaced buckets, O(1) per observation and O(buckets)
+per percentile query, so recording a million requests costs a million
+integer increments, not a million stored floats.  Queries-per-second
+come from :class:`RateWindow`, a per-second ring of counters (no
+timestamp lists to grow without bound).
+
+:class:`MetricsRegistry` aggregates counters, per-route latency
+histograms, rate windows, gauges (late-bound callables sampled at
+snapshot time — pool utilization, plan-cache hit rate, queue depth)
+and free-form facts (the watchdog's verdict).  Everything is
+thread-safe: requests are recorded from the event loop *and* the engine
+executor threads, and ``/metrics`` serves
+:meth:`MetricsRegistry.snapshot` from whichever thread asks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+#: Percentiles reported for every route.
+PERCENTILES = (0.50, 0.95, 0.99)
+
+
+class StreamingHistogram:
+    """Geometric-bucket histogram with percentile estimation.
+
+    Buckets span ``[min_value, max_value]`` with ``growth``-factor
+    spacing; observations below/above clamp into the edge buckets.
+    Percentiles interpolate within the winning bucket, so the error is
+    bounded by the bucket's relative width (4 buckets per factor of
+    ~2.4 at the default growth of 1.25 — plenty for tail-latency
+    reporting).
+    """
+
+    def __init__(self, min_value: float = 1e-4, max_value: float = 600.0,
+                 growth: float = 1.25):
+        if min_value <= 0 or max_value <= min_value or growth <= 1.0:
+            raise ValueError(
+                f"need 0 < min_value < max_value and growth > 1, got "
+                f"min={min_value}, max={max_value}, growth={growth}")
+        bounds = [min_value]
+        while bounds[-1] < max_value:
+            bounds.append(bounds[-1] * growth)
+        #: Upper bounds; bucket i counts values in (bounds[i-1], bounds[i]].
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.max_seen = 0.0
+        self._lock = threading.Lock()
+
+    def _bucket(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def record(self, value: float) -> None:
+        index = self._bucket(value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value > self.max_seen:
+                self.max_seen = value
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0 < q <= 1); 0.0 when empty."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            seen = 0
+            for index, bucket_count in enumerate(self.counts):
+                seen += bucket_count
+                if seen >= rank:
+                    if index >= len(self.bounds):
+                        return self.max_seen
+                    upper = self.bounds[index]
+                    lower = self.bounds[index - 1] if index else 0.0
+                    # Linear interpolation inside the bucket.
+                    into = (rank - (seen - bucket_count)) / bucket_count
+                    return lower + (upper - lower) * into
+            return self.max_seen
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        stats = {"count": self.count, "mean": self.mean,
+                 "max": self.max_seen}
+        for q in PERCENTILES:
+            stats[f"p{int(q * 100)}"] = self.percentile(q)
+        return stats
+
+
+class RateWindow:
+    """Events-per-second over trailing windows, via a per-second ring."""
+
+    def __init__(self, window_seconds: int = 60,
+                 clock: Callable[[], float] = time.monotonic):
+        if window_seconds < 1:
+            raise ValueError(f"window_seconds must be >= 1, got "
+                             f"{window_seconds}")
+        self.window_seconds = window_seconds
+        self._clock = clock
+        self._counts = [0] * window_seconds
+        self._seconds = [-1] * window_seconds
+        self._lock = threading.Lock()
+
+    def record(self, n: int = 1) -> None:
+        second = int(self._clock())
+        slot = second % self.window_seconds
+        with self._lock:
+            if self._seconds[slot] != second:
+                self._seconds[slot] = second
+                self._counts[slot] = 0
+            self._counts[slot] += n
+
+    def rate(self, over_seconds: Optional[int] = None) -> float:
+        """Mean events/second over the trailing window (excluding the
+        in-progress current second, which would bias the rate low)."""
+        over = over_seconds or self.window_seconds
+        over = min(over, self.window_seconds - 1) or 1
+        now_second = int(self._clock())
+        total = 0
+        with self._lock:
+            for age in range(1, over + 1):
+                second = now_second - age
+                slot = second % self.window_seconds
+                if self._seconds[slot] == second:
+                    total += self._counts[slot]
+        return total / over
+
+
+class MetricsRegistry:
+    """All serving metrics in one place (and one ``/metrics`` payload).
+
+    Counters and histograms are created on first touch; gauges are
+    registered callables evaluated lazily at snapshot time; facts are
+    small dicts set wholesale (the watchdog's state).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self.started_at = clock()
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
+        self._gauges: Dict[str, Callable[[], object]] = {}
+        self._facts: Dict[str, dict] = {}
+        self.requests = RateWindow(clock=clock)
+        self._lock = threading.Lock()
+
+    # -- recording ----------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def _histogram(self, route: str) -> StreamingHistogram:
+        with self._lock:
+            histogram = self._histograms.get(route)
+            if histogram is None:
+                histogram = self._histograms.setdefault(
+                    route, StreamingHistogram())
+        return histogram
+
+    def observe(self, route: str, seconds: float) -> None:
+        """Record one completed request on ``route`` (and the ``total``
+        aggregate — one ``requests_total`` bump per call)."""
+        self._histogram(route).record(seconds)
+        if route != "total":
+            self._histogram("total").record(seconds)
+        self.inc("requests_total")
+        self.inc(f"requests.{route}")
+        self.requests.record()
+
+    def register_gauge(self, name: str,
+                       fn: Callable[[], object]) -> None:
+        with self._lock:
+            self._gauges[name] = fn
+
+    def set_fact(self, name: str, value: dict) -> None:
+        with self._lock:
+            self._facts[name] = dict(value)
+
+    def get_fact(self, name: str) -> dict:
+        with self._lock:
+            return dict(self._facts.get(name, {}))
+
+    # -- reporting ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The full observable state (the ``/metrics`` payload)."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+            gauges = dict(self._gauges)
+            facts = {name: dict(value)
+                     for name, value in self._facts.items()}
+        latency = {route: histogram.summary()
+                   for route, histogram in histograms.items()}
+        gauge_values = {}
+        for name, fn in gauges.items():
+            try:
+                gauge_values[name] = fn()
+            except Exception as exc:  # a broken gauge must not break /metrics
+                gauge_values[name] = f"<error: {type(exc).__name__}>"
+        return {
+            "uptime_seconds": self._clock() - self.started_at,
+            "counters": counters,
+            "latency_seconds": latency,
+            "qps": {"10s": self.requests.rate(10),
+                    "60s": self.requests.rate(60)},
+            "gauges": gauge_values,
+            "facts": facts,
+        }

@@ -1,0 +1,145 @@
+"""The metrics watchdog: a daemon that samples, logs and flags stalls.
+
+Every ``watchdog_interval_seconds`` the watchdog takes one sample of
+the serving tier — completed-request counters, admission queue state,
+plan-cache hit rate, qps and p95 — logs a one-line digest (via the
+``repro.serve`` logger), expires idle sessions, picks up hot-config
+file changes, and applies the *stall rule*: if requests are in flight
+but the completed counter has not moved for ``stall_after_intervals``
+consecutive samples, the tier is flagged ``stalled`` (an engine call
+wedged in the executor, a dead worker pool, a livelocked queue).  The
+verdict is published into the metrics registry
+(``facts["watchdog"]``), so ``/metrics`` always carries the latest
+health assessment; the flag clears itself on the next completed
+request.
+
+:meth:`Watchdog.sample` is synchronous and side-effect-complete, so
+tests (and embedders without an event loop) can drive the rule
+directly; :meth:`Watchdog.run` is the asyncio daemon loop the server
+starts and cancels.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Callable, Optional
+
+logger = logging.getLogger("repro.serve")
+
+
+class Watchdog:
+    """Periodic sampler + stall detector over a metrics registry."""
+
+    def __init__(self, metrics, admission=None, engine=None,
+                 sessions=None, hot_config=None,
+                 interval_seconds: float = 1.0,
+                 stall_after_intervals: int = 5,
+                 clock: Callable[[], float] = time.monotonic):
+        self.metrics = metrics
+        self.admission = admission
+        self.engine = engine
+        self.sessions = sessions
+        self.hot_config = hot_config
+        self.interval_seconds = interval_seconds
+        self.stall_after_intervals = stall_after_intervals
+        self._clock = clock
+        self.samples = 0
+        self.stalled = False
+        self.stall_intervals = 0
+        self._last_completed = 0
+        self._task: Optional[asyncio.Task] = None
+
+    def update_config(self, config) -> None:
+        """Hot-reload hook: re-time the daemon and the stall rule."""
+        self.interval_seconds = config.watchdog_interval_seconds
+        self.stall_after_intervals = config.stall_after_intervals
+
+    # -- one sample ----------------------------------------------------
+
+    def sample(self) -> dict:
+        """Take one watchdog sample; returns the published verdict."""
+        self.samples += 1
+        completed = self.metrics.counter("requests_total")
+        in_flight = (self.admission.in_flight_requests
+                     if self.admission is not None else 0)
+        queued = (self.admission.queued
+                  if self.admission is not None else 0)
+        progressed = completed > self._last_completed
+        if progressed or in_flight == 0:
+            self.stall_intervals = 0
+        else:
+            self.stall_intervals += 1
+        self._last_completed = completed
+        was_stalled = self.stalled
+        self.stalled = self.stall_intervals >= self.stall_after_intervals
+        if self.sessions is not None:
+            self.sessions.sweep()
+        if self.hot_config is not None:
+            try:
+                if self.hot_config.reload_if_changed():
+                    logger.info("watchdog: hot config reloaded "
+                                "(version %d)", self.hot_config.version)
+            except Exception as exc:
+                logger.warning("watchdog: config reload failed, keeping "
+                               "previous config: %s", exc)
+        verdict = {
+            "samples": self.samples,
+            "stalled": self.stalled,
+            "stall_intervals": self.stall_intervals,
+            "stall_after_intervals": self.stall_after_intervals,
+            "completed_total": completed,
+            "in_flight": in_flight,
+            "queued": queued,
+            "sampled_at": self._clock(),
+        }
+        if self.engine is not None:
+            try:
+                verdict["plan_cache"] = self.engine.cache_stats()
+            except Exception:
+                pass
+        self.metrics.set_fact("watchdog", verdict)
+        if self.stalled and not was_stalled:
+            logger.warning(
+                "watchdog: STALL — %d requests in flight, no completion "
+                "for %d intervals (%.3gs)", in_flight,
+                self.stall_intervals,
+                self.stall_intervals * self.interval_seconds)
+        elif was_stalled and not self.stalled:
+            logger.info("watchdog: stall cleared after %d samples",
+                        self.samples)
+        else:
+            snapshot = self.metrics.snapshot()
+            total_latency = snapshot["latency_seconds"].get("total", {})
+            logger.debug(
+                "watchdog: qps=%.1f p95=%.4gs in_flight=%d queued=%d "
+                "completed=%d", snapshot["qps"]["10s"],
+                total_latency.get("p95", 0.0), in_flight, queued,
+                completed)
+        return verdict
+
+    # -- the daemon ----------------------------------------------------
+
+    async def run(self) -> None:
+        """Sample forever at the configured cadence (until cancelled)."""
+        try:
+            while True:
+                await asyncio.sleep(self.interval_seconds)
+                self.sample()
+        except asyncio.CancelledError:
+            pass
+
+    def start(self) -> asyncio.Task:
+        self._task = asyncio.get_running_loop().create_task(
+            self.run(), name="repro-serve-watchdog")
+        return self._task
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None

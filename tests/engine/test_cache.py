@@ -74,7 +74,7 @@ class TestHitMiss:
         assert entry.partition == plan
         assert cache.stats() == {
             "entries": 1, "max_entries": 256, "hits": 1, "misses": 1,
-            "hit_rate": 0.5,
+            "evictions": 0, "hit_rate": 0.5,
         }
 
     def test_identically_configured_processes_share_plans(self):
@@ -115,6 +115,15 @@ class TestLRU:
         assert cache.get(q1) is None  # oldest evicted
         assert cache.get(q2) is not None
         assert cache.get(q3) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_eviction_counter_accumulates(self):
+        cache = PlanCache(max_entries=2)
+        for index, beta in enumerate((10.0, 40.0, 160.0, 640.0)):
+            cache.put(walk_query(beta=beta),
+                      LevelPartition([0.1 * (index + 1)]))
+        assert cache.stats()["evictions"] == 2
+        assert cache.stats()["entries"] == 2
 
     def test_get_refreshes_recency(self):
         cache = PlanCache(max_entries=2)
@@ -133,6 +142,7 @@ class TestLRU:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats()["hits"] == 0
+        assert cache.stats()["evictions"] == 0
 
 
 class TestPruning:

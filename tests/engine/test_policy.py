@@ -108,6 +108,19 @@ class TestSerialization:
         with pytest.raises(ValueError, match="unknown"):
             ExecutionPolicy.from_dict({"max_steps": 1, "budget": 2})
 
+    def test_to_dict_is_version_stamped(self):
+        from repro.engine.policy import POLICY_SCHEMA_VERSION
+
+        assert ExecutionPolicy().to_dict()["v"] == POLICY_SCHEMA_VERSION
+
+    def test_from_dict_accepts_current_and_missing_version(self):
+        assert ExecutionPolicy.from_dict({"v": 1, "max_steps": 4}) \
+            == ExecutionPolicy.from_dict({"max_steps": 4})
+
+    def test_from_dict_rejects_unknown_version(self):
+        with pytest.raises(ValueError, match="version"):
+            ExecutionPolicy.from_dict({"v": 99, "max_steps": 4})
+
     def test_quality_from_dict_rejects_unknown_kind(self):
         with pytest.raises(ValueError, match="kind"):
             quality_from_dict({"kind": "entropy"})

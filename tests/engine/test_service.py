@@ -7,7 +7,8 @@ import pytest
 from repro.core.analytic import random_walk_hitting_probability
 from repro.core.stats import critical_value
 from repro.core.value_functions import DurabilityQuery
-from repro.engine import DurabilityEngine, ExecutionPolicy, PlanCache
+from repro.engine import (DurabilityEngine, ExecutionPolicy,
+                          ParallelPolicy, PlanCache)
 from repro.processes.random_walk import RandomWalkProcess
 
 from ..helpers import assert_close_to
@@ -607,3 +608,101 @@ class TestFusedMlssFleet:
             trial_steps=1_000))
         answers = engine.answer_batch(queries)
         assert all(a.method == "gmlss" for a in answers)
+
+
+class TestConcurrentEngine:
+    """One engine, many threads: the serving-tier usage pattern."""
+
+    def test_close_is_idempotent_and_reentrant(self):
+        engine = DurabilityEngine(ExecutionPolicy(
+            max_roots=50, seed=7,
+            parallel=ParallelPolicy(n_workers=2, pool="thread")))
+        pool = engine._get_pool(engine.policy)
+        assert pool is not None
+        engine.close()
+        engine.close()  # double close must be a no-op
+        assert engine._pool is None
+        # The engine stays usable: the next call builds a fresh pool.
+        fresh = engine._get_pool(engine.policy)
+        assert fresh is not None and fresh is not pool
+        engine.close()
+
+    def test_concurrent_close_and_get_pool_never_leak(self):
+        import threading
+
+        engine = DurabilityEngine(ExecutionPolicy(
+            max_roots=50, seed=7,
+            parallel=ParallelPolicy(n_workers=2, pool="thread")))
+        seen, errors = [], []
+
+        def churn(worker_id):
+            try:
+                for _ in range(10):
+                    if worker_id % 2:
+                        pool = engine._get_pool(engine.policy)
+                        if pool is not None:
+                            seen.append(pool)
+                    else:
+                        engine.close()
+            except Exception as exc:  # pragma: no cover - must not happen
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(i,))
+                   for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        engine.close()
+        # Every pool handed out was either the live one or was closed by
+        # a concurrent close(); none is left open after the final close.
+        assert all(pool.closed for pool in seen)
+
+    def test_concurrent_first_calls_build_exactly_one_pool(self):
+        import threading
+
+        engine = DurabilityEngine(ExecutionPolicy(
+            max_roots=50, seed=7,
+            parallel=ParallelPolicy(n_workers=2, pool="thread")))
+        pools = []
+        barrier = threading.Barrier(4)
+
+        def race():
+            barrier.wait()
+            pools.append(engine._get_pool(engine.policy))
+
+        threads = [threading.Thread(target=race) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(map(id, pools))) == 1  # single-flight
+        engine.close()
+
+    def test_concurrent_answers_share_one_engine(self, walk_query):
+        import threading
+
+        engine = DurabilityEngine(ExecutionPolicy(max_roots=400, seed=9))
+        results, errors = {}, []
+
+        def ask(index):
+            try:
+                results[index] = engine.answer(walk_query)
+            except Exception as exc:  # pragma: no cover - must not happen
+                errors.append(exc)
+
+        threads = [threading.Thread(target=ask, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Structural seeding: every concurrent caller gets the same
+        # deterministic answer, regardless of interleaving.
+        baseline = engine.answer(walk_query)
+        for estimate in results.values():
+            assert estimate.probability == baseline.probability
+            assert estimate.n_roots == baseline.n_roots
+        engine.close()

@@ -1,0 +1,265 @@
+"""Cost classification, token buckets and the admission controller."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.levels import LevelPartition
+from repro.engine import ExecutionPolicy, PlanCache
+from repro.serve.admission import (AdmissionController, RateLimitedError,
+                                   RateLimiter, SheddedError,
+                                   TokenBucket, classify_request)
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import parse_query
+
+WALK = {"family": "random_walk", "params": {"p_up": 0.55}}
+SRS = ExecutionPolicy(method="srs", max_roots=100)
+MLSS = ExecutionPolicy(method="gmlss", max_roots=100)
+
+
+def walk_query(beta=6.0):
+    return parse_query({"process": WALK, "beta": beta, "horizon": 60})
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] \
+            == [None, None, None]
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        clock.now = 0.5
+        assert bucket.try_acquire() is None
+
+    def test_zero_rate_is_invalid(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+
+
+class TestRateLimiter:
+    def test_default_unlimited(self):
+        limiter = RateLimiter(ServeConfig())
+        for _ in range(100):
+            limiter.check("anyone")
+
+    def test_tenant_specific_limit(self):
+        clock = FakeClock()
+        config = ServeConfig(rate_tenants={
+            "noisy": {"rps": 1.0, "burst": 1.0}})
+        limiter = RateLimiter(config, clock=clock)
+        limiter.check("noisy")
+        with pytest.raises(RateLimitedError) as info:
+            limiter.check("noisy")
+        assert info.value.retry_after == pytest.approx(1.0)
+        limiter.check("quiet")  # other tenants unaffected
+
+    def test_default_rate_applies_to_unknown_tenants(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            ServeConfig(rate_default_rps=1.0, rate_default_burst=1.0),
+            clock=clock)
+        limiter.check("a")
+        with pytest.raises(RateLimitedError):
+            limiter.check("a")
+
+
+class TestClassification:
+    def test_srs_point_is_cache_hit(self):
+        assert classify_request("answer", [walk_query()], SRS) \
+            == ("cache_hit", 1)
+
+    def test_mlss_cold_then_warm(self):
+        cache = PlanCache()
+        query = walk_query()
+        assert classify_request("answer", [query], MLSS, cache) \
+            == ("cold_search", 4)
+        cache.put(query, LevelPartition([0.3, 0.6]), kind="greedy")
+        assert classify_request("answer", [query], MLSS, cache) \
+            == ("cache_hit", 1)
+
+    def test_probe_moves_no_counters(self):
+        cache = PlanCache()
+        classify_request("answer", [walk_query()], MLSS, cache)
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_explicit_plan_skips_search_cost(self):
+        assert classify_request("answer", [walk_query()], MLSS,
+                                PlanCache(), explicit_plan=True) \
+            == ("cache_hit", 1)
+
+    def test_fusible_batch_is_a_fleet(self):
+        queries = [walk_query(beta=4.0 + i) for i in range(6)]
+        cost_class, units = classify_request("batch", queries, SRS)
+        assert cost_class == "fleet"
+        assert units == 4  # 6 members within one 32-member block
+
+    def test_small_batch_is_not_a_fleet(self):
+        queries = [walk_query(), walk_query()]
+        assert classify_request("batch", queries, SRS)[0] == "cache_hit"
+
+    def test_curve_scales_with_members(self):
+        assert classify_request("curve", [walk_query()], SRS) \
+            == ("curve", 2)
+        many = [walk_query() for _ in range(40)]
+        assert classify_request("curves", many, SRS) == ("curve", 4)
+
+    def test_custom_cost_units(self):
+        cost_class, units = classify_request(
+            "answer", [walk_query()], SRS,
+            cost_units={"cache_hit": 3})
+        assert (cost_class, units) == ("cache_hit", 3)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def controller(**overrides) -> AdmissionController:
+    defaults = dict(max_inflight_units=2, max_queue=4,
+                    expensive_queue_fraction=0.5,
+                    queue_timeout_seconds=0.2)
+    defaults.update(overrides)
+    return AdmissionController(ServeConfig(**defaults))
+
+
+class TestAdmissionController:
+    def test_fast_path_grant_and_release(self):
+        async def scenario():
+            ctrl = controller()
+            ticket = await ctrl.admit("t", "cache_hit", 1)
+            assert ctrl.in_flight_units == 1
+            ticket.release()
+            ticket.release()  # idempotent
+            assert ctrl.in_flight_units == 0
+            assert ctrl.in_flight_requests == 0
+
+        run(scenario())
+
+    def test_oversized_request_clamps_to_capacity(self):
+        async def scenario():
+            ctrl = controller()
+            ticket = await ctrl.admit("t", "fleet", 99)
+            assert ticket.units == 2  # capacity, not 99
+            ticket.release()
+
+        run(scenario())
+
+    def test_fifo_wait_then_grant_on_release(self):
+        async def scenario():
+            ctrl = controller(max_inflight_units=1)
+            first = await ctrl.admit("t", "cache_hit", 1)
+            second = asyncio.create_task(
+                ctrl.admit("t", "cache_hit", 1))
+            third = asyncio.create_task(
+                ctrl.admit("t", "cache_hit", 1))
+            await asyncio.sleep(0)
+            assert ctrl.queued == 2
+            order = []
+            second.add_done_callback(lambda _: order.append("second"))
+            third.add_done_callback(lambda _: order.append("third"))
+            first.release()
+            (await second).release()
+            (await third).release()
+            assert order == ["second", "third"]  # FIFO
+            assert ctrl.in_flight_units == 0
+
+        run(scenario())
+
+    def test_expensive_class_sheds_before_queue_full(self):
+        async def scenario():
+            ctrl = controller(max_inflight_units=1, max_queue=4)
+            held = await ctrl.admit("t", "cache_hit", 1)
+            waiters = [asyncio.create_task(
+                ctrl.admit("t", "cache_hit", 1)) for _ in range(2)]
+            await asyncio.sleep(0)
+            # Expensive queue bound = 2: cold search sheds now...
+            with pytest.raises(SheddedError):
+                await ctrl.admit("t", "cold_search", 1)
+            # ...while cheap traffic still queues.
+            cheap = asyncio.create_task(ctrl.admit("t", "cache_hit", 1))
+            await asyncio.sleep(0)
+            assert ctrl.queued == 3
+            held.release()
+            for task in (*waiters, cheap):
+                (await task).release()
+
+        run(scenario())
+
+    def test_queue_full_sheds_everything(self):
+        async def scenario():
+            ctrl = controller(max_inflight_units=1, max_queue=1)
+            held = await ctrl.admit("t", "cache_hit", 1)
+            waiter = asyncio.create_task(
+                ctrl.admit("t", "cache_hit", 1))
+            await asyncio.sleep(0)
+            with pytest.raises(SheddedError, match="queue full"):
+                await ctrl.admit("t", "cache_hit", 1)
+            held.release()
+            (await waiter).release()
+
+        run(scenario())
+
+    def test_queue_timeout_sheds(self):
+        async def scenario():
+            ctrl = controller(max_inflight_units=1,
+                              queue_timeout_seconds=0.05)
+            held = await ctrl.admit("t", "cache_hit", 1)
+            with pytest.raises(SheddedError, match="waited longer"):
+                await ctrl.admit("t", "cache_hit", 1)
+            assert ctrl.queued == 0  # the timed-out entry is gone
+            held.release()
+            # Capacity fully recovered after the timeout.
+            (await ctrl.admit("t", "cache_hit", 1)).release()
+
+        run(scenario())
+
+    def test_rate_limited_tenant_never_occupies_the_queue(self):
+        async def scenario():
+            ctrl = AdmissionController(ServeConfig(
+                max_inflight_units=2, rate_tenants={
+                    "noisy": {"rps": 0.001, "burst": 1.0}}))
+            (await ctrl.admit("noisy", "cache_hit", 1)).release()
+            with pytest.raises(RateLimitedError) as info:
+                await ctrl.admit("noisy", "cache_hit", 1)
+            assert info.value.retry_after > 0
+            assert ctrl.queued == 0
+
+        run(scenario())
+
+    def test_hot_config_update_grows_capacity_and_wakes_waiters(self):
+        async def scenario():
+            ctrl = controller(max_inflight_units=1)
+            held = await ctrl.admit("t", "cache_hit", 1)
+            waiter = asyncio.create_task(
+                ctrl.admit("t", "cache_hit", 1))
+            await asyncio.sleep(0)
+            assert ctrl.queued == 1
+            ctrl.update_config(ServeConfig(max_inflight_units=4,
+                                           queue_timeout_seconds=0.2))
+            ticket = await waiter
+            assert ctrl.queued == 0
+            ticket.release()
+            held.release()
+
+        run(scenario())
+
+    def test_ticket_context_manager(self):
+        async def scenario():
+            ctrl = controller()
+            with await ctrl.admit("t", "cache_hit", 2):
+                assert ctrl.in_flight_units == 2
+            assert ctrl.in_flight_units == 0
+
+        run(scenario())

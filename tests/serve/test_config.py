@@ -1,0 +1,98 @@
+"""ServeConfig validation and HotConfig atomic replacement/reload."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.serve.config import CONFIG_VERSION, HotConfig, ServeConfig
+
+
+class TestServeConfig:
+    def test_round_trip(self):
+        config = ServeConfig(max_queue=5, rate_default_rps=2.0,
+                             rate_tenants={"t": {"rps": 1.0}})
+        assert ServeConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_version_stamped_json(self):
+        data = ServeConfig().to_dict()
+        assert data["v"] == CONFIG_VERSION
+        json.dumps(data)  # JSON-ready
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            ServeConfig.from_dict({"v": 99})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ServeConfig.from_dict({"max_queuez": 4})
+
+    @pytest.mark.parametrize("overrides", [
+        {"engine_workers": 0},
+        {"max_inflight_units": 0},
+        {"max_queue": -1},
+        {"expensive_queue_fraction": 1.5},
+        {"queue_timeout_seconds": 0.0},
+        {"cost_units": {"cache_hit": 0}},
+        {"rate_default_rps": -1.0},
+        {"rate_tenants": {"t": {"burst": 3}}},
+        {"session_ttl_seconds": 0.0},
+        {"max_sessions": 0},
+        {"watchdog_interval_seconds": 0.0},
+        {"stall_after_intervals": 0},
+        {"request_max_bytes": 16},
+    ])
+    def test_validate_rejects(self, overrides):
+        with pytest.raises(ValueError):
+            ServeConfig(**overrides).validate()
+
+
+class TestHotConfig:
+    def test_partial_apply_overrides_current(self):
+        hot = HotConfig(ServeConfig(max_queue=10))
+        hot.apply({"engine_workers": 2})
+        assert hot.current.max_queue == 10
+        assert hot.current.engine_workers == 2
+        assert hot.version == 1
+
+    def test_invalid_update_leaves_config_untouched(self):
+        hot = HotConfig()
+        before = hot.current
+        with pytest.raises(ValueError):
+            hot.apply({"max_queue": -5})
+        with pytest.raises(ValueError):
+            hot.apply({"v": 12})
+        assert hot.current is before
+        assert hot.version == 0
+
+    def test_listeners_see_every_apply(self):
+        hot = HotConfig()
+        seen = []
+        hot.subscribe(seen.append)          # replayed immediately
+        hot.apply({"max_queue": 3})
+        assert [c.max_queue for c in seen] == [64, 3]
+
+    def test_reload_if_changed_watches_the_file(self, tmp_path):
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps({"max_queue": 9}))
+        hot = HotConfig(path=str(path))
+        assert hot.current.max_queue == 9
+
+        path.write_text(json.dumps({"max_queue": 4}))
+        os.utime(path, (0, os.stat(path).st_mtime + 2))
+        assert hot.reload_if_changed() is True
+        assert hot.current.max_queue == 4
+        # No mtime movement -> no reload.
+        assert hot.reload_if_changed() is False
+
+    def test_reload_raises_but_keeps_previous_on_bad_file(self, tmp_path):
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps({"max_queue": 9}))
+        hot = HotConfig(path=str(path))
+        path.write_text("{not json")
+        os.utime(path, (0, os.stat(path).st_mtime + 2))
+        with pytest.raises(ValueError):
+            hot.reload_if_changed()
+        assert hot.current.max_queue == 9

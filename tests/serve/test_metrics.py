@@ -1,0 +1,134 @@
+"""Streaming histograms, rate windows and the metrics registry."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.serve.metrics import (MetricsRegistry, RateWindow,
+                                 StreamingHistogram)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestStreamingHistogram:
+    def test_percentiles_track_exact_quantiles(self):
+        rng = random.Random(42)
+        values = [rng.uniform(0.001, 2.0) for _ in range(5000)]
+        histogram = StreamingHistogram()
+        for value in values:
+            histogram.record(value)
+        values.sort()
+        for q in (0.5, 0.95, 0.99):
+            exact = values[int(q * len(values)) - 1]
+            approx = histogram.percentile(q)
+            # Error bounded by the geometric bucket width (growth 1.25).
+            assert exact / 1.3 <= approx <= exact * 1.3
+
+    def test_empty_histogram_reports_zero(self):
+        histogram = StreamingHistogram()
+        assert histogram.percentile(0.99) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.summary()["count"] == 0
+
+    def test_overflow_clamps_to_max_seen(self):
+        histogram = StreamingHistogram(max_value=1.0)
+        histogram.record(50.0)
+        assert histogram.percentile(0.99) == 50.0
+
+    def test_summary_shape(self):
+        histogram = StreamingHistogram()
+        histogram.record(0.1)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "mean", "max", "p50", "p95",
+                                "p99"}
+        assert summary["count"] == 1
+        assert summary["max"] == pytest.approx(0.1)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(growth=1.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(min_value=0.0)
+
+    def test_concurrent_recording_loses_nothing(self):
+        histogram = StreamingHistogram()
+
+        def pound():
+            for _ in range(2000):
+                histogram.record(0.01)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 8000
+
+
+class TestRateWindow:
+    def test_rate_over_trailing_window(self):
+        clock = FakeClock()
+        window = RateWindow(window_seconds=30, clock=clock)
+        for _ in range(5):
+            window.record(2)  # 10 events in the current second
+            clock.advance(1.0)
+        # The 5 whole seconds just passed hold 2 events each.
+        assert window.rate(5) == pytest.approx(2.0)
+
+    def test_in_progress_second_is_excluded(self):
+        clock = FakeClock()
+        window = RateWindow(window_seconds=10, clock=clock)
+        window.record(100)  # current second: must not bias the rate
+        assert window.rate(5) == 0.0
+
+    def test_stale_slots_are_forgotten(self):
+        clock = FakeClock()
+        window = RateWindow(window_seconds=5, clock=clock)
+        window.record(10)
+        clock.advance(60.0)  # far past the ring
+        assert window.rate() == 0.0
+
+
+class TestMetricsRegistry:
+    def test_observe_builds_route_and_total_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe("answer", 0.05)
+        registry.observe("curve", 0.10)
+        snapshot = registry.snapshot()
+        assert registry.counter("requests_total") == 2
+        assert snapshot["counters"]["requests.answer"] == 1
+        assert snapshot["latency_seconds"]["total"]["count"] == 2
+        assert snapshot["latency_seconds"]["answer"]["count"] == 1
+
+    def test_gauges_are_sampled_lazily_and_fail_soft(self):
+        registry = MetricsRegistry()
+        registry.register_gauge("depth", lambda: 7)
+
+        def broken():
+            raise RuntimeError("boom")
+
+        registry.register_gauge("broken", broken)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["depth"] == 7
+        assert gauges["broken"].startswith("<error:")
+
+    def test_facts_round_trip_and_copy(self):
+        registry = MetricsRegistry()
+        verdict = {"stalled": False}
+        registry.set_fact("watchdog", verdict)
+        verdict["stalled"] = True  # caller mutation must not leak in
+        assert registry.get_fact("watchdog") == {"stalled": False}
+        assert registry.snapshot()["facts"]["watchdog"] \
+            == {"stalled": False}

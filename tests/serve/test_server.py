@@ -1,0 +1,435 @@
+"""End-to-end serving tests: byte identity, shedding, streaming, drain.
+
+These drive a real :class:`DurabilityServer` on a background thread
+through plain ``http.client`` sockets — the same wire a real client
+sees.  The load benchmark (``benchmarks/bench_serving.py``) scales the
+same checks to thousands of concurrent requests.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.levels import LevelPartition
+from repro.engine import DurabilityEngine, ExecutionPolicy
+from repro.serve import ServerThread, ServeConfig
+from repro.serve.protocol import (dumps_canonical, encode_curve,
+                                  encode_estimate, parse_query)
+
+DEFAULT_POLICY = ExecutionPolicy(method="srs", max_roots=300, seed=11)
+
+WALK_DOC = {"process": {"family": "random_walk",
+                        "params": {"p_up": 0.55}},
+            "beta": 6.0, "horizon": 80}
+
+GAUSS_DOCS = [{"process": {"family": "gaussian_walk",
+                           "params": {"drift": 0.05, "sigma": 1.0}},
+               "beta": 3.0 + index, "horizon": 80}
+              for index in range(6)]
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServeConfig(watchdog_interval_seconds=0.05)
+    with ServerThread(policy=DEFAULT_POLICY, config=config) as handle:
+        yield handle
+
+
+def call(handle, method, path, payload=None, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                      timeout=120)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, dict(response.getheaders()), raw
+    finally:
+        conn.close()
+
+
+class TestByteIdentity:
+    """The serving determinism contract: served bytes == in-process
+    bytes for the same query + policy + seed."""
+
+    def test_point_answer(self, server):
+        status, headers, raw = call(server, "POST", "/answer",
+                                    {"query": WALK_DOC})
+        assert status == 200
+        with DurabilityEngine(DEFAULT_POLICY) as engine:
+            reference = engine.answer(parse_query(WALK_DOC))
+        assert raw == dumps_canonical(
+            {"ok": True, "result": encode_estimate(reference),
+             "cost_class": "cache_hit"})
+        assert float(headers["X-Elapsed-Ms"]) > 0.0
+        assert "elapsed" not in raw.decode()
+
+    def test_point_answer_is_repeatable(self, server):
+        first = call(server, "POST", "/answer", {"query": WALK_DOC})
+        second = call(server, "POST", "/answer", {"query": WALK_DOC})
+        assert first[2] == second[2]
+
+    def test_batch_answer_fused_fleet(self, server):
+        status, _, raw = call(server, "POST", "/answer_batch",
+                              {"queries": GAUSS_DOCS})
+        assert status == 200
+        with DurabilityEngine(DEFAULT_POLICY) as engine:
+            reference = engine.answer_batch(
+                [parse_query(doc) for doc in GAUSS_DOCS])
+        assert raw == dumps_canonical(
+            {"ok": True,
+             "results": [encode_estimate(e) for e in reference],
+             "cost_class": "fleet"})
+
+    def test_curve_unary(self, server):
+        grid = [3.0, 6.0, 9.0]
+        status, _, raw = call(server, "POST", "/curve",
+                              {"query": WALK_DOC, "thresholds": grid,
+                               "stream": False})
+        assert status == 200
+        with DurabilityEngine(DEFAULT_POLICY) as engine:
+            reference = engine.durability_curve(parse_query(WALK_DOC),
+                                                grid)
+        assert raw == dumps_canonical(
+            {"ok": True, "result": encode_curve(reference),
+             "cost_class": "curve"})
+
+    def test_mlss_with_explicit_partition(self, server):
+        """Explicit wire partitions short-circuit plan search, making
+        MLSS answers cache-state-independent — identity holds on a
+        shared live server."""
+        doc = dict(WALK_DOC, beta=8.0)
+        boundaries = [0.25, 0.5, 0.75]
+        payload = {"query": doc, "partition": boundaries,
+                   "policy": {"method": "gmlss"}}
+        status, _, raw = call(server, "POST", "/answer", payload)
+        assert status == 200
+        with DurabilityEngine(DEFAULT_POLICY) as engine:
+            reference = engine.answer(
+                parse_query(doc),
+                policy=DEFAULT_POLICY.replace(method="gmlss"),
+                partition=LevelPartition(boundaries))
+        assert raw == dumps_canonical(
+            {"ok": True, "result": encode_estimate(reference),
+             "cost_class": "cache_hit"})
+
+
+class TestStreamingCurve:
+    def test_chunked_events_in_grid_order(self, server):
+        grid = [2.0, 5.0, 8.0, 11.0]
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=120)
+        try:
+            conn.request("POST", "/curve",
+                         body=json.dumps({"query": WALK_DOC,
+                                          "thresholds": grid}))
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Transfer-Encoding") == "chunked"
+            lines = [line for line in response.read().split(b"\n")
+                     if line]
+        finally:
+            conn.close()
+        events = [json.loads(line) for line in lines]
+        assert [e["event"] for e in events] \
+            == ["start"] + ["point"] * 4 + ["end"]
+        assert [e["threshold"] for e in events[1:-1]] == grid
+        # Point events are byte-identical to the in-process curve.
+        with DurabilityEngine(DEFAULT_POLICY) as engine:
+            reference = engine.durability_curve(parse_query(WALK_DOC),
+                                                grid)
+        for event, estimate in zip(events[1:-1], reference.estimates):
+            assert dumps_canonical(event["estimate"]) \
+                == dumps_canonical(encode_estimate(estimate))
+        assert events[-1]["n_roots"] == reference.n_roots
+
+    def test_points_arrive_progressively(self, server):
+        """Each event is its own chunk: the first line is parseable
+        before the connection finishes."""
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=120)
+        try:
+            conn.request("POST", "/curve",
+                         body=json.dumps({"query": WALK_DOC,
+                                          "thresholds": [3.0, 6.0]}))
+            response = conn.getresponse()
+            first = json.loads(response.readline())
+            assert first["event"] == "start"
+            rest = [json.loads(line)
+                    for line in response.read().split(b"\n") if line]
+            assert [e["event"] for e in rest] \
+                == ["point", "point", "end"]
+        finally:
+            conn.close()
+
+    def test_curves_streams_one_chunk_per_curve(self, server):
+        payload = {"queries": [WALK_DOC, dict(WALK_DOC, beta=9.0)],
+                   "thresholds": [3.0, 6.0], "stream": True}
+        status, _, raw = call(server, "POST", "/curves", payload)
+        assert status == 200
+        events = [json.loads(line) for line in raw.split(b"\n") if line]
+        assert [e["event"] for e in events] == ["curve", "curve", "end"]
+        assert [e.get("index") for e in events[:-1]] == [0, 1]
+
+
+class TestSessions:
+    def test_session_pins_policy_and_seed(self, server):
+        status, _, raw = call(server, "POST", "/session",
+                              {"policy": {"method": "srs",
+                                          "max_roots": 120},
+                               "labels": {"suite": "serve"}})
+        assert status == 201
+        session = json.loads(raw)
+        assert session["ok"] is True
+        assert session["policy"]["max_roots"] == 120
+        assert session["policy"]["seed"] is not None
+
+        first = call(server, "POST", "/answer",
+                     {"query": WALK_DOC, "session": session["session"]})
+        second = call(server, "POST", "/answer",
+                      {"query": WALK_DOC, "session": session["session"]})
+        assert first[0] == 200
+        assert first[2] == second[2]  # same pinned seed -> same bytes
+        assert json.loads(first[2])["result"]["n_roots"] == 120
+
+        status, _, raw = call(server, "GET",
+                              f"/session/{session['session']}")
+        assert status == 200
+        assert json.loads(raw)["requests"] >= 2
+
+        status, _, _ = call(server, "DELETE",
+                            f"/session/{session['session']}")
+        assert status == 200
+        status, _, raw = call(server, "POST", "/answer",
+                              {"query": WALK_DOC,
+                               "session": session["session"]})
+        assert status == 404
+        assert json.loads(raw)["error"]["kind"] == "unknown_session"
+
+    def test_request_policy_overrides_session_policy(self, server):
+        _, _, raw = call(server, "POST", "/session",
+                         {"policy": {"method": "srs",
+                                     "max_roots": 150}})
+        session = json.loads(raw)["session"]
+        _, _, raw = call(server, "POST", "/answer",
+                         {"query": WALK_DOC, "session": session,
+                          "policy": {"max_roots": 60}})
+        assert json.loads(raw)["result"]["n_roots"] == 60
+
+
+class TestProtocolErrors:
+    def test_malformed_json_is_400(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", "/answer", body="{nope")
+            response = conn.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["error"]["kind"] \
+                == "protocol"
+        finally:
+            conn.close()
+
+    def test_missing_query_is_400(self, server):
+        status, _, raw = call(server, "POST", "/answer", {})
+        assert status == 400
+        assert "query" in json.loads(raw)["error"]["message"]
+
+    def test_unknown_policy_field_is_400(self, server):
+        status, _, raw = call(server, "POST", "/answer",
+                              {"query": WALK_DOC,
+                               "policy": {"max_rootz": 5}})
+        assert status == 400
+
+    def test_unknown_route_is_404(self, server):
+        status, _, raw = call(server, "GET", "/nonsense")
+        assert status == 404
+        assert json.loads(raw)["error"]["kind"] == "not_found"
+
+    def test_error_statuses_keep_the_connection_alive(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", "/answer", body=json.dumps({}))
+            response = conn.getresponse()
+            assert response.status == 400
+            response.read()
+            conn.request("GET", "/healthz")
+            assert conn.getresponse().status == 200
+        finally:
+            conn.close()
+
+
+class TestObservability:
+    def test_metrics_counts_requests_and_latency(self, server):
+        call(server, "POST", "/answer", {"query": WALK_DOC})
+        _, _, raw = call(server, "GET", "/metrics")
+        snapshot = json.loads(raw)
+        assert snapshot["counters"]["requests_total"] >= 1
+        assert snapshot["latency_seconds"]["answer"]["count"] >= 1
+        assert snapshot["latency_seconds"]["answer"]["p95"] > 0
+        assert snapshot["gauges"]["plan_cache"]["entries"] >= 0
+        assert snapshot["gauges"]["admission"]["capacity_units"] >= 1
+
+    def test_watchdog_publishes_verdict(self, server):
+        call(server, "POST", "/answer", {"query": WALK_DOC})
+        time.sleep(0.3)  # a few 0.05s watchdog intervals
+        _, _, raw = call(server, "GET", "/stats")
+        stats = json.loads(raw)
+        assert stats["watchdog"]["samples"] >= 1
+        assert stats["watchdog"]["stalled"] is False
+        assert stats["engine"]["plan_cache"]["max_entries"] >= 1
+
+    def test_config_hot_reload_over_http(self, server):
+        _, _, raw = call(server, "GET", "/stats")
+        version = json.loads(raw)["config_version"]
+        status, _, raw = call(server, "POST", "/config",
+                              {"max_queue": 33})
+        assert status == 200
+        applied = json.loads(raw)
+        assert applied["config"]["max_queue"] == 33
+        assert applied["version"] == version + 1
+        _, _, raw = call(server, "GET", "/stats")
+        assert json.loads(raw)["admission"]["max_queue"] == 33
+        status, _, _ = call(server, "POST", "/config",
+                            {"max_queue": -3})
+        assert status == 400
+
+    def test_healthz(self, server):
+        status, _, raw = call(server, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(raw) == {"ok": True, "draining": False}
+
+
+SLOW_DOC = {"process": {"family": "gaussian_walk",
+                        "params": {"drift": 0.02, "sigma": 1.0}},
+            "beta": 12.0, "horizon": 400}
+
+
+class TestLoadShedding:
+    def test_queue_full_sheds_503(self):
+        config = ServeConfig(engine_workers=1, max_inflight_units=1,
+                             max_queue=0, watchdog_interval_seconds=5.0)
+        slow = ExecutionPolicy(method="srs", max_roots=40_000, seed=3)
+        with ServerThread(policy=slow, config=config) as handle:
+            statuses = []
+            lock = threading.Lock()
+
+            def fire():
+                status, _, raw = call(handle, "POST", "/answer",
+                                      {"query": SLOW_DOC})
+                with lock:
+                    statuses.append((status, raw))
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        codes = [status for status, _ in statuses]
+        assert 200 in codes
+        assert 503 in codes
+        assert set(codes) <= {200, 503}
+        for status, raw in statuses:
+            if status == 503:
+                assert json.loads(raw)["error"]["kind"] == "shed"
+
+    def test_rate_limited_tenant_gets_429_with_retry_after(self):
+        config = ServeConfig(rate_default_rps=0.001,
+                             rate_default_burst=1.0,
+                             watchdog_interval_seconds=5.0)
+        with ServerThread(policy=DEFAULT_POLICY,
+                          config=config) as handle:
+            first = call(handle, "POST", "/answer",
+                         {"query": WALK_DOC})
+            second = call(handle, "POST", "/answer",
+                          {"query": WALK_DOC})
+        assert first[0] == 200
+        assert second[0] == 429
+        body = json.loads(second[2])
+        assert body["error"]["kind"] == "rate_limited"
+        assert float(second[1]["Retry-After"]) > 0
+
+    def test_tenants_are_isolated(self):
+        config = ServeConfig(
+            rate_tenants={"noisy": {"rps": 0.001, "burst": 1.0}},
+            watchdog_interval_seconds=5.0)
+        with ServerThread(policy=DEFAULT_POLICY,
+                          config=config) as handle:
+            noisy = {"X-Tenant": "noisy"}
+            assert call(handle, "POST", "/answer", {"query": WALK_DOC},
+                        headers=noisy)[0] == 200
+            assert call(handle, "POST", "/answer", {"query": WALK_DOC},
+                        headers=noisy)[0] == 429
+            assert call(handle, "POST", "/answer",
+                        {"query": WALK_DOC})[0] == 200
+
+
+class TestGracefulShutdown:
+    def test_in_flight_requests_drain_before_stop(self):
+        config = ServeConfig(engine_workers=1,
+                             watchdog_interval_seconds=5.0)
+        slow = ExecutionPolicy(method="srs", max_roots=60_000, seed=5)
+        handle = ServerThread(policy=slow, config=config).start()
+        outcome = {}
+
+        def slow_call():
+            outcome["reply"] = call(handle, "POST", "/answer",
+                                    {"query": SLOW_DOC})
+
+        thread = threading.Thread(target=slow_call)
+        thread.start()
+        time.sleep(0.25)  # let the request reach the engine
+        handle.stop()
+        thread.join(timeout=60)
+        status, _, raw = outcome["reply"]
+        assert status == 200
+        assert json.loads(raw)["ok"] is True
+        # The listener is gone after stop.
+        with pytest.raises(OSError):
+            call(handle, "GET", "/healthz")
+
+
+class TestConcurrentMixedLoad:
+    def test_small_mixed_burst_has_zero_protocol_errors(self, server):
+        """A miniature of the load benchmark: concurrent mixed
+        point/batch/curve traffic, every response well-formed."""
+        payloads = []
+        for index in range(12):
+            kind = index % 3
+            if kind == 0:
+                payloads.append(("/answer",
+                                 {"query": dict(WALK_DOC,
+                                                beta=4.0 + index)}))
+            elif kind == 1:
+                payloads.append(("/answer_batch",
+                                 {"queries": GAUSS_DOCS[:4]}))
+            else:
+                payloads.append(("/curve",
+                                 {"query": WALK_DOC,
+                                  "thresholds": [3.0, 6.0],
+                                  "stream": False}))
+        results = []
+        lock = threading.Lock()
+
+        def fire(path, payload):
+            status, _, raw = call(server, "POST", path, payload)
+            with lock:
+                results.append((status, raw))
+
+        threads = [threading.Thread(target=fire, args=item)
+                   for item in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 12
+        for status, raw in results:
+            assert status == 200
+            body = json.loads(raw)
+            assert body["ok"] is True

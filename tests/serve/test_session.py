@@ -1,0 +1,100 @@
+"""Session registry: derived seeds, TTL expiry, LRU bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ExecutionPolicy
+from repro.serve.session import (SessionStore, UnknownSessionError,
+                                 derive_session_seed)
+
+POLICY = ExecutionPolicy(method="srs", max_roots=100)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSeeds:
+    def test_derived_seed_is_deterministic_and_salted(self):
+        a = derive_session_seed("s1", 0)
+        assert a == derive_session_seed("s1", 0)
+        assert a != derive_session_seed("s2", 0)
+        assert a != derive_session_seed("s1", 1)
+        assert 0 <= a < 2 ** 31
+
+    def test_seedless_policy_gets_a_seed_at_creation(self):
+        store = SessionStore()
+        session = store.create(POLICY)
+        assert session.policy.seed is not None
+        assert session.policy.seed == derive_session_seed(
+            session.session_id, 0)
+
+    def test_explicit_seed_is_kept(self):
+        store = SessionStore()
+        session = store.create(POLICY.replace(seed=42))
+        assert session.policy.seed == 42
+
+
+class TestLifecycle:
+    def test_create_get_remove(self):
+        store = SessionStore()
+        session = store.create(POLICY, tenant="acme",
+                               labels={"team": "risk"})
+        fetched = store.get(session.session_id)
+        assert fetched is session
+        assert fetched.requests == 1
+        description = fetched.describe()
+        assert description["tenant"] == "acme"
+        assert description["labels"] == {"team": "risk"}
+        assert description["policy"]["method"] == "srs"
+        assert store.remove(session.session_id) is True
+        assert store.remove(session.session_id) is False
+        with pytest.raises(UnknownSessionError):
+            store.get(session.session_id)
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        store = SessionStore(ttl_seconds=10.0, clock=clock)
+        session = store.create(POLICY)
+        clock.now = 5.0
+        store.get(session.session_id)  # touch refreshes the TTL
+        clock.now = 14.0
+        assert store.get(session.session_id) is session
+        clock.now = 30.0
+        store.sweep()
+        assert len(store) == 0
+        assert store.stats()["expired"] == 1
+        with pytest.raises(UnknownSessionError):
+            store.get(session.session_id)
+
+    def test_lru_eviction_beyond_capacity(self):
+        store = SessionStore(max_sessions=2)
+        first = store.create(POLICY)
+        second = store.create(POLICY)
+        store.get(first.session_id)  # first is now most recent
+        third = store.create(POLICY)
+        assert store.stats()["evicted"] == 1
+        with pytest.raises(UnknownSessionError):
+            store.get(second.session_id)  # second was the LRU victim
+        store.get(first.session_id)
+        store.get(third.session_id)
+
+    def test_configure_shrinks_live_store(self):
+        store = SessionStore(max_sessions=4)
+        for _ in range(4):
+            store.create(POLICY)
+        store.configure(max_sessions=2, ttl_seconds=60.0, seed_salt=0)
+        assert len(store) == 2
+        assert store.stats()["evicted"] == 2
+
+    def test_stats_counts(self):
+        store = SessionStore()
+        store.create(POLICY)
+        stats = store.stats()
+        assert stats["live"] == 1
+        assert stats["created"] == 1

@@ -1,0 +1,94 @@
+"""The watchdog's stall rule, fact publication and config pickup."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.serve.config import HotConfig, ServeConfig
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.watchdog import Watchdog
+
+
+class FakeAdmission:
+    def __init__(self):
+        self.in_flight_requests = 0
+        self.queued = 0
+
+
+class TestStallRule:
+    def test_no_work_never_stalls(self):
+        metrics = MetricsRegistry()
+        watchdog = Watchdog(metrics, admission=FakeAdmission(),
+                            stall_after_intervals=2)
+        for _ in range(10):
+            assert watchdog.sample()["stalled"] is False
+
+    def test_stall_flags_after_n_silent_intervals_with_work(self):
+        metrics = MetricsRegistry()
+        admission = FakeAdmission()
+        admission.in_flight_requests = 3
+        watchdog = Watchdog(metrics, admission=admission,
+                            stall_after_intervals=2)
+        assert watchdog.sample()["stalled"] is False   # 1 silent sample
+        verdict = watchdog.sample()                    # 2nd: stalled
+        assert verdict["stalled"] is True
+        assert verdict["in_flight"] == 3
+        # The verdict is published as a metrics fact.
+        assert metrics.get_fact("watchdog")["stalled"] is True
+
+    def test_progress_clears_the_stall(self):
+        metrics = MetricsRegistry()
+        admission = FakeAdmission()
+        admission.in_flight_requests = 1
+        watchdog = Watchdog(metrics, admission=admission,
+                            stall_after_intervals=2)
+        watchdog.sample()
+        assert watchdog.sample()["stalled"] is True
+        metrics.observe("answer", 0.01)  # a request completed
+        verdict = watchdog.sample()
+        assert verdict["stalled"] is False
+        assert verdict["stall_intervals"] == 0
+
+    def test_sample_sweeps_sessions_and_reports_cache(self):
+        from repro.engine import DurabilityEngine, ExecutionPolicy
+        from repro.serve.session import SessionStore
+
+        class FrozenClock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = FrozenClock()
+        sessions = SessionStore(ttl_seconds=5.0, clock=clock)
+        sessions.create(ExecutionPolicy(method="srs", max_roots=10))
+        with DurabilityEngine() as engine:
+            watchdog = Watchdog(MetricsRegistry(), engine=engine,
+                                sessions=sessions)
+            clock.now = 100.0
+            verdict = watchdog.sample()
+        assert len(sessions) == 0  # swept
+        assert "plan_cache" in verdict
+
+    def test_hot_config_file_pickup_and_retiming(self, tmp_path):
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps({"watchdog_interval_seconds": 0.25,
+                                    "stall_after_intervals": 9}))
+        hot = HotConfig(ServeConfig())
+        watchdog = Watchdog(MetricsRegistry(), hot_config=hot)
+        hot.subscribe(watchdog.update_config, replay=False)
+        hot._path = str(path)  # arm the file watch after creation
+        watchdog.sample()
+        assert watchdog.interval_seconds == 0.25
+        assert watchdog.stall_after_intervals == 9
+
+    def test_broken_config_file_keeps_previous(self, tmp_path):
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps({"max_queue": 7}))
+        hot = HotConfig(path=str(path))
+        watchdog = Watchdog(MetricsRegistry(), hot_config=hot)
+        path.write_text("{broken")
+        os.utime(path, (0, os.stat(path).st_mtime + 2))
+        watchdog.sample()  # must not raise
+        assert hot.current.max_queue == 7
