@@ -28,7 +28,8 @@ from ..processes.base import as_vectorized, resolve_backend
 from .levels import LevelPartition
 from .pool import PlanSearchWork, derive_task_seed
 from .value_functions import TARGET_VALUE, DurabilityQuery, batch_values
-from .variance import balanced_boundaries_from_survival
+from .variance import (balanced_boundaries_from_survival,
+                       curve_refined_boundaries)
 
 #: Pilot paths per chunk.  The pilot is *always* cut into chunks of
 #: this size with chunk-index-derived seeds — sequentially in the
@@ -220,7 +221,9 @@ def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
                               seed: Optional[int] = None,
                               backend: str = "scalar",
                               plan_cache=None,
-                              pool=None) -> LevelPartition:
+                              pool=None,
+                              grid=None,
+                              cache_kind=None) -> LevelPartition:
     """Build an (approximately) balanced-growth plan with ``m`` levels.
 
     This is the automated stand-in for the paper's manually tuned
@@ -230,7 +233,19 @@ def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
 
     ``plan_cache`` (a :class:`repro.engine.PlanCache` or compatible) is
     consulted before the pilot runs — a hit skips the pilot entirely —
-    and updated afterwards, keyed separately per ``num_levels``.
+    and updated afterwards, keyed separately per ``num_levels`` (or
+    under an explicit ``cache_kind``, which grid-shaped callers use so
+    curve plans never collide with point plans).
+
+    ``grid`` makes the plan *curve-aware*: a strictly ascending tuple
+    of normalized threshold levels (each in ``(0, 1)``) that must
+    appear verbatim in the plan — every grid level is a curve read-out
+    boundary — with the remaining ``num_levels - 1 - len(grid)``
+    refinement boundaries distributed into the survival gaps *between*
+    grid levels (see
+    :func:`~repro.core.variance.curve_refined_boundaries`), so one
+    plan serves a whole ``durability_curve`` grid instead of
+    stretching a single-threshold ladder across it.
 
     ``pool`` shards the pilot's chunks over a
     :class:`~repro.core.pool.WorkerPool`; the chunk decomposition is
@@ -239,9 +254,11 @@ def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
     """
     if num_levels < 1:
         raise ValueError(f"num_levels must be >= 1, got {num_levels}")
-    if num_levels == 1:
+    grid = tuple(float(g) for g in grid) if grid is not None else None
+    if num_levels == 1 and not grid:
         return LevelPartition()
-    cache_kind = ("balanced", num_levels)
+    if cache_kind is None:
+        cache_kind = ("balanced", num_levels)
     if plan_cache is not None:
         entry = plan_cache.get(query, kind=cache_kind)
         if entry is not None:
@@ -255,7 +272,11 @@ def balanced_growth_partition(query: DurabilityQuery, num_levels: int,
             "pilot suggests the query is almost surely satisfied; "
             "no useful level plan exists"
         )
-    boundaries = balanced_boundaries_from_survival(survival, num_levels)
+    if grid:
+        boundaries = curve_refined_boundaries(survival, grid, num_levels)
+    else:
+        boundaries = balanced_boundaries_from_survival(survival,
+                                                       num_levels)
     initial_value = query.initial_value()
     plan = LevelPartition(b for b in boundaries if b > initial_value)
     if plan_cache is not None:

@@ -23,9 +23,15 @@ This module screens whole fleets through **one** frontier built on
   trees grow inside **one fused splitting forest** (a
   :class:`~repro.core.forest.VectorizedForestRunner` whose process is
   the fused batch and whose value function normalizes each row by its
-  owner's threshold) under a shared normalized level partition.  Roots
-  are allocated uniformly across members; per-member counters fold into
-  per-member g-MLSS estimates exactly as separate forests would.
+  owner's threshold) under a shared normalized level partition.  Root
+  allocation is **variance-directed** by default: each round's cohort
+  gives every unmet member a root count sized from its *measured*
+  bootstrap variance via
+  :meth:`~repro.core.quality.QualityTarget.projected_roots`, so
+  converged members stop consuming roots while hard members keep
+  splitting (``adaptive=False`` restores the uniform
+  everyone-rides-until-all-met allocation).  Per-member counters fold
+  into per-member g-MLSS estimates exactly as separate forests would.
 
 Per-entity estimates are plain SRS / g-MLSS — each row (or root tree)
 is an ordinary independent sample of its owner, so probabilities,
@@ -74,7 +80,7 @@ from .estimates import DurabilityCurve, DurabilityEstimate
 from .levels import LevelPartition, normalize_ratios
 from .pool import DEFAULT_MEMBERS_PER_TASK, FleetWork, derive_task_seed
 from .quality import QualityTarget
-from .records import ForestAggregate
+from .records import ForestAggregate, fold_records_by_owner
 from .srs import srs_variance
 from .value_functions import TARGET_VALUE, batch_values
 
@@ -107,12 +113,19 @@ def _round_counts(done, round_roots, n_paths, steps, horizon,
 
 
 def _grow_round(adaptive: bool, round_roots, member: int, projected,
-                n_paths, batch_roots: int, max_round_roots: int) -> None:
-    """Resize a member's next round toward its remaining need."""
+                n_observed: int, batch_roots: int,
+                max_round_roots: int) -> None:
+    """Resize a member's next round toward its remaining need.
+
+    ``n_observed`` is the member's roots (or paths) so far; with a
+    projection the next round covers the projected shortfall, floored
+    at ``batch_roots`` and capped at ``max_round_roots``; without one
+    the round doubles.
+    """
     if not adaptive:
         return
     if projected is not None:
-        remaining = projected - int(n_paths[member])
+        remaining = projected - n_observed
         round_roots[member] = min(max(remaining, batch_roots),
                                   max_round_roots)
     else:
@@ -238,7 +251,8 @@ def _screen_members(fused: FusedBatch, z, betas, horizon: int,
                                 quality.projected_roots(
                                     probability, int(hits[member]),
                                     int(n_paths[member])),
-                                n_paths, batch_roots, max_round_roots)
+                                int(n_paths[member]), batch_roots,
+                                max_round_roots)
     return n_paths, hits, steps, rounds
 
 
@@ -465,8 +479,8 @@ def _curve_members(fused: FusedBatch, z, grids, horizon: int,
                     done[member] = True
                 else:
                     _grow_round(adaptive, round_roots, member,
-                                worst_projection, n_paths, batch_roots,
-                                max_round_roots)
+                                worst_projection, int(n_paths[member]),
+                                batch_roots, max_round_roots)
     return counts, n_paths, steps, rounds
 
 
@@ -588,6 +602,44 @@ class FleetThresholdValue:
         return float(self.batch(row, t)[0])
 
 
+def cluster_members_by_initial(scores, tolerance: float = 0.1) -> list:
+    """Cluster fleet members by normalized initial score.
+
+    One shared partition pruned against the *worst* member's normalized
+    initial score strips the low boundaries from every other member —
+    members far below the worst lose their whole lower ladder.
+    Clustering fixes that: members whose normalized initial scores lie
+    within ``tolerance`` of a cluster's lowest score share a cluster
+    (greedy sweep over the sorted scores), and each cluster gets its
+    own partition pruned only against *its* worst member.
+
+    Returns a list of member-index lists — each ascending, clusters
+    ordered by their first member — covering every member exactly once.
+    The grouping depends only on ``scores`` and ``tolerance``, so it is
+    deterministic across runs and worker counts.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        return []
+    order = np.argsort(scores, kind="stable")
+    clusters = []
+    current = [int(order[0])]
+    base = float(scores[order[0]])
+    for raw in order[1:]:
+        index = int(raw)
+        if float(scores[index]) - base > tolerance:
+            clusters.append(sorted(current))
+            current = [index]
+            base = float(scores[index])
+        else:
+            current.append(index)
+    clusters.append(sorted(current))
+    clusters.sort(key=lambda members: members[0])
+    return clusters
+
+
 class _FleetQuery:
     """Duck-typed query over a fused batch for the forest runner.
 
@@ -606,18 +658,38 @@ class _FleetQuery:
         return float(batch_values(self.value_function, rows, 0).max())
 
 
+#: First per-member root count at which the MLSS stopping rule (and
+#: its bootstrap) is evaluated; later checks grow geometrically.
+_FIRST_CHECK_ROOTS = 200
+
+
 def _mlss_members(fused: FusedBatch, z, betas, partition: LevelPartition,
                   ratio, horizon: int, quality, max_steps, max_roots,
                   batch_roots: int, bootstrap_rounds: int,
-                  seed: Optional[int]) -> list:
+                  seed: Optional[int], adaptive: bool = True,
+                  max_round_roots: int = DEFAULT_MAX_ROUND_ROOTS) -> list:
     """Grow one fused splitting forest; per-member g-MLSS folds.
 
-    Root trees are allocated *uniformly* across members each round
-    (``batch_roots`` per member), so per-member aggregates stay
-    root-count aligned; members that meet their target early keep
-    riding the shared frontier until the whole slice stops (bounded by
-    the hardest member's demand).  Returns one
-    ``(probability, variance, n_roots, hits, steps)`` tuple per member.
+    With ``adaptive=True`` each round's cohort is composed per member:
+    an unmet member contributes a root run sized by
+    :meth:`~repro.core.quality.QualityTarget.projected_roots` fed its
+    *measured* bootstrap variance (doubling when no projection is
+    available), clamped to ``[batch_roots, max_round_roots]``; met
+    members (and members out of budget) contribute nothing.  The
+    cohort's state rows come from
+    :meth:`~repro.processes.base.FusedBatch.initial_states_for`, laid
+    out as contiguous owner runs, and fold back per owner via
+    :func:`~repro.core.records.fold_records_by_owner` — so every
+    member's aggregate is exactly what its own forest would have
+    produced, only the interleaving of draws differs.
+
+    With ``adaptive=False`` root trees are allocated *uniformly*
+    (``batch_roots`` per member per round) and every member keeps
+    riding the shared frontier until the whole slice stops — the
+    pre-variance-directed behaviour, kept as the benchmark baseline.
+
+    Returns one ``(probability, variance, n_roots, hits, steps)``
+    tuple per member.
     """
     from .bootstrap import bootstrap_variance
     from .forest import VectorizedForestRunner
@@ -631,9 +703,54 @@ def _mlss_members(fused: FusedBatch, z, betas, partition: LevelPartition,
                                     np.random.default_rng(seed))
     aggregates = [ForestAggregate(partition.num_levels) for _ in range(k)]
     boot_base = random.Random(seed).randrange(2 ** 31)
-    next_check = 200
-    evaluations = 0
 
+    if adaptive:
+        checked = _mlss_grow_adaptive(fused, runner, aggregates, quality,
+                                      max_steps, max_roots, batch_roots,
+                                      max_round_roots, bootstrap_rounds,
+                                      boot_base, ratios)
+    else:
+        checked = _mlss_grow_uniform(runner, aggregates, quality,
+                                     max_steps, max_roots, batch_roots,
+                                     bootstrap_rounds, boot_base, ratios)
+
+    rows = []
+    for member, aggregate in enumerate(aggregates):
+        probability = gmlss_point_estimate(aggregate, ratios)
+        # Report the bootstrap variance from the member's *last stopping
+        # check* when the aggregate has not grown since: a member that
+        # stopped because its target was met must report the draw that
+        # justified stopping, or borderline members flip to "unmet" on a
+        # fresh resample of the identical aggregate.
+        stored = checked.get(member)
+        if aggregate.n_roots <= 1:
+            variance = 0.0
+        elif stored is not None and stored[0] == aggregate.n_roots:
+            variance = stored[1]
+        else:
+            variance = bootstrap_variance(
+                aggregate, ratios, n_boot=bootstrap_rounds,
+                seed=(boot_base + 7919 * member) % (2 ** 31)).variance
+        rows.append((float(probability), float(variance),
+                     aggregate.n_roots, aggregate.hits, aggregate.steps))
+    return rows
+
+
+def _mlss_grow_uniform(runner, aggregates, quality, max_steps, max_roots,
+                       batch_roots: int, bootstrap_rounds: int,
+                       boot_base: int, ratios) -> dict:
+    """Uniform allocation: ``batch_roots`` per member until all stop.
+
+    Returns each member's last stopping-check bootstrap, as
+    ``{member: (n_roots_at_check, variance)}`` — the caller reports the
+    checked variance when the aggregate has not grown since.
+    """
+    from .bootstrap import bootstrap_variance
+    from .gmlss import gmlss_point_estimate
+
+    checked = {}
+    next_check = _FIRST_CHECK_ROOTS
+    evaluations = 0
     while True:
         per_member = batch_roots
         if max_roots is not None:
@@ -647,33 +764,98 @@ def _mlss_members(fused: FusedBatch, z, betas, partition: LevelPartition,
         # FusedBatch.initial_states spreads a cohort of per_member * k
         # roots as contiguous equal runs per member, so root j belongs
         # to member j // per_member.
-        records = runner.run_cohort(per_member * k)
-        for member in range(k):
-            aggregates[member].extend(
+        records = runner.run_cohort(per_member * len(aggregates))
+        for member, aggregate in enumerate(aggregates):
+            aggregate.extend(
                 records[member * per_member:(member + 1) * per_member])
         if quality is not None and aggregates[0].n_roots >= next_check:
             evaluations += 1
-            if all(quality.is_met(
-                    gmlss_point_estimate(aggregate, ratios),
-                    bootstrap_variance(
-                        aggregate, ratios, n_boot=bootstrap_rounds,
-                        seed=(boot_base + 7919 * member
-                              + evaluations) % (2 ** 31)).variance,
+
+            def _is_met(member, aggregate):
+                variance = bootstrap_variance(
+                    aggregate, ratios, n_boot=bootstrap_rounds,
+                    seed=(boot_base + 7919 * member
+                          + evaluations) % (2 ** 31)).variance
+                checked[member] = (aggregate.n_roots, variance)
+                return quality.is_met(
+                    gmlss_point_estimate(aggregate, ratios), variance,
                     aggregate.hits, aggregate.n_roots)
-                    for member, aggregate in enumerate(aggregates)):
+
+            if all(_is_met(member, aggregate)
+                   for member, aggregate in enumerate(aggregates)):
                 break
             next_check = max(next_check + 1, int(next_check * 1.5))
+    return checked
 
-    rows = []
-    for member, aggregate in enumerate(aggregates):
-        probability = gmlss_point_estimate(aggregate, ratios)
-        variance = bootstrap_variance(
-            aggregate, ratios, n_boot=bootstrap_rounds,
-            seed=(boot_base + 7919 * member) % (2 ** 31)).variance \
-            if aggregate.n_roots > 1 else 0.0
-        rows.append((float(probability), float(variance),
-                     aggregate.n_roots, aggregate.hits, aggregate.steps))
-    return rows
+
+def _mlss_grow_adaptive(fused: FusedBatch, runner, aggregates, quality,
+                        max_steps, max_roots, batch_roots: int,
+                        max_round_roots: int, bootstrap_rounds: int,
+                        boot_base: int, ratios) -> dict:
+    """Variance-directed allocation: per-member rounds, checks, growth.
+
+    Returns each member's last stopping-check bootstrap, as
+    ``{member: (n_roots_at_check, variance)}`` — the caller reports the
+    checked variance when the aggregate has not grown since (a met
+    member's aggregate never grows after the check that met it).
+    """
+    from .bootstrap import bootstrap_variance
+    from .gmlss import gmlss_point_estimate
+
+    checked = {}
+    k = len(aggregates)
+    done = np.zeros(k, dtype=bool)
+    round_roots = np.full(k, batch_roots, dtype=np.int64)
+    next_check = np.full(k, _FIRST_CHECK_ROOTS, dtype=np.int64)
+    evaluations = np.zeros(k, dtype=np.int64)
+
+    while not done.all():
+        counts = np.where(done, 0, round_roots)
+        for member in range(k):
+            if counts[member] == 0:
+                continue
+            if max_roots is not None:
+                counts[member] = min(
+                    counts[member],
+                    max(max_roots - aggregates[member].n_roots, 0))
+            if max_steps is not None \
+                    and aggregates[member].steps >= max_steps:
+                counts[member] = 0
+        done |= counts == 0
+        if done.all():
+            break
+        owners = np.repeat(np.arange(k), counts)
+        records = runner.run_cohort(
+            int(counts.sum()),
+            initial_states=fused.initial_states_for(counts))
+        fold_records_by_owner(records, owners, aggregates)
+        if quality is None:
+            continue
+        for member in range(k):
+            if done[member]:
+                continue
+            aggregate = aggregates[member]
+            if aggregate.n_roots < next_check[member]:
+                continue
+            evaluations[member] += 1
+            probability = gmlss_point_estimate(aggregate, ratios)
+            variance = bootstrap_variance(
+                aggregate, ratios, n_boot=bootstrap_rounds,
+                seed=(boot_base + 7919 * member
+                      + int(evaluations[member])) % (2 ** 31)).variance
+            checked[member] = (aggregate.n_roots, variance)
+            if quality.is_met(probability, variance, aggregate.hits,
+                              aggregate.n_roots):
+                done[member] = True
+                continue
+            next_check[member] = max(next_check[member] + 1,
+                                     int(next_check[member] * 1.5))
+            _grow_round(True, round_roots, member,
+                        quality.projected_roots(
+                            probability, aggregate.hits,
+                            aggregate.n_roots, variance=variance),
+                        aggregate.n_roots, batch_roots, max_round_roots)
+    return checked
 
 
 def screen_fleet_mlss(fused: FusedBatch, z, betas: Sequence[float],
@@ -684,6 +866,8 @@ def screen_fleet_mlss(fused: FusedBatch, z, betas: Sequence[float],
                       batch_roots: int = 100,
                       bootstrap_rounds: int = 200,
                       seed: Optional[int] = None,
+                      adaptive: bool = True,
+                      max_round_roots: int = DEFAULT_MAX_ROUND_ROOTS,
                       pool=None,
                       members_per_task: int = DEFAULT_MEMBERS_PER_TASK
                       ) -> list:
@@ -693,14 +877,26 @@ def screen_fleet_mlss(fused: FusedBatch, z, betas: Sequence[float],
     (each member's raw boundaries are ``beta_member * level``); its
     boundaries must exceed every member's normalized initial score —
     prune with ``partition.pruned_above(...)`` against the worst
-    member, as the engine does.  ``max_roots`` counts root trees *per
-    member*; root allocation is uniform across members (the hardest
-    member's demand bounds the run).  Estimates are per-member g-MLSS
-    with bootstrap variances, exchangeable with per-entity forests.
+    member, as the engine does (or cluster members by normalized
+    initial score with :func:`cluster_members_by_initial` and screen
+    each cluster under its own pruned plan).  ``max_roots`` counts
+    root trees *per member*.
+
+    ``adaptive`` (default) makes root allocation variance-directed:
+    each unmet member's next round is sized by its quality target's
+    :meth:`~repro.core.quality.QualityTarget.projected_roots` fed the
+    member's measured bootstrap variance, within
+    ``[batch_roots, max_round_roots]``, and members that meet their
+    target stop consuming roots.  ``adaptive=False`` restores uniform
+    allocation (``batch_roots`` per member per round, everyone riding
+    until the whole fleet stops — the hardest member's demand bounds
+    the run).  Either way estimates are per-member g-MLSS with
+    bootstrap variances, exchangeable with per-entity forests.
 
     With a pool the fleet shards into fixed member slices, each slice
-    growing its own fused forest on a worker (results invariant under
-    the worker count).
+    growing its own fused forest on a worker with adaptive allocation
+    applied *within* the slice (results invariant under the worker
+    count).
     """
     _require_stopping_rule(quality, max_steps, max_roots)
     if horizon < 1:
@@ -721,7 +917,8 @@ def screen_fleet_mlss(fused: FusedBatch, z, betas: Sequence[float],
             mode="mlss", processes=fused.members, z=z, horizon=horizon,
             betas=betas, partition=partition, ratio=ratio,
             quality=quality, max_steps=max_steps, max_roots=max_roots,
-            batch_roots=batch_roots, bootstrap_rounds=bootstrap_rounds)
+            batch_roots=batch_roots, bootstrap_rounds=bootstrap_rounds,
+            adaptive=adaptive, max_round_roots=max_round_roots)
         rows = [None] * k
         results = _run_fleet_pooled(pool, work, tasks)
         try:
@@ -732,7 +929,8 @@ def screen_fleet_mlss(fused: FusedBatch, z, betas: Sequence[float],
     else:
         rows = _mlss_members(
             fused, z, betas, partition, ratio, horizon, quality,
-            max_steps, max_roots, batch_roots, bootstrap_rounds, seed)
+            max_steps, max_roots, batch_roots, bootstrap_rounds, seed,
+            adaptive=adaptive, max_round_roots=max_round_roots)
 
     elapsed = time.perf_counter() - started
     estimates = []

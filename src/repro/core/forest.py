@@ -71,9 +71,16 @@ class _Frontier:
     still reuse their buffers.
     """
 
-    def __init__(self, process, n_roots: int):
+    def __init__(self, process, n_roots: int, initial_states=None):
         self.process = process
-        self.states = process.initial_states(n_roots)
+        if initial_states is None:
+            self.states = process.initial_states(n_roots)
+        else:
+            if len(initial_states) != n_roots:
+                raise ValueError(
+                    f"{len(initial_states)} initial states for "
+                    f"{n_roots} roots")
+            self.states = initial_states
         self.size = n_roots
         self._buffered_states = (process.supports_out
                                  and getattr(self.states, "dtype", None)
@@ -308,8 +315,15 @@ class VectorizedForestRunner:
         self.process = as_vectorized(query.process)
         self._bounds = np.asarray(partition.boundaries, dtype=np.float64)
 
-    def run_cohort(self, n_roots: int) -> list:
-        """Simulate ``n_roots`` root trees; one :class:`RootRecord` each."""
+    def run_cohort(self, n_roots: int, initial_states=None) -> list:
+        """Simulate ``n_roots`` root trees; one :class:`RootRecord` each.
+
+        ``initial_states`` overrides the process's default time-0
+        cohort with an explicit state array (one row per root, in root
+        order) — the hook the fused fleet pass uses to compose a
+        cohort with *non-uniform* per-member root counts
+        (:meth:`~repro.processes.base.FusedBatch.initial_states_for`).
+        """
         if n_roots < 0:
             raise ValueError(f"n_roots must be >= 0, got {n_roots}")
         if n_roots == 0:
@@ -328,7 +342,8 @@ class VectorizedForestRunner:
         splits = []
 
         # Preallocated frontier buffers, one row per live path segment.
-        frontier = _Frontier(process, n_roots)
+        frontier = _Frontier(process, n_roots,
+                             initial_states=initial_states)
 
         for t in range(1, horizon + 1):
             if not frontier.size:

@@ -426,7 +426,9 @@ def _run_fleet_task(spec: FleetWork, payload):
         rows = fleet._mlss_members(
             fused, spec.z, spec.betas[lo:hi], spec.partition, spec.ratio,
             spec.horizon, spec.quality, spec.max_steps, spec.max_roots,
-            spec.batch_roots, spec.bootstrap_rounds, seed)
+            spec.batch_roots, spec.bootstrap_rounds, seed,
+            adaptive=spec.adaptive,
+            max_round_roots=spec.max_round_roots)
         return rows
     raise ValueError(f"unknown fleet mode {spec.mode!r}")
 

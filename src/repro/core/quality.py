@@ -40,7 +40,7 @@ class QualityTarget(abc.ABC):
         """Human-readable target description for reports."""
 
     def projected_roots(self, probability: float, hits: int,
-                        n_roots: int):
+                        n_roots: int, variance=None):
         """Roughly how many *total* roots this target needs, or ``None``.
 
         A plug-in projection from the running estimate, used by
@@ -51,6 +51,14 @@ class QualityTarget(abc.ABC):
         bad projection costs rounds, never correctness.  The default —
         ``None`` — means "no projection" (callers fall back to
         geometric growth).
+
+        ``variance`` is the *measured* variance of the running
+        estimator at ``n_roots`` roots, when the caller has one (the
+        fused MLSS fleet pass measures a bootstrap variance per
+        member).  Splitting estimators beat the binomial plug-in by
+        orders of magnitude, so with a usable ``variance`` the
+        projection scales the measured value by ``1/n`` instead of
+        assuming binomial sampling.
         """
         return None
 
@@ -93,14 +101,20 @@ class ConfidenceIntervalTarget(QualityTarget):
                 f"{self.confidence:.0%} confidence")
 
     def projected_roots(self, probability: float, hits: int,
-                        n_roots: int):
-        """Binomial plug-in: ``n >= z^2 p (1-p) / allowed^2``."""
+                        n_roots: int, variance=None):
+        """Binomial plug-in ``n >= z^2 p (1-p) / allowed^2``, or — with
+        a measured ``variance`` — the ``1/n`` scaling
+        ``n >= n_roots z^2 var / allowed^2``."""
         if probability <= 0.0 or probability >= 1.0:
             return None
         allowed = self.half_width * (probability if self.relative else 1.0)
         z = critical_value(self.confidence)
-        needed = (z * z * probability * (1.0 - probability)
-                  / (allowed * allowed))
+        if variance is not None and variance > 0.0 \
+                and math.isfinite(variance) and n_roots > 0:
+            needed = n_roots * z * z * variance / (allowed * allowed)
+        else:
+            needed = (z * z * probability * (1.0 - probability)
+                      / (allowed * allowed))
         needed = max(needed, self.min_roots,
                      self.min_hits / probability)
         return int(math.ceil(needed))
@@ -130,12 +144,19 @@ class RelativeErrorTarget(QualityTarget):
         return f"relative error <= {self.target:.0%}"
 
     def projected_roots(self, probability: float, hits: int,
-                        n_roots: int):
-        """Binomial plug-in: ``n >= (1-p) / (p target^2)``."""
+                        n_roots: int, variance=None):
+        """Binomial plug-in ``n >= (1-p) / (p target^2)``, or — with a
+        measured ``variance`` — ``n >= n_roots var / (p^2 target^2)``."""
         if probability <= 0.0 or probability >= 1.0:
             return None
-        needed = (1.0 - probability) / (probability
-                                        * self.target * self.target)
+        if variance is not None and variance > 0.0 \
+                and math.isfinite(variance) and n_roots > 0:
+            needed = (n_roots * variance
+                      / (probability * probability
+                         * self.target * self.target))
+        else:
+            needed = (1.0 - probability) / (probability
+                                            * self.target * self.target)
         needed = max(needed, self.min_roots,
                      self.min_hits / probability)
         return int(math.ceil(needed))

@@ -231,3 +231,21 @@ class ForestAggregate:
         return (f"ForestAggregate(n_roots={self.n_roots}, hits={self.hits}, "
                 f"steps={self.steps}, landings={self.landings}, "
                 f"skips={self.skips})")
+
+
+def fold_records_by_owner(records, owners, aggregates) -> None:
+    """Fold one cohort's records into per-owner aggregates, in order.
+
+    ``owners[j]`` names the aggregate that owns root ``j`` of the
+    cohort — the bookkeeping behind fused fleet rounds with
+    *non-uniform* per-member root allocation, where a cohort is laid
+    out as contiguous owner runs of varying length instead of equal
+    slices.  Folding is element-for-element identical to calling
+    :meth:`ForestAggregate.add` on each owner's records separately, so
+    per-owner estimates stay exchangeable with per-owner forests.
+    """
+    if len(records) != len(owners):
+        raise ValueError(
+            f"{len(records)} records for {len(owners)} owners")
+    for record, owner in zip(records, owners):
+        aggregates[owner].add(record)

@@ -170,3 +170,85 @@ def balanced_boundaries_from_survival(survival, num_levels: int) -> list:
             if 0.0 < b < 1.0:
                 unique.append(b)
     return unique
+
+
+def curve_refined_boundaries(survival, grid, num_levels: int) -> list:
+    """A balanced ladder refined *around* a mandatory boundary grid.
+
+    The curve-aware analogue of
+    :func:`balanced_boundaries_from_survival`: the caller's normalized
+    threshold grid must appear verbatim in the plan (each grid level is
+    a curve read-out point), and the remaining ``num_levels - 1 -
+    len(grid)`` refinement boundaries are distributed into the gaps
+    between consecutive grid levels (including below the first and
+    above the last) proportionally to each gap's survival drop
+    ``log(S(lo)/S(hi))`` — the gaps where advancement is hardest get
+    the most intermediate levels — then placed inside each gap as a
+    geometric survival ladder by bisection.
+
+    Returns the full ascending boundary list (grid plus refinements).
+    ``grid`` must be strictly ascending values in ``(0, 1)``.
+    """
+    if num_levels < 1:
+        raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+    grid = [float(g) for g in grid]
+    for lo, hi in zip(grid, grid[1:]):
+        if lo >= hi:
+            raise ValueError(
+                f"grid must be strictly ascending, got {lo} before {hi}")
+    if grid and not (0.0 < grid[0] and grid[-1] < 1.0):
+        raise ValueError("grid levels must lie strictly in (0, 1)")
+    if not grid:
+        return balanced_boundaries_from_survival(survival, num_levels)
+
+    extra = max(num_levels - 1 - len(grid), 0)
+    # Gap g spans (edges[g], edges[g+1]) in value space; survival is 1
+    # at the bottom edge (value 0) by construction.
+    edges = [0.0] + grid + [1.0]
+    s_edges = [1.0] + [max(survival(g), 1e-300) for g in grid] \
+        + [max(survival(1.0), 1e-300)]
+    drops = [max(math.log(s_edges[i] / s_edges[i + 1]), 0.0)
+             for i in range(len(s_edges) - 1)]
+    total_drop = sum(drops)
+    # Largest-remainder apportionment of the refinement budget over
+    # gaps; deterministic tie-break by gap index.
+    if total_drop > 0.0:
+        quotas = [extra * d / total_drop for d in drops]
+    else:
+        quotas = [extra / len(drops)] * len(drops)
+    alloc = [int(q) for q in quotas]
+    remainders = sorted(range(len(quotas)),
+                        key=lambda g: (alloc[g] + 1 - quotas[g], g))
+    for g in remainders[:extra - sum(alloc)]:
+        alloc[g] += 1
+
+    refinements = []
+    for g, count in enumerate(alloc):
+        if count < 1:
+            continue
+        lo_v, hi_v = edges[g], edges[g + 1]
+        s_lo, s_hi = s_edges[g], s_edges[g + 1]
+        if s_hi >= s_lo:
+            continue  # no survival drop to ladder over
+        for j in range(1, count + 1):
+            goal = s_lo * (s_hi / s_lo) ** (j / (count + 1))
+            lo, hi = lo_v, hi_v
+            for _ in range(60):
+                mid = 0.5 * (lo + hi)
+                if survival(mid) >= goal:
+                    lo = mid
+                else:
+                    hi = mid
+            refinements.append(0.5 * (lo + hi))
+    # Grid levels always survive; refinements crowding a grid level
+    # (or each other, on survival plateaus) are the duplicates dropped.
+    kept = []
+    for b in sorted(refinements):
+        if not 0.0 < b < 1.0:
+            continue
+        if any(abs(b - g) <= 1e-9 for g in grid):
+            continue
+        if kept and b <= kept[-1] + 1e-12:
+            continue
+        kept.append(b)
+    return sorted(grid + kept)

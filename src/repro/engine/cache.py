@@ -86,6 +86,21 @@ def process_family(process) -> tuple:
     return (cls.__module__, cls.__qualname__, tuple(params))
 
 
+def grid_plan_kind(base: object, grid) -> tuple:
+    """A grid-shaped :class:`PlanCache` kind for curve-aware plans.
+
+    Curve-aware plans (see
+    :func:`repro.core.variance.curve_refined_boundaries`) are built
+    *for a specific normalized read-out grid* — reusing one for a
+    different grid would serve a curve from boundaries that do not
+    contain its read-out levels.  Embedding the grid in the kind keeps
+    curve plans from colliding with point plans or with each other;
+    levels are rounded to 9 decimals so float repr jitter cannot split
+    one grid over several keys.
+    """
+    return (base, "grid", tuple(round(float(g), 9) for g in grid))
+
+
 def _callable_identity(fn) -> str:
     """A key component for a state evaluation / value function.
 

@@ -50,9 +50,9 @@ from typing import Optional, Sequence
 
 from ..core.balanced import balanced_growth_partition
 from ..core.estimates import DurabilityCurve, DurabilityEstimate
-from ..core.fleet import (FleetThresholdValue, validate_grids,
-                          screen_fleet, screen_fleet_curves,
-                          screen_fleet_mlss)
+from ..core.fleet import (FleetThresholdValue, cluster_members_by_initial,
+                          validate_grids, screen_fleet,
+                          screen_fleet_curves, screen_fleet_mlss)
 from ..core.forest import LevelPlanError
 from ..core.gmlss import GMLSSSampler
 from ..core.greedy import adaptive_greedy_partition
@@ -63,7 +63,7 @@ from ..core.srs import SRSSampler
 from ..core.value_functions import (DurabilityQuery, ThresholdValueFunction,
                                     threshold_grid)
 from ..processes.base import FusedBatch, StochasticProcess, resolve_backend
-from .cache import PlanCache, _callable_identity
+from .cache import PlanCache, _callable_identity, grid_plan_kind
 from .policy import ExecutionPolicy
 
 
@@ -84,7 +84,8 @@ def resolve_plan(query: DurabilityQuery,
                  seed: Optional[int],
                  backend: str = "scalar",
                  plan_cache: Optional[PlanCache] = None,
-                 pool=None):
+                 pool=None,
+                 grid=None):
     """Choose the level plan: explicit > cached > balanced pilot > greedy.
 
     The single source of truth for plan precedence (also behind the
@@ -96,22 +97,37 @@ def resolve_plan(query: DurabilityQuery,
     :class:`~repro.core.pool.WorkerPool`) they shard over its workers
     and — because trial and pilot seeds are structural — return exactly
     the plan the parent-only search would.
+
+    ``grid`` makes the resolution *curve-aware*: a strictly ascending
+    tuple of normalized threshold levels that must appear verbatim in
+    the plan (a ``durability_curve``'s read-out boundaries).  The
+    balanced pilot distributes its remaining boundaries into the
+    survival gaps between grid levels; the greedy search seeds its
+    plan with the grid and only adds refinements that beat serving the
+    grid as-is.  Curve-aware plans are cached under grid-shaped keys
+    (:func:`~repro.engine.cache.grid_plan_kind`), so they never
+    collide with point plans.
     """
     initial_value = query.initial_value()
     if partition is not None:
         return partition.pruned_above(initial_value), None, None
+    grid = tuple(float(g) for g in grid) if grid else None
     hits_before = plan_cache.hits if plan_cache is not None else 0
     if num_levels is not None:
         plan = balanced_growth_partition(
             query, num_levels,
             pilot_paths=max(trial_steps // query.horizon, 200),
             seed=seed, backend=backend, plan_cache=plan_cache,
-            pool=pool)
+            pool=pool, grid=grid,
+            cache_kind=(grid_plan_kind(("balanced", num_levels), grid)
+                        if grid else None))
         search_details = None
     else:
         result = adaptive_greedy_partition(
             query, ratio=ratio, trial_steps=trial_steps, seed=seed,
-            backend=backend, plan_cache=plan_cache, pool=pool)
+            backend=backend, plan_cache=plan_cache, pool=pool, grid=grid,
+            cache_kind=(grid_plan_kind("greedy", grid)
+                        if grid else None))
         plan = result.partition
         search_details = {
             "search_steps": result.search_steps,
@@ -299,6 +315,11 @@ class DurabilityEngine:
             extra["plan_search"] = search_details
         if cache_status is not None:
             extra["plan_cache"] = cache_status
+        if partition is not None:
+            extra["plan_source"] = "explicit"
+        else:
+            extra["plan_source"] = ("cache" if cache_status == "hit"
+                                    else "search")
         sampler = self._mlss_class(policy.method)(
             plan, ratio=policy.ratio, **options)
         return sampler, sampler_backend, extra
@@ -354,7 +375,8 @@ class DurabilityEngine:
             )
         betas, levels = threshold_grid(thresholds)
         base_query = query.with_threshold(betas[-1])
-        options, _, sampler_backend = self._sampler_options(query, policy)
+        options, backend, sampler_backend = self._sampler_options(
+            query, policy)
 
         if policy.method == "srs":
             curve = SRSSampler(**options).run_curve(
@@ -372,15 +394,70 @@ class DurabilityEngine:
                     f"boundaries must exceed it — drop them or use "
                     f"method='srs'"
                 )
-            partition = LevelPartition(levels[:-1])
+            interior = tuple(levels[:-1])
+            partition = LevelPartition(interior)
+            plan_source = "grid"
+            cache_status = None
+            if (policy.num_levels is not None
+                    and policy.num_levels > len(interior) + 1):
+                # Curve-aware plan: the policy asks for more levels than
+                # the read-out grid alone provides, so the balanced
+                # pilot places the extra boundaries into the survival
+                # gaps *between* grid levels (grid-shaped cache keys —
+                # see resolve_plan).  The grid itself always survives,
+                # so every read-out level stays a boundary.
+                cache = self.plan_cache if policy.use_plan_cache else None
+                partition, _, cache_status = resolve_plan(
+                    base_query, None, policy.num_levels, policy.ratio,
+                    policy.trial_steps, policy.seed, backend=backend,
+                    plan_cache=cache, pool=self._get_pool(policy),
+                    grid=interior)
+                plan_source = "curve_aware"
             sampler = self._mlss_class(policy.method)(
                 partition, ratio=policy.ratio, **options)
-            curve = sampler.run_curve(
-                base_query, thresholds=betas, quality=policy.quality,
-                max_steps=policy.max_steps, max_roots=policy.max_roots,
-                seed=policy.seed)
+            if partition.boundaries != interior:
+                curve = self._run_refined_curve(sampler, base_query,
+                                                betas, levels, policy)
+            else:
+                curve = sampler.run_curve(
+                    base_query, thresholds=betas, quality=policy.quality,
+                    max_steps=policy.max_steps,
+                    max_roots=policy.max_roots, seed=policy.seed)
+            curve.details["plan_source"] = plan_source
+            if cache_status is not None:
+                curve.details["plan_cache"] = cache_status
         curve.details["backend"] = sampler_backend
         return curve
+
+    def _run_refined_curve(self, sampler, base_query, betas, levels,
+                           policy: ExecutionPolicy) -> DurabilityCurve:
+        """Run a refined (curve-aware) plan and subset to the grid.
+
+        The sampler's partition holds the read-out grid *plus*
+        refinement boundaries; one forest answers all of them at once.
+        Refinement boundaries get raw-threshold labels of ``level ×
+        top`` for the intermediate curve, then only the requested
+        grid's estimates are kept — callers never see the refinement
+        levels, they only pay (and benefit from) their splitting.
+        """
+        label = dict(zip(levels, betas))
+        top = betas[-1]
+        full_labels = tuple(label.get(b, b * top)
+                            for b in sampler.partition.boundaries) + (top,)
+        full = sampler.run_curve(
+            base_query, thresholds=full_labels, quality=policy.quality,
+            max_steps=policy.max_steps, max_roots=policy.max_roots,
+            seed=policy.seed)
+        kept = [(label[level], level, estimate)
+                for level, estimate in zip(full.levels, full.estimates)
+                if level in label]
+        return DurabilityCurve(
+            thresholds=tuple(beta for beta, _, _ in kept),
+            levels=tuple(level for _, level, _ in kept),
+            estimates=tuple(estimate for _, _, estimate in kept),
+            method=full.method, n_roots=full.n_roots, steps=full.steps,
+            elapsed_seconds=full.elapsed_seconds,
+            details=dict(full.details))
 
     # ------------------------------------------------------------------
     # Batches: cohort grouping + shared passes
@@ -661,46 +738,71 @@ class DurabilityEngine:
 
     def _answer_fleet_mlss(self, queries, results, members, policy,
                            cohort_ids) -> None:
-        """One fused *splitting-forest* pass for a rare-event fleet.
+        """Clustered fused *splitting-forest* passes for a rare-event fleet.
 
-        The fleet shares a normalized uniform plan with
-        ``policy.num_levels`` levels, pruned against the worst member's
-        initial score (plans only change efficiency, never bias —
-        Proposition 2 — so one shared plan is always sound).  Fleets
+        Members are clustered by normalized initial score
+        (:func:`~repro.core.fleet.cluster_members_by_initial`): each
+        cluster runs its own fused forest under a normalized uniform
+        plan with ``policy.num_levels`` levels, pruned against only
+        *its* worst member — so a member far below the fleet's worst
+        keeps its lower ladder instead of inheriting a stripped shared
+        plan.  Plans only change efficiency, never bias (Proposition
+        2), so clustering is always sound.  Root allocation inside each
+        forest is variance-directed per member
+        (``sampler_options["adaptive"]``, default True).  Clusters
         whose plan degenerates (a member already at/above a boundary's
         reach) fall back to per-process answers.
         """
         fleet = [queries[index] for index in members]
-        fused = FusedBatch([query.process for query in fleet])
         betas = [query.value_function.beta for query in fleet]
         z = fleet[0].value_function.z
-        rows = fused.initial_states(fused.n_members)
-        initial = float(FleetThresholdValue(z, betas)
-                        .batch(rows, 0).max())
-        partition = uniform_partition(policy.num_levels) \
-            .pruned_above(initial)
-        seed = policy.derive_seed(
-            (fused.key, fleet[0].horizon, self._z_identity(z),
-             tuple(sorted(betas)), "mlss"))
+        fused_all = FusedBatch([query.process for query in fleet])
+        rows = fused_all.initial_states(fused_all.n_members)
+        scores = FleetThresholdValue(z, betas).batch(rows, 0)
         options = dict(policy.sampler_options or {})
-        try:
-            estimates = screen_fleet_mlss(
-                fused, z, betas, partition, fleet[0].horizon,
-                ratio=policy.ratio, quality=policy.quality,
-                max_steps=policy.max_steps, max_roots=policy.max_roots,
-                batch_roots=options.get("batch_roots", 100),
-                bootstrap_rounds=options.get("bootstrap_rounds", 200),
-                seed=seed, **self._fleet_pool_options(policy))
-        except LevelPlanError:
-            self._answer_by_process(queries, results, members, policy,
-                                    cohort_ids)
-            return
-        cohort_id = next(cohort_ids)
-        for index, estimate in zip(members, estimates):
-            estimate.details["backend"] = "vectorized"
-            estimate.details["cohort_size"] = len(members)
-            estimate.details["cohort_id"] = cohort_id
-            results[index] = estimate
+        clusters = cluster_members_by_initial(
+            scores.tolist(), tolerance=options.get("cluster_tolerance",
+                                                   0.1))
+        for cluster_index, local in enumerate(clusters):
+            cluster_members = [members[i] for i in local]
+            cluster_fleet = [fleet[i] for i in local]
+            cluster_betas = [betas[i] for i in local]
+            fused = FusedBatch(
+                [query.process for query in cluster_fleet])
+            initial = float(max(scores[i] for i in local))
+            partition = uniform_partition(policy.num_levels) \
+                .pruned_above(initial)
+            # Seeds stay structural: a cluster's stream depends on what
+            # it contains, never on batch position or sibling clusters.
+            seed = policy.derive_seed(
+                (fused.key, cluster_fleet[0].horizon,
+                 self._z_identity(z), tuple(sorted(cluster_betas)),
+                 "mlss"))
+            try:
+                estimates = screen_fleet_mlss(
+                    fused, z, cluster_betas, partition,
+                    cluster_fleet[0].horizon,
+                    ratio=policy.ratio, quality=policy.quality,
+                    max_steps=policy.max_steps,
+                    max_roots=policy.max_roots,
+                    batch_roots=options.get("batch_roots", 100),
+                    bootstrap_rounds=options.get("bootstrap_rounds", 200),
+                    seed=seed, adaptive=options.get("adaptive", True),
+                    **self._fleet_pool_options(policy))
+            except LevelPlanError:
+                self._answer_by_process(queries, results,
+                                        cluster_members, policy,
+                                        cohort_ids)
+                continue
+            cohort_id = next(cohort_ids)
+            for index, estimate in zip(cluster_members, estimates):
+                estimate.details["backend"] = "vectorized"
+                estimate.details["cohort_size"] = len(cluster_members)
+                estimate.details["cohort_id"] = cohort_id
+                estimate.details["fleet_cluster"] = cluster_index
+                estimate.details["fleet_clusters"] = len(clusters)
+                estimate.details["plan_source"] = "uniform"
+                results[index] = estimate
 
     # ------------------------------------------------------------------
     # Fleet curves: every member's whole grid, one fused pass

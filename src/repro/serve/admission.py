@@ -22,7 +22,12 @@ fraction of the queue), then the bounded queue sheds everything
 (HTTP 503), and per-tenant token buckets turn away abusive clients
 with HTTP 429 + ``Retry-After`` before they occupy a queue slot.
 Admitted requests that wait longer than ``queue_timeout_seconds`` are
-shed rather than served arbitrarily late.
+shed rather than served arbitrarily late.  When the metrics watchdog
+flags the tier as *stalled* (:meth:`set_stalled`, pushed from
+:meth:`repro.serve.watchdog.Watchdog.sample`), expensive classes are
+shed outright (503 + ``Retry-After``) — admitting a plan search or a
+fused fleet pass into a wedged executor only deepens the stall, while
+cheap cache-hit traffic keeps probing whether the tier has recovered.
 
 The controller is event-loop-confined (no locks): every method must be
 called from the server's asyncio thread.
@@ -232,6 +237,7 @@ class AdmissionController:
         self._clock = clock
         self.in_flight_units = 0
         self.in_flight_requests = 0
+        self.stalled = False
         self._waiters: deque = deque()  # (future, units)
         self.rate_limiter = RateLimiter(config, clock=clock)
         self.update_config(config)
@@ -257,7 +263,17 @@ class AdmissionController:
                 "in_flight_requests": self.in_flight_requests,
                 "queued": self.queued,
                 "capacity_units": self._capacity,
-                "max_queue": self._max_queue}
+                "max_queue": self._max_queue,
+                "stalled": self.stalled}
+
+    def set_stalled(self, stalled: bool) -> None:
+        """The watchdog's stall verdict (loop-confined, like admit).
+
+        While set, :meth:`admit` sheds ``cold_search``/``fleet``
+        requests outright; the verdict clears on the watchdog's next
+        progressed sample.
+        """
+        self.stalled = bool(stalled)
 
     # -- admit / release ----------------------------------------------
 
@@ -275,6 +291,16 @@ class AdmissionController:
             raise
         units = min(max(1, units), self._capacity)  # one request may
         # never demand more than total capacity, or it would wait forever
+        if self.stalled and cost_class in EXPENSIVE_CLASSES:
+            # A stalled tier means work already admitted is not
+            # completing; adding plan searches or fleet passes on top
+            # only digs deeper.  Shed them immediately and tell clients
+            # when to probe again (one watchdog verdict cycle).
+            self._count("admission.shed_stalled")
+            raise SheddedError(
+                f"{cost_class} request shed: serving tier is stalled "
+                f"(watchdog verdict); retry after the stall clears",
+                retry_after=self._timeout)
         if self.in_flight_units + units <= self._capacity \
                 and not self._waiters:
             return self._grant(units, cost_class)

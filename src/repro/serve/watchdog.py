@@ -10,8 +10,10 @@ consecutive samples, the tier is flagged ``stalled`` (an engine call
 wedged in the executor, a dead worker pool, a livelocked queue).  The
 verdict is published into the metrics registry
 (``facts["watchdog"]``), so ``/metrics`` always carries the latest
-health assessment; the flag clears itself on the next completed
-request.
+health assessment, and pushed into admission control
+(:meth:`~repro.serve.admission.AdmissionController.set_stalled`), so a
+stalled tier sheds expensive request classes at the front door; the
+flag clears itself on the next completed request.
 
 :meth:`Watchdog.sample` is synchronous and side-effect-complete, so
 tests (and embedders without an event loop) can drive the rule
@@ -74,6 +76,12 @@ class Watchdog:
         self._last_completed = completed
         was_stalled = self.stalled
         self.stalled = self.stall_intervals >= self.stall_after_intervals
+        if self.admission is not None \
+                and hasattr(self.admission, "set_stalled"):
+            # Push the verdict into admission control: a stalled tier
+            # sheds expensive classes at the front door instead of only
+            # reporting the stall via /stats.
+            self.admission.set_stalled(self.stalled)
         if self.sessions is not None:
             self.sessions.sweep()
         if self.hot_config is not None:

@@ -7,11 +7,11 @@ import pytest
 
 from repro.core.analytic import (hitting_probability,
                                  random_walk_hitting_curve)
-from repro.core.fleet import (screen_fleet, screen_fleet_curves,
-                              screen_fleet_mlss)
+from repro.core.fleet import (cluster_members_by_initial, screen_fleet,
+                              screen_fleet_curves, screen_fleet_mlss)
 from repro.core.levels import LevelPartition
 from repro.core.pool import WorkerPool
-from repro.core.quality import RelativeErrorTarget
+from repro.core.quality import ConfidenceIntervalTarget, RelativeErrorTarget
 from repro.core.srs import SRSSampler
 from repro.core.stats import critical_value
 from repro.core.value_functions import DurabilityQuery
@@ -358,3 +358,111 @@ class TestScreenFleetMlss:
                 fuse_processes(self.chain_fleet()),
                 MarkovChainProcess.state_index, [12.0] * 3, partition,
                 horizon=10)
+
+
+class TestAdaptiveFleetMlss:
+    """Variance-directed per-member allocation in the fused forest."""
+
+    @staticmethod
+    def mixed_fleet():
+        """Chains whose oracle probabilities span an order of magnitude
+        — the spread where uniform allocation overspends the most."""
+        return [birth_death_chain(n=13, p_up=p_up, p_down=0.35, start=0)
+                for p_up in (0.20, 0.26, 0.32)]
+
+    @classmethod
+    def screen(cls, adaptive, pool=None, seed=5, members_per_task=2,
+               half_width=0.02, horizon=30):
+        partition = LevelPartition([4.0 / 12.0, 8.0 / 12.0])
+        return screen_fleet_mlss(
+            fuse_processes(cls.mixed_fleet()),
+            MarkovChainProcess.state_index, [8.0] * 3, partition,
+            horizon=horizon, ratio=3,
+            quality=ConfidenceIntervalTarget(half_width=half_width,
+                                             confidence=0.95,
+                                             relative=False),
+            max_roots=10_000, batch_roots=100, bootstrap_rounds=64,
+            seed=seed, adaptive=adaptive, pool=pool,
+            members_per_task=members_per_task)
+
+    def test_adaptive_and_uniform_agree_with_oracle(self):
+        """Satellite oracle check: both allocators land on the exact
+        per-member hitting probabilities, and on each other, within
+        joint 99.9% CIs — adaptivity may not shift the answers."""
+        adaptive = self.screen(adaptive=True, seed=5)
+        uniform = self.screen(adaptive=False, seed=5)
+        for chain, a, u in zip(self.mixed_fleet(), adaptive, uniform):
+            exact = hitting_probability(chain.matrix, 0, [8], 30)
+            assert abs(a.probability - exact) <= \
+                Z999 * a.std_error + 1e-3
+            assert abs(u.probability - exact) <= \
+                Z999 * u.std_error + 1e-3
+            joint = Z999 * math.sqrt(a.variance + u.variance)
+            assert abs(a.probability - u.probability) <= joint + 1e-3
+
+    def test_adaptive_spends_fewer_steps(self):
+        """The point of the PR: same targets, fewer total steps."""
+        adaptive = self.screen(adaptive=True, seed=6, half_width=0.004)
+        uniform = self.screen(adaptive=False, seed=6, half_width=0.004)
+        assert sum(e.steps for e in adaptive) < \
+            sum(e.steps for e in uniform)
+
+    def test_met_members_stop_consuming_roots(self):
+        """Under adaptive allocation the cheap member's root count stays
+        well below the expensive member's (for an absolute CI target the
+        highest-probability member carries the most variance); uniform
+        gives everyone the same."""
+        adaptive = self.screen(adaptive=True, seed=7, half_width=0.004)
+        assert all(e.n_roots < 10_000 for e in adaptive)
+        assert adaptive[-1].n_roots > 2 * adaptive[0].n_roots
+        uniform = self.screen(adaptive=False, seed=7, half_width=0.004)
+        assert len({e.n_roots for e in uniform}) == 1
+
+    def test_pooled_adaptive_byte_identical_across_modes(self):
+        """Pooled adaptive answers must not depend on the worker count
+        or the pool mode — member slices and task seeds are fixed."""
+        signatures = []
+        for mode, n_workers in (("inline", 2), ("thread", 1),
+                                ("thread", 3), ("fork", 2)):
+            with WorkerPool(n_workers=n_workers, pool=mode) as pool:
+                estimates = self.screen(adaptive=True, pool=pool, seed=8)
+            signatures.append(tuple(
+                (e.probability, e.variance, e.n_roots, e.hits, e.steps)
+                for e in estimates))
+        assert all(s == signatures[0] for s in signatures[1:])
+
+    def test_inline_adaptive_reproducible_under_seed(self):
+        first = self.screen(adaptive=True, seed=9)
+        second = self.screen(adaptive=True, seed=9)
+        assert [(e.probability, e.n_roots, e.steps) for e in first] == \
+            [(e.probability, e.n_roots, e.steps) for e in second]
+
+
+class TestClusterMembersByInitial:
+    def test_groups_members_within_tolerance(self):
+        clusters = cluster_members_by_initial([0.00, 0.05, 0.50, 0.52],
+                                              tolerance=0.1)
+        assert clusters == [[0, 1], [2, 3]]
+
+    def test_zero_tolerance_splits_distinct_scores(self):
+        clusters = cluster_members_by_initial([0.3, 0.1, 0.3, 0.2],
+                                              tolerance=0.0)
+        assert clusters == [[0, 2], [1], [3]]
+
+    def test_clusters_cover_every_member_once(self):
+        scores = list(np.random.default_rng(0).random(37))
+        clusters = cluster_members_by_initial(scores, tolerance=0.07)
+        flat = sorted(m for cluster in clusters for m in cluster)
+        assert flat == list(range(37))
+
+    def test_grouping_is_deterministic(self):
+        scores = list(np.random.default_rng(1).random(20))
+        assert cluster_members_by_initial(scores, 0.05) == \
+            cluster_members_by_initial(scores, 0.05)
+
+    def test_empty_fleet_yields_no_clusters(self):
+        assert cluster_members_by_initial([]) == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            cluster_members_by_initial([0.1], tolerance=-0.1)

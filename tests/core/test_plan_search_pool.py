@@ -125,3 +125,48 @@ class TestEnginePlanSearchRouting:
             sequential.details["plan_search"]["partition"]
         assert pooled.details["plan_search"]["search_steps"] == \
             sequential.details["plan_search"]["search_steps"]
+
+
+class TestCurveAwarePlanSearchPooling:
+    """Curve-aware (grid-seeded) plan search pooled vs parent."""
+
+    GRID = (4.0 / 12.0, 8.0 / 12.0)
+
+    @pytest.mark.parametrize("mode,n_workers", POOL_CONFIGS)
+    def test_pooled_greedy_grid_search_matches_parent(
+            self, mode, n_workers, small_chain_query):
+        parent = adaptive_greedy_partition(
+            small_chain_query, ratio=3, trial_steps=8_000, seed=13,
+            grid=self.GRID)
+        with WorkerPool(n_workers=n_workers, pool=mode) as pool:
+            pooled = adaptive_greedy_partition(
+                small_chain_query, ratio=3, trial_steps=8_000, seed=13,
+                grid=self.GRID, pool=pool)
+        assert pooled.partition == parent.partition
+        assert pooled.best_score == parent.best_score
+        assert pooled.search_steps == parent.search_steps
+
+    @pytest.mark.parametrize("mode,n_workers", POOL_CONFIGS)
+    def test_pooled_balanced_grid_build_matches_parent(
+            self, mode, n_workers, small_chain_query):
+        parent = balanced_growth_partition(
+            small_chain_query, num_levels=5, pilot_paths=1_200, seed=17,
+            grid=self.GRID)
+        with WorkerPool(n_workers=n_workers, pool=mode) as pool:
+            pooled = balanced_growth_partition(
+                small_chain_query, num_levels=5, pilot_paths=1_200,
+                seed=17, grid=self.GRID, pool=pool)
+        assert pooled.boundaries == parent.boundaries
+
+    def test_greedy_grid_plan_contains_grid(self, small_chain_query):
+        result = adaptive_greedy_partition(
+            small_chain_query, ratio=3, trial_steps=6_000, seed=19,
+            grid=self.GRID)
+        assert set(self.GRID) <= set(result.partition.boundaries)
+
+    def test_balanced_grid_plan_contains_grid(self, small_chain_query):
+        partition = balanced_growth_partition(
+            small_chain_query, num_levels=6, pilot_paths=1_000, seed=23,
+            grid=self.GRID)
+        assert set(self.GRID) <= set(partition.boundaries)
+        assert len(partition.boundaries) == 5

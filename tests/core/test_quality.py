@@ -95,3 +95,46 @@ class TestNeverTarget:
 
     def test_describe(self):
         assert "budget" in NeverTarget().describe()
+
+
+class TestProjectedRoots:
+    def test_binomial_plugin_without_variance(self):
+        target = ConfidenceIntervalTarget(half_width=0.01,
+                                          confidence=0.95,
+                                          relative=False)
+        projected = target.projected_roots(0.5, hits=50, n_roots=100)
+        # n >= z^2 p(1-p)/hw^2 ~ 1.96^2 * 0.25 / 1e-4
+        assert 9_000 <= projected <= 10_000
+
+    def test_measured_variance_scales_one_over_n(self):
+        """A splitting estimator's measured variance beats the binomial
+        plug-in by orders of magnitude; the projection must follow it."""
+        target = ConfidenceIntervalTarget(half_width=0.01,
+                                          confidence=0.95,
+                                          relative=False)
+        plugin = target.projected_roots(0.5, hits=50, n_roots=100)
+        measured = target.projected_roots(0.5, hits=50, n_roots=100,
+                                          variance=2.5e-5)
+        # var_1 = n * var = 2.5e-3, so n >= z^2 * var_1 / hw^2 ~ 96.
+        assert measured < plugin / 10
+        assert measured >= 100  # min_roots floor
+
+    def test_min_hits_floor_dominates_for_rare_events(self):
+        target = ConfidenceIntervalTarget(half_width=0.5,
+                                          confidence=0.95,
+                                          relative=False, min_hits=10)
+        projected = target.projected_roots(1e-4, hits=1, n_roots=1_000)
+        assert projected >= 10 / 1e-4
+
+    def test_degenerate_probabilities_project_none(self):
+        target = ConfidenceIntervalTarget()
+        assert target.projected_roots(0.0, 0, 100) is None
+        assert target.projected_roots(1.0, 100, 100) is None
+
+    def test_relative_error_projection_uses_variance(self):
+        target = RelativeErrorTarget(target=0.1)
+        plugin = target.projected_roots(0.01, hits=10, n_roots=1_000)
+        measured = target.projected_roots(0.01, hits=10, n_roots=1_000,
+                                          variance=1e-8)
+        assert measured is not None and plugin is not None
+        assert measured < plugin

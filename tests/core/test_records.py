@@ -124,3 +124,37 @@ class TestForestAggregate:
     def test_rejects_zero_levels(self):
         with pytest.raises(ValueError):
             ForestAggregate(0)
+
+
+class TestFoldRecordsByOwner:
+    def test_matches_separate_per_owner_folds(self):
+        from repro.core.records import fold_records_by_owner
+        records = [make_record(3, hits=h, steps=s,
+                               landings=[h, 1, 0], crossings=[1, h, 0])
+                   for h, s in ((0, 5), (1, 9), (2, 4), (0, 7), (3, 2))]
+        owners = [0, 0, 1, 2, 2]
+        fused = [ForestAggregate(3) for _ in range(3)]
+        fold_records_by_owner(records, owners, fused)
+        separate = [ForestAggregate(3) for _ in range(3)]
+        for owner, aggregate in enumerate(separate):
+            aggregate.extend([r for r, o in zip(records, owners)
+                              if o == owner])
+        for ours, theirs in zip(fused, separate):
+            assert ours.n_roots == theirs.n_roots
+            assert ours.hits == theirs.hits
+            assert ours.steps == theirs.steps
+            assert ours.landings == theirs.landings
+            assert ours.crossings == theirs.crossings
+
+    def test_empty_owner_gets_nothing(self):
+        from repro.core.records import fold_records_by_owner
+        aggregates = [ForestAggregate(2), ForestAggregate(2)]
+        fold_records_by_owner([make_record(2, hits=1)], [1], aggregates)
+        assert aggregates[0].n_roots == 0
+        assert aggregates[1].n_roots == 1
+
+    def test_rejects_length_mismatch(self):
+        from repro.core.records import fold_records_by_owner
+        with pytest.raises(ValueError, match="owners"):
+            fold_records_by_owner([make_record(2)], [0, 1],
+                                  [ForestAggregate(2)])

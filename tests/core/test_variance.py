@@ -173,3 +173,55 @@ class TestBalancedBoundariesFromSurvival:
     def test_rejects_degenerate_survival(self):
         with pytest.raises(ValueError):
             balanced_boundaries_from_survival(lambda v: 1.0, 3)
+
+
+class TestCurveRefinedBoundaries:
+    @staticmethod
+    def survival(v):
+        return 1e-4 ** v
+
+    def test_grid_levels_appear_verbatim(self):
+        from repro.core.variance import curve_refined_boundaries
+        grid = [0.3, 0.7]
+        boundaries = curve_refined_boundaries(self.survival, grid, 6)
+        assert set(grid) <= set(boundaries)
+        assert len(boundaries) == 5
+        assert boundaries == sorted(boundaries)
+        assert all(0.0 < b < 1.0 for b in boundaries)
+
+    def test_no_refinement_budget_returns_grid(self):
+        from repro.core.variance import curve_refined_boundaries
+        grid = [0.25, 0.5, 0.75]
+        assert curve_refined_boundaries(self.survival, grid, 4) == grid
+
+    def test_empty_grid_recovers_balanced_ladder(self):
+        from repro.core.variance import (balanced_boundaries_from_survival,
+                                         curve_refined_boundaries)
+        refined = curve_refined_boundaries(self.survival, [], 4)
+        balanced = balanced_boundaries_from_survival(self.survival, 4)
+        assert refined == pytest.approx(balanced, abs=1e-6)
+
+    def test_exponential_survival_refines_toward_uniform(self):
+        """With S(v) = tau^v every gap's drop is proportional to its
+        width, so refinements land in the widest gaps."""
+        from repro.core.variance import curve_refined_boundaries
+        boundaries = curve_refined_boundaries(self.survival, [0.5], 4)
+        # Two refinements split the two equal gaps around 0.5.
+        below = [b for b in boundaries if b < 0.5]
+        above = [b for b in boundaries if b > 0.5]
+        assert len(below) == len(above) == 1
+
+    def test_rejects_unsorted_grid(self):
+        from repro.core.variance import curve_refined_boundaries
+        with pytest.raises(ValueError, match="ascending"):
+            curve_refined_boundaries(self.survival, [0.7, 0.3], 6)
+
+    def test_rejects_grid_outside_open_interval(self):
+        from repro.core.variance import curve_refined_boundaries
+        with pytest.raises(ValueError, match="strictly"):
+            curve_refined_boundaries(self.survival, [0.0, 0.5], 6)
+
+    def test_rejects_bad_num_levels(self):
+        from repro.core.variance import curve_refined_boundaries
+        with pytest.raises(ValueError, match="num_levels"):
+            curve_refined_boundaries(self.survival, [0.5], 0)

@@ -208,3 +208,34 @@ class TestConcurrency:
             entry = cache.get(query)
             if entry is not None:
                 assert entry.partition.boundaries == (0.5,)
+
+
+class TestGridPlanKind:
+    def test_embeds_base_and_grid(self):
+        from repro.engine.cache import grid_plan_kind
+        kind = grid_plan_kind("greedy", (0.25, 0.5))
+        assert kind == ("greedy", "grid", (0.25, 0.5))
+
+    def test_float_repr_jitter_collapses(self):
+        from repro.engine.cache import grid_plan_kind
+        a = grid_plan_kind("greedy", (0.1 + 0.2,))
+        b = grid_plan_kind("greedy", (0.3,))
+        assert a == b
+
+    def test_different_grids_do_not_collide(self):
+        from repro.engine.cache import grid_plan_kind
+        assert grid_plan_kind("greedy", (0.25, 0.5)) != \
+            grid_plan_kind("greedy", (0.25, 0.75))
+
+    def test_grid_kinds_separate_from_point_kinds(self):
+        from repro.engine.cache import grid_plan_kind
+        cache = PlanCache()
+        query = walk_query()
+        cache.put(query, LevelPartition([0.5]), kind="greedy")
+        grid_kind = grid_plan_kind("greedy", (0.25, 0.5))
+        assert cache.get(query, kind=grid_kind) is None
+        cache.put(query, LevelPartition([0.25, 0.5]), kind=grid_kind)
+        assert cache.get(query, kind=grid_kind).partition == \
+            LevelPartition([0.25, 0.5])
+        assert cache.get(query, kind="greedy").partition == \
+            LevelPartition([0.5])

@@ -706,3 +706,152 @@ class TestConcurrentEngine:
             assert estimate.probability == baseline.probability
             assert estimate.n_roots == baseline.n_roots
         engine.close()
+
+
+class TestPlanProvenance:
+    """Answer/curve details record which plan path produced the plan."""
+
+    def test_answer_marks_search_then_cache(self, walk_query):
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="gmlss", max_roots=400, seed=51, trial_steps=2_000))
+        first = engine.answer(walk_query)
+        assert first.details["plan_source"] == "search"
+        second = engine.answer(walk_query)
+        assert second.details["plan_source"] == "cache"
+
+    def test_curve_without_refinement_marks_grid(self, walk):
+        query = DurabilityQuery.threshold(
+            walk, RandomWalkProcess.position, beta=10.0, horizon=40)
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="gmlss", max_roots=500, seed=52))
+        curve = engine.durability_curve(query, [6.0, 8.0, 10.0])
+        assert curve.details["plan_source"] == "grid"
+        assert "plan_cache" not in curve.details
+
+    def test_fleet_members_carry_cluster_ids(self):
+        queries = [DurabilityQuery.threshold(
+            RandomWalkProcess(p_up=0.32, p_down=0.48, start=start),
+            RandomWalkProcess.position, beta=12.0, horizon=30)
+            for start in (0, 0, 5, 5)]
+        engine = DurabilityEngine(ExecutionPolicy(
+            method="gmlss", num_levels=4, max_roots=800, seed=53))
+        answers = engine.answer_batch(queries)
+        assert all(a.details["fleet_clusters"] == 2 for a in answers)
+        assert [a.details["fleet_cluster"] for a in answers] == \
+            [0, 0, 1, 1]
+        assert all(a.details["plan_source"] == "uniform" for a in answers)
+        # Each cluster runs its own fused forest.
+        assert answers[0].details["cohort_id"] != \
+            answers[2].details["cohort_id"]
+
+
+class TestCurveAwarePlans:
+    """num_levels beyond the grid buys refinement boundaries between
+    the read-out levels (curve-aware plan search)."""
+
+    GRID = [5.0, 8.0, 10.0]
+
+    @staticmethod
+    def engine(num_levels=None, seed=54, **kwargs):
+        return DurabilityEngine(ExecutionPolicy(
+            method="gmlss", num_levels=num_levels, max_roots=1_500,
+            seed=seed, trial_steps=2_000, **kwargs))
+
+    def test_refined_curve_keeps_grid_readouts(self, walk):
+        query = DurabilityQuery.threshold(
+            walk, RandomWalkProcess.position, beta=10.0, horizon=40)
+        curve = self.engine(num_levels=6).durability_curve(
+            query, self.GRID)
+        assert curve.details["plan_source"] == "curve_aware"
+        assert curve.details["plan_cache"] == "miss"
+        assert list(curve.thresholds) == self.GRID
+        assert len(curve.estimates) == len(self.GRID)
+
+    def test_refined_curve_matches_oracle(self, walk):
+        from repro.core.analytic import random_walk_hitting_curve
+        query = DurabilityQuery.threshold(
+            walk, RandomWalkProcess.position, beta=10.0, horizon=40)
+        curve = self.engine(num_levels=6).durability_curve(
+            query, self.GRID)
+        exact = random_walk_hitting_curve(walk.p_up, self.GRID, 40,
+                                          p_down=walk.p_down)
+        for threshold, target in zip(self.GRID, exact):
+            estimate = curve.estimate_at(threshold)
+            assert abs(estimate.probability - float(target)) <= \
+                Z999 * estimate.std_error + 5e-3
+
+    def test_second_curve_hits_the_grid_cache(self, walk):
+        query = DurabilityQuery.threshold(
+            walk, RandomWalkProcess.position, beta=10.0, horizon=40)
+        engine = self.engine(num_levels=6)
+        first = engine.durability_curve(query, self.GRID)
+        second = engine.durability_curve(query, self.GRID)
+        assert first.details["plan_cache"] == "miss"
+        assert second.details["plan_cache"] == "hit"
+        assert [e.probability for e in second.estimates] == \
+            [e.probability for e in first.estimates]
+
+    def test_grid_cache_keys_do_not_collide_across_grids(self, walk):
+        query = DurabilityQuery.threshold(
+            walk, RandomWalkProcess.position, beta=10.0, horizon=40)
+        engine = self.engine(num_levels=6)
+        engine.durability_curve(query, self.GRID)
+        other = engine.durability_curve(query, [6.0, 9.0, 10.0])
+        assert other.details["plan_cache"] == "miss"
+
+    def test_num_levels_at_grid_size_stays_plain(self, walk):
+        query = DurabilityQuery.threshold(
+            walk, RandomWalkProcess.position, beta=10.0, horizon=40)
+        curve = self.engine(num_levels=3).durability_curve(
+            query, self.GRID)
+        assert curve.details["plan_source"] == "grid"
+
+
+class TestCurveAwareParallelDeterminism:
+    """Pooled curve-aware answers must not depend on the worker count,
+    the pool mode, or streamed-vs-barrier round scheduling."""
+
+    def test_byte_identical_across_pool_configs(self, walk):
+        query = DurabilityQuery.threshold(
+            walk, RandomWalkProcess.position, beta=10.0, horizon=40)
+        signatures = []
+        for mode, n_workers, streamed in (
+                ("thread", 1, True), ("thread", 2, True),
+                ("thread", 2, False), ("fork", 2, True),
+                ("fork", 2, False)):
+            engine = DurabilityEngine(ExecutionPolicy(
+                method="gmlss", num_levels=6, max_roots=1_024, seed=57,
+                trial_steps=2_000,
+                parallel=ParallelPolicy(n_workers=n_workers, pool=mode,
+                                        streamed=streamed,
+                                        roots_per_task=128)))
+            try:
+                curve = engine.durability_curve(query, [5.0, 8.0, 10.0])
+            finally:
+                engine.close()
+            signatures.append(tuple(
+                (e.probability, e.variance, e.n_roots, e.hits, e.steps)
+                for e in curve.estimates))
+        assert all(s == signatures[0] for s in signatures[1:])
+
+    def test_fleet_answers_ignore_streamed_toggle(self):
+        queries = [DurabilityQuery.threshold(
+            RandomWalkProcess(p_up=0.30 + 0.02 * i, p_down=0.48),
+            RandomWalkProcess.position, beta=12.0, horizon=30)
+            for i in range(3)]
+        signatures = []
+        for mode, streamed in (("thread", True), ("thread", False),
+                               ("fork", True)):
+            engine = DurabilityEngine(ExecutionPolicy(
+                method="gmlss", num_levels=3, max_roots=600, seed=58,
+                parallel=ParallelPolicy(n_workers=2, pool=mode,
+                                        streamed=streamed,
+                                        members_per_task=2)))
+            try:
+                answers = engine.answer_batch(queries)
+            finally:
+                engine.close()
+            signatures.append(tuple(
+                (a.probability, a.variance, a.n_roots, a.hits, a.steps)
+                for a in answers))
+        assert all(s == signatures[0] for s in signatures[1:])

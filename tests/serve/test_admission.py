@@ -263,3 +263,52 @@ class TestAdmissionController:
             assert ctrl.in_flight_units == 0
 
         run(scenario())
+
+
+class TestStallShedding:
+    """The watchdog's stall verdict sheds expensive classes up front."""
+
+    def test_stalled_sheds_expensive_classes(self):
+        async def scenario():
+            from repro.serve.metrics import MetricsRegistry
+            metrics = MetricsRegistry()
+            ctrl = controller()
+            ctrl._metrics = metrics
+            ctrl.set_stalled(True)
+            for cost_class in ("cold_search", "fleet"):
+                with pytest.raises(SheddedError, match="stalled") \
+                        as excinfo:
+                    await ctrl.admit("t", cost_class, 1)
+                assert excinfo.value.retry_after is not None
+                assert excinfo.value.retry_after > 0
+            assert metrics.counter("admission.shed_stalled") == 2
+
+        run(scenario())
+
+    def test_stalled_still_admits_cheap_classes(self):
+        async def scenario():
+            ctrl = controller()
+            ctrl.set_stalled(True)
+            for cost_class in ("cache_hit", "warm_plan", "curve"):
+                ticket = await ctrl.admit("t", cost_class, 1)
+                ticket.release()
+
+        run(scenario())
+
+    def test_clearing_the_stall_readmits(self):
+        async def scenario():
+            ctrl = controller()
+            ctrl.set_stalled(True)
+            with pytest.raises(SheddedError):
+                await ctrl.admit("t", "fleet", 1)
+            ctrl.set_stalled(False)
+            ticket = await ctrl.admit("t", "fleet", 1)
+            ticket.release()
+
+        run(scenario())
+
+    def test_stats_expose_the_verdict(self):
+        ctrl = controller()
+        assert ctrl.stats()["stalled"] is False
+        ctrl.set_stalled(True)
+        assert ctrl.stats()["stalled"] is True

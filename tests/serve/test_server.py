@@ -276,6 +276,23 @@ class TestObservability:
         assert snapshot["gauges"]["plan_cache"]["entries"] >= 0
         assert snapshot["gauges"]["admission"]["capacity_units"] >= 1
 
+    def test_metrics_expose_plan_cache_counters(self, server):
+        """Cache efficacy is observable from /metrics: a cold answer
+        misses the plan cache, a repeat hits it, and the hit/miss/
+        eviction counters move accordingly."""
+        request = {"query": dict(WALK_DOC, beta=11.0),
+                   "policy": {"method": "gmlss"}}
+        call(server, "POST", "/answer", request)
+        call(server, "POST", "/answer", request)
+        _, _, raw = call(server, "GET", "/metrics")
+        cache = json.loads(raw)["gauges"]["plan_cache"]
+        for counter in ("hits", "misses", "evictions", "hit_rate",
+                        "max_entries"):
+            assert counter in cache
+        assert cache["misses"] >= 1
+        assert cache["hits"] >= 1
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+
     def test_watchdog_publishes_verdict(self, server):
         call(server, "POST", "/answer", {"query": WALK_DOC})
         time.sleep(0.3)  # a few 0.05s watchdog intervals

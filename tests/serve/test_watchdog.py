@@ -92,3 +92,29 @@ class TestStallRule:
         os.utime(path, (0, os.stat(path).st_mtime + 2))
         watchdog.sample()  # must not raise
         assert hot.current.max_queue == 7
+
+
+class TestStallVerdictPropagation:
+    """sample() pushes the verdict into admission control."""
+
+    def test_stall_verdict_reaches_admission(self):
+        from repro.serve.admission import AdmissionController
+        metrics = MetricsRegistry()
+        admission = AdmissionController(ServeConfig())
+        admission.in_flight_requests = 2
+        watchdog = Watchdog(metrics, admission=admission,
+                            stall_after_intervals=2)
+        watchdog.sample()
+        assert admission.stalled is False
+        watchdog.sample()
+        assert admission.stalled is True
+        metrics.observe("answer", 0.01)  # progress clears it
+        watchdog.sample()
+        assert admission.stalled is False
+
+    def test_fake_admission_without_setter_is_tolerated(self):
+        admission = FakeAdmission()
+        admission.in_flight_requests = 1
+        watchdog = Watchdog(MetricsRegistry(), admission=admission,
+                            stall_after_intervals=1)
+        assert watchdog.sample()["stalled"] is True  # no AttributeError
