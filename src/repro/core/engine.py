@@ -63,7 +63,7 @@ def resolve_partition(query: DurabilityQuery,
     :class:`~repro.core.pool.WorkerPool` without changing the chosen
     plan.
     """
-    plan, search_details, _ = resolve_plan(
+    plan, search_details, _, _ = resolve_plan(
         query, partition, num_levels, ratio, trial_steps, seed,
         backend=backend, plan_cache=None, pool=pool)
     return plan, search_details

@@ -3,11 +3,13 @@
 from .factory import build_process, default_z, state_value, supported_kinds
 from .paths import (hitting_fraction, materialize_paths, path_count,
                     path_series, value_quantiles)
+from .plan_store import PlanStore, persistable
 from .procedures import DurabilityDB
-from .schema import create_schema, table_names
+from .schema import create_schema, migrate_level_plans, table_names
 
 __all__ = [
-    "DurabilityDB", "build_process", "create_schema", "default_z",
-    "hitting_fraction", "materialize_paths", "path_count", "path_series",
+    "DurabilityDB", "PlanStore", "build_process", "create_schema",
+    "default_z", "hitting_fraction", "materialize_paths",
+    "migrate_level_plans", "path_count", "path_series", "persistable",
     "state_value", "supported_kinds", "table_names", "value_quantiles",
 ]

@@ -1,0 +1,236 @@
+"""Persistent level-plan storage: ``PlanCache`` entries in sqlite.
+
+The :class:`~repro.engine.cache.PlanCache` amortizes plan search across
+repeated query shapes, but it is process-local and reactive: a restart
+throws away every plan, and the first user of each shape after boot
+eats the full greedy search on the hot path.  :class:`PlanStore` maps
+cache entries onto the ``level_plans`` table of the in-DBMS schema
+(:mod:`repro.db.schema`), so plans survive restarts and can be shared
+across engine workers pointing at one database file.
+
+Mapping
+-------
+One cache entry becomes one row:
+
+``shape_key``
+    The full :meth:`PlanCache.key_for` tuple — ``(kind, process
+    family, horizon, initial bucket, threshold key)`` — encoded with
+    ``repr`` and decoded with :func:`ast.literal_eval` (keys are nested
+    tuples of scalars and strings, so the round trip is exact,
+    including float reprs).  ``UNIQUE``: a re-learned plan replaces its
+    row.
+``kind``
+    The key's kind component alone (``"greedy"``, ``("balanced", n)``,
+    or a grid-shaped kind from
+    :func:`~repro.engine.cache.grid_plan_kind`), stored redundantly for
+    inspection with plain SQL.
+``boundaries`` / ``ratio`` / ``score``
+    The plan itself.  Boundaries are a JSON array of floats — JSON
+    floats round-trip Python floats exactly, so a loaded plan is
+    bit-identical to the stored one (the byte-identity contract of
+    warm-started answers rests on this).
+``source``
+    ``"plan_cache"`` for store-written rows; legacy query-scoped rows
+    keep their original source and a NULL ``shape_key`` (the store
+    never loads them).
+
+Only *symbolic* keys are persisted: a key component carrying an
+``@id:`` or ``@self:`` object-identity marker (lambdas, bound methods,
+matrix-parameterised processes — see
+:func:`~repro.engine.cache._callable_identity`) is meaningless in
+another process, so :meth:`PlanStore.save` skips it and counts the
+skip.  This is the single known persistence limit: plans for
+object-identity-keyed shapes stay process-local by design.
+
+Concurrency: one sqlite writer.  The store serialises its own access
+with a lock and opens its connection with ``check_same_thread=False``
+(engine write-through happens on executor threads), but cross-process
+write concurrency is sqlite's file lock — deploy one writing tier per
+database file.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sqlite3
+import threading
+from typing import Optional
+
+from ..core.levels import LevelPartition
+from .schema import create_schema
+
+#: Substrings that mark a key component as object-identity-based and
+#: therefore meaningless outside the process that built it.
+_IDENTITY_MARKERS = ("@id:", "@self:")
+
+
+def _contains_identity(component) -> bool:
+    if isinstance(component, str):
+        return any(marker in component for marker in _IDENTITY_MARKERS)
+    if isinstance(component, (tuple, list)):
+        return any(_contains_identity(item) for item in component)
+    return False
+
+
+def persistable(key) -> bool:
+    """True when a plan-cache key survives a process restart.
+
+    Keys are symbolic except where :mod:`repro.engine.cache` fell back
+    to object identity (``@id:`` / ``@self:`` markers); those ids name
+    objects of the *current* process only, so rows keyed by them could
+    never be matched again.
+    """
+    return not _contains_identity(key)
+
+
+def encode_key(key) -> str:
+    """Serialize a plan-cache key (nested tuples of scalars) to text."""
+    return repr(key)
+
+
+def decode_key(text: str):
+    """Inverse of :func:`encode_key`; raises ValueError on junk."""
+    return ast.literal_eval(text)
+
+
+class PlanStore:
+    """Sqlite-backed persistence for :class:`PlanCache` entries.
+
+    Parameters
+    ----------
+    path:
+        Database file (created if missing; schema applied
+        idempotently).  Ignored when ``connection`` is given.
+    connection:
+        An existing sqlite3 connection to share (e.g. a
+        :class:`~repro.db.procedures.DurabilityDB`'s); the store then
+        does not own it and :meth:`close` leaves it open.
+    """
+
+    def __init__(self, path: str = ":memory:",
+                 connection: Optional[sqlite3.Connection] = None):
+        if connection is not None:
+            self.connection = connection
+            self._owns_connection = False
+        else:
+            self.connection = sqlite3.connect(
+                path, check_same_thread=False)
+            self._owns_connection = True
+        self.path = path if connection is None else None
+        create_schema(self.connection)
+        self.saves = 0
+        self.skipped = 0
+        self.loads = 0
+        # One lock serialises every statement: write-through happens
+        # from whichever thread ran the plan search (serve executor
+        # threads included), and sqlite connections are not themselves
+        # thread-safe for interleaved use.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def save(self, key, partition: LevelPartition, ratio: int = 3,
+             score: float = float("inf")) -> bool:
+        """Persist one plan under its cache key (upsert).
+
+        Returns False (and counts the skip) for keys that are not
+        :func:`persistable`; True otherwise.
+        """
+        if not persistable(key):
+            self.skipped += 1
+            return False
+        boundaries = json.dumps(list(partition.boundaries))
+        shape_key = encode_key(key)
+        # Delete-then-insert rather than upsert: the AUTOINCREMENT
+        # plan_id then grows monotonically with every save, giving an
+        # exact recency order for load_all (datetime('now') only has
+        # one-second resolution, which ties under bursts of saves).
+        with self._lock, self.connection:
+            self.connection.execute(
+                "DELETE FROM level_plans WHERE shape_key = ?",
+                (shape_key,))
+            self.connection.execute(
+                """
+                INSERT INTO level_plans
+                    (query_id, shape_key, kind, boundaries, ratio,
+                     score, source, updated_at)
+                VALUES (NULL, ?, ?, ?, ?, ?, 'plan_cache',
+                        datetime('now'))
+                """,
+                (shape_key, encode_key(key[0]), boundaries,
+                 int(ratio), float(score)))
+        self.saves += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def load(self, key):
+        """The stored ``(partition, kind, score)`` for a key, or None."""
+        if not persistable(key):
+            return None
+        with self._lock:
+            row = self.connection.execute(
+                "SELECT boundaries, score FROM level_plans "
+                "WHERE shape_key = ?", (encode_key(key),)).fetchone()
+        if row is None:
+            return None
+        partition = LevelPartition(tuple(json.loads(row[0])))
+        self.loads += 1
+        return partition, key[0], float(row[1])
+
+    def load_all(self) -> list:
+        """Every stored plan as ``(key, partition, kind, score)``.
+
+        Ordered least-recently-updated first (save order — plan_id is
+        monotone in save time, see :meth:`save`), so a cache hydrating
+        in order leaves the most recently learned plans at the MRU end.
+        Rows whose key no longer decodes are skipped, not fatal.
+        """
+        with self._lock:
+            rows = self.connection.execute(
+                "SELECT shape_key, boundaries, score FROM level_plans "
+                "WHERE shape_key IS NOT NULL "
+                "ORDER BY plan_id ASC").fetchall()
+        plans = []
+        for shape_key, boundaries, score in rows:
+            try:
+                key = decode_key(shape_key)
+                partition = LevelPartition(tuple(json.loads(boundaries)))
+            except (ValueError, SyntaxError, TypeError):
+                continue
+            plans.append((key, partition, key[0], float(score)))
+        self.loads += len(plans)
+        return plans
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self.connection.execute(
+                "SELECT COUNT(*) FROM level_plans "
+                "WHERE shape_key IS NOT NULL").fetchone()
+        return int(row[0])
+
+    def stats(self) -> dict:
+        return {
+            "plans": len(self),
+            "saves": self.saves,
+            "skipped": self.skipped,
+            "loads": self.loads,
+            "path": self.path,
+        }
+
+    def close(self) -> None:
+        if self._owns_connection:
+            self.connection.close()
+
+    def __repr__(self) -> str:
+        return (f"PlanStore(path={self.path!r}, plans={len(self)}, "
+                f"saves={self.saves})")

@@ -40,6 +40,20 @@ class DurabilityDB:
         self.connection = sqlite3.connect(path)
         self.connection.row_factory = sqlite3.Row
         create_schema(self.connection)
+        self._plan_store = None
+
+    def plan_store(self):
+        """A :class:`~repro.db.plan_store.PlanStore` over this database.
+
+        Shares the warehouse's connection (and therefore its file), so
+        ``PlanCache(store=db.plan_store())`` persists engine plans next
+        to the registered models and logged estimates.  Lazily built
+        and cached; closing the warehouse closes it too.
+        """
+        if self._plan_store is None:
+            from .plan_store import PlanStore
+            self._plan_store = PlanStore(connection=self.connection)
+        return self._plan_store
 
     def close(self) -> None:
         self.connection.close()

@@ -43,10 +43,14 @@ SCHEMA_STATEMENTS = (
     """
     CREATE TABLE IF NOT EXISTS level_plans (
         plan_id    INTEGER PRIMARY KEY AUTOINCREMENT,
-        query_id   INTEGER NOT NULL REFERENCES queries(query_id),
+        query_id   INTEGER REFERENCES queries(query_id),
+        shape_key  TEXT UNIQUE,
+        kind       TEXT,
         boundaries TEXT NOT NULL,
         ratio      INTEGER NOT NULL DEFAULT 3,
-        source     TEXT NOT NULL DEFAULT 'manual'
+        score      REAL,
+        source     TEXT NOT NULL DEFAULT 'manual',
+        updated_at TEXT NOT NULL DEFAULT (datetime('now'))
     )
     """,
     """
@@ -83,8 +87,46 @@ INDEX_STATEMENTS = (
 )
 
 
+def _level_plans_columns(connection: sqlite3.Connection) -> dict:
+    """``{name: notnull}`` for the existing level_plans table (or {})."""
+    rows = connection.execute(
+        "PRAGMA table_info(level_plans)").fetchall()
+    return {row[1]: bool(row[3]) for row in rows}
+
+
+def migrate_level_plans(connection: sqlite3.Connection) -> bool:
+    """Upgrade a pre-plan-store ``level_plans`` table in place.
+
+    Earlier revisions of the schema required ``query_id`` (plans only
+    existed as children of registered queries) and carried no
+    shape-key, kind, score or timestamp columns, so a
+    :class:`~repro.db.plan_store.PlanStore` could not write rows into
+    them.  The migration rebuilds the table in the new shape, keeping
+    every existing row (``shape_key`` stays NULL for legacy
+    query-scoped plans, which the plan store simply never loads).
+    Returns True when a rebuild happened; idempotent otherwise.
+    """
+    columns = _level_plans_columns(connection)
+    if not columns:
+        return False
+    if "shape_key" in columns and not columns.get("query_id", False):
+        return False
+    with connection:
+        connection.execute(
+            "ALTER TABLE level_plans RENAME TO level_plans_legacy")
+        connection.execute(SCHEMA_STATEMENTS[2])
+        connection.execute(
+            "INSERT INTO level_plans "
+            "(plan_id, query_id, boundaries, ratio, source) "
+            "SELECT plan_id, query_id, boundaries, ratio, source "
+            "FROM level_plans_legacy")
+        connection.execute("DROP TABLE level_plans_legacy")
+    return True
+
+
 def create_schema(connection: sqlite3.Connection) -> None:
-    """Create all tables and indexes (idempotent)."""
+    """Create all tables and indexes (idempotent; migrates old files)."""
+    migrate_level_plans(connection)
     with connection:
         for statement in SCHEMA_STATEMENTS + INDEX_STATEMENTS:
             connection.execute(statement)

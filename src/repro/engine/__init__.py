@@ -18,15 +18,17 @@ workloads:
 over a private engine instance.
 """
 
-from .cache import CachedPlan, PlanCache, process_family
+from .cache import CachedPlan, PlanCache, grid_plan_kind, process_family
 from .policy import (ExecutionPolicy, ParallelPolicy, quality_from_dict,
                      quality_to_dict)
-from .service import DurabilityEngine, UnservableGridError, resolve_plan
+from .service import (DurabilityEngine, UnservableGridError, plan_kind,
+                      resolve_plan)
 
 __all__ = [
     "CachedPlan", "DurabilityEngine", "ExecutionPolicy", "ParallelPolicy",
     "PlanCache",
     "UnservableGridError",
-    "process_family", "quality_from_dict", "quality_to_dict",
+    "grid_plan_kind", "plan_kind", "process_family", "quality_from_dict",
+    "quality_to_dict",
     "resolve_plan",
 ]

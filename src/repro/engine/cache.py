@@ -139,6 +139,13 @@ class CachedPlan:
     #: entry's lifetime guarantees a reused address can never alias an
     #: old key — id-based keys are identity-based, not address-based.
     pins: tuple = field(default=(), repr=False)
+    #: Where the plan came from: ``"search"`` (found by this process's
+    #: own plan search), ``"store"`` (hydrated from a persistent
+    #: :class:`~repro.db.plan_store.PlanStore`), or ``"warmed"``
+    #: (pre-computed by the proactive :class:`~repro.forecast.warmer.
+    #: PlanWarmer` before any query needed it).  Surfaces through
+    #: ``details["plan_source"]`` / ``details["plan_origin"]``.
+    origin: str = "search"
 
 
 class PlanCache:
@@ -153,10 +160,19 @@ class PlanCache:
     threshold_buckets_per_octave:
         Resolution of the ``log2(beta)`` threshold quantization; higher
         means less sharing between nearby thresholds.
+    store:
+        Optional persistent backing
+        (:class:`~repro.db.plan_store.PlanStore`).  Plans stored there
+        are loaded on construction (entries carry ``origin="store"``,
+        so answers resolved from them report ``plan_source:
+        "store"``), and every :meth:`put` of a persistable key writes
+        through, so learned plans survive restarts.  Keys carrying
+        object-identity markers stay memory-only (the store skips
+        them).
     """
 
     def __init__(self, max_entries: int = 256, value_bucket: float = 0.05,
-                 threshold_buckets_per_octave: int = 4):
+                 threshold_buckets_per_octave: int = 4, store=None):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if value_bucket <= 0:
@@ -169,6 +185,7 @@ class PlanCache:
         self.max_entries = max_entries
         self.value_bucket = value_bucket
         self.threshold_buckets_per_octave = threshold_buckets_per_octave
+        self.store = store
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -181,6 +198,24 @@ class PlanCache:
         # own.  (Worker *processes* each hold their own cache — plans
         # are process-local by design.)
         self._lock = threading.RLock()
+        if store is not None:
+            self._hydrate(store)
+
+    def _hydrate(self, store) -> None:
+        """Load every persisted plan (oldest first, so recent = MRU).
+
+        Persisted keys are purely symbolic (the store refuses
+        identity-marked ones), so hydrated entries need no pins; their
+        keys can be matched by any structurally-equal future query.
+        """
+        with self._lock:
+            for key, partition, kind, score in store.load_all():
+                self._entries[key] = CachedPlan(
+                    partition=partition, kind=kind, score=score,
+                    origin="store")
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Keys
@@ -233,20 +268,59 @@ class PlanCache:
         if pruned == entry.partition:
             return entry
         return CachedPlan(partition=pruned, kind=entry.kind,
-                          score=entry.score, pins=entry.pins)
+                          score=entry.score, pins=entry.pins,
+                          origin=entry.origin)
+
+    def peek(self, query: DurabilityQuery,
+             kind: object = "greedy") -> Optional[CachedPlan]:
+        """The raw entry for a query shape, without counters or LRU.
+
+        Provenance introspection only (e.g. "did that hit come from
+        the persistent store?"): no hit/miss accounting, no recency
+        update, no re-pruning.
+        """
+        key = self.key_for(query, kind)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, query: DurabilityQuery, partition: LevelPartition,
-            kind: object = "greedy", score: float = math.inf) -> None:
-        """Memoize a plan for this query shape (LRU-evicting)."""
+            kind: object = "greedy", score: float = math.inf,
+            origin: str = "search") -> None:
+        """Memoize a plan for this query shape (LRU-evicting).
+
+        With a persistent :attr:`store` attached, the entry is also
+        written through (for persistable keys), so it survives
+        restarts.
+        """
         key = self.key_for(query, kind)
         with self._lock:
             self._entries[key] = CachedPlan(
                 partition=partition, kind=kind, score=score,
-                pins=(query.process, query.value_function))
+                pins=(query.process, query.value_function),
+                origin=origin)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+        if self.store is not None:
+            self.store.save(key, partition, score=score)
+
+    def retag(self, query: DurabilityQuery, kind: object = "greedy",
+              origin: str = "warmed") -> bool:
+        """Relabel an entry's provenance in place (no counters).
+
+        Used by the proactive warmer: a plan it computed went through
+        the ordinary search-then-:meth:`put` path (``origin
+        "search"``), but future hits should be attributable to warming.
+        Returns False when the shape is not cached.
+        """
+        key = self.key_for(query, kind)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            entry.origin = origin
+            return True
 
     # ------------------------------------------------------------------
     # Introspection

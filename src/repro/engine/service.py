@@ -77,6 +77,21 @@ class UnservableGridError(ValueError):
     """
 
 
+def plan_kind(num_levels: Optional[int], grid=None):
+    """The :class:`PlanCache` kind a plan resolution files under.
+
+    The single mapping from policy shape to cache kind — balanced
+    pilots are per-level-count, greedy plans share one kind, and a
+    read-out ``grid`` wraps either in a grid-shaped kind
+    (:func:`~repro.engine.cache.grid_plan_kind`).  Shared by
+    :func:`resolve_plan`, the engine's provenance introspection and
+    the proactive warmer, so "which cache entry would this query use?"
+    has exactly one answer.
+    """
+    base = "greedy" if num_levels is None else ("balanced", num_levels)
+    return grid_plan_kind(base, grid) if grid else base
+
+
 def resolve_plan(query: DurabilityQuery,
                  partition: Optional[LevelPartition],
                  num_levels: Optional[int],
@@ -90,10 +105,13 @@ def resolve_plan(query: DurabilityQuery,
 
     The single source of truth for plan precedence (also behind the
     stateless ``repro.core.engine.resolve_partition``).  Returns
-    ``(partition, search_details_or_None, cache_status_or_None)``;
-    ``cache_status`` is ``"hit"``/``"miss"`` when a plan cache
-    participated.  Pilot simulations (balanced-growth pilots and greedy
-    candidate trials) run on the requested backend; with ``pool`` (a
+    ``(partition, search_details_or_None, cache_status_or_None,
+    cache_origin_or_None)``; ``cache_status`` is ``"hit"``/``"miss"``
+    when a plan cache participated, and ``cache_origin`` reports where
+    a hit entry came from (``"search"``, ``"store"``, ``"warmed"`` —
+    see :attr:`~repro.engine.cache.CachedPlan.origin`).  Pilot
+    simulations (balanced-growth pilots and greedy candidate trials)
+    run on the requested backend; with ``pool`` (a
     :class:`~repro.core.pool.WorkerPool`) they shard over its workers
     and — because trial and pilot seeds are structural — return exactly
     the plan the parent-only search would.
@@ -110,7 +128,7 @@ def resolve_plan(query: DurabilityQuery,
     """
     initial_value = query.initial_value()
     if partition is not None:
-        return partition.pruned_above(initial_value), None, None
+        return partition.pruned_above(initial_value), None, None, None
     grid = tuple(float(g) for g in grid) if grid else None
     hits_before = plan_cache.hits if plan_cache is not None else 0
     if num_levels is not None:
@@ -138,9 +156,13 @@ def resolve_plan(query: DurabilityQuery,
             "from_cache": result.from_cache,
         }
     cache_status = None
+    cache_origin = None
     if plan_cache is not None:
         cache_status = "hit" if plan_cache.hits > hits_before else "miss"
-    return plan, search_details, cache_status
+        entry = plan_cache.peek(query, plan_kind(num_levels, grid))
+        if entry is not None:
+            cache_origin = entry.origin
+    return plan, search_details, cache_status, cache_origin
 
 
 class DurabilityEngine:
@@ -165,19 +187,39 @@ class DurabilityEngine:
     plan_cache:
         The :class:`PlanCache` that memoizes level plans across calls;
         a fresh bounded cache by default.  Pass a shared instance to
-        pool plans across engines.
+        pool plans across engines, or one built with ``store=`` (a
+        :class:`~repro.db.plan_store.PlanStore`) to persist plans
+        across restarts — answers resolved from a persisted plan
+        report ``details["plan_source"] == "store"``.
+    workload_log:
+        Optional :class:`~repro.forecast.log.WorkloadLog` (any object
+        with its ``record`` signature).  Every public entry point —
+        :meth:`answer`, :meth:`answer_batch`, :meth:`durability_curve`,
+        :meth:`durability_curves` — appends one arrival record per
+        query answered, tagged with the measured plan-search cost, so
+        forecasters can predict tomorrow's shapes and the
+        :class:`~repro.forecast.warmer.PlanWarmer` can rank them.
+        Nested internal calls (batch cohorts answering through
+        ``durability_curve``) are not double-counted.
     """
 
     def __init__(self, policy: Optional[ExecutionPolicy] = None,
-                 plan_cache: Optional[PlanCache] = None):
+                 plan_cache: Optional[PlanCache] = None,
+                 workload_log=None):
         self.policy = policy if policy is not None else ExecutionPolicy()
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.workload_log = workload_log
         self._pool: Optional[WorkerPool] = None
         self._pool_config = None
         # Engines may be driven from several threads (the same reason
         # PlanCache locks its LRU); pool creation/teardown must not
         # race or two pools could be built and one leak its workers.
         self._pool_lock = threading.Lock()
+        # Re-entrancy guard for workload recording: answer_batch
+        # cohorts answer through durability_curve / answer, but an
+        # arrival must be logged once, at the entry point the caller
+        # used.  Thread-local, because one engine serves many threads.
+        self._recording = threading.local()
 
     # ------------------------------------------------------------------
     # Policy plumbing
@@ -193,6 +235,39 @@ class DurabilityEngine:
     def cache_stats(self) -> dict:
         """Plan-cache hit/miss counters (service observability)."""
         return self.plan_cache.stats()
+
+    # ------------------------------------------------------------------
+    # Workload recording
+    # ------------------------------------------------------------------
+
+    def _record_start(self) -> bool:
+        """Claim the arrival-recording slot for this entry point.
+
+        Returns True when this call is the outermost public entry
+        point and a workload log is attached — exactly the calls that
+        should append arrival records.  Cohort internals that re-enter
+        ``answer``/``durability_curve`` find the slot taken and stay
+        silent, so one user-visible query is one arrival.
+        """
+        if self.workload_log is None:
+            return False
+        if getattr(self._recording, "active", False):
+            return False
+        self._recording.active = True
+        return True
+
+    def _record_end(self) -> None:
+        self._recording.active = False
+
+    @staticmethod
+    def _search_steps(details) -> int:
+        """Measured plan-search cost carried by an estimate's details."""
+        search = (details or {}).get("plan_search") or {}
+        return int(search.get("search_steps", 0) or 0)
+
+    def _record_arrival(self, query, grid=None, details=None) -> None:
+        self.workload_log.record(
+            query, grid=grid, search_steps=self._search_steps(details))
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle
@@ -257,14 +332,21 @@ class DurabilityEngine:
         preference.
         """
         policy = self._resolve_policy(policy, overrides)
-        sampler, sampler_backend, extra = self._build_sampler(
-            query, policy, partition)
-        estimate = sampler.run(
-            query, quality=policy.quality, max_steps=policy.max_steps,
-            max_roots=policy.max_roots, seed=policy.seed)
-        estimate.details["backend"] = sampler_backend
-        estimate.details.update(extra)
-        return estimate
+        recording = self._record_start()
+        try:
+            sampler, sampler_backend, extra = self._build_sampler(
+                query, policy, partition)
+            estimate = sampler.run(
+                query, quality=policy.quality, max_steps=policy.max_steps,
+                max_roots=policy.max_roots, seed=policy.seed)
+            estimate.details["backend"] = sampler_backend
+            estimate.details.update(extra)
+            if recording:
+                self._record_arrival(query, details=estimate.details)
+            return estimate
+        finally:
+            if recording:
+                self._record_end()
 
     def _sampler_options(self, query: DurabilityQuery,
                          policy: ExecutionPolicy):
@@ -308,8 +390,8 @@ class DurabilityEngine:
         if policy.method == "srs":
             return SRSSampler(**options), sampler_backend, {}
 
-        plan, search_details, cache_status = self._resolve_plan(
-            query, partition, policy, backend)
+        plan, search_details, cache_status, cache_origin = \
+            self._resolve_plan(query, partition, policy, backend)
         extra = {}
         if search_details is not None:
             extra["plan_search"] = search_details
@@ -317,9 +399,15 @@ class DurabilityEngine:
             extra["plan_cache"] = cache_status
         if partition is not None:
             extra["plan_source"] = "explicit"
+        elif cache_status == "hit":
+            # A hit on a store-hydrated entry is the persistence layer
+            # paying off — report it as its own source so restarts are
+            # observable; warmed/search-born entries stay "cache".
+            extra["plan_source"] = ("store" if cache_origin == "store"
+                                    else "cache")
+            extra["plan_origin"] = cache_origin
         else:
-            extra["plan_source"] = ("cache" if cache_status == "hit"
-                                    else "search")
+            extra["plan_source"] = "search"
         sampler = self._mlss_class(policy.method)(
             plan, ratio=policy.ratio, **options)
         return sampler, sampler_backend, extra
@@ -339,6 +427,68 @@ class DurabilityEngine:
             query, partition, policy.num_levels, policy.ratio,
             policy.trial_steps, policy.seed, backend=backend,
             plan_cache=cache, pool=self._get_pool(policy))
+
+    def warm_plan(self, query: DurabilityQuery,
+                  policy: Optional[ExecutionPolicy] = None,
+                  thresholds=None, **overrides) -> dict:
+        """Resolve (and memoize) a query's level plan without sampling.
+
+        The proactive warmer's entry point: runs exactly the plan
+        resolution a future :meth:`answer` (or, with ``thresholds``, a
+        curve-aware :meth:`durability_curve`) would run — same policy,
+        same seed, same cache kind — so the warmed plan is the very
+        plan the on-path search would have found, and the later answer
+        is byte-identical to the cold-search one.  A freshly learned
+        plan is retagged ``origin="warmed"`` (and, with a persistent
+        store attached to the cache, written through).
+
+        Returns a report dict: ``warmable`` (False for SRS policies,
+        disabled caches, grids that need no search), ``cache_status``,
+        ``origin``, ``search_steps`` spent, and the cache ``kind``.
+        """
+        policy = self._resolve_policy(policy, overrides)
+        if policy.method == "srs":
+            return {"warmable": False, "reason": "srs_needs_no_plan",
+                    "search_steps": 0}
+        if not policy.use_plan_cache:
+            return {"warmable": False, "reason": "plan_cache_disabled",
+                    "search_steps": 0}
+        target = query
+        grid = None
+        if thresholds:
+            betas, levels = threshold_grid(thresholds)
+            target = query.with_threshold(betas[-1])
+            initial_value = target.initial_value()
+            if any(level <= initial_value and level < 1.0
+                   for level in levels):
+                return {"warmable": False, "reason": "unservable_grid",
+                        "search_steps": 0}
+            interior = tuple(levels[:-1])
+            if (policy.num_levels is None
+                    or policy.num_levels <= len(interior) + 1):
+                # The read-out grid *is* the plan — nothing to search,
+                # nothing worth persisting.
+                return {"warmable": False, "reason": "grid_is_plan",
+                        "search_steps": 0}
+            grid = interior
+        backend = resolve_backend(policy.backend, target.process)
+        kind = plan_kind(policy.num_levels, grid)
+        _, search_details, cache_status, origin = resolve_plan(
+            target, None, policy.num_levels, policy.ratio,
+            policy.trial_steps, policy.seed, backend=backend,
+            plan_cache=self.plan_cache, pool=self._get_pool(policy),
+            grid=grid)
+        search_steps = (search_details or {}).get("search_steps", 0)
+        if cache_status == "miss":
+            self.plan_cache.retag(target, kind, "warmed")
+            origin = "warmed"
+            if search_details is None:
+                # Balanced pilots are not step-metered; charge the
+                # trial budget so sweep accounting stays conservative.
+                search_steps = policy.trial_steps
+        return {"warmable": True, "kind": kind,
+                "cache_status": cache_status, "origin": origin,
+                "search_steps": int(search_steps)}
 
     # ------------------------------------------------------------------
     # Threshold grids: one pass, many answers
@@ -367,6 +517,21 @@ class DurabilityEngine:
         curve passes.
         """
         policy = self._resolve_policy(policy, overrides)
+        recording = self._record_start()
+        try:
+            curve = self._curve_impl(query, thresholds, policy)
+            if recording:
+                self._record_arrival(query, grid=curve.thresholds,
+                                     details=curve.details)
+            return curve
+        finally:
+            if recording:
+                self._record_end()
+
+    def _curve_impl(self, query: DurabilityQuery, thresholds,
+                    policy: ExecutionPolicy) -> DurabilityCurve:
+        """The curve pass behind :meth:`durability_curve` (resolved
+        policy, no workload recording)."""
         if not isinstance(query.value_function, ThresholdValueFunction):
             raise TypeError(
                 "durability_curve needs a threshold query (value_function "
@@ -398,6 +563,7 @@ class DurabilityEngine:
             partition = LevelPartition(interior)
             plan_source = "grid"
             cache_status = None
+            cache_origin = None
             if (policy.num_levels is not None
                     and policy.num_levels > len(interior) + 1):
                 # Curve-aware plan: the policy asks for more levels than
@@ -407,7 +573,7 @@ class DurabilityEngine:
                 # see resolve_plan).  The grid itself always survives,
                 # so every read-out level stays a boundary.
                 cache = self.plan_cache if policy.use_plan_cache else None
-                partition, _, cache_status = resolve_plan(
+                partition, _, cache_status, cache_origin = resolve_plan(
                     base_query, None, policy.num_levels, policy.ratio,
                     policy.trial_steps, policy.seed, backend=backend,
                     plan_cache=cache, pool=self._get_pool(policy),
@@ -426,6 +592,8 @@ class DurabilityEngine:
             curve.details["plan_source"] = plan_source
             if cache_status is not None:
                 curve.details["plan_cache"] = cache_status
+            if cache_status == "hit" and cache_origin is not None:
+                curve.details["plan_origin"] = cache_origin
         curve.details["backend"] = sampler_backend
         return curve
 
@@ -583,6 +751,20 @@ class DurabilityEngine:
         """
         policy = self._resolve_policy(policy, overrides)
         queries = list(queries)
+        recording = self._record_start()
+        try:
+            results = self._answer_batch_impl(queries, policy)
+            if recording:
+                for query, estimate in zip(queries, results):
+                    self._record_arrival(
+                        query, details=getattr(estimate, "details", None))
+            return results
+        finally:
+            if recording:
+                self._record_end()
+
+    def _answer_batch_impl(self, queries, policy) -> list:
+        """Cohort grouping + dispatch behind :meth:`answer_batch`."""
         results: list = [None] * len(queries)
 
         groups: dict = {}
@@ -856,6 +1038,21 @@ class DurabilityEngine:
                     f"got {type(query.value_function).__name__})"
                 )
         grids = self._normalize_curve_grids(queries, thresholds)
+        recording = self._record_start()
+        try:
+            results = self._curves_impl(queries, grids, policy)
+            if recording:
+                for query, grid, curve in zip(queries, grids, results):
+                    self._record_arrival(
+                        query, grid=grid,
+                        details=getattr(curve, "details", None))
+            return results
+        finally:
+            if recording:
+                self._record_end()
+
+    def _curves_impl(self, queries, grids, policy) -> list:
+        """Fused-vs-single dispatch behind :meth:`durability_curves`."""
         results: list = [None] * len(queries)
 
         groups: dict = {}

@@ -1,0 +1,31 @@
+"""Workload forecasting + proactive plan warming.
+
+The plan cache and plan store make plan search an *amortized* cost;
+this subpackage makes it a *background* one.  Three pieces, layered on
+the engine (never the other way around):
+
+* :class:`~repro.forecast.log.WorkloadLog` — append-only arrival
+  records of query shapes (process family, horizon bucket, threshold
+  bucket, grid length), fed by ``DurabilityEngine(workload_log=...)``;
+* :class:`~repro.forecast.forecasters.Forecaster` implementations —
+  constant / moving-average / linear predictors of next-window
+  per-shape arrival counts behind one ``forecast(series)`` interface;
+* :class:`~repro.forecast.warmer.PlanWarmer` — ranks forecast shapes
+  by predicted arrivals × measured search cost and runs the plan
+  search for the top-K uncached ones in idle cycles, budgeted and
+  abortable, so the first real query of a predicted shape starts from
+  a warm (and, with a store, persisted) plan.
+"""
+
+from .forecasters import (FORECASTERS, ConstantForecaster, Forecaster,
+                          LastValueForecaster, LinearForecaster,
+                          MovingAverageForecaster, make_forecaster)
+from .log import QueryShape, WorkloadLog, shape_of
+from .warmer import PlanWarmer
+
+__all__ = [
+    "FORECASTERS", "ConstantForecaster", "Forecaster",
+    "LastValueForecaster", "LinearForecaster", "MovingAverageForecaster",
+    "PlanWarmer", "QueryShape", "WorkloadLog", "make_forecaster",
+    "shape_of",
+]

@@ -1,0 +1,135 @@
+"""Per-shape arrival forecasters behind one uniform interface.
+
+A forecaster answers exactly one question: *given a shape's per-window
+arrival series, how many arrivals land in the next window?*  Keeping
+the contract that small (``forecast(series) -> float``) lets the
+:class:`~repro.forecast.warmer.PlanWarmer` treat prediction as a
+pluggable policy, and lets the property tests score every
+implementation against the same one-step-ahead baseline.
+
+Three implementations cover the regimes a serving workload actually
+shows (cf. the query-time-prediction literature, e.g. arXiv:1408.6589
+— simple well-matched estimators beat elaborate mismatched ones):
+
+* :class:`ConstantForecaster` — the all-history mean; optimal for
+  stationary arrivals, where every window is an equally good sample.
+* :class:`MovingAverageForecaster` — a trailing-window mean; tracks
+  bursty/regime-switching arrivals without letting ancient history
+  drag the estimate.
+* :class:`LinearForecaster` — least-squares trend extrapolation
+  (clamped at zero); the only one that can *lead* a ramp instead of
+  lagging it.
+
+:class:`LastValueForecaster` is the naive persistence baseline each of
+the above must beat-or-match on its own regime.  All are univariate
+and per-shape: no cross-shape correlation is modelled (a known limit,
+documented in the ROADMAP).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class Forecaster:
+    """Uniform interface: predict next-window arrivals from a series."""
+
+    name = "base"
+
+    def forecast(self, series: Sequence[float]) -> float:
+        """Predicted arrival count for the window after ``series``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LastValueForecaster(Forecaster):
+    """Naive persistence: the next window looks like the last one."""
+
+    name = "last_value"
+
+    def forecast(self, series: Sequence[float]) -> float:
+        return float(series[-1]) if series else 0.0
+
+
+class ConstantForecaster(Forecaster):
+    """The all-history mean — the right answer for stationary arrivals."""
+
+    name = "constant"
+
+    def forecast(self, series: Sequence[float]) -> float:
+        if not series:
+            return 0.0
+        return float(sum(series)) / len(series)
+
+
+class MovingAverageForecaster(Forecaster):
+    """Mean of the trailing ``window`` windows — tracks regime shifts."""
+
+    name = "moving_average"
+
+    def __init__(self, window: int = 8):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+
+    def forecast(self, series: Sequence[float]) -> float:
+        if not series:
+            return 0.0
+        tail = series[-self.window:]
+        return float(sum(tail)) / len(tail)
+
+    def __repr__(self) -> str:
+        return f"MovingAverageForecaster(window={self.window})"
+
+
+class LinearForecaster(Forecaster):
+    """Least-squares trend over the trailing window, extrapolated one
+    step and clamped at zero (arrival counts cannot be negative)."""
+
+    name = "linear"
+
+    def __init__(self, window: int = 16):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = int(window)
+
+    def forecast(self, series: Sequence[float]) -> float:
+        if not series:
+            return 0.0
+        tail = [float(y) for y in series[-self.window:]]
+        n = len(tail)
+        if n == 1:
+            return max(tail[0], 0.0)
+        # Closed-form OLS over x = 0..n-1; predict at x = n.
+        x_mean = (n - 1) / 2.0
+        y_mean = sum(tail) / n
+        ss_xx = sum((i - x_mean) ** 2 for i in range(n))
+        ss_xy = sum((i - x_mean) * (y - y_mean)
+                    for i, y in enumerate(tail))
+        slope = ss_xy / ss_xx
+        intercept = y_mean - slope * x_mean
+        return max(intercept + slope * n, 0.0)
+
+    def __repr__(self) -> str:
+        return f"LinearForecaster(window={self.window})"
+
+
+FORECASTERS = {
+    "constant": ConstantForecaster,
+    "moving_average": MovingAverageForecaster,
+    "linear": LinearForecaster,
+    "last_value": LastValueForecaster,
+}
+
+
+def make_forecaster(name: str, **kwargs) -> Forecaster:
+    """Build a forecaster by registry name (the ServeConfig knob)."""
+    try:
+        cls = FORECASTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown forecaster {name!r}; expected one of "
+            f"{sorted(FORECASTERS)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,220 @@
+"""The workload log: append-only arrival records of query *shapes*.
+
+Forecasting a durability workload does not need the full queries — it
+needs to know *which shapes* arrive and *when*.  A shape
+(:class:`QueryShape`) is the same coarse abstraction the plan cache
+keys on: process family, horizon bucket, threshold bucket, grid
+length.  Two queries of one shape share a level plan, so predicting a
+shape's next-window arrival count is exactly the information the
+:class:`~repro.forecast.warmer.PlanWarmer` needs to decide which plans
+to pre-compute.
+
+:class:`WorkloadLog` is fed by the engine's public entry points
+(``DurabilityEngine(workload_log=...)``): one arrival record per query
+answered, stamped with arrival time and the measured plan-search cost
+that query paid (zero on cache hits).  Per shape it also retains the
+most recent *exemplar* — an actual query object (plus its raw
+threshold grid, for curves) — because ranking shapes is done on
+buckets but *warming* one needs a real query to search a plan for.
+
+Bucketing is pure arithmetic over the record's fields, so the
+per-window arrival series a forecaster sees is a set property of the
+records: stable under any insertion order (asserted by the property
+tests).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.value_functions import DurabilityQuery, ThresholdValueFunction
+from ..engine.cache import process_family
+
+#: Quarter-octave log2 bucketing — the same resolution the plan cache
+#: uses for thresholds, so one shape maps into one cache neighbourhood.
+_BUCKETS_PER_OCTAVE = 4
+
+
+def _log2_bucket(value: float) -> int:
+    return round(math.log2(max(float(value), 1e-12))
+                 * _BUCKETS_PER_OCTAVE)
+
+
+@dataclass(frozen=True)
+class QueryShape:
+    """The coarse identity of a query for forecasting purposes."""
+
+    family: tuple
+    horizon_bucket: int
+    threshold_bucket: Optional[int]
+    grid_length: int
+
+
+def shape_of(query: DurabilityQuery, grid=None) -> QueryShape:
+    """Map a query (and optional raw threshold grid) to its shape."""
+    value_fn = query.value_function
+    if isinstance(value_fn, ThresholdValueFunction):
+        threshold_bucket = _log2_bucket(value_fn.beta)
+    else:
+        threshold_bucket = None
+    return QueryShape(
+        family=process_family(query.process),
+        horizon_bucket=_log2_bucket(query.horizon),
+        threshold_bucket=threshold_bucket,
+        grid_length=len(grid) if grid else 0,
+    )
+
+
+@dataclass(frozen=True)
+class _Arrival:
+    at: float
+    shape: QueryShape
+    search_steps: int
+
+
+class WorkloadLog:
+    """Append-only, bounded log of query-shape arrivals.
+
+    Parameters
+    ----------
+    window_seconds:
+        Width of the arrival-count windows forecasters predict over.
+    max_records:
+        Retention bound; the oldest arrivals fall off first (per-shape
+        exemplars and search costs are kept regardless — they are
+        state, not history).
+    clock:
+        Arrival timestamp source (wall time by default; injectable for
+        deterministic tests).
+    """
+
+    def __init__(self, window_seconds: float = 60.0,
+                 max_records: int = 100_000,
+                 clock: Callable[[], float] = time.time):
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be > 0, got {window_seconds}")
+        if max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1, got {max_records}")
+        self.window_seconds = float(window_seconds)
+        self.max_records = int(max_records)
+        self._clock = clock
+        self._records: deque = deque(maxlen=self.max_records)
+        self._exemplars: dict = {}
+        self._search_costs: dict = {}
+        self.total_recorded = 0
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        return self._clock()
+
+    def _window(self, at: float) -> int:
+        return int(at // self.window_seconds)
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+
+    def record(self, query: DurabilityQuery, grid=None,
+               at: Optional[float] = None,
+               search_steps: int = 0) -> QueryShape:
+        """Append one arrival; returns the shape it was filed under.
+
+        ``search_steps`` is the plan-search cost this arrival actually
+        paid; the log keeps the most recent *non-zero* cost per shape
+        as its measured search cost (later arrivals hit the cache and
+        pay zero, which says nothing about what a cold search costs).
+        """
+        shape = shape_of(query, grid)
+        arrival = _Arrival(
+            at=self._clock() if at is None else float(at),
+            shape=shape, search_steps=int(search_steps))
+        with self._lock:
+            self._records.append(arrival)
+            self.total_recorded += 1
+            self._exemplars[shape] = (
+                query, tuple(float(g) for g in grid) if grid else None)
+            if arrival.search_steps > 0:
+                self._search_costs[shape] = arrival.search_steps
+        return shape
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+
+    def shapes(self) -> list:
+        """Every shape with retained state, in first-seen order."""
+        with self._lock:
+            return list(self._exemplars)
+
+    def exemplar(self, shape: QueryShape):
+        """The latest ``(query, grid_or_None)`` seen for a shape."""
+        with self._lock:
+            return self._exemplars.get(shape)
+
+    def search_cost(self, shape: QueryShape, default: int = 0) -> int:
+        """Most recent measured plan-search cost for a shape."""
+        with self._lock:
+            return self._search_costs.get(shape, default)
+
+    def series(self, shape: QueryShape,
+               until: Optional[float] = None) -> list:
+        """Per-window arrival counts for one shape.
+
+        Runs from the shape's first retained arrival through ``until``
+        (default: the latest arrival in the whole log), with explicit
+        zeros for empty windows — a forecaster must see the silence
+        between bursts.  Pure set arithmetic over the records, so the
+        result is independent of insertion order.
+        """
+        with self._lock:
+            records = list(self._records)
+        mine = [record for record in records if record.shape == shape]
+        if not mine:
+            return []
+        first = min(self._window(record.at) for record in mine)
+        if until is None:
+            last = max(self._window(record.at) for record in records)
+        else:
+            last = self._window(float(until))
+        counts = [0] * max(last - first + 1, 0)
+        for record in mine:
+            index = self._window(record.at) - first
+            if 0 <= index < len(counts):
+                counts[index] += 1
+        return counts
+
+    def arrivals_since(self, at: float) -> dict:
+        """``{shape: count}`` of arrivals at or after a timestamp."""
+        with self._lock:
+            records = list(self._records)
+        seen: dict = {}
+        for record in records:
+            if record.at >= at:
+                seen[record.shape] = seen.get(record.shape, 0) + 1
+        return seen
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "records": len(self._records),
+                "total_recorded": self.total_recorded,
+                "shapes": len(self._exemplars),
+                "window_seconds": self.window_seconds,
+                "max_records": self.max_records,
+            }
+
+    def __repr__(self) -> str:
+        return (f"WorkloadLog(records={len(self)}, "
+                f"shapes={len(self._exemplars)}, "
+                f"window_seconds={self.window_seconds})")

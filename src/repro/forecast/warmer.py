@@ -1,0 +1,278 @@
+"""The proactive plan warmer: spend idle cycles on tomorrow's queries.
+
+The plan cache (and, through its store, the plan *database*) is
+reactive: a plan exists because some query already paid the search for
+it.  :class:`PlanWarmer` closes the loop with the workload log — it
+forecasts which shapes arrive in the next window, ranks them by
+``predicted arrivals × measured search cost`` (the step budget a warm
+plan saves), and runs the plan search for the top-K *uncached* shapes
+before any query needs them.
+
+Warming goes through :meth:`DurabilityEngine.warm_plan` — exactly the
+resolution a live query would run, same policy and seed — so a warmed
+answer is byte-identical to the cold-search answer it replaces, and
+write-through persistence applies when the cache has a store.
+
+A sweep is built to lose every race against real traffic:
+
+* **idle-gated** — ``idle_check`` (the serving tier wires the
+  admission controller's "nothing in flight, nothing queued") is
+  consulted before the sweep and again between shapes; traffic
+  arriving mid-sweep aborts it after the current shape;
+* **budgeted** — at most ``step_budget`` simulation steps per sweep,
+  measured in the same hardware-independent step units as everything
+  else;
+* **single-flighted** — a sweep that finds another in progress skips;
+* **abortable** — :meth:`abort` (server shutdown) stops the sweep at
+  the next shape boundary.
+
+Forecast accuracy is scored online: each sweep records the set of
+shapes it predicted hot, and the next sweep checks which of them
+actually arrived — the hit rate lands in :meth:`stats` and therefore
+in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from .forecasters import Forecaster, MovingAverageForecaster
+from .log import WorkloadLog
+
+
+class PlanWarmer:
+    """Forecast-driven background plan search over an engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.service.DurabilityEngine` whose
+        cache (and store) receives the warmed plans.
+    log:
+        The :class:`WorkloadLog` the engine feeds.
+    forecaster:
+        Next-window arrival predictor; trailing-mean by default.
+    top_k:
+        Maximum plans warmed per sweep.
+    step_budget:
+        Maximum simulation steps one sweep may spend.
+    idle_check:
+        Zero-argument callable; False pauses warming (checked before
+        the sweep and between shapes).  ``None`` means always idle.
+    interval_seconds:
+        Minimum spacing between sweeps for :meth:`maybe_sweep`.
+    """
+
+    def __init__(self, engine, log: WorkloadLog,
+                 forecaster: Optional[Forecaster] = None,
+                 top_k: int = 8, step_budget: int = 200_000,
+                 idle_check: Optional[Callable[[], bool]] = None,
+                 interval_seconds: float = 5.0, enabled: bool = True,
+                 clock: Callable[[], float] = time.monotonic):
+        self.engine = engine
+        self.log = log
+        self.forecaster = (forecaster if forecaster is not None
+                           else MovingAverageForecaster())
+        self.top_k = int(top_k)
+        self.step_budget = int(step_budget)
+        self.idle_check = idle_check
+        self.interval_seconds = float(interval_seconds)
+        self.enabled = bool(enabled)
+        self._clock = clock
+        self._sweep_lock = threading.Lock()
+        self._abort = threading.Event()
+        self._closed = False
+        self._next_allowed = 0.0
+        self._predicted: set = set()
+        self._last_sweep_wall: Optional[float] = None
+        self.plans_warmed = 0
+        self.sweep_steps = 0
+        self.sweeps = 0
+        self.sweeps_skipped = 0
+        self.warm_errors = 0
+        self.forecast_hits = 0
+        self.forecast_misses = 0
+        self._last_result: dict = {}
+
+    # ------------------------------------------------------------------
+    # Ranking
+    # ------------------------------------------------------------------
+
+    def rank(self) -> list:
+        """Shapes by descending ``predicted × cost`` warming value.
+
+        Returns ``(shape, predicted_arrivals, search_cost, score)``
+        tuples.  Shapes with no measured search cost are charged the
+        engine policy's ``trial_steps`` (the floor a cold greedy search
+        costs); shapes predicted silent still appear (score 0) so a
+        forced sweep can warm them when there is nothing better.
+        """
+        default_cost = int(self.engine.policy.trial_steps)
+        ranked = []
+        for shape in self.log.shapes():
+            predicted = float(
+                self.forecaster.forecast(self.log.series(shape)))
+            cost = self.log.search_cost(shape, default=default_cost)
+            ranked.append((shape, predicted, cost, predicted * cost))
+        ranked.sort(key=lambda item: item[3], reverse=True)
+        return ranked
+
+    # ------------------------------------------------------------------
+    # Sweeping
+    # ------------------------------------------------------------------
+
+    def _score_forecasts(self, wall_now: float) -> None:
+        """Grade the previous sweep's predictions against reality."""
+        if self._last_sweep_wall is None:
+            return
+        arrived = self.log.arrivals_since(self._last_sweep_wall)
+        for shape in self._predicted:
+            if shape in arrived:
+                self.forecast_hits += 1
+            else:
+                self.forecast_misses += 1
+
+    def _idle(self) -> bool:
+        if self.idle_check is None:
+            return True
+        try:
+            return bool(self.idle_check())
+        except Exception:
+            return False
+
+    def sweep(self, force: bool = False) -> dict:
+        """Run one warming sweep; returns its report.
+
+        ``force`` bypasses the enabled flag and the idle gate (used by
+        tests and the benchmark's explicit warm phase) but never the
+        step budget or the single-flight lock.
+        """
+        if self._closed or (not force and not self.enabled):
+            self.sweeps_skipped += 1
+            return {"skipped": "disabled"}
+        if not self._sweep_lock.acquire(blocking=False):
+            self.sweeps_skipped += 1
+            return {"skipped": "concurrent_sweep"}
+        try:
+            return self._sweep_locked(force)
+        finally:
+            self._sweep_lock.release()
+
+    def _sweep_locked(self, force: bool) -> dict:
+        wall_now = self.log.now()
+        self._score_forecasts(wall_now)
+        ranked = self.rank()
+        self._predicted = {shape for shape, predicted, _, _ in ranked
+                           if predicted > 0}
+        self._last_sweep_wall = wall_now
+        warmed = []
+        steps = 0
+        considered = 0
+        aborted = False
+        for shape, predicted, cost, score in ranked:
+            if len(warmed) >= self.top_k or steps >= self.step_budget:
+                break
+            if self._abort.is_set() or (not force and not self._idle()):
+                aborted = True
+                break
+            exemplar = self.log.exemplar(shape)
+            if exemplar is None:
+                continue
+            query, grid = exemplar
+            considered += 1
+            try:
+                report = self.engine.warm_plan(query, thresholds=grid)
+            except Exception:
+                self.warm_errors += 1
+                continue
+            steps += int(report.get("search_steps", 0))
+            if report.get("warmable") and \
+                    report.get("cache_status") == "miss":
+                warmed.append(shape)
+        self.sweeps += 1
+        self.plans_warmed += len(warmed)
+        self.sweep_steps += steps
+        self._last_result = {
+            "warmed": len(warmed),
+            "considered": considered,
+            "steps": steps,
+            "aborted": aborted,
+            "predicted_hot": len(self._predicted),
+        }
+        return dict(self._last_result)
+
+    def maybe_sweep(self, submit=None) -> bool:
+        """Sweep if enabled, idle, and the interval elapsed.
+
+        The watchdog's entry point: cheap enough to call every sample.
+        With ``submit`` (an ``Executor.submit``-shaped callable) the
+        sweep runs off-thread — the serving tier must never block its
+        event loop on plan search; without it the sweep runs inline.
+        Returns True when a sweep was started.
+        """
+        if self._closed or not self.enabled:
+            return False
+        now = self._clock()
+        if now < self._next_allowed:
+            return False
+        if not self._idle():
+            return False
+        if self._sweep_lock.locked():
+            return False
+        self._next_allowed = now + self.interval_seconds
+        if submit is not None:
+            submit(self.sweep)
+        else:
+            self.sweep()
+        return True
+
+    # ------------------------------------------------------------------
+    # Lifecycle / observability
+    # ------------------------------------------------------------------
+
+    def update_config(self, config) -> None:
+        """Hot-reload hook for the serve tier's ``warm_*`` knobs."""
+        self.enabled = bool(config.warm_enabled)
+        self.top_k = int(config.warm_top_k)
+        self.step_budget = int(config.warm_step_budget)
+        self.interval_seconds = float(config.warm_interval_seconds)
+        if self.forecaster.name != config.warm_forecaster:
+            from .forecasters import make_forecaster
+            self.forecaster = make_forecaster(config.warm_forecaster)
+
+    def abort(self) -> None:
+        """Stop the in-flight sweep at its next shape boundary."""
+        self._abort.set()
+
+    def close(self) -> None:
+        self._closed = True
+        self.abort()
+
+    def forecast_hit_rate(self) -> float:
+        graded = self.forecast_hits + self.forecast_misses
+        return self.forecast_hits / graded if graded else 0.0
+
+    def stats(self) -> dict:
+        """The ``/metrics`` gauge payload."""
+        return {
+            "enabled": self.enabled,
+            "plans_warmed": self.plans_warmed,
+            "sweep_steps": self.sweep_steps,
+            "sweeps": self.sweeps,
+            "sweeps_skipped": self.sweeps_skipped,
+            "warm_errors": self.warm_errors,
+            "forecaster": self.forecaster.name,
+            "forecast_hits": self.forecast_hits,
+            "forecast_misses": self.forecast_misses,
+            "forecast_hit_rate": self.forecast_hit_rate(),
+            "top_k": self.top_k,
+            "step_budget": self.step_budget,
+            "last_sweep": dict(self._last_result),
+        }
+
+    def __repr__(self) -> str:
+        return (f"PlanWarmer(enabled={self.enabled}, "
+                f"plans_warmed={self.plans_warmed}, "
+                f"sweeps={self.sweeps})")

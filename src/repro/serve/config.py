@@ -78,6 +78,26 @@ class ServeConfig:
         Largest accepted request body.
     drain_timeout_seconds:
         Graceful-shutdown budget for in-flight requests.
+    warm_enabled:
+        Master switch for the proactive plan warmer (hot-reloadable;
+        flipping it off stops future sweeps, the current one finishes
+        its shape and aborts).
+    warm_interval_seconds:
+        Minimum spacing between warming sweeps.
+    warm_top_k:
+        Maximum plans warmed per sweep.
+    warm_step_budget:
+        Maximum simulation steps one sweep may spend (hardware-
+        independent step units, same accounting as everywhere else).
+    warm_forecaster:
+        Which arrival forecaster ranks the shapes: ``"constant"``,
+        ``"moving_average"``, ``"linear"`` or ``"last_value"``.
+    warm_window_seconds:
+        Width of the workload log's arrival-count windows (start-time
+        knob: the log is built once with the boot config).
+    plan_store_path:
+        Optional sqlite file persisting the plan cache across restarts
+        (start-time knob).  ``None`` keeps plans in memory only.
     """
 
     host: str = "127.0.0.1"
@@ -99,6 +119,13 @@ class ServeConfig:
     stall_after_intervals: int = 5
     request_max_bytes: int = 8 * 1024 * 1024
     drain_timeout_seconds: float = 30.0
+    warm_enabled: bool = True
+    warm_interval_seconds: float = 5.0
+    warm_top_k: int = 8
+    warm_step_budget: int = 200_000
+    warm_forecaster: str = "moving_average"
+    warm_window_seconds: float = 60.0
+    plan_store_path: Optional[str] = None
 
     def validate(self) -> "ServeConfig":
         if self.engine_workers < 1:
@@ -145,6 +172,25 @@ class ServeConfig:
         if self.request_max_bytes < 1024:
             raise ValueError(f"request_max_bytes must be >= 1024, got "
                              f"{self.request_max_bytes}")
+        if self.warm_interval_seconds <= 0:
+            raise ValueError(f"warm_interval_seconds must be > 0, got "
+                             f"{self.warm_interval_seconds}")
+        if self.warm_top_k < 1:
+            raise ValueError(f"warm_top_k must be >= 1, got "
+                             f"{self.warm_top_k}")
+        if self.warm_step_budget < 1:
+            raise ValueError(f"warm_step_budget must be >= 1, got "
+                             f"{self.warm_step_budget}")
+        # Imported here, not at module top: config stays importable
+        # without dragging the forecasting stack into every consumer.
+        from ..forecast.forecasters import FORECASTERS
+        if self.warm_forecaster not in FORECASTERS:
+            raise ValueError(
+                f"warm_forecaster must be one of {sorted(FORECASTERS)}, "
+                f"got {self.warm_forecaster!r}")
+        if self.warm_window_seconds <= 0:
+            raise ValueError(f"warm_window_seconds must be > 0, got "
+                             f"{self.warm_window_seconds}")
         return self
 
     def replace(self, **overrides) -> "ServeConfig":

@@ -290,6 +290,37 @@ def encode_estimate(estimate) -> dict:
     }
 
 
+#: Details keys that record how a level plan was *found* (search vs
+#: cache vs store vs warmed) rather than what the sampler computed.
+PLAN_PROVENANCE_KEYS = ("plan_source", "plan_cache", "plan_origin",
+                        "plan_search")
+
+
+def strip_plan_provenance(doc: dict) -> dict:
+    """An encoded estimate/curve minus its plan-provenance details.
+
+    The warm-start byte-identity contract says a cold-searched, a
+    store-loaded and a pre-warmed answer to one query are the same
+    *answer*: every sampled quantity (probability, variance, roots,
+    hits, steps, backend) is byte-identical.  Their provenance
+    legitimately differs — that is the whole point of warming — so
+    comparisons quantify over the encoded document with the
+    :data:`PLAN_PROVENANCE_KEYS` removed.  Recursive, so curve
+    documents (per-estimate details) are covered too.
+    """
+    doc = dict(doc)
+    details = doc.get("details")
+    if isinstance(details, dict):
+        doc["details"] = {key: value for key, value in details.items()
+                          if key not in PLAN_PROVENANCE_KEYS}
+    estimates = doc.get("estimates")
+    if isinstance(estimates, list):
+        doc["estimates"] = [strip_plan_provenance(item)
+                            if isinstance(item, dict) else item
+                            for item in estimates]
+    return doc
+
+
 def encode_curve(curve) -> dict:
     """The canonical wire form of a whole :class:`DurabilityCurve`."""
     return {

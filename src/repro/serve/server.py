@@ -47,7 +47,10 @@ import threading
 import time
 from typing import Optional
 
-from ..engine import DurabilityEngine, ExecutionPolicy, UnservableGridError
+from ..db.plan_store import PlanStore
+from ..engine import (DurabilityEngine, ExecutionPolicy, PlanCache,
+                      UnservableGridError)
+from ..forecast import PlanWarmer, WorkloadLog, make_forecaster
 from .admission import (AdmissionController, AdmissionError,
                         classify_request)
 from .config import HotConfig, ServeConfig
@@ -174,12 +177,27 @@ class DurabilityServer:
             self.hot_config = HotConfig(ServeConfig.from_dict(config))
         else:
             self.hot_config = HotConfig(config)
+        boot_cfg = self.hot_config.current
         self._owns_engine = engine is None
+        self._plan_store: Optional[PlanStore] = None
         if engine is None:
+            plan_cache = None
+            if boot_cfg.plan_store_path:
+                # A server-owned engine persists its plans: restarts
+                # pointed at the same file answer previously-seen
+                # shapes from the store (plan_source: "store") with
+                # zero on-path search steps.
+                self._plan_store = PlanStore(boot_cfg.plan_store_path)
+                plan_cache = PlanCache(store=self._plan_store)
             engine = DurabilityEngine(
                 policy if policy is not None
-                else ExecutionPolicy(max_roots=2000, seed=0))
+                else ExecutionPolicy(max_roots=2000, seed=0),
+                plan_cache=plan_cache)
         self.engine = engine
+        if engine.workload_log is None:
+            engine.workload_log = WorkloadLog(
+                window_seconds=boot_cfg.warm_window_seconds)
+        self.workload_log = engine.workload_log
         self.default_policy = (policy if policy is not None
                                else engine.policy)
         try:
@@ -196,17 +214,28 @@ class DurabilityServer:
                                      ttl_seconds=cfg.session_ttl_seconds,
                                      seed_salt=cfg.session_seed_salt)
         self.admission = AdmissionController(cfg, metrics=self.metrics)
-        self.watchdog = Watchdog(
-            self.metrics, admission=self.admission, engine=engine,
-            sessions=self.sessions, hot_config=self.hot_config,
-            interval_seconds=cfg.watchdog_interval_seconds,
-            stall_after_intervals=cfg.stall_after_intervals)
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=cfg.engine_workers,
             thread_name_prefix="repro-serve-engine")
+        self.warmer = PlanWarmer(
+            engine, self.workload_log,
+            forecaster=make_forecaster(cfg.warm_forecaster),
+            top_k=cfg.warm_top_k, step_budget=cfg.warm_step_budget,
+            idle_check=self._tier_idle,
+            interval_seconds=cfg.warm_interval_seconds,
+            enabled=cfg.warm_enabled)
+        self.watchdog = Watchdog(
+            self.metrics, admission=self.admission, engine=engine,
+            sessions=self.sessions, hot_config=self.hot_config,
+            warmer=self.warmer, warm_submit=self._executor.submit,
+            interval_seconds=cfg.watchdog_interval_seconds,
+            stall_after_intervals=cfg.stall_after_intervals)
         self.metrics.register_gauge("admission", self.admission.stats)
         self.metrics.register_gauge("sessions", self.sessions.stats)
         self.metrics.register_gauge("plan_cache", engine.cache_stats)
+        self.metrics.register_gauge("warmer", self.warmer.stats)
+        self.metrics.register_gauge("workload_log",
+                                    self.workload_log.stats)
         self.hot_config.subscribe(self._on_config, replay=False)
 
         self._server: Optional[asyncio.base_events.Server] = None
@@ -220,14 +249,27 @@ class DurabilityServer:
 
     def _on_config(self, cfg: ServeConfig) -> None:
         """Applied on every hot-config change (admission queue, rate
-        limits, watchdog cadence, session bounds).  The executor width
-        and listener address are start-time-only: they are left as
-        created (a documented known limit)."""
+        limits, watchdog cadence, session bounds, warmer knobs).  The
+        executor width, listener address, plan-store path and workload
+        log window are start-time-only: they are left as created (a
+        documented known limit)."""
         self.admission.update_config(cfg)
         self.watchdog.update_config(cfg)
         self.sessions.configure(cfg.max_sessions,
                                 cfg.session_ttl_seconds,
                                 cfg.session_seed_salt)
+        self.warmer.update_config(cfg)
+
+    def _tier_idle(self) -> bool:
+        """The warmer's gate: no admitted work, nothing queued.
+
+        Reads two event-loop-owned counters without synchronisation —
+        a stale read only delays or aborts a sweep, never corrupts
+        anything, and the warmer re-checks between shapes.
+        """
+        return (not self._draining
+                and self.admission.in_flight_requests == 0
+                and self.admission.queued == 0)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -264,10 +306,13 @@ class DurabilityServer:
                 writer.close()
             except (ConnectionError, OSError):
                 pass
+        self.warmer.close()  # abort any in-flight sweep at its next shape
         await self.watchdog.stop()
         self._executor.shutdown(wait=True)
         if self._owns_engine:
             self.engine.close()
+        if self._plan_store is not None:
+            self._plan_store.close()
         serve_logger.info("server stopped")
 
     async def __aenter__(self) -> "DurabilityServer":
@@ -472,6 +517,8 @@ class DurabilityServer:
             },
             "admission": self.admission.stats(),
             "sessions": self.sessions.stats(),
+            "warmer": self.warmer.stats(),
+            "workload_log": self.workload_log.stats(),
             "config_version": self.hot_config.version,
             "watchdog": self.metrics.get_fact("watchdog"),
         }

@@ -4,7 +4,9 @@ Every ``watchdog_interval_seconds`` the watchdog takes one sample of
 the serving tier — completed-request counters, admission queue state,
 plan-cache hit rate, qps and p95 — logs a one-line digest (via the
 ``repro.serve`` logger), expires idle sessions, picks up hot-config
-file changes, and applies the *stall rule*: if requests are in flight
+file changes, offers the proactive plan warmer a sweep (dispatched to
+the engine executor; the warmer self-gates on the admission queue
+being cold), and applies the *stall rule*: if requests are in flight
 but the completed counter has not moved for ``stall_after_intervals``
 consecutive samples, the tier is flagged ``stalled`` (an engine call
 wedged in the executor, a dead worker pool, a livelocked queue).  The
@@ -35,7 +37,8 @@ class Watchdog:
     """Periodic sampler + stall detector over a metrics registry."""
 
     def __init__(self, metrics, admission=None, engine=None,
-                 sessions=None, hot_config=None,
+                 sessions=None, hot_config=None, warmer=None,
+                 warm_submit=None,
                  interval_seconds: float = 1.0,
                  stall_after_intervals: int = 5,
                  clock: Callable[[], float] = time.monotonic):
@@ -44,6 +47,13 @@ class Watchdog:
         self.engine = engine
         self.sessions = sessions
         self.hot_config = hot_config
+        # The proactive plan warmer rides the watchdog cadence: every
+        # sample offers it a sweep (it self-gates on idleness, its own
+        # interval, and single-flight).  ``warm_submit`` is the
+        # executor's submit — sweeps run plan search, which must never
+        # block the event loop the watchdog samples on.
+        self.warmer = warmer
+        self.warm_submit = warm_submit
         self.interval_seconds = interval_seconds
         self.stall_after_intervals = stall_after_intervals
         self._clock = clock
@@ -107,6 +117,13 @@ class Watchdog:
                 verdict["plan_cache"] = self.engine.cache_stats()
             except Exception:
                 pass
+        if self.warmer is not None:
+            try:
+                verdict["warm_sweep_started"] = self.warmer.maybe_sweep(
+                    submit=self.warm_submit)
+            except Exception as exc:
+                logger.warning("watchdog: warm sweep dispatch failed: "
+                               "%s", exc)
         self.metrics.set_fact("watchdog", verdict)
         if self.stalled and not was_stalled:
             logger.warning(

@@ -1,0 +1,256 @@
+"""Plan persistence: key codec, store round trips, schema migration,
+and the end-to-end restart contract through the engine.
+
+The headline test drives the previously idle ``repro.db`` layer the
+way a real deployment would: register a model, answer a query (paying
+the plan search), then point a *fresh* engine at the same database and
+watch it answer the same shape from the store — ``plan_source:
+"store"``, zero search steps, byte-identical answer.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+
+from repro.core.levels import LevelPartition
+from repro.core.value_functions import DurabilityQuery
+from repro.db import DurabilityDB, PlanStore, persistable
+from repro.db.plan_store import decode_key, encode_key
+from repro.db.schema import create_schema, migrate_level_plans
+from repro.engine import (DurabilityEngine, ExecutionPolicy, PlanCache,
+                          grid_plan_kind)
+from repro.processes.random_walk import RandomWalkProcess
+from repro.serve.protocol import (dumps_canonical, encode_estimate,
+                                  strip_plan_provenance)
+
+FAST = ExecutionPolicy(max_steps=60_000, seed=2, trial_steps=5_000)
+
+
+def walk_query(beta: float = 10.0) -> DurabilityQuery:
+    process = RandomWalkProcess(p_up=0.35, p_down=0.45)
+    return DurabilityQuery.threshold(
+        process, RandomWalkProcess.position, beta=beta, horizon=40)
+
+
+def answer_bytes(estimate) -> bytes:
+    """Canonical answer bytes, provenance excluded (see protocol)."""
+    return dumps_canonical(
+        strip_plan_provenance(encode_estimate(estimate)))
+
+
+class TestKeyCodec:
+    def test_cache_key_round_trips_exactly(self):
+        cache = PlanCache()
+        key = cache.key_for(walk_query(), kind=("balanced", 6))
+        assert decode_key(encode_key(key)) == key
+
+    def test_grid_kind_round_trips(self):
+        cache = PlanCache()
+        kind = grid_plan_kind("greedy", (0.25, 0.5, 0.75))
+        key = cache.key_for(walk_query(), kind=kind)
+        assert decode_key(encode_key(key)) == key
+
+    def test_symbolic_key_is_persistable(self):
+        key = PlanCache().key_for(walk_query())
+        assert persistable(key)
+
+    def test_identity_keyed_shapes_are_not_persistable(self):
+        query = walk_query()
+        lambda_query = DurabilityQuery.threshold(
+            query.process, lambda state: float(state), beta=10.0,
+            horizon=40)
+        key = PlanCache().key_for(lambda_query)
+        assert not persistable(key)
+
+
+class TestPlanStore:
+    def test_save_load_round_trip_is_exact(self, tmp_path):
+        store = PlanStore(str(tmp_path / "plans.db"))
+        key = PlanCache().key_for(walk_query())
+        partition = LevelPartition((1 / 3, 0.5, 2 / 3))
+        assert store.save(key, partition, score=1.25)
+        loaded, kind, score = store.load(key)
+        assert loaded.boundaries == partition.boundaries  # bit-exact
+        assert kind == "greedy"
+        assert score == 1.25
+        store.close()
+
+    def test_upsert_replaces_the_row(self):
+        store = PlanStore()
+        key = PlanCache().key_for(walk_query())
+        store.save(key, LevelPartition((0.5,)), score=2.0)
+        store.save(key, LevelPartition((0.25, 0.5)), score=1.0)
+        assert len(store) == 1
+        partition, _, score = store.load(key)
+        assert partition.boundaries == (0.25, 0.5)
+        assert score == 1.0
+
+    def test_inf_score_survives(self):
+        store = PlanStore()
+        key = PlanCache().key_for(walk_query())
+        store.save(key, LevelPartition((0.5,)))
+        assert math.isinf(store.load(key)[2])
+
+    def test_identity_keys_are_skipped(self):
+        store = PlanStore()
+        assert not store.save(("greedy", "fn@id:140230", 40, 0, ()),
+                              LevelPartition((0.5,)))
+        assert len(store) == 0
+        assert store.stats()["skipped"] == 1
+
+    def test_load_all_orders_least_recent_first(self):
+        store = PlanStore()
+        cache = PlanCache()
+        first = cache.key_for(walk_query(8.0))
+        second = cache.key_for(walk_query(16.0))
+        store.save(first, LevelPartition((0.25,)))
+        store.save(second, LevelPartition((0.5,)))
+        store.save(first, LevelPartition((0.75,)))  # refresh first
+        loaded = store.load_all()
+        assert [key for key, _, _, _ in loaded] == [second, first]
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "plans.db")
+        key = PlanCache().key_for(walk_query())
+        store = PlanStore(path)
+        store.save(key, LevelPartition((0.4, 0.7)), score=3.0)
+        store.close()
+        reopened = PlanStore(path)
+        partition, _, _ = reopened.load(key)
+        assert partition.boundaries == (0.4, 0.7)
+        reopened.close()
+
+    def test_shares_a_durability_db_connection(self):
+        with DurabilityDB() as db:
+            store = db.plan_store()
+            key = PlanCache().key_for(walk_query())
+            store.save(key, LevelPartition((0.5,)))
+            assert len(store) == 1
+            assert db.plan_store() is store  # cached accessor
+            store.close()  # must NOT close the shared connection
+            db.connection.execute("SELECT 1")
+
+
+class TestMigration:
+    OLD_TABLE = """
+        CREATE TABLE level_plans (
+            plan_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+            query_id   INTEGER NOT NULL REFERENCES queries(query_id),
+            boundaries TEXT NOT NULL,
+            ratio      INTEGER NOT NULL DEFAULT 3,
+            source     TEXT NOT NULL DEFAULT 'manual'
+        )
+    """
+
+    def _old_db(self, path):
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.execute(self.OLD_TABLE)
+            connection.execute(
+                "INSERT INTO level_plans (query_id, boundaries, ratio, "
+                "source) VALUES (1, '[0.5]', 3, 'manual')")
+        return connection
+
+    def test_old_table_is_rebuilt_in_place(self, tmp_path):
+        connection = self._old_db(str(tmp_path / "old.db"))
+        assert migrate_level_plans(connection)
+        columns = {row[1] for row in connection.execute(
+            "PRAGMA table_info(level_plans)")}
+        assert {"shape_key", "kind", "score", "updated_at"} <= columns
+        # Legacy row survives with a NULL shape key.
+        row = connection.execute(
+            "SELECT query_id, boundaries, shape_key FROM level_plans"
+        ).fetchone()
+        assert row == (1, "[0.5]", None)
+        connection.close()
+
+    def test_migration_is_idempotent(self, tmp_path):
+        connection = self._old_db(str(tmp_path / "old.db"))
+        assert migrate_level_plans(connection)
+        assert not migrate_level_plans(connection)
+        create_schema(connection)  # also a no-op rebuild
+        connection.close()
+
+    def test_store_over_migrated_file(self, tmp_path):
+        path = str(tmp_path / "old.db")
+        self._old_db(path).close()
+        store = PlanStore(path)
+        key = PlanCache().key_for(walk_query())
+        assert store.save(key, LevelPartition((0.5,)))
+        assert len(store) == 1  # legacy NULL-key row not counted
+        store.close()
+
+
+class TestEngineRestart:
+    """Register model -> answer -> persisted plan -> fresh engine
+    answers the same shape from the store, byte-identically."""
+
+    def _registered_query(self, db):
+        model_id = db.register_model(
+            "walk", "random_walk", {"p_up": 0.35, "p_down": 0.45})
+        query_id = db.register_query("q-walk", model_id, horizon=40,
+                                     threshold=10.0)
+        return db.load_query(query_id)
+
+    def test_restarted_engine_answers_from_store(self, tmp_path):
+        path = str(tmp_path / "warehouse.db")
+        with DurabilityDB(path) as db:
+            query = self._registered_query(db)
+            engine = DurabilityEngine(
+                FAST, plan_cache=PlanCache(store=db.plan_store()))
+            cold = engine.answer(query)
+            assert cold.details["plan_source"] == "search"
+            assert cold.details["plan_search"]["search_steps"] > 0
+
+        # "Restart": a brand new process state — new connection, new
+        # cache, freshly rebuilt query object.
+        with DurabilityDB(path) as db:
+            query = db.load_query(1)
+            engine = DurabilityEngine(
+                FAST, plan_cache=PlanCache(store=db.plan_store()))
+            warm = engine.answer(query)
+        assert warm.details["plan_source"] == "store"
+        assert warm.details["plan_origin"] == "store"
+        assert warm.details["plan_cache"] == "hit"
+        assert DurabilityEngine._search_steps(warm.details) == 0
+        assert answer_bytes(warm) == answer_bytes(cold)
+
+    def test_plain_store_restart_without_warehouse(self, tmp_path):
+        path = str(tmp_path / "plans.db")
+        query = walk_query()
+        store = PlanStore(path)
+        first = DurabilityEngine(FAST, plan_cache=PlanCache(store=store))
+        cold = first.answer(query)
+        store.close()
+
+        store = PlanStore(path)
+        second = DurabilityEngine(FAST,
+                                  plan_cache=PlanCache(store=store))
+        warm = second.answer(walk_query())  # a *new* equal-shape query
+        store.close()
+        assert warm.details["plan_source"] == "store"
+        assert DurabilityEngine._search_steps(warm.details) == 0
+        assert answer_bytes(warm) == answer_bytes(cold)
+
+    def test_curve_aware_plan_persists(self, tmp_path):
+        path = str(tmp_path / "plans.db")
+        grid = (6.0, 8.0, 10.0)
+        policy = FAST.replace(num_levels=8)
+        store = PlanStore(path)
+        engine = DurabilityEngine(policy,
+                                  plan_cache=PlanCache(store=store))
+        first = engine.durability_curve(walk_query(), grid)
+        assert first.details["plan_source"] == "curve_aware"
+        assert first.details["plan_cache"] == "miss"
+        store.close()
+
+        store = PlanStore(path)
+        fresh = DurabilityEngine(policy,
+                                 plan_cache=PlanCache(store=store))
+        again = fresh.durability_curve(walk_query(), grid)
+        store.close()
+        assert again.details["plan_cache"] == "hit"
+        assert again.details["plan_origin"] == "store"
+        assert [e.probability for e in again.estimates] == \
+            [e.probability for e in first.estimates]

@@ -239,3 +239,112 @@ class TestGridPlanKind:
             LevelPartition([0.25, 0.5])
         assert cache.get(query, kind="greedy").partition == \
             LevelPartition([0.5])
+
+
+class TestStatsRegression:
+    def test_fresh_cache_hit_rate_is_zero_not_an_error(self):
+        """Regression: hit_rate on a never-queried cache must be 0.0,
+        not a ZeroDivisionError (hits + misses == 0)."""
+        stats = PlanCache().stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["hit_rate"] == 0.0
+
+
+class TestOrigins:
+    def test_default_origin_is_search(self):
+        cache = PlanCache()
+        query = walk_query()
+        cache.put(query, LevelPartition([0.5]))
+        assert cache.get(query).origin == "search"
+
+    def test_put_accepts_an_origin(self):
+        cache = PlanCache()
+        query = walk_query()
+        cache.put(query, LevelPartition([0.5]), origin="warmed")
+        assert cache.get(query).origin == "warmed"
+
+    def test_peek_does_not_touch_counters_or_recency(self):
+        cache = PlanCache(max_entries=2)
+        old, new = walk_query(beta=20.0), walk_query(beta=40.0)
+        cache.put(old, LevelPartition([0.5]))
+        cache.put(new, LevelPartition([0.5]))
+        before = cache.stats()
+        assert cache.peek(old) is not None
+        assert cache.peek(walk_query(beta=80.0)) is None
+        assert cache.stats() == before
+        # peek must not refresh LRU position: "old" is still evicted
+        # first.
+        cache.put(walk_query(beta=80.0), LevelPartition([0.5]))
+        assert cache.peek(old) is None
+        assert cache.peek(new) is not None
+
+    def test_retag_relabels_in_place(self):
+        cache = PlanCache()
+        query = walk_query()
+        cache.put(query, LevelPartition([0.5]))
+        assert cache.retag(query, origin="warmed")
+        assert cache.peek(query).origin == "warmed"
+        assert not cache.retag(walk_query(beta=40.0))
+
+    def test_get_preserves_origin_through_repruning(self):
+        cache = PlanCache()
+        query = walk_query()
+        cache.put(query, LevelPartition([0.3, 0.5, 0.7]),
+                  origin="store")
+        entry = cache.get(query)
+        assert entry.origin == "store"
+
+
+class TestStoreIntegration:
+    def _store(self):
+        from repro.db import PlanStore
+        return PlanStore()
+
+    def test_put_writes_through(self):
+        store = self._store()
+        cache = PlanCache(store=store)
+        cache.put(walk_query(), LevelPartition([0.5]), score=2.0)
+        assert len(store) == 1
+        key = cache.key_for(walk_query())
+        partition, kind, score = store.load(key)
+        assert partition == LevelPartition([0.5])
+        assert score == 2.0
+
+    def test_identity_keys_stay_process_local(self):
+        store = self._store()
+        cache = PlanCache(store=store)
+        process = RandomWalkProcess(p_up=0.3, p_down=0.4)
+        lambda_query = DurabilityQuery.threshold(
+            process, lambda s: float(s), beta=20.0, horizon=100)
+        cache.put(lambda_query, LevelPartition([0.5]))
+        assert cache.get(lambda_query) is not None
+        assert len(store) == 0
+        assert store.skipped == 1
+
+    def test_new_cache_hydrates_from_the_store(self):
+        store = self._store()
+        PlanCache(store=store).put(walk_query(), LevelPartition([0.5]),
+                                   score=4.0)
+        fresh = PlanCache(store=store)
+        assert len(fresh) == 1
+        entry = fresh.peek(walk_query())
+        assert entry.origin == "store"
+        assert entry.partition == LevelPartition([0.5])
+        assert entry.score == 4.0
+        # Hydration is not a hit: counters start clean.
+        assert fresh.stats()["hits"] == 0
+        assert fresh.stats()["misses"] == 0
+
+    def test_hydration_respects_capacity_keeping_recent(self):
+        store = self._store()
+        seeding = PlanCache(store=store)
+        betas = [10.0 * 2 ** i for i in range(4)]
+        for beta in betas:
+            seeding.put(walk_query(beta=beta), LevelPartition([0.5]))
+        small = PlanCache(max_entries=2, store=store)
+        assert len(small) == 2
+        assert small.evictions == 0  # overflow during hydration is free
+        # The most recently saved plans survive at the MRU end.
+        assert small.peek(walk_query(beta=betas[-1])) is not None
+        assert small.peek(walk_query(beta=betas[0])) is None

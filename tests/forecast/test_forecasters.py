@@ -1,0 +1,100 @@
+"""Forecaster property tests: each implementation must beat-or-match
+the naive last-value baseline on the regime it claims.
+
+Scoring is one-step-ahead MSE over seeded synthetic series: for each
+prefix, ask the forecaster for the next window and square the error
+against what actually arrived.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.forecast import (ConstantForecaster, FORECASTERS,
+                            LastValueForecaster, LinearForecaster,
+                            MovingAverageForecaster, make_forecaster)
+
+
+def one_step_mse(forecaster, series, warmup: int = 4) -> float:
+    errors = [(forecaster.forecast(series[:i]) - series[i]) ** 2
+              for i in range(warmup, len(series))]
+    return sum(errors) / len(errors)
+
+
+def stationary_series(seed: int, n: int = 200) -> list:
+    rng = random.Random(seed)
+    return [rng.randint(0, 10) for _ in range(n)]
+
+
+def trending_series(seed: int, n: int = 120) -> list:
+    rng = random.Random(seed)
+    return [2.0 * i + rng.uniform(-0.5, 0.5) for i in range(n)]
+
+
+def bursty_series(seed: int, n: int = 200) -> list:
+    """Quiet baseline with one-window spikes every tenth window."""
+    rng = random.Random(seed)
+    return [rng.randint(0, 3) + (30 if i % 10 == 0 else 0)
+            for i in range(n)]
+
+
+class TestRegimes:
+    @pytest.mark.parametrize("seed", [7, 19, 42])
+    def test_constant_beats_last_value_on_stationary(self, seed):
+        series = stationary_series(seed)
+        assert one_step_mse(ConstantForecaster(), series) <= \
+            one_step_mse(LastValueForecaster(), series)
+
+    @pytest.mark.parametrize("seed", [7, 19, 42])
+    def test_linear_beats_last_value_on_trend(self, seed):
+        series = trending_series(seed)
+        assert one_step_mse(LinearForecaster(), series) <= \
+            one_step_mse(LastValueForecaster(), series)
+
+    @pytest.mark.parametrize("seed", [7, 19, 42])
+    def test_moving_average_beats_last_value_on_bursts(self, seed):
+        series = bursty_series(seed)
+        assert one_step_mse(MovingAverageForecaster(), series) <= \
+            one_step_mse(LastValueForecaster(), series)
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", sorted(FORECASTERS))
+    def test_empty_series_predicts_zero(self, name):
+        assert make_forecaster(name).forecast([]) == 0.0
+
+    @pytest.mark.parametrize("name", sorted(FORECASTERS))
+    def test_forecast_is_a_float(self, name):
+        value = make_forecaster(name).forecast([1, 2, 3])
+        assert isinstance(value, float)
+
+    def test_registry_names_match_instances(self):
+        for name, cls in FORECASTERS.items():
+            assert cls().name == name
+
+    def test_linear_never_predicts_negative(self):
+        assert LinearForecaster().forecast([10, 6, 2, 0, 0]) == 0.0
+
+    def test_linear_leads_a_ramp(self):
+        # Last value lags a ramp by one slope; linear extrapolates it.
+        prediction = LinearForecaster().forecast([0, 2, 4, 6, 8])
+        assert prediction == pytest.approx(10.0)
+
+    def test_moving_average_window_limits_history(self):
+        forecaster = MovingAverageForecaster(window=2)
+        assert forecaster.forecast([100, 100, 3, 5]) == 4.0
+
+    def test_constant_is_the_mean(self):
+        assert ConstantForecaster().forecast([1, 2, 3, 6]) == 3.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown forecaster"):
+            make_forecaster("oracle")
+
+    def test_bad_windows_raise(self):
+        with pytest.raises(ValueError):
+            MovingAverageForecaster(window=0)
+        with pytest.raises(ValueError):
+            LinearForecaster(window=1)

@@ -1,0 +1,156 @@
+"""WorkloadLog tests: shape bucketing, per-window series as a set
+property (insertion-order independent), exemplar/cost retention."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.value_functions import DurabilityQuery
+from repro.forecast import WorkloadLog, shape_of
+from repro.processes.random_walk import RandomWalkProcess
+
+
+def walk_query(beta: float = 10.0, horizon: int = 40,
+               p_up: float = 0.35) -> DurabilityQuery:
+    process = RandomWalkProcess(p_up=p_up, p_down=0.45)
+    return DurabilityQuery.threshold(
+        process, RandomWalkProcess.position, beta=beta, horizon=horizon)
+
+
+class TestShapes:
+    def test_equal_queries_share_a_shape(self):
+        assert shape_of(walk_query()) == shape_of(walk_query())
+
+    def test_octave_apart_thresholds_differ(self):
+        assert shape_of(walk_query(10.0)) != shape_of(walk_query(20.0))
+
+    def test_horizon_buckets_differ(self):
+        assert shape_of(walk_query(horizon=40)) != \
+            shape_of(walk_query(horizon=160))
+
+    def test_process_family_differs(self):
+        assert shape_of(walk_query(p_up=0.35)) != \
+            shape_of(walk_query(p_up=0.30))
+
+    def test_grid_length_distinguishes_curves(self):
+        point = shape_of(walk_query())
+        curve = shape_of(walk_query(), grid=(5.0, 10.0))
+        assert point != curve
+        assert curve.grid_length == 2
+
+    def test_shapes_are_hashable_keys(self):
+        assert len({shape_of(walk_query()), shape_of(walk_query())}) == 1
+
+
+class TestSeries:
+    def make_log(self):
+        return WorkloadLog(window_seconds=10.0, clock=lambda: 0.0)
+
+    def test_series_counts_per_window_with_zeros(self):
+        log = self.make_log()
+        query = walk_query()
+        for at in (1.0, 2.0, 35.0):  # windows 0, 0, 3
+            log.record(query, at=at)
+        shape = shape_of(query)
+        assert log.series(shape) == [2, 0, 0, 1]
+
+    def test_series_is_insertion_order_independent(self):
+        arrivals = [(walk_query(10.0), 1.0), (walk_query(10.0), 12.0),
+                    (walk_query(20.0), 13.0), (walk_query(10.0), 14.0),
+                    (walk_query(20.0), 44.0), (walk_query(10.0), 51.0)]
+        baseline = None
+        for seed in range(5):
+            shuffled = list(arrivals)
+            random.Random(seed).shuffle(shuffled)
+            log = self.make_log()
+            for query, at in shuffled:
+                log.record(query, at=at)
+            observed = (log.series(shape_of(walk_query(10.0))),
+                        log.series(shape_of(walk_query(20.0))))
+            if baseline is None:
+                baseline = observed
+            assert observed == baseline
+        # Each series starts at its own shape's first window and runs
+        # to the log's latest window (5, the arrival at t=51).
+        assert baseline == ([1, 2, 0, 0, 0, 1], [1, 0, 0, 1, 0])
+
+    def test_series_extends_to_the_logs_latest_arrival(self):
+        # A quiet shape's series is padded with zeros up to the busiest
+        # shape's latest window — forecasters must see the silence.
+        log = self.make_log()
+        log.record(walk_query(10.0), at=5.0)
+        log.record(walk_query(20.0), at=45.0)
+        assert log.series(shape_of(walk_query(10.0))) == [1, 0, 0, 0, 0]
+
+    def test_until_bounds_the_series(self):
+        log = self.make_log()
+        log.record(walk_query(), at=5.0)
+        assert log.series(shape_of(walk_query()), until=25.0) == [1, 0, 0]
+
+    def test_unknown_shape_yields_empty_series(self):
+        log = self.make_log()
+        assert log.series(shape_of(walk_query())) == []
+
+
+class TestRetention:
+    def test_exemplar_keeps_the_latest_query_and_grid(self):
+        log = WorkloadLog(window_seconds=10.0, clock=lambda: 0.0)
+        first, second = walk_query(), walk_query()
+        log.record(first, at=1.0)
+        log.record(second, grid=None, at=2.0)
+        query, grid = log.exemplar(shape_of(first))
+        assert query is second
+        assert grid is None
+
+    def test_exemplar_retains_the_raw_grid(self):
+        log = WorkloadLog(window_seconds=10.0, clock=lambda: 0.0)
+        log.record(walk_query(), grid=[5.0, 10.0], at=1.0)
+        _, grid = log.exemplar(shape_of(walk_query(), grid=(5.0, 10.0)))
+        assert grid == (5.0, 10.0)
+
+    def test_search_cost_keeps_last_nonzero(self):
+        log = WorkloadLog(window_seconds=10.0, clock=lambda: 0.0)
+        query = walk_query()
+        log.record(query, at=1.0, search_steps=5000)
+        log.record(query, at=2.0, search_steps=0)  # cache hit
+        assert log.search_cost(shape_of(query)) == 5000
+        assert log.search_cost(shape_of(walk_query(20.0)),
+                               default=7) == 7
+
+    def test_max_records_bounds_history_not_state(self):
+        log = WorkloadLog(window_seconds=10.0, max_records=2,
+                          clock=lambda: 0.0)
+        log.record(walk_query(10.0), at=1.0, search_steps=123)
+        log.record(walk_query(20.0), at=2.0)
+        log.record(walk_query(40.0), at=3.0)
+        assert len(log) == 2
+        assert log.total_recorded == 3
+        # The evicted shape's exemplar and cost survive as state.
+        assert log.exemplar(shape_of(walk_query(10.0))) is not None
+        assert log.search_cost(shape_of(walk_query(10.0))) == 123
+        assert log.series(shape_of(walk_query(10.0))) == []
+
+    def test_arrivals_since(self):
+        log = WorkloadLog(window_seconds=10.0, clock=lambda: 0.0)
+        log.record(walk_query(10.0), at=1.0)
+        log.record(walk_query(10.0), at=9.0)
+        log.record(walk_query(20.0), at=5.0)
+        arrived = log.arrivals_since(5.0)
+        assert arrived == {shape_of(walk_query(10.0)): 1,
+                           shape_of(walk_query(20.0)): 1}
+
+    def test_stats_shape(self):
+        log = WorkloadLog(window_seconds=10.0, clock=lambda: 0.0)
+        log.record(walk_query(), at=1.0)
+        stats = log.stats()
+        assert stats["records"] == 1
+        assert stats["shapes"] == 1
+        assert stats["window_seconds"] == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadLog(window_seconds=0)
+        with pytest.raises(ValueError):
+            WorkloadLog(max_records=0)

@@ -1,0 +1,241 @@
+"""PlanWarmer behaviour against a stub engine: ranking, budgets,
+idle/abort gating, single-flight, interval pacing, forecast grading.
+
+The stub engine makes warming free and observable; the end-to-end
+warming path (real plan search, byte-identity) is covered by
+``tests/integration/test_restart.py`` and the serve tests.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.core.value_functions import DurabilityQuery
+from repro.forecast import (LastValueForecaster, PlanWarmer, WorkloadLog,
+                            shape_of)
+from repro.processes.random_walk import RandomWalkProcess
+
+
+def walk_query(beta: float = 10.0) -> DurabilityQuery:
+    process = RandomWalkProcess(p_up=0.35, p_down=0.45)
+    return DurabilityQuery.threshold(
+        process, RandomWalkProcess.position, beta=beta, horizon=40)
+
+
+class StubEngine:
+    """warm_plan that never searches: first call per shape is a miss."""
+
+    def __init__(self, steps_per_warm: int = 500):
+        self.policy = SimpleNamespace(trial_steps=1000)
+        self.steps_per_warm = steps_per_warm
+        self.calls = []
+        self._warmed = set()
+
+    def warm_plan(self, query, policy=None, thresholds=None):
+        key = (query.value_function.beta, thresholds)
+        self.calls.append(key)
+        status = "hit" if key in self._warmed else "miss"
+        self._warmed.add(key)
+        return {"warmable": True, "kind": "greedy",
+                "cache_status": status, "origin": "warmed",
+                "search_steps": self.steps_per_warm if status == "miss"
+                else 0}
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_fixture(**warmer_kwargs):
+    wall = FakeClock()
+    log = WorkloadLog(window_seconds=10.0, clock=wall)
+    engine = StubEngine()
+    warmer = PlanWarmer(engine, log, forecaster=LastValueForecaster(),
+                        clock=FakeClock(), **warmer_kwargs)
+    return wall, log, engine, warmer
+
+
+class TestRanking:
+    def test_rank_orders_by_predicted_times_cost(self):
+        wall, log, engine, warmer = make_fixture()
+        hot, costly = walk_query(10.0), walk_query(40.0)
+        # "hot" arrives 3x in the last window, cheap to search;
+        # "costly" arrives once but its search cost dominates.
+        for at in (1.0, 2.0, 3.0):
+            log.record(hot, at=at, search_steps=100)
+        log.record(costly, at=4.0, search_steps=10_000)
+        ranked = warmer.rank()
+        assert [item[0] for item in ranked] == \
+            [shape_of(costly), shape_of(hot)]  # 10000 > 300
+        assert ranked[0][3] == 10_000.0
+        assert ranked[1][3] == 300.0
+
+    def test_unmeasured_cost_defaults_to_trial_steps(self):
+        wall, log, engine, warmer = make_fixture()
+        log.record(walk_query(), at=1.0)  # search_steps=0: a cache hit
+        (shape, predicted, cost, score), = warmer.rank()
+        assert cost == engine.policy.trial_steps
+        assert score == predicted * cost
+
+
+class TestSweep:
+    def test_sweep_warms_and_counts(self):
+        wall, log, engine, warmer = make_fixture()
+        log.record(walk_query(10.0), at=1.0, search_steps=100)
+        log.record(walk_query(40.0), at=2.0, search_steps=100)
+        report = warmer.sweep()
+        assert report == {"warmed": 2, "considered": 2, "steps": 1000,
+                          "aborted": False, "predicted_hot": 2}
+        assert warmer.plans_warmed == 2
+        assert warmer.sweep_steps == 1000
+        assert len(engine.calls) == 2
+
+    def test_already_warm_shapes_do_not_count(self):
+        wall, log, engine, warmer = make_fixture()
+        log.record(walk_query(), at=1.0, search_steps=100)
+        assert warmer.sweep()["warmed"] == 1
+        assert warmer.sweep()["warmed"] == 0  # stub reports a hit now
+        assert warmer.plans_warmed == 1
+
+    def test_top_k_limits_a_sweep(self):
+        wall, log, engine, warmer = make_fixture(top_k=2)
+        for beta in (5.0, 10.0, 20.0, 40.0):
+            log.record(walk_query(beta), at=1.0, search_steps=100)
+        report = warmer.sweep()
+        assert report["warmed"] == 2
+        assert len(engine.calls) == 2
+
+    def test_step_budget_stops_a_sweep(self):
+        wall, log, engine, warmer = make_fixture(step_budget=600)
+        # Each stub warm costs 500 steps; the budget admits one full
+        # warm, then stops before the third shape.
+        for beta in (5.0, 10.0, 20.0):
+            log.record(walk_query(beta), at=1.0, search_steps=100)
+        report = warmer.sweep()
+        assert report["warmed"] == 2  # 0 -> 500 -> 1000 >= 600: stop
+        assert report["steps"] == 1000
+
+    def test_traffic_aborts_a_sweep(self):
+        idle = {"flag": True}
+        wall, log, engine, warmer = make_fixture(
+            idle_check=lambda: idle["flag"])
+        log.record(walk_query(), at=1.0, search_steps=100)
+        idle["flag"] = False  # traffic arrived before the sweep ran
+        report = warmer.sweep()
+        assert report["aborted"]
+        assert report["warmed"] == 0
+        assert engine.calls == []
+
+    def test_force_bypasses_the_idle_gate(self):
+        wall, log, engine, warmer = make_fixture(idle_check=lambda: False)
+        log.record(walk_query(), at=1.0, search_steps=100)
+        assert warmer.sweep(force=True)["warmed"] == 1
+
+    def test_abort_stops_at_the_shape_boundary(self):
+        wall, log, engine, warmer = make_fixture()
+        log.record(walk_query(), at=1.0, search_steps=100)
+        warmer.abort()
+        report = warmer.sweep(force=True)
+        assert report["aborted"]
+        assert engine.calls == []
+
+    def test_disabled_warmer_skips(self):
+        wall, log, engine, warmer = make_fixture(enabled=False)
+        log.record(walk_query(), at=1.0, search_steps=100)
+        assert warmer.sweep() == {"skipped": "disabled"}
+        assert warmer.sweeps_skipped == 1
+        assert warmer.sweep(force=True)["warmed"] == 1
+
+    def test_single_flight(self):
+        wall, log, engine, warmer = make_fixture()
+        log.record(walk_query(), at=1.0, search_steps=100)
+        with warmer._sweep_lock:
+            assert warmer.sweep() == {"skipped": "concurrent_sweep"}
+        assert warmer.sweeps_skipped == 1
+
+    def test_closed_warmer_never_sweeps(self):
+        wall, log, engine, warmer = make_fixture()
+        warmer.close()
+        assert warmer.sweep(force=True) == {"skipped": "disabled"}
+        assert not warmer.maybe_sweep()
+
+
+class TestPacing:
+    def test_maybe_sweep_respects_the_interval(self):
+        wall, log, engine, warmer = make_fixture(interval_seconds=5.0)
+        log.record(walk_query(), at=1.0, search_steps=100)
+        assert warmer.maybe_sweep()
+        assert not warmer.maybe_sweep()  # same instant: paced out
+        warmer._clock.now = 6.0
+        assert warmer.maybe_sweep()
+        assert warmer.sweeps == 2
+
+    def test_maybe_sweep_defers_to_traffic(self):
+        wall, log, engine, warmer = make_fixture(idle_check=lambda: False)
+        log.record(walk_query(), at=1.0, search_steps=100)
+        assert not warmer.maybe_sweep()
+        assert warmer.sweeps == 0
+
+    def test_maybe_sweep_submits_off_thread(self):
+        wall, log, engine, warmer = make_fixture()
+        log.record(walk_query(), at=1.0, search_steps=100)
+        submitted = []
+        assert warmer.maybe_sweep(submit=submitted.append)
+        assert warmer.sweeps == 0  # not run yet, only dispatched
+        submitted[0]()
+        assert warmer.sweeps == 1
+
+
+class TestForecastGrading:
+    def test_hit_rate_scores_previous_predictions(self):
+        wall, log, engine, warmer = make_fixture()
+        hot, cold = walk_query(10.0), walk_query(40.0)
+        wall.now = 5.0
+        log.record(hot, at=1.0, search_steps=100)
+        log.record(cold, at=2.0, search_steps=100)
+        warmer.sweep()  # predicts both hot and cold for the next window
+        wall.now = 15.0
+        log.record(hot, at=12.0)  # only "hot" actually returned
+        warmer.sweep()
+        assert warmer.forecast_hits == 1
+        assert warmer.forecast_misses == 1
+        assert warmer.forecast_hit_rate() == 0.5
+        assert warmer.stats()["forecast_hit_rate"] == 0.5
+
+
+class TestConfig:
+    def test_update_config_applies_warm_knobs(self):
+        wall, log, engine, warmer = make_fixture()
+        config = SimpleNamespace(
+            warm_enabled=False, warm_top_k=3, warm_step_budget=123,
+            warm_interval_seconds=9.0, warm_forecaster="linear")
+        warmer.update_config(config)
+        assert not warmer.enabled
+        assert warmer.top_k == 3
+        assert warmer.step_budget == 123
+        assert warmer.interval_seconds == 9.0
+        assert warmer.forecaster.name == "linear"
+
+    def test_update_config_keeps_a_matching_forecaster(self):
+        wall, log, engine, warmer = make_fixture()
+        forecaster = warmer.forecaster
+        config = SimpleNamespace(
+            warm_enabled=True, warm_top_k=8, warm_step_budget=1,
+            warm_interval_seconds=5.0,
+            warm_forecaster=forecaster.name)
+        warmer.update_config(config)
+        assert warmer.forecaster is forecaster
+
+    def test_stats_payload(self):
+        wall, log, engine, warmer = make_fixture()
+        log.record(walk_query(), at=1.0, search_steps=100)
+        warmer.sweep()
+        stats = warmer.stats()
+        assert stats["plans_warmed"] == 1
+        assert stats["sweeps"] == 1
+        assert stats["forecaster"] == "last_value"
+        assert stats["last_sweep"]["warmed"] == 1
