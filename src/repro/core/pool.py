@@ -73,6 +73,32 @@ speculation is disabled under ``max_steps``.
 
 Cost accounting is unchanged throughout: workers count one invocation
 of ``g`` per path per step and the parent sums their counters.
+
+Fault tolerance
+---------------
+
+A dead worker no longer necessarily aborts the run.  The parent's
+result loop doubles as a supervisor: when a worker process dies (or,
+with ``task_timeout_seconds`` set, overruns its deadline and is
+terminated), the pool respawns it in the same mode, re-registers every
+live work descriptor on the replacement (fresh shared-memory counter
+blocks; the dead worker's segments are unlinked, never leaked), and
+re-submits only the tasks that were in flight on that worker.  Because
+task seeds are structural (:func:`derive_task_seed` over the task
+*index*), a re-executed task is **byte-identical** to the original, so
+recovery preserves every determinism gate.  Process workers return
+results over *per-worker pipes* written synchronously in the worker —
+a crash, even mid-send, can wedge only the dying worker's own channel
+(discarded at respawn); a shared ``mp.Queue`` would let one SIGKILL
+orphan the queue's write lock and hang every surviving worker.
+``max_worker_restarts``
+bounds respawns per burst of work and ``task_retry_limit`` bounds
+re-submissions of any single task; once either budget is exhausted the
+pool falls back to the historical behavior — tear everything down
+(unlinking all segments) and raise a ``RuntimeError``, never hang.
+The default budget is 0, i.e. supervision is opt-in;
+:class:`~repro.engine.policy.ParallelPolicy` turns it on for
+engine-owned pools.
 """
 
 from __future__ import annotations
@@ -80,11 +106,14 @@ from __future__ import annotations
 import hashlib
 import os
 import queue as queue_module
+import signal
 import threading
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context, shared_memory
+from multiprocessing.connection import wait as _connection_wait
 from typing import Optional, Sequence
 
 import numpy as np
@@ -96,6 +125,16 @@ from .levels import normalize_ratios
 #: the shared-address-space thread backend (``"thread"``) and the
 #: in-caller fallback used when ``n_workers == 1`` (or on request).
 POOL_MODES = ("fork", "spawn", "thread", "inline")
+
+#: Optional fault-injection hook (see :mod:`repro.faults`): a callable
+#: ``hook(site, **context)`` or ``None``.  Sites consulted here:
+#: ``"pool.dispatch"`` in the parent right after a task is handed to a
+#: worker (context: ``pool``, ``worker_id``, ``task_id``) — where a
+#: :class:`~repro.faults.FaultPlan` kills workers at a point where the
+#: victim is provably between tasks, so queues stay uncorrupted — and
+#: ``"pool.task"`` in the executing worker before a task runs (thread
+#: and inline modes always; fork workers via inheritance).
+fault_hook = None
 
 _SEED_MOD = 2 ** 31
 
@@ -326,6 +365,8 @@ class CounterBlock:
 
 def _execute(spec, payload, block: Optional[CounterBlock]):
     """Run one task of ``spec``; the single code path for every mode."""
+    if fault_hook is not None:
+        fault_hook("pool.task", spec=spec, payload=payload)
     if isinstance(spec, ForestWork):
         return _run_forest_task(spec, payload, block)
     if isinstance(spec, PathWork):
@@ -483,7 +524,7 @@ def _attach_block(name: str):
         resource_tracker.register = original
 
 
-def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+def _worker_main(worker_id: int, task_queue, result_channel) -> None:
     """Long-lived worker: register works once, run tasks forever.
 
     The same loop serves process workers and thread workers.  Messages:
@@ -493,7 +534,16 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     ``("run", handle, task_id, payload)``, ``("unregister", handle)``
     and ``("stop",)``.  Results: ``(worker_id, task_id, "ok", meta)``
     or ``(worker_id, task_id, "error", traceback_text)``.
+
+    ``result_channel`` is this worker's *private* pipe connection for
+    process workers (sent synchronously in this thread — no feeder
+    thread, no lock shared with other workers, so a worker killed at
+    any moment can wedge at most its own channel, which the supervisor
+    discards wholesale) and the pool-shared ``queue.Queue`` for thread
+    workers (threads cannot be killed, so sharing stays safe).
     """
+    emit = result_channel.put if hasattr(result_channel, "put") \
+        else result_channel.send
     specs: dict = {}
     blocks: dict = {}
     while True:
@@ -525,10 +575,10 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                 attached = blocks.get(handle)
                 block = attached[1] if attached is not None else None
                 meta = _execute(spec, payload, block)
-                result_queue.put((worker_id, task_id, "ok", meta))
+                emit((worker_id, task_id, "ok", meta))
             except Exception:
-                result_queue.put((worker_id, task_id, "error",
-                                  traceback.format_exc()))
+                emit((worker_id, task_id, "error",
+                      traceback.format_exc()))
     for shm, block in blocks.values():
         if shm is not None:
             block.release()
@@ -563,7 +613,7 @@ class _TaskStream:
     """
 
     __slots__ = ("pool", "handle", "_next_seq", "_pending", "_live",
-                 "_results", "_discarded", "_closed")
+                 "_results", "_discarded", "_retries", "_closed")
 
     def __init__(self, pool: "WorkerPool", handle: int):
         self.pool = pool
@@ -573,6 +623,7 @@ class _TaskStream:
         self._live: set = set()     # seqs running on a worker
         self._results: dict = {}    # seq -> finalized result
         self._discarded: set = set()  # live seqs to drop on arrival
+        self._retries: dict = {}    # seq -> prior submission count
         self._closed = False
 
     def submit(self, payload) -> int:
@@ -634,6 +685,7 @@ class _TaskStream:
             self._closed = True
             self._pending.clear()
             self._results.clear()
+            self._retries.clear()
             self._discarded.update(self._live)
 
 
@@ -690,6 +742,24 @@ class RoundPipeline:
         self._stream.close()
 
 
+class _InflightTask:
+    """Everything needed to route — or deterministically re-run — one
+    dispatched task: its stream and sequence number (routing), the
+    payload and prior retry count (recovery), the worker it runs on
+    (failure attribution) and its dispatch time (deadline checks)."""
+
+    __slots__ = ("stream", "seq", "payload", "worker_id", "retries",
+                 "started_at")
+
+    def __init__(self, stream, seq, payload, worker_id, retries):
+        self.stream = stream
+        self.seq = seq
+        self.payload = payload
+        self.worker_id = worker_id
+        self.retries = retries
+        self.started_at = time.monotonic()
+
+
 # ----------------------------------------------------------------------
 # The pool
 # ----------------------------------------------------------------------
@@ -709,6 +779,25 @@ class WorkerPool:
         space: no startup or pickle costs, scales because the NumPy
         simulation kernels release the GIL; also the automatic
         fallback when fork is unavailable) or ``"inline"``.
+    max_worker_restarts:
+        How many dead (or deadline-overrunning) workers the supervisor
+        may respawn before falling back to the abort path.  The budget
+        replenishes whenever the pool goes quiescent (no tasks queued
+        or in flight), so it bounds restarts per *burst* of work, not
+        per pool lifetime.  ``0`` (the default) disables supervision:
+        any dead worker aborts the run, exactly the historical
+        behavior.
+    task_retry_limit:
+        How many times any single task may be re-submitted after its
+        worker died; beyond it the run aborts even when restart budget
+        remains (a task that kills every worker it lands on is a
+        poison pill, not a crash).
+    task_timeout_seconds:
+        Optional per-task deadline.  A process worker whose current
+        task overruns it is terminated and handled exactly like a
+        crashed worker (respawn + deterministic retry, budgets
+        permitting).  ``None`` disables the deadline; thread workers
+        cannot be terminated, so the deadline is process-mode only.
 
     The pool is content-addressed, not closure-addressed: callers
     :meth:`register` a work descriptor once (one pickle per process
@@ -720,6 +809,13 @@ class WorkerPool:
     streams — including concurrent ``run_tasks`` calls from different
     threads — share the workers without swapping results.
 
+    A worker death during a run is survivable: with a restart budget
+    (``max_worker_restarts > 0``) the supervisor respawns the worker
+    and deterministically re-runs only its in-flight tasks — see the
+    module docstring's *Fault tolerance* section.  Once budgets are
+    exhausted (or by default), the failure aborts the run with a
+    ``RuntimeError``, never a hang.
+
     Use as a context manager, or call :meth:`close`; an unclosed pool
     cleans up on garbage collection as a last resort.  ``close`` (and
     the abort path after a worker failure) unlinks every shared counter
@@ -728,7 +824,9 @@ class WorkerPool:
     """
 
     def __init__(self, n_workers: Optional[int] = None,
-                 pool: str = "fork"):
+                 pool: str = "fork", max_worker_restarts: int = 0,
+                 task_retry_limit: int = 1,
+                 task_timeout_seconds: Optional[float] = None):
         if pool not in POOL_MODES:
             raise ValueError(
                 f"unknown pool mode {pool!r}; choose from {POOL_MODES}")
@@ -736,7 +834,23 @@ class WorkerPool:
             n_workers = os.cpu_count() or 1
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_worker_restarts < 0:
+            raise ValueError(f"max_worker_restarts must be >= 0, got "
+                             f"{max_worker_restarts}")
+        if task_retry_limit < 0:
+            raise ValueError(f"task_retry_limit must be >= 0, got "
+                             f"{task_retry_limit}")
+        if task_timeout_seconds is not None and task_timeout_seconds <= 0:
+            raise ValueError(f"task_timeout_seconds must be > 0, got "
+                             f"{task_timeout_seconds}")
         self.n_workers = n_workers
+        self.max_worker_restarts = max_worker_restarts
+        self.task_retry_limit = task_retry_limit
+        self.task_timeout_seconds = task_timeout_seconds
+        #: Lifetime supervision counters (never reset; observability).
+        self.worker_restarts = 0
+        self.tasks_recovered = 0
+        self._restarts_used = 0
         mode = "inline" if (pool == "inline" or n_workers == 1) else pool
         if mode == "fork" and "fork" not in get_all_start_methods():
             # Platforms without fork (Windows, some macOS setups) get
@@ -759,38 +873,62 @@ class WorkerPool:
         self._blocks: dict = {}
         self._task_queues: list = []
         self._workers: list = []
+        # Result transport.  Thread workers share one ``queue.Queue``
+        # (threads cannot die mid-send).  Process workers each get a
+        # *private* pipe: ``mp.Queue.put`` hands the payload to a
+        # feeder thread that writes later while holding a lock shared
+        # by every worker, so a SIGKILL landing mid-flush would orphan
+        # the lock and wedge all surviving workers' results.  With one
+        # pipe per worker (written synchronously, no feeder, no shared
+        # lock) a crash can corrupt at most its own channel, which the
+        # supervisor discards wholesale at respawn.
         self._result_queue = None
+        self._result_readers: list = []
+        self._result_writers: list = []
         # Scheduler state: which workers are free, which submitted
         # tasks await a worker, and which task id runs where.
         self._idle: deque = deque()
         self._dispatch: deque = deque()   # (stream, seq) awaiting dispatch
-        self._inflight: dict = {}         # task id -> (stream, seq)
+        self._inflight: dict = {}         # task id -> _InflightTask
         self._next_task_id = 0
         if self.mode == "thread":
             self._result_queue = queue_module.Queue()
+        if self.mode != "inline":
             for worker_id in range(self.n_workers):
-                task_queue = queue_module.Queue()
-                worker = threading.Thread(
-                    target=_worker_main,
-                    args=(worker_id, task_queue, self._result_queue),
-                    name=f"repro-pool-worker-{worker_id}", daemon=True)
-                worker.start()
+                task_queue, worker, reader, writer = \
+                    self._spawn_worker(worker_id)
                 self._task_queues.append(task_queue)
                 self._workers.append(worker)
+                self._result_readers.append(reader)
+                self._result_writers.append(writer)
             self._idle.extend(range(self.n_workers))
-        elif self.mode != "inline":
+
+    def _spawn_worker(self, worker_id: int) -> tuple:
+        """A started worker, its fresh task queue and result channel.
+
+        Returns ``(task_queue, worker, reader, writer)``; the pipe ends
+        are ``None`` for thread workers (they share the pool queue).
+        The parent keeps the writer end open so the reader never turns
+        EOF-readable: dead workers are found by the liveness sweep, not
+        by racing pipe state.
+        """
+        if self.mode == "thread":
+            task_queue = queue_module.Queue()
+            worker = threading.Thread(
+                target=_worker_main,
+                args=(worker_id, task_queue, self._result_queue),
+                name=f"repro-pool-worker-{worker_id}", daemon=True)
+            reader = writer = None
+        else:
             context = get_context(self.mode)
-            self._result_queue = context.Queue()
-            for worker_id in range(self.n_workers):
-                task_queue = context.Queue()
-                worker = context.Process(
-                    target=_worker_main,
-                    args=(worker_id, task_queue, self._result_queue),
-                    daemon=True)
-                worker.start()
-                self._task_queues.append(task_queue)
-                self._workers.append(worker)
-            self._idle.extend(range(self.n_workers))
+            task_queue = context.Queue()
+            reader, writer = context.Pipe(duplex=False)
+            worker = context.Process(
+                target=_worker_main,
+                args=(worker_id, task_queue, writer),
+                daemon=True)
+        worker.start()
+        return task_queue, worker, reader, writer
 
     # -- lifecycle -----------------------------------------------------
 
@@ -870,6 +1008,15 @@ class WorkerPool:
                         self._result_queue.cancel_join_thread()
                 except Exception:
                     pass
+            for conn in (*self._result_readers, *self._result_writers):
+                if conn is None:
+                    continue
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            self._result_readers.clear()
+            self._result_writers.clear()
 
     def _abort(self, reason: str):
         """Tear the pool down after a worker failure and raise."""
@@ -919,24 +1066,28 @@ class WorkerPool:
     def _release_handle_blocks(self, handle: int) -> None:
         """Release and unlink every block created for ``handle``."""
         for worker_id in range(self.n_workers):
-            attached = self._blocks.pop((handle, worker_id), None)
-            if attached is None:
-                continue
-            shm, block = attached
-            if shm is None:
-                continue
-            try:
-                block.release()
-            except Exception:
-                pass
-            try:
-                shm.close()
-            except Exception:
-                pass
-            try:
-                shm.unlink()
-            except Exception:
-                pass
+            self._release_worker_block(handle, worker_id)
+
+    def _release_worker_block(self, handle: int, worker_id: int) -> None:
+        """Release and unlink one (handle, worker) block, if any."""
+        attached = self._blocks.pop((handle, worker_id), None)
+        if attached is None:
+            return
+        shm, block = attached
+        if shm is None:
+            return
+        try:
+            block.release()
+        except Exception:
+            pass
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
 
     def unregister(self, handle: int) -> None:
         """Drop a registered work and free its shared blocks.
@@ -992,6 +1143,7 @@ class WorkerPool:
             stream, seq = self._dispatch[0]
             if stream._closed or seq not in stream._pending:
                 self._dispatch.popleft()  # cancelled before dispatch
+                stream._retries.pop(seq, None)
                 continue
             self._dispatch.popleft()
             worker_id = self._idle.popleft()
@@ -999,9 +1151,20 @@ class WorkerPool:
             stream._live.add(seq)
             task_id = self._next_task_id
             self._next_task_id += 1
-            self._inflight[task_id] = (stream, seq)
+            self._inflight[task_id] = _InflightTask(
+                stream, seq, payload, worker_id,
+                stream._retries.pop(seq, 0))
             self._task_queues[worker_id].put(
                 ("run", stream.handle, task_id, payload))
+            if fault_hook is not None:
+                # Injection point for deterministic worker kills.  The
+                # SIGKILL may land while the victim is still flushing
+                # its *previous* result — survivable only because each
+                # process worker writes to a private pipe: a wedged or
+                # half-written channel is discarded wholesale at
+                # respawn and the lost task re-executed byte-identical.
+                fault_hook("pool.dispatch", pool=self,
+                           worker_id=worker_id, task_id=task_id)
 
     def _route_one(self) -> None:
         """Receive one worker result and route it to its stream.
@@ -1012,9 +1175,16 @@ class WorkerPool:
         without touching the block (it may already be unregistered).
         """
         worker_id, task_id, status, meta = self._receive()
+        record = self._inflight.pop(task_id, None)
+        if record is None:
+            # A straggler from a worker that was already declared dead
+            # and replaced: its task was re-submitted under a fresh id
+            # (or aborted).  Drop it without marking anything idle —
+            # the sender is not a live worker slot.
+            return
         if status != "ok":
             self._abort(meta)
-        stream, seq = self._inflight.pop(task_id)
+        stream, seq = record.stream, record.seq
         stream._live.discard(seq)
         spec = self._specs.get(stream.handle)
         dropped = (stream._closed or seq in stream._discarded
@@ -1025,21 +1195,191 @@ class WorkerPool:
             block = attached[1] if attached is not None else None
             stream._results[seq] = self._finalize(spec, block, meta)
         self._idle.append(worker_id)
+        if not self._inflight and not self._dispatch:
+            # Quiescent: the burst survived, so the restart budget
+            # replenishes for the next one.
+            self._restarts_used = 0
         self._pump()
 
     def _receive(self):
-        """Next result, guarding against silently-dead workers."""
+        """Next result, supervising for dead or overrunning workers."""
         while True:
+            message = self._poll_result(timeout=1.0)
+            if message is not None:
+                return message
+            self._check_deadlines()
+            dead = [worker_id
+                    for worker_id, worker in enumerate(self._workers)
+                    if not worker.is_alive()]
+            if dead:
+                self._recover_workers(dead)
+
+    def _poll_result(self, timeout: float):
+        """One worker result, or ``None`` after ``timeout`` seconds.
+
+        Process modes multiplex the per-worker result pipes with
+        :func:`multiprocessing.connection.wait`.  A dead worker's
+        reader is never ``recv``'d — a SIGKILL can leave a partial
+        message that would block the parent forever; the channel is
+        replaced at respawn and the lost task re-executed, which by
+        the determinism contract reproduces the same bytes.
+        """
+        if self.mode == "thread":
             try:
-                return self._result_queue.get(timeout=1.0)
+                return self._result_queue.get(timeout=timeout)
             except queue_module.Empty:
-                for worker in self._workers:
-                    if not worker.is_alive():
-                        ident = getattr(worker, "pid", None) or worker.name
-                        code = getattr(worker, "exitcode", None)
-                        self._abort(
-                            f"worker {ident} exited with code "
-                            f"{code} while tasks were pending")
+                return None
+        try:
+            ready = _connection_wait(self._result_readers,
+                                     timeout=timeout)
+        except OSError:
+            return None
+        for reader in ready:
+            worker_id = self._result_readers.index(reader)
+            if not self._workers[worker_id].is_alive():
+                continue  # dead writer: leave its channel untouched
+            try:
+                return reader.recv()
+            except (EOFError, OSError):
+                continue  # died between the liveness check and recv
+        return None
+
+    def _check_deadlines(self) -> None:
+        """Terminate process workers whose task overran the deadline.
+
+        The terminated worker is *not* handled here: it shows up dead
+        on the very next liveness sweep and goes through the one
+        recovery path (:meth:`_recover_workers`), budgets and all.
+        """
+        if self.task_timeout_seconds is None:
+            return
+        now = time.monotonic()
+        for record in list(self._inflight.values()):
+            if now - record.started_at <= self.task_timeout_seconds:
+                continue
+            worker = self._workers[record.worker_id]
+            if hasattr(worker, "terminate") and worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5)
+
+    def _recover_workers(self, dead_ids: list) -> None:
+        """Respawn dead workers and re-submit their in-flight tasks.
+
+        Runs under the pool lock (callers hold it through ``collect``).
+        Budgets first: exhausting ``max_worker_restarts`` or a task's
+        ``task_retry_limit`` falls back to :meth:`_abort` — full
+        teardown with every segment unlinked, then ``RuntimeError``.
+        Re-submitted tasks keep their payload (and with it their
+        structural seed), so the retried result is byte-identical to
+        what the dead worker would have produced.
+        """
+        for worker_id in dead_ids:
+            worker = self._workers[worker_id]
+            ident = getattr(worker, "pid", None) or worker.name
+            code = getattr(worker, "exitcode", None)
+            reason = (f"worker {ident} exited with code {code} "
+                      f"while tasks were pending")
+            if self._restarts_used >= self.max_worker_restarts:
+                self._abort(reason)
+            lost_ids = [task_id
+                        for task_id, record in self._inflight.items()
+                        if record.worker_id == worker_id]
+            resubmit = []
+            for task_id in sorted(lost_ids):
+                record = self._inflight.pop(task_id)
+                stream, seq = record.stream, record.seq
+                stream._live.discard(seq)
+                if stream._closed or seq in stream._discarded:
+                    stream._discarded.discard(seq)
+                    continue  # nobody wants the result; don't re-run
+                if record.retries + 1 > self.task_retry_limit:
+                    self._abort(
+                        f"task retry limit ({self.task_retry_limit}) "
+                        f"exhausted after {reason}")
+                resubmit.append((stream, seq, record.payload,
+                                 record.retries + 1))
+            self._restarts_used += 1
+            self.worker_restarts += 1
+            try:
+                self._idle.remove(worker_id)  # died while idle
+            except ValueError:
+                pass
+            self._respawn(worker_id)
+            # Front of the dispatch queue: recovered tasks are the
+            # oldest outstanding work, and collect() blocks on them.
+            for stream, seq, payload, retries in reversed(resubmit):
+                stream._pending[seq] = payload
+                stream._retries[seq] = retries
+                self._dispatch.appendleft((stream, seq))
+                self.tasks_recovered += 1
+        self._pump()
+
+    def _respawn(self, worker_id: int) -> None:
+        """Replace a dead worker in the same slot and mode.
+
+        The replacement gets a fresh task queue (the dead worker's may
+        still hold its lost ``run`` message), a fresh result pipe (the
+        old one may hold a half-written message from the crash), fresh
+        counter blocks (the old shared segments are unlinked first — a
+        crash never leaks shm), and a replay of every live ``register``
+        message.
+        """
+        old_worker = self._workers[worker_id]
+        old_queue = self._task_queues[worker_id]
+        try:
+            old_worker.join(timeout=5)
+        except Exception:
+            pass
+        task_queue, worker, reader, writer = self._spawn_worker(worker_id)
+        self._task_queues[worker_id] = task_queue
+        self._workers[worker_id] = worker
+        if reader is not None:
+            for conn in (self._result_readers[worker_id],
+                         self._result_writers[worker_id]):
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            self._result_readers[worker_id] = reader
+            self._result_writers[worker_id] = writer
+        for handle, spec in self._specs.items():
+            block_ref = None
+            shape = _block_shape(spec)
+            if shape is not None:
+                self._release_worker_block(handle, worker_id)
+                if self.mode == "thread":
+                    block = CounterBlock.local(*shape)
+                    self._blocks[(handle, worker_id)] = (None, block)
+                    block_ref = block
+                else:
+                    shm = shared_memory.SharedMemory(
+                        create=True, size=CounterBlock.nbytes(*shape))
+                    self._blocks[(handle, worker_id)] = (
+                        shm, CounterBlock(shape[0], shape[1], shm.buf))
+                    block_ref = shm.name
+            task_queue.put(("register", handle, spec, block_ref))
+        self._idle.append(worker_id)
+        try:
+            if hasattr(old_queue, "close"):
+                old_queue.close()
+                old_queue.cancel_join_thread()
+        except Exception:
+            pass
+
+    def kill_worker(self, worker_id: int) -> None:
+        """SIGKILL one process worker (fault injection and tests only).
+
+        Raises ``ValueError`` on thread/inline pools — there is no
+        killable worker process — so callers (the fault harness) can
+        treat those modes as injection no-ops.
+        """
+        worker = self._workers[worker_id] if self._workers else None
+        pid = getattr(worker, "pid", None)
+        if pid is None:
+            raise ValueError(
+                f"pool mode {self.mode!r} has no killable worker "
+                f"processes")
+        os.kill(pid, signal.SIGKILL)
 
     @staticmethod
     def _finalize(spec, block: Optional[CounterBlock], meta):

@@ -47,11 +47,27 @@ with a lock and opens its connection with ``check_same_thread=False``
 (engine write-through happens on executor threads), but cross-process
 write concurrency is sqlite's file lock — deploy one writing tier per
 database file.
+
+Durability and corruption
+-------------------------
+
+The store is a cache of re-computable state, so it fails *soft* in
+both directions.  Writes: file-backed connections run in WAL mode, and
+a failed ``save`` (disk full, locked database, injected fault) is
+counted in ``write_errors`` and reported as ``False`` — the plan stays
+cached in memory and the answer path never sees the exception.  Reads:
+every row is written with a content checksum over its plan columns;
+a row whose checksum mismatches — or whose ``shape_key`` or
+``boundaries`` no longer decode — is **quarantined** (counted in
+``quarantined``, skipped, never raised), so one corrupt row cannot
+crash hydration or poison a byte-identity contract.  Rows from
+pre-checksum files carry a NULL checksum and load unvalidated.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import sqlite3
 import threading
@@ -59,6 +75,12 @@ from typing import Optional
 
 from ..core.levels import LevelPartition
 from .schema import create_schema
+
+#: Optional fault-injection hook (see :mod:`repro.faults`): a callable
+#: ``hook("store.write", store=..., key=...)`` or ``None``, consulted
+#: inside the save transaction — raising ``sqlite3.Error`` from it
+#: exercises the soft-fail write path.
+fault_hook = None
 
 #: Substrings that mark a key component as object-identity-based and
 #: therefore meaningless outside the process that built it.
@@ -94,6 +116,18 @@ def decode_key(text: str):
     return ast.literal_eval(text)
 
 
+def row_checksum(shape_key: str, boundaries: str, ratio, score) -> str:
+    """Content checksum over one row's plan columns, as stored.
+
+    Computed from the serialized *text* forms (plus the numeric ratio
+    and score exactly as sqlite returns them), so save and load hash
+    identical material without re-encoding.
+    """
+    material = repr((shape_key, boundaries, int(ratio), float(score)))
+    return hashlib.blake2b(material.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
 class PlanStore:
     """Sqlite-backed persistence for :class:`PlanCache` entries.
 
@@ -118,10 +152,21 @@ class PlanStore:
                 path, check_same_thread=False)
             self._owns_connection = True
         self.path = path if connection is None else None
+        if self._owns_connection and path != ":memory:":
+            # WAL survives a crashed writer with at worst the last
+            # transaction lost, and lets hydrating readers proceed
+            # while a save commits.  Best-effort: some filesystems
+            # refuse WAL, and the store works (less robustly) without.
+            try:
+                self.connection.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.Error:
+                pass
         create_schema(self.connection)
         self.saves = 0
         self.skipped = 0
         self.loads = 0
+        self.quarantined = 0
+        self.write_errors = 0
         # One lock serialises every statement: write-through happens
         # from whichever thread ran the plan search (serve executor
         # threads included), and sqlite connections are not themselves
@@ -137,31 +182,41 @@ class PlanStore:
         """Persist one plan under its cache key (upsert).
 
         Returns False (and counts the skip) for keys that are not
-        :func:`persistable`; True otherwise.
+        :func:`persistable`, and False (counting ``write_errors``) on
+        any sqlite failure — persistence is an optimization, so a
+        failed write must never surface on the answer path; the plan
+        simply stays memory-only.  True otherwise.
         """
         if not persistable(key):
             self.skipped += 1
             return False
         boundaries = json.dumps(list(partition.boundaries))
         shape_key = encode_key(key)
+        checksum = row_checksum(shape_key, boundaries, ratio, score)
         # Delete-then-insert rather than upsert: the AUTOINCREMENT
         # plan_id then grows monotonically with every save, giving an
         # exact recency order for load_all (datetime('now') only has
         # one-second resolution, which ties under bursts of saves).
-        with self._lock, self.connection:
-            self.connection.execute(
-                "DELETE FROM level_plans WHERE shape_key = ?",
-                (shape_key,))
-            self.connection.execute(
-                """
-                INSERT INTO level_plans
-                    (query_id, shape_key, kind, boundaries, ratio,
-                     score, source, updated_at)
-                VALUES (NULL, ?, ?, ?, ?, ?, 'plan_cache',
-                        datetime('now'))
-                """,
-                (shape_key, encode_key(key[0]), boundaries,
-                 int(ratio), float(score)))
+        try:
+            with self._lock, self.connection:
+                if fault_hook is not None:
+                    fault_hook("store.write", store=self, key=key)
+                self.connection.execute(
+                    "DELETE FROM level_plans WHERE shape_key = ?",
+                    (shape_key,))
+                self.connection.execute(
+                    """
+                    INSERT INTO level_plans
+                        (query_id, shape_key, kind, boundaries, ratio,
+                         score, source, updated_at, checksum)
+                    VALUES (NULL, ?, ?, ?, ?, ?, 'plan_cache',
+                            datetime('now'), ?)
+                    """,
+                    (shape_key, encode_key(key[0]), boundaries,
+                     int(ratio), float(score), checksum))
+        except sqlite3.Error:
+            self.write_errors += 1
+            return False
         self.saves += 1
         return True
 
@@ -170,18 +225,48 @@ class PlanStore:
     # ------------------------------------------------------------------
 
     def load(self, key):
-        """The stored ``(partition, kind, score)`` for a key, or None."""
+        """The stored ``(partition, kind, score)`` for a key, or None.
+
+        A corrupt row — boundaries that no longer decode, or a content
+        checksum mismatch — is quarantined (counted, treated as a
+        miss), never raised: the caller falls back to a fresh plan
+        search exactly as on a true miss.
+        """
         if not persistable(key):
             return None
+        shape_key = encode_key(key)
         with self._lock:
             row = self.connection.execute(
-                "SELECT boundaries, score FROM level_plans "
-                "WHERE shape_key = ?", (encode_key(key),)).fetchone()
+                "SELECT boundaries, ratio, score, checksum "
+                "FROM level_plans WHERE shape_key = ?",
+                (shape_key,)).fetchone()
         if row is None:
             return None
-        partition = LevelPartition(tuple(json.loads(row[0])))
+        decoded = self._decode_row(shape_key, *row)
+        if decoded is None:
+            return None
+        partition, score = decoded
         self.loads += 1
-        return partition, key[0], float(row[1])
+        return partition, key[0], score
+
+    def _decode_row(self, shape_key, boundaries, ratio, score,
+                    checksum):
+        """``(partition, score)`` for one raw row, or None (quarantined).
+
+        Validates the stored checksum when present (NULL-checksum rows
+        predate checksumming and load unvalidated), then decodes the
+        boundaries JSON into a :class:`LevelPartition` — which itself
+        re-validates the plan invariants (sortedness, open interval).
+        """
+        try:
+            if checksum is not None and checksum != row_checksum(
+                    shape_key, boundaries, ratio, score):
+                raise ValueError("plan row checksum mismatch")
+            partition = LevelPartition(tuple(json.loads(boundaries)))
+            return partition, float(score)
+        except (ValueError, SyntaxError, TypeError):
+            self.quarantined += 1
+            return None
 
     def load_all(self) -> list:
         """Every stored plan as ``(key, partition, kind, score)``.
@@ -189,21 +274,29 @@ class PlanStore:
         Ordered least-recently-updated first (save order — plan_id is
         monotone in save time, see :meth:`save`), so a cache hydrating
         in order leaves the most recently learned plans at the MRU end.
-        Rows whose key no longer decodes are skipped, not fatal.
+        Rows whose key no longer decodes, whose boundaries are junk,
+        or whose checksum mismatches are quarantined (counted in
+        ``quarantined``), never fatal — one corrupt row cannot stop
+        hydration of the rest.
         """
         with self._lock:
             rows = self.connection.execute(
-                "SELECT shape_key, boundaries, score FROM level_plans "
-                "WHERE shape_key IS NOT NULL "
+                "SELECT shape_key, boundaries, ratio, score, checksum "
+                "FROM level_plans WHERE shape_key IS NOT NULL "
                 "ORDER BY plan_id ASC").fetchall()
         plans = []
-        for shape_key, boundaries, score in rows:
+        for shape_key, boundaries, ratio, score, checksum in rows:
             try:
                 key = decode_key(shape_key)
-                partition = LevelPartition(tuple(json.loads(boundaries)))
             except (ValueError, SyntaxError, TypeError):
+                self.quarantined += 1
                 continue
-            plans.append((key, partition, key[0], float(score)))
+            decoded = self._decode_row(shape_key, boundaries, ratio,
+                                       score, checksum)
+            if decoded is None:
+                continue
+            partition, score_value = decoded
+            plans.append((key, partition, key[0], score_value))
         self.loads += len(plans)
         return plans
 
@@ -224,6 +317,8 @@ class PlanStore:
             "saves": self.saves,
             "skipped": self.skipped,
             "loads": self.loads,
+            "quarantined": self.quarantined,
+            "write_errors": self.write_errors,
             "path": self.path,
         }
 

@@ -50,7 +50,8 @@ SCHEMA_STATEMENTS = (
         ratio      INTEGER NOT NULL DEFAULT 3,
         score      REAL,
         source     TEXT NOT NULL DEFAULT 'manual',
-        updated_at TEXT NOT NULL DEFAULT (datetime('now'))
+        updated_at TEXT NOT NULL DEFAULT (datetime('now')),
+        checksum   TEXT
     )
     """,
     """
@@ -124,9 +125,27 @@ def migrate_level_plans(connection: sqlite3.Connection) -> bool:
     return True
 
 
+def ensure_plan_checksums(connection: sqlite3.Connection) -> bool:
+    """Add the ``checksum`` column to a pre-checksum ``level_plans``.
+
+    Existing rows get a NULL checksum, which the plan store accepts
+    without validation (legacy rows stay loadable); rows written from
+    now on carry a content checksum it verifies on every load.
+    Returns True when the column was added; idempotent otherwise.
+    """
+    columns = _level_plans_columns(connection)
+    if not columns or "checksum" in columns:
+        return False
+    with connection:
+        connection.execute(
+            "ALTER TABLE level_plans ADD COLUMN checksum TEXT")
+    return True
+
+
 def create_schema(connection: sqlite3.Connection) -> None:
     """Create all tables and indexes (idempotent; migrates old files)."""
     migrate_level_plans(connection)
+    ensure_plan_checksums(connection)
     with connection:
         for statement in SCHEMA_STATEMENTS + INDEX_STATEMENTS:
             connection.execute(statement)

@@ -109,6 +109,20 @@ class ParallelPolicy:
         see :class:`~repro.core.pool.RoundPipeline`).  Results are
         byte-identical either way; ``False`` restores the per-round
         barrier.
+    max_worker_restarts:
+        Supervision budget: how many dead (or deadline-overrunning)
+        workers the pool may respawn per burst of work before falling
+        back to the abort-with-cleanup path.  Recovery re-runs only
+        the dead worker's in-flight tasks, byte-identically (task
+        seeds are structural).  ``0`` restores the historical
+        any-death-aborts behavior; the default keeps engine runs alive
+        through occasional worker crashes.
+    task_retry_limit:
+        How many times one task may be re-submitted after worker
+        deaths before the run aborts anyway (poison-pill guard).
+    task_timeout_seconds:
+        Optional per-task deadline; an overrunning process worker is
+        terminated and recovered like a crash.  ``None`` disables it.
     """
 
     n_workers: Optional[int] = None
@@ -117,6 +131,9 @@ class ParallelPolicy:
     members_per_task: int = 32
     pool: str = "fork"
     streamed: bool = True
+    max_worker_restarts: int = 2
+    task_retry_limit: int = 2
+    task_timeout_seconds: Optional[float] = None
 
     def validate(self) -> "ParallelPolicy":
         if self.n_workers is not None and self.n_workers < 1:
@@ -137,6 +154,19 @@ class ParallelPolicy:
             raise ValueError(
                 f"unknown pool mode {self.pool!r}; choose from "
                 f"{POOL_MODES}")
+        if self.max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, got "
+                f"{self.max_worker_restarts}")
+        if self.task_retry_limit < 0:
+            raise ValueError(
+                f"task_retry_limit must be >= 0, got "
+                f"{self.task_retry_limit}")
+        if self.task_timeout_seconds is not None \
+                and self.task_timeout_seconds <= 0:
+            raise ValueError(
+                f"task_timeout_seconds must be > 0, got "
+                f"{self.task_timeout_seconds}")
         return self
 
     def to_dict(self) -> dict:
@@ -147,6 +177,9 @@ class ParallelPolicy:
             "members_per_task": self.members_per_task,
             "pool": self.pool,
             "streamed": self.streamed,
+            "max_worker_restarts": self.max_worker_restarts,
+            "task_retry_limit": self.task_retry_limit,
+            "task_timeout_seconds": self.task_timeout_seconds,
         }
 
     @classmethod

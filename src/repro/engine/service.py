@@ -284,7 +284,9 @@ class DurabilityEngine:
         parallel = policy.parallel
         if parallel is None:
             return None
-        config = (parallel.n_workers, parallel.pool)
+        config = (parallel.n_workers, parallel.pool,
+                  parallel.max_worker_restarts, parallel.task_retry_limit,
+                  parallel.task_timeout_seconds)
         with self._pool_lock:
             if self._pool is not None and (self._pool.closed
                                            or self._pool_config != config):
@@ -292,8 +294,11 @@ class DurabilityEngine:
                 self._pool = None
                 self._pool_config = None
             if self._pool is None:
-                self._pool = WorkerPool(n_workers=parallel.n_workers,
-                                        pool=parallel.pool)
+                self._pool = WorkerPool(
+                    n_workers=parallel.n_workers, pool=parallel.pool,
+                    max_worker_restarts=parallel.max_worker_restarts,
+                    task_retry_limit=parallel.task_retry_limit,
+                    task_timeout_seconds=parallel.task_timeout_seconds)
                 self._pool_config = config
             return self._pool
 
@@ -308,6 +313,21 @@ class DurabilityEngine:
                 self._pool.close()
                 self._pool = None
                 self._pool_config = None
+
+    def resilience_stats(self) -> dict:
+        """Supervision counters of the current pool (zeros when none).
+
+        ``worker_restarts`` / ``tasks_recovered`` count workers the
+        pool supervisor respawned and in-flight tasks it re-ran
+        deterministically (see :mod:`repro.core.pool`); the serving
+        tier surfaces them in ``/metrics``.
+        """
+        with self._pool_lock:
+            pool = self._pool
+            if pool is None:
+                return {"worker_restarts": 0, "tasks_recovered": 0}
+            return {"worker_restarts": pool.worker_restarts,
+                    "tasks_recovered": pool.tasks_recovered}
 
     def __enter__(self) -> "DurabilityEngine":
         return self

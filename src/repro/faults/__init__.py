@@ -1,0 +1,14 @@
+"""Deterministic fault injection for resilience testing.
+
+Faults here are *schedules*, not probabilities: a
+:class:`~repro.faults.plan.FaultPlan` names the exact call indices at
+which each fault site fires (worker kills at dispatch, task delays,
+plan-store write failures, transient serve errors), so every injected
+run is reproducible and every test can assert precisely what happened.
+:func:`~repro.faults.plan.inject` installs a plan into the hooked
+modules for the duration of a ``with`` block.
+"""
+
+from .plan import SITES, FaultPlan, InjectedFault, inject
+
+__all__ = ["SITES", "FaultPlan", "InjectedFault", "inject"]

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 from typing import AsyncIterator, Optional
+
+#: Statuses worth retrying: throttles and sheds, where the server has
+#: said "come back later" (often with an explicit ``Retry-After``).
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ServeError(Exception):
@@ -60,17 +65,58 @@ class Reply:
 
 
 class ServeClient:
-    """One keep-alive connection to a :class:`DurabilityServer`."""
+    """One keep-alive connection to a :class:`DurabilityServer`.
+
+    Parameters
+    ----------
+    retries:
+        How many times a unary request may be re-sent after a
+        retryable reply (429 rate-limit, 503 shed/transient).  Each
+        retry honors the server's ``Retry-After`` when given,
+        otherwise sleeps a capped exponential backoff with jitter.
+        ``0`` (the default) keeps the historical fail-fast behavior —
+        identity tests see every reply exactly as sent.  Streaming
+        (:meth:`curve_stream`) never retries: events may already have
+        been yielded.
+    backoff_base / backoff_max:
+        First-retry backoff and the cap, seconds.
+    """
 
     def __init__(self, host: str, port: int, tenant: Optional[str] = None,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, retries: int = 0,
+                 backoff_base: float = 0.05, backoff_max: float = 2.0):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.tenant = tenant
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        #: How many retry sends this client has performed (lifetime).
+        self.retries_used = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
+
+    def _backoff_delay(self, attempt: int,
+                       retry_after: Optional[float]) -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based).
+
+        ``Retry-After`` wins when the server sent one; otherwise
+        exponential backoff from ``backoff_base`` with full jitter.
+        Either way the delay is capped at ``backoff_max``.
+        """
+        if retry_after is not None:
+            try:
+                delay = max(float(retry_after), 0.0)
+            except (TypeError, ValueError):
+                delay = self.backoff_base
+        else:
+            delay = self.backoff_base * (2.0 ** (attempt - 1))
+            delay *= 0.5 + 0.5 * random.random()  # jitter
+        return min(delay, self.backoff_max)
 
     async def __aenter__(self) -> "ServeClient":
         return self
@@ -96,13 +142,17 @@ class ServeClient:
     # -- raw request plumbing ------------------------------------------
 
     def _head(self, method: str, path: str, body: bytes,
-              streaming: bool) -> bytes:
+              streaming: bool, attempt: int = 0) -> bytes:
         lines = [f"{method} {path} HTTP/1.1",
                  f"Host: {self.host}:{self.port}",
                  f"Content-Length: {len(body)}",
                  "Content-Type: application/json"]
         if self.tenant:
             lines.append(f"X-Tenant: {self.tenant}")
+        if attempt:
+            # Mark retried sends so the server can count retry
+            # pressure (/metrics "client_retries").
+            lines.append(f"X-Retry-Attempt: {attempt}")
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
     async def _read_head(self, reader) -> tuple:
@@ -132,16 +182,36 @@ class ServeClient:
 
     async def request(self, method: str, path: str,
                       payload: Optional[dict] = None) -> Reply:
-        """One unary request; raises :class:`ServeError` on >= 400."""
+        """One unary request; raises :class:`ServeError` on >= 400.
+
+        With ``retries > 0``, retryable replies (429/503) are re-sent
+        up to the budget, honoring ``Retry-After`` (else capped
+        exponential backoff with jitter); any other error — and the
+        final retryable one — propagates.
+        """
         body = json.dumps(payload).encode("utf-8") \
             if payload is not None else b""
-        async with self._lock:
-            return await asyncio.wait_for(
-                self._request_locked(method, path, body), self.timeout)
+        attempt = 0
+        while True:
+            try:
+                async with self._lock:
+                    return await asyncio.wait_for(
+                        self._request_locked(method, path, body, attempt),
+                        self.timeout)
+            except ServeError as exc:
+                if (attempt >= self.retries
+                        or exc.status not in RETRYABLE_STATUSES):
+                    raise
+                attempt += 1
+                self.retries_used += 1
+                await asyncio.sleep(
+                    self._backoff_delay(attempt, exc.retry_after))
 
-    async def _request_locked(self, method, path, body) -> Reply:
+    async def _request_locked(self, method, path, body,
+                              attempt: int = 0) -> Reply:
         reader, writer = await self._connected()
-        writer.write(self._head(method, path, body, streaming=False)
+        writer.write(self._head(method, path, body, streaming=False,
+                                attempt=attempt)
                      + body)
         await writer.drain()
         status, headers = await self._read_head(reader)

@@ -76,6 +76,14 @@ class ServeConfig:
         no-progress samples (with work in flight) that flags a stall.
     request_max_bytes:
         Largest accepted request body.
+    request_deadline_seconds:
+        Per-request engine deadline (hot-reloadable).  Work still
+        running past it is abandoned by the response path — the client
+        gets a structured 504 ``deadline_exceeded`` error — and
+        counted in ``/metrics`` as ``deadline_kills``.  Best-effort
+        cancellation: the executor thread finishes its current engine
+        call in the background (a documented known limit).  ``0``
+        (the default) disables deadlines.
     drain_timeout_seconds:
         Graceful-shutdown budget for in-flight requests.
     warm_enabled:
@@ -118,6 +126,7 @@ class ServeConfig:
     watchdog_interval_seconds: float = 1.0
     stall_after_intervals: int = 5
     request_max_bytes: int = 8 * 1024 * 1024
+    request_deadline_seconds: float = 0.0
     drain_timeout_seconds: float = 30.0
     warm_enabled: bool = True
     warm_interval_seconds: float = 5.0
@@ -172,6 +181,10 @@ class ServeConfig:
         if self.request_max_bytes < 1024:
             raise ValueError(f"request_max_bytes must be >= 1024, got "
                              f"{self.request_max_bytes}")
+        if self.request_deadline_seconds < 0:
+            raise ValueError(
+                f"request_deadline_seconds must be >= 0 (0 disables "
+                f"deadlines), got {self.request_deadline_seconds}")
         if self.warm_interval_seconds <= 0:
             raise ValueError(f"warm_interval_seconds must be > 0, got "
                              f"{self.warm_interval_seconds}")

@@ -66,9 +66,28 @@ _REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
             408: "Request Timeout", 413: "Payload Too Large",
             429: "Too Many Requests", 500: "Internal Server Error",
-            503: "Service Unavailable"}
+            503: "Service Unavailable", 504: "Gateway Timeout"}
 
 _MAX_HEADER_LINES = 100
+
+#: Optional fault-injection hook (see :mod:`repro.faults`): a callable
+#: ``hook("serve.request", route=..., server=...)`` or ``None``,
+#: consulted before session/query routes.  Anything it raises is
+#: answered as a *structured* 503 ``transient`` error (with
+#: ``Retry-After``), never a protocol error — injected faults model an
+#: overloaded or flaky tier, not a broken one.
+fault_hook = None
+
+#: Retry-After advertised on injected transient faults, seconds.
+_INJECTED_RETRY_AFTER = 0.05
+
+
+class DeadlineExceeded(Exception):
+    """An engine call outlived ``request_deadline_seconds``."""
+
+    def __init__(self, seconds: float):
+        super().__init__(f"request exceeded its {seconds:.3f}s deadline")
+        self.seconds = seconds
 
 
 class _BadRequest(Exception):
@@ -233,6 +252,7 @@ class DurabilityServer:
         self.metrics.register_gauge("admission", self.admission.stats)
         self.metrics.register_gauge("sessions", self.sessions.stats)
         self.metrics.register_gauge("plan_cache", engine.cache_stats)
+        self.metrics.register_gauge("resilience", self._resilience_stats)
         self.metrics.register_gauge("warmer", self.warmer.stats)
         self.metrics.register_gauge("workload_log",
                                     self.workload_log.stats)
@@ -259,6 +279,18 @@ class DurabilityServer:
                                 cfg.session_ttl_seconds,
                                 cfg.session_seed_salt)
         self.warmer.update_config(cfg)
+
+    def _resilience_stats(self) -> dict:
+        """Fault-tolerance counters for the ``/metrics`` gauge: pool
+        supervision (worker restarts, recovered tasks) plus plan-store
+        corruption/write-failure accounting when a store is attached.
+        """
+        stats = self.engine.resilience_stats()
+        if self._plan_store is not None:
+            store = self._plan_store.stats()
+            stats["store_quarantined"] = store["quarantined"]
+            stats["store_write_errors"] = store["write_errors"]
+        return stats
 
     def _tier_idle(self) -> bool:
         """The warmer's gate: no admitted work, nothing queued.
@@ -365,11 +397,35 @@ class DurabilityServer:
         """Route one request; returns False if the connection must die."""
         started = time.perf_counter()
         route = self._route_label(request)
+        if request.headers.get("x-retry-attempt"):
+            # Clients mark retried sends (see ServeClient), so retry
+            # pressure is observable tier-side in /metrics.
+            self.metrics.inc("client_retries")
         self._active += 1
         if self._idle is not None:
             self._idle.clear()
         status = 500
         try:
+            hook = fault_hook
+            if hook is not None and route not in ("healthz", "metrics",
+                                                  "stats", "config"):
+                try:
+                    hook("serve.request", route=route, server=self)
+                except Exception as exc:
+                    # Injected faults surface as structured transient
+                    # sheds — well-formed, retryable, never a protocol
+                    # error.
+                    status = 503
+                    self.metrics.inc("faults_injected")
+                    await self._respond_json(
+                        writer, 503,
+                        error_body("transient",
+                                   f"injected fault: {exc}",
+                                   retry_after=_INJECTED_RETRY_AFTER),
+                        started,
+                        extra_headers={"Retry-After":
+                                       f"{_INJECTED_RETRY_AFTER:.3f}"})
+                    return True
             status = await self._route(request, writer, started)
             return True
         except ProtocolError as exc:
@@ -390,6 +446,12 @@ class DurabilityServer:
                 writer, 404,
                 error_body("unknown_session",
                            f"no live session {exc.args[0]!r}"), started)
+            return True
+        except DeadlineExceeded as exc:
+            status = 504
+            await self._respond_json(
+                writer, 504,
+                error_body("deadline_exceeded", str(exc)), started)
             return True
         except AdmissionError as exc:
             status = exc.http_status
@@ -601,8 +663,28 @@ class DurabilityServer:
         return (tenant or "default"), policy
 
     async def _run_engine(self, fn):
-        return await asyncio.get_running_loop().run_in_executor(
-            self._executor, fn)
+        """Run one engine call on the executor, under the deadline.
+
+        With ``request_deadline_seconds`` set (hot-reloadable), a call
+        still running past its budget raises :class:`DeadlineExceeded`
+        (a structured 504 to the client) and the admission ticket is
+        released by the caller's ``finally`` — but the executor thread
+        itself cannot be interrupted mid-simulation, so it finishes in
+        the background and its result is discarded.  Best-effort
+        cancellation is the documented limit; the admission controller
+        still sees truthful in-flight accounting because tickets are
+        held for the awaited portion only.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, fn)
+        deadline = self.hot_config.current.request_deadline_seconds
+        if not deadline:
+            return await future
+        try:
+            return await asyncio.wait_for(future, deadline)
+        except asyncio.TimeoutError:
+            self.metrics.inc("deadline_kills")
+            raise DeadlineExceeded(deadline) from None
 
     # -- query routes --------------------------------------------------
 

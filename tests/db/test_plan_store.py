@@ -254,3 +254,134 @@ class TestEngineRestart:
         assert again.details["plan_origin"] == "store"
         assert [e.probability for e in again.estimates] == \
             [e.probability for e in first.estimates]
+
+
+class TestCorruptionHardening:
+    """Corrupt rows quarantine (counted, skipped), never raise; failed
+    writes soft-fail; legacy pre-checksum rows stay loadable."""
+
+    def _stored_key(self, store):
+        key = PlanCache().key_for(walk_query())
+        assert store.save(key, LevelPartition((0.25, 0.5)), score=1.5)
+        return key
+
+    def test_corrupted_boundaries_quarantined_on_load(self):
+        store = PlanStore()
+        key = self._stored_key(store)
+        with store.connection:
+            store.connection.execute(
+                "UPDATE level_plans SET boundaries = 'not json'")
+        assert store.load(key) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_checksum_mismatch_quarantined(self):
+        store = PlanStore()
+        key = self._stored_key(store)
+        # Tampered score: boundaries still decode, checksum disagrees.
+        with store.connection:
+            store.connection.execute(
+                "UPDATE level_plans SET score = score + 1.0")
+        assert store.load(key) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_load_all_skips_corrupt_rows_and_counts(self):
+        store = PlanStore()
+        cache = PlanCache()
+        good = cache.key_for(walk_query(8.0))
+        bad = cache.key_for(walk_query(16.0))
+        store.save(good, LevelPartition((0.25,)))
+        store.save(bad, LevelPartition((0.5,)))
+        with store.connection:
+            store.connection.execute(
+                "UPDATE level_plans SET shape_key = 'not a ('"
+                " WHERE shape_key = ?", (encode_key(bad),))
+        loaded = store.load_all()
+        assert [key for key, _, _, _ in loaded] == [good]
+        assert store.stats()["quarantined"] == 1
+
+    def test_corrupted_file_regression(self, tmp_path):
+        """A file corrupted on disk between sessions hydrates what it
+        can: every decodable row loads, the rest quarantine."""
+        path = str(tmp_path / "plans.db")
+        cache = PlanCache()
+        keys = [cache.key_for(walk_query(4.0 * (i + 1)))
+                for i in range(3)]
+        store = PlanStore(path)
+        for i, key in enumerate(keys):
+            store.save(key, LevelPartition((0.2 + 0.1 * i,)))
+        store.close()
+
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.execute(
+                "UPDATE level_plans SET boundaries = '[2e400' "
+                "WHERE shape_key = ?", (encode_key(keys[1]),))
+        connection.close()
+
+        reopened = PlanStore(path)
+        loaded = reopened.load_all()
+        assert [key for key, _, _, _ in loaded] == [keys[0], keys[2]]
+        assert reopened.stats()["quarantined"] == 1
+        assert reopened.load(keys[1]) is None
+        assert reopened.stats()["quarantined"] == 2
+        reopened.close()
+
+    def test_legacy_null_checksum_rows_load(self):
+        """Rows written before checksumming (NULL checksum) must keep
+        loading unvalidated."""
+        store = PlanStore()
+        key = self._stored_key(store)
+        with store.connection:
+            store.connection.execute(
+                "UPDATE level_plans SET checksum = NULL")
+        partition, _, score = store.load(key)
+        assert partition.boundaries == (0.25, 0.5)
+        assert score == 1.5
+        assert store.stats()["quarantined"] == 0
+
+    def test_injected_write_failure_soft_fails(self):
+        from repro.faults import FaultPlan, inject
+
+        store = PlanStore()
+        key = PlanCache().key_for(walk_query())
+        with inject(FaultPlan(store_write_errors=(0,))):
+            assert not store.save(key, LevelPartition((0.5,)))
+            # The very next save (index 1) goes through.
+            assert store.save(key, LevelPartition((0.5,)))
+        stats = store.stats()
+        assert stats["write_errors"] == 1
+        assert stats["saves"] == 1
+
+    def test_file_backed_store_uses_wal(self, tmp_path):
+        store = PlanStore(str(tmp_path / "plans.db"))
+        mode = store.connection.execute(
+            "PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        store.close()
+
+    def test_checksum_column_migrates_in_place(self, tmp_path):
+        """A pre-checksum file gains the column on open; its rows load
+        as legacy (NULL checksum)."""
+        from repro.db.schema import ensure_plan_checksums
+
+        path = str(tmp_path / "old.db")
+        connection = sqlite3.connect(path)
+        create_schema(connection)
+        with connection:
+            connection.execute(
+                "ALTER TABLE level_plans DROP COLUMN checksum")
+        key = PlanCache().key_for(walk_query())
+        with connection:
+            connection.execute(
+                "INSERT INTO level_plans (shape_key, boundaries, ratio, "
+                "score, source) VALUES (?, '[0.5]', 3, 2.0, "
+                "'plan_cache')", (encode_key(key),))
+        assert ensure_plan_checksums(connection)
+        assert not ensure_plan_checksums(connection)  # idempotent
+        connection.close()
+
+        store = PlanStore(path)
+        partition, _, score = store.load(key)
+        assert partition.boundaries == (0.5,)
+        assert score == 2.0
+        store.close()

@@ -1,0 +1,115 @@
+"""The fault-injection harness itself: deterministic schedules,
+exact accounting, and clean hook install/uninstall.
+
+Injection is only trustworthy if the harness is: a plan must fire at
+exactly its scheduled call indices (no probabilities), count what it
+did, and leave no hook behind when its ``with`` block exits — even on
+error.
+"""
+
+import sqlite3
+
+import pytest
+
+import repro.core.pool as pool_module
+import repro.db.plan_store as store_module
+import repro.serve.server as server_module
+from repro.faults import SITES, FaultPlan, InjectedFault, inject
+
+
+class TestSchedules:
+    def test_fires_exactly_at_scheduled_indices(self):
+        plan = FaultPlan(serve_errors=(1, 3))
+        outcomes = []
+        for _ in range(5):
+            try:
+                plan.hook("serve.request")
+                outcomes.append(False)
+            except InjectedFault:
+                outcomes.append(True)
+        assert outcomes == [False, True, False, True, False]
+        assert plan.calls["serve.request"] == 5
+        assert plan.fired["serve.request"] == 2
+
+    def test_store_write_raises_sqlite_error(self):
+        plan = FaultPlan(store_write_errors=(0,))
+        with pytest.raises(sqlite3.OperationalError, match="injected"):
+            plan.hook("store.write")
+        plan.hook("store.write")  # index 1: passes
+        assert plan.fired["store.write"] == 1
+
+    def test_task_delay_sleeps_only_when_scheduled(self):
+        plan = FaultPlan(task_delays=(1,), delay_seconds=0.0)
+        plan.hook("pool.task")
+        plan.hook("pool.task")
+        assert plan.fired["pool.task"] == 1
+
+    def test_unknown_site_is_ignored(self):
+        plan = FaultPlan()
+        plan.hook("no.such.site")
+        assert all(count == 0 for count in plan.calls.values())
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            FaultPlan(worker_kills=(-1,))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay_seconds"):
+            FaultPlan(delay_seconds=-0.1)
+
+
+class TestSeeded:
+    def test_same_seed_same_plan(self):
+        first = FaultPlan.seeded(7)
+        second = FaultPlan.seeded(7)
+        assert first.schedule == second.schedule
+
+    def test_different_seeds_differ(self):
+        plans = [FaultPlan.seeded(seed).schedule for seed in range(8)]
+        assert any(plan != plans[0] for plan in plans[1:])
+
+    def test_rate_scales_schedule_size(self):
+        empty = FaultPlan.seeded(3, calls_per_site=40, rate=0.0)
+        dense = FaultPlan.seeded(3, calls_per_site=40, rate=0.5)
+        assert all(not indices for indices in empty.schedule.values())
+        assert all(len(indices) == 20
+                   for indices in dense.schedule.values())
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan.seeded(1, rate=1.5)
+
+
+class TestInject:
+    def test_installs_and_restores_every_hook(self):
+        plan = FaultPlan()
+        assert pool_module.fault_hook is None
+        with inject(plan):
+            # hook is a bound method — compare the receiving plan.
+            assert pool_module.fault_hook.__self__ is plan
+            assert store_module.fault_hook.__self__ is plan
+            assert server_module.fault_hook.__self__ is plan
+        assert pool_module.fault_hook is None
+        assert store_module.fault_hook is None
+        assert server_module.fault_hook is None
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with inject(FaultPlan()):
+                raise RuntimeError("boom")
+        assert pool_module.fault_hook is None
+        assert store_module.fault_hook is None
+        assert server_module.fault_hook is None
+
+    def test_nested_injection_restores_outer_plan(self):
+        outer, inner = FaultPlan(), FaultPlan()
+        with inject(outer):
+            with inject(inner):
+                assert pool_module.fault_hook.__self__ is inner
+            assert pool_module.fault_hook.__self__ is outer
+        assert pool_module.fault_hook is None
+
+    def test_sites_constant_matches_plan(self):
+        plan = FaultPlan()
+        assert set(plan.schedule) == set(SITES)
+        assert set(plan.calls) == set(SITES)

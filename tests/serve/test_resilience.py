@@ -1,0 +1,210 @@
+"""Serving-tier resilience: deadlines, client retries, fault metrics.
+
+Three contracts:
+
+* a hot-reloaded ``request_deadline_seconds`` turns an over-budget
+  request into a well-formed 504 ``deadline_exceeded`` envelope
+  (counted in ``/metrics`` as ``deadline_kills``) and the server keeps
+  serving once the deadline is lifted;
+* injected transient faults come back as structured 503 ``transient``
+  replies with ``Retry-After`` — never protocol errors — and a
+  :class:`ServeClient` with a retry budget absorbs them, honoring the
+  hint;
+* ``/metrics`` exposes the resilience gauge (pool supervision and
+  plan-store corruption counters) plus the fault/retry/deadline
+  counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine import ExecutionPolicy
+from repro.faults import FaultPlan, inject
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.client import ServeClient, ServeError
+
+DEFAULT_POLICY = ExecutionPolicy(method="srs", max_roots=300, seed=11)
+
+WALK_DOC = {"process": {"family": "random_walk",
+                        "params": {"p_up": 0.55}},
+            "beta": 6.0, "horizon": 80}
+
+SLOW_DOC = {"process": {"family": "gaussian_walk",
+                        "params": {"drift": 0.03, "sigma": 1.0}},
+            "beta": 9.0, "horizon": 300}
+
+
+@pytest.fixture()
+def server():
+    config = ServeConfig(watchdog_interval_seconds=0.05)
+    with ServerThread(policy=DEFAULT_POLICY, config=config) as handle:
+        yield handle
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestDeadlines:
+    def test_hot_reloaded_deadline_yields_504(self, server):
+        async def scenario():
+            async with ServeClient("127.0.0.1", server.port) as client:
+                await client.apply_config(
+                    {"request_deadline_seconds": 0.02})
+                try:
+                    with pytest.raises(ServeError) as err:
+                        await client.answer(SLOW_DOC,
+                                            policy={"max_roots": 60_000})
+                finally:
+                    await client.apply_config(
+                        {"request_deadline_seconds": 0.0})
+                metrics = await client.metrics()
+                reply = await client.answer(WALK_DOC)
+                return err.value, metrics, reply
+
+        error, metrics, reply = run(scenario())
+        assert error.status == 504
+        assert error.kind == "deadline_exceeded"
+        assert error.payload["ok"] is False
+        assert metrics["counters"].get("deadline_kills", 0) >= 1
+        # The server keeps serving once the deadline is lifted.
+        assert reply.status == 200
+
+    def test_zero_deadline_disables(self, server):
+        async def scenario():
+            async with ServeClient("127.0.0.1", server.port) as client:
+                return await client.answer(WALK_DOC)
+
+        assert run(scenario()).status == 200
+
+    def test_deadline_validated(self):
+        with pytest.raises(ValueError, match="request_deadline_seconds"):
+            ServeConfig(request_deadline_seconds=-1.0).validate()
+
+
+class TestInjectedTransients:
+    def test_no_retry_client_sees_structured_503(self, server):
+        async def scenario():
+            async with ServeClient("127.0.0.1", server.port) as client:
+                with pytest.raises(ServeError) as err:
+                    await client.answer(WALK_DOC)
+                return err.value
+
+        with inject(FaultPlan(serve_errors=(0,))):
+            error = run(scenario())
+        assert error.status == 503
+        assert error.kind == "transient"
+        assert error.retry_after is not None
+        assert error.payload["ok"] is False
+
+    def test_retrying_client_absorbs_faults(self, server):
+        plan = FaultPlan(serve_errors=(0, 1))
+        with inject(plan):
+            async def scenario():
+                async with ServeClient("127.0.0.1", server.port,
+                                       retries=3) as client:
+                    reply = await client.answer(WALK_DOC)
+                    return reply, client.retries_used
+
+            reply, retries_used = run(scenario())
+        assert reply.status == 200
+        assert retries_used == 2
+        assert plan.fired["serve.request"] == 2
+
+    def test_control_plane_routes_not_faulted(self, server):
+        """/healthz, /metrics, /stats and /config bypass the fault
+        site — operators can always observe a faulting tier."""
+        plan = FaultPlan(serve_errors=range(16))
+        with inject(plan):
+            async def scenario():
+                async with ServeClient("127.0.0.1",
+                                       server.port) as client:
+                    return (await client.healthz(),
+                            await client.metrics())
+
+            health, metrics = run(scenario())
+        assert health["ok"] is True
+        assert plan.fired["serve.request"] == 0
+        assert "counters" in metrics
+
+    def test_fault_and_retry_metrics_counted(self, server):
+        plan = FaultPlan(serve_errors=(0,))
+        with inject(plan):
+            async def scenario():
+                async with ServeClient("127.0.0.1", server.port,
+                                       retries=2) as client:
+                    await client.answer(WALK_DOC)
+                    return await client.metrics()
+
+            metrics = run(scenario())
+        counters = metrics["counters"]
+        assert counters.get("faults_injected", 0) >= 1
+        assert counters.get("client_retries", 0) >= 1
+
+
+class TestResilienceGauge:
+    def test_metrics_exposes_resilience_counters(self, server):
+        async def scenario():
+            async with ServeClient("127.0.0.1", server.port) as client:
+                return await client.metrics()
+
+        gauge = run(scenario())["gauges"]["resilience"]
+        assert gauge["worker_restarts"] == 0
+        assert gauge["tasks_recovered"] == 0
+
+    def test_store_counters_join_gauge_when_attached(self, tmp_path):
+        config = ServeConfig(
+            watchdog_interval_seconds=0.05,
+            plan_store_path=str(tmp_path / "plans.db"))
+        with ServerThread(policy=DEFAULT_POLICY,
+                          config=config) as handle:
+            async def scenario():
+                async with ServeClient("127.0.0.1",
+                                       handle.port) as client:
+                    return await client.metrics()
+
+            gauge = run(scenario())["gauges"]["resilience"]
+        assert gauge["store_quarantined"] == 0
+        assert gauge["store_write_errors"] == 0
+
+
+class TestClientRetryPolicy:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServeClient("127.0.0.1", 1, retries=-1)
+
+    def test_retry_after_wins_over_backoff(self):
+        client = ServeClient("127.0.0.1", 1, retries=1,
+                             backoff_base=10.0, backoff_max=60.0)
+        assert client._backoff_delay(1, 0.25) == 0.25
+        assert client._backoff_delay(1, 0.0) == 0.0
+
+    def test_junk_retry_after_falls_back_to_base(self):
+        client = ServeClient("127.0.0.1", 1, backoff_base=0.125)
+        assert client._backoff_delay(1, "soon") == 0.125
+
+    def test_backoff_grows_and_caps(self):
+        client = ServeClient("127.0.0.1", 1, backoff_base=0.1,
+                             backoff_max=0.3)
+        delays = [client._backoff_delay(attempt, None)
+                  for attempt in (1, 2, 10)]
+        # Jittered into (base/2, base], doubling per attempt, capped.
+        assert 0.05 <= delays[0] <= 0.1
+        assert 0.1 <= delays[1] <= 0.2
+        assert delays[2] == 0.3
+
+    def test_non_retryable_errors_propagate_immediately(self, server):
+        async def scenario():
+            async with ServeClient("127.0.0.1", server.port,
+                                   retries=3) as client:
+                with pytest.raises(ServeError) as err:
+                    await client.request("POST", "/answer",
+                                         {"query": {"bogus": True}})
+                return err.value, client.retries_used
+
+        error, retries_used = run(scenario())
+        assert error.status == 400
+        assert retries_used == 0
